@@ -1,0 +1,130 @@
+/// \file bench_ablation_training.cpp
+/// Ablation of the training-scheme choices DESIGN.md calls out:
+///
+///  1. Split vs joint training — Sec. III-B states that stopping gradients
+///     between the branches "yields superior results"; this harness
+///     measures both schemes.
+///  2. Physics-loss weight (lambda in Eq. 2, paper uses 1).
+///  3. Collocation points per minibatch (paper matches the data batch).
+///
+/// Runs on the Sandia-like NMC subset; reports prediction MAE at the
+/// 120/240/360 s test horizons.
+///
+/// Options: --epochs=N (default 150), --seed=N.
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/sandia.hpp"
+#include "nn/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace socpinn;
+
+namespace {
+
+struct Row {
+  std::string label;
+  std::vector<double> mae;
+};
+
+std::vector<double> evaluate(
+    core::TwoBranchNet& net,
+    const std::vector<data::HorizonEvalData>& evals) {
+  std::vector<double> out;
+  for (const auto& eval : evals) {
+    const core::HorizonPrediction pred = core::predict_cascade(net, eval);
+    out.push_back(nn::mae(pred.soc_pred, eval.target));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const util::ArgParser args(argc, argv);
+  const int epochs = args.get_int("epochs", 150);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  util::WallTimer timer;
+  data::SandiaConfig data_config;
+  data_config.chemistries = {battery::Chemistry::kNmc};
+  data_config.cycles_per_condition = 2;
+  const data::SandiaDataset dataset = data::generate_sandia(data_config);
+  const std::vector<data::Trace> train = dataset.train_traces();
+  const std::vector<data::Trace> test = dataset.test_traces();
+
+  const auto b1_train =
+      data::build_branch1_data(std::span<const data::Trace>(train));
+  const auto b2_train = data::build_branch2_data(
+      std::span<const data::Trace>(train), 120.0);
+  const auto joint_train = data::build_horizon_eval(
+      std::span<const data::Trace>(train), 120.0);
+  std::vector<data::HorizonEvalData> evals;
+  for (double h : {120.0, 240.0, 360.0}) {
+    evals.push_back(data::build_horizon_eval(
+        std::span<const data::Trace>(test), h));
+  }
+
+  core::TrainConfig config;
+  config.epochs = static_cast<std::size_t>(epochs);
+  config.seed = seed;
+
+  std::vector<Row> rows;
+
+  // --- 1. split vs joint, both without physics ------------------------
+  {
+    core::TwoBranchNet split_net({}, seed);
+    (void)core::train_branch1(split_net, b1_train, config);
+    (void)core::train_branch2(split_net, b2_train, std::nullopt, config);
+    rows.push_back({"split (paper)", evaluate(split_net, evals)});
+
+    core::TwoBranchNet joint_net({}, seed);
+    (void)core::train_joint(joint_net, joint_train, config);
+    rows.push_back({"joint (ablation)", evaluate(joint_net, evals)});
+  }
+
+  // --- 2. physics weight sweep (PINN-All horizons) ---------------------
+  for (double weight : {0.25, 1.0, 4.0}) {
+    core::TwoBranchNet net({}, seed);
+    (void)core::train_branch1(net, b1_train, config);
+    core::PhysicsConfig physics = core::PhysicsConfig::from_data(
+        b2_train, 3.0, {120.0, 240.0, 360.0});
+    physics.weight = weight;
+    (void)core::train_branch2(net, b2_train, physics, config);
+    rows.push_back({"PINN-All lambda=" + util::format_double(weight, 2),
+                    evaluate(net, evals)});
+  }
+
+  // --- 3. collocation batch-size sweep ---------------------------------
+  for (std::size_t count : {std::size_t{16}, std::size_t{64},
+                            std::size_t{256}}) {
+    core::TwoBranchNet net({}, seed);
+    (void)core::train_branch1(net, b1_train, config);
+    core::PhysicsConfig physics = core::PhysicsConfig::from_data(
+        b2_train, 3.0, {120.0, 240.0, 360.0});
+    physics.samples_per_batch = count;
+    (void)core::train_branch2(net, b2_train, physics, config);
+    rows.push_back({"PINN-All colloc=" + std::to_string(count),
+                    evaluate(net, evals)});
+  }
+
+  util::TextTable table;
+  table.set_header({"Configuration", "Test@120s", "Test@240s", "Test@360s"});
+  for (const auto& row : rows) {
+    table.add_row_values(row.label, row.mae, 4);
+  }
+  std::printf("%s\n",
+              table.str("Training ablation — Sandia NMC subset").c_str());
+  std::printf(
+      "Expectations: split beats joint (paper Sec. III-B); lambda=1 is a "
+      "good default; the collocation count is not critical.\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,118 @@
+/// \file bench_fig5_rollout.cpp
+/// Reproduces Fig. 5: autoregressive full-discharge prediction on the four
+/// pure driving cycles (UDDS, HWFET->(paper shows LA92), US06, MIXED8) of
+/// the LG-like test set at 25 degC. Branch 1 sees the voltage only at the
+/// first timestamp; Branch 2 then rolls the SoC forward step by step.
+///
+/// Each PINN rolls at the horizon that won its single-step benchmark (the
+/// paper's protocol); No-PINN and Physics-Only roll at the native 30 s.
+///
+/// Paper reference: No-PINN averages a final-SoC error of 0.234 (ground
+/// truth 0.0) and is poor on 3 of 4 cycles; Physics-Only consistently
+/// overestimates; the best PINN setup (PINN-30s) reaches 0.089.
+///
+/// Options: --epochs=N (default 200), --seed=N, --csv to dump trajectories.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/lg.hpp"
+#include "data/preprocess.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace socpinn;
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const util::ArgParser args(argc, argv);
+  const int epochs = args.get_int("epochs", 200);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool dump_csv = args.get_bool("csv", false);
+
+  util::WallTimer timer;
+  const data::LgDataset dataset = data::generate_lg(data::LgConfig{});
+
+  core::ExperimentSetup setup;
+  for (const auto& run : dataset.train_runs) {
+    setup.train_traces.push_back(data::smooth_trace(run.trace, 30.0));
+  }
+  setup.native_horizon_s = 30.0;
+  setup.capacity_ah =
+      battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
+  setup.train.epochs = static_cast<std::size_t>(epochs);
+  setup.branch1_stride = 100;
+  setup.branch2_stride = 100;
+
+  // (variant, rollout horizon) pairs; each PINN uses its own horizon.
+  struct Entry {
+    core::VariantSpec spec;
+    double horizon_s;
+  };
+  const std::vector<Entry> entries = {
+      {{"No-PINN", core::VariantKind::kNoPinn, {}}, 30.0},
+      {{"Physics-Only", core::VariantKind::kPhysicsOnly, {}}, 30.0},
+      {{"PINN-30s", core::VariantKind::kPinn, {30.0}}, 30.0},
+      {{"PINN-50s", core::VariantKind::kPinn, {50.0}}, 50.0},
+      {{"PINN-70s", core::VariantKind::kPinn, {70.0}}, 70.0},
+      {{"PINN-All", core::VariantKind::kPinn, {30.0, 50.0, 70.0}}, 30.0},
+  };
+  const std::vector<std::string> cycles = {"UDDS", "LA92", "US06", "MIXED8"};
+
+  std::vector<core::TrainedModel> models;
+  models.reserve(entries.size());
+  for (const auto& entry : entries) {
+    models.push_back(core::train_two_branch(setup, entry.spec, seed));
+  }
+
+  util::TextTable table;
+  table.set_header({"Model", "UDDS", "LA92", "US06", "MIXED8",
+                    "mean |final err|"});
+  std::vector<double> pinn30_errors;
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    std::vector<std::string> row{entries[e].spec.label};
+    std::vector<double> errors;
+    for (const auto& cycle : cycles) {
+      const data::Trace trace =
+          data::smooth_trace(dataset.test_run(cycle).trace, 30.0);
+      const core::Rollout rollout =
+          entries[e].spec.kind == core::VariantKind::kPhysicsOnly
+              ? core::rollout_physics_only(models[e].net, trace,
+                                           entries[e].horizon_s,
+                                           setup.capacity_ah)
+              : core::rollout_cascade(models[e].net, trace,
+                                      entries[e].horizon_s);
+      row.push_back(util::format_double(rollout.soc.back(), 3));
+      errors.push_back(rollout.final_abs_error());
+      if (dump_csv) {
+        util::CsvDocument doc;
+        doc.header = {"time_s", "soc_pred", "soc_true"};
+        doc.columns = {rollout.times_s, rollout.soc, rollout.truth};
+        util::write_csv("fig5_" + entries[e].spec.label + "_" + cycle +
+                            ".csv",
+                        doc);
+      }
+    }
+    row.push_back(util::format_double(util::mean(errors), 3));
+    table.add_row(row);
+  }
+
+  std::printf("%s\n",
+              table
+                  .str("Fig. 5 — LG: final predicted SoC after a full "
+                       "autoregressive discharge (ground truth ~0.0)")
+                  .c_str());
+  std::printf(
+      "Paper reference: No-PINN mean final error 0.234 (poor on 3/4 "
+      "cycles); Physics-Only overestimates everywhere; PINN-30s best at "
+      "0.089.\n");
+  if (dump_csv) std::printf("trajectories written to fig5_*.csv\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

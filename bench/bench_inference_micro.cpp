@@ -1,0 +1,127 @@
+/// \file bench_inference_micro.cpp
+/// Micro-benchmarks backing the paper's efficiency claims (Sec. III-A and
+/// Table I): per-inference latency of each branch, the full cascade, an
+/// autoregressive rollout step, and the sequence baselines — plus the
+/// analytic cost model (2,322 params ~ 9 kB, ~1150 MACs per branch vs
+/// ~4 Mb / ~300 M ops for the LSTM of [17]).
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "battery/coulomb.hpp"
+#include "core/two_branch_net.hpp"
+#include "nn/lstm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace socpinn;
+
+core::TwoBranchNet& shared_net() {
+  static core::TwoBranchNet net = [] {
+    core::TwoBranchNet n({}, 1);
+    n.scaler1() = nn::StandardScaler::from_moments({3.7, -1.5, 25.0},
+                                                   {0.3, 2.0, 8.0});
+    n.scaler2() = nn::StandardScaler::from_moments(
+        {0.5, -1.5, 25.0, 45.0}, {0.25, 2.0, 8.0, 18.0});
+    return n;
+  }();
+  return net;
+}
+
+void BM_Branch1Estimate(benchmark::State& state) {
+  core::TwoBranchNet& net = shared_net();
+  double v = 3.81;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.estimate_soc(v, -2.0, 24.0));
+    v += 1e-9;  // defeat value memoization
+  }
+}
+BENCHMARK(BM_Branch1Estimate);
+
+void BM_Branch2Predict(benchmark::State& state) {
+  core::TwoBranchNet& net = shared_net();
+  double soc = 0.8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict_soc(soc, -3.0, 25.0, 30.0));
+    soc = soc > 0.2 ? soc - 1e-9 : 0.8;
+  }
+}
+BENCHMARK(BM_Branch2Predict);
+
+void BM_FullCascade(benchmark::State& state) {
+  core::TwoBranchNet& net = shared_net();
+  for (auto _ : state) {
+    const double soc = net.estimate_soc(3.81, -2.0, 24.0);
+    benchmark::DoNotOptimize(net.predict_soc(soc, -3.0, 25.0, 30.0));
+  }
+}
+BENCHMARK(BM_FullCascade);
+
+void BM_AutoregressiveRollout(benchmark::State& state) {
+  // One Branch-1 call plus `steps` Branch-2 steps — the Fig. 2 pattern.
+  core::TwoBranchNet& net = shared_net();
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    double soc = net.estimate_soc(3.81, -2.0, 24.0);
+    for (std::size_t i = 0; i < steps; ++i) {
+      soc = net.predict_soc(soc, -3.0, 25.0, 30.0);
+    }
+    benchmark::DoNotOptimize(soc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_AutoregressiveRollout)->Arg(10)->Arg(100);
+
+void BM_CoulombPredict(benchmark::State& state) {
+  // The Physics-Only step, for scale: Eq. 1 is three flops.
+  double soc = 0.9;
+  for (auto _ : state) {
+    soc = battery::coulomb_predict_clamped(soc, -3.0, 30.0, 3.0);
+    benchmark::DoNotOptimize(soc);
+    if (soc < 0.1) soc = 0.9;
+  }
+}
+BENCHMARK(BM_CoulombPredict);
+
+void BM_LstmEstimate(benchmark::State& state) {
+  // Sequence baseline at the given hidden size over a 30-sample window.
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  nn::LstmRegressor model(3, hidden, rng);
+  std::vector<nn::Matrix> window(30, nn::Matrix(1, 3, 0.1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(window));
+  }
+}
+BENCHMARK(BM_LstmEstimate)->Arg(32)->Arg(128);
+
+void report_cost_model() {
+  core::TwoBranchNet& net = shared_net();
+  const nn::ModelCost ours = net.cost();
+  const nn::ModelCost lstm = nn::lstm_cost(3, 512, 30);
+  std::printf("--- cost model (Sec. III-A / Table I) ---\n");
+  std::printf("two-branch: %zu params, %s, %s MACs per cascade inference\n",
+              ours.params, ours.mem_str().c_str(), ours.ops_str().c_str());
+  std::printf("LSTM [17] published scale: %zu params, %s, %s MACs\n",
+              lstm.params, lstm.mem_str().c_str(), lstm.ops_str().c_str());
+  std::printf("memory ratio: %.0fx, ops ratio: %.0fx\n",
+              static_cast<double>(lstm.bytes_f32) /
+                  static_cast<double>(ours.bytes_f32),
+              static_cast<double>(lstm.macs) /
+                  static_cast<double>(ours.macs));
+  std::printf(
+      "paper reference: 2,322 params / ~9 kB / ~1150 ops vs ~4 Mb / "
+      "~300 M ops (400x memory, 260kx ops)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_cost_model();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// \file embedded_export.cpp
+/// The BMS/PMIC deployment path (Sec. III-A argues the model's 2,322
+/// parameters / ~9 kB make it suitable for on-board prediction):
+///   1. train a PINN on the Sandia-like data,
+///   2. export the weights as a dependency-free C header (float32 arrays
+///      plus the standardization constants),
+///   3. report the memory/ops budget and measure host inference latency.
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/experiment.hpp"
+#include "core/model_io.hpp"
+#include "data/sandia.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+using namespace socpinn;
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+
+  data::SandiaConfig data_config;
+  data_config.chemistries = {battery::Chemistry::kNmc};
+  const data::SandiaDataset dataset = data::generate_sandia(data_config);
+
+  core::ExperimentSetup setup;
+  setup.train_traces = dataset.train_traces();
+  setup.native_horizon_s = 120.0;
+  setup.capacity_ah =
+      battery::cell_params(battery::Chemistry::kNmc).capacity_ah;
+  setup.train.epochs = 120;
+
+  std::printf("training PINN-All for export...\n");
+  core::TrainedModel model = core::train_two_branch(
+      setup, {"PINN-All", core::VariantKind::kPinn, {120.0, 240.0, 360.0}},
+      1);
+
+  // Export the C header a firmware build would compile in.
+  const std::string header = core::export_c_header(model.net, "socpinn");
+  const std::string path = "socpinn_weights.h";
+  std::ofstream(path) << header;
+  std::printf("wrote %s (%zu bytes of source)\n", path.c_str(),
+              header.size());
+
+  // Cost budget (the numbers a PMIC integrator cares about).
+  const nn::ModelCost cost = model.net.cost();
+  std::printf("\nmodel budget:\n");
+  std::printf("  parameters : %zu\n", cost.params);
+  std::printf("  storage    : %s (float32)\n", cost.mem_str().c_str());
+  std::printf("  MACs       : %s per cascaded inference\n",
+              cost.ops_str().c_str());
+
+  // Measured host latency for the two inference patterns.
+  constexpr int kReps = 20000;
+  util::WallTimer timer;
+  double sink = 0.0;
+  for (int i = 0; i < kReps; ++i) {
+    sink += model.net.estimate_soc(3.8, -2.0, 25.0);
+  }
+  const double estimate_us = timer.seconds() / kReps * 1e6;
+  timer.reset();
+  double soc = 0.9;
+  for (int i = 0; i < kReps; ++i) {
+    soc = model.net.predict_soc(soc, -3.0, 25.0, 120.0);
+    if (soc < 0.1) soc = 0.9;
+  }
+  const double predict_us = timer.seconds() / kReps * 1e6;
+  std::printf("\nhost latency (double precision, single core):\n");
+  std::printf("  Branch 1 estimate : %.2f us\n", estimate_us);
+  std::printf("  Branch 2 predict  : %.2f us\n", predict_us);
+  std::printf("  (sink %.3f to keep the optimizer honest)\n", sink / kReps);
+  std::printf(
+      "\nA 100-step lookahead costs ~%.1f ms on this host; at ~1150 MACs "
+      "per step it fits comfortably in a BMS microcontroller budget.\n",
+      (estimate_us + 100 * predict_us) / 1000.0);
+  return 0;
+}

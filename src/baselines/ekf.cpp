@@ -1,0 +1,98 @@
+#include "baselines/ekf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace socpinn::baselines {
+
+EkfSocEstimator::EkfSocEstimator(battery::CellParams params, EkfConfig config)
+    : params_(std::move(params)),
+      ocv_(params_.chemistry),
+      config_(config),
+      soc_(config.initial_soc) {
+  params_.validate();
+  if (config.initial_soc < 0.0 || config.initial_soc > 1.0) {
+    throw std::invalid_argument("EkfSocEstimator: bad initial SoC");
+  }
+  if (config.initial_variance <= 0.0 || config.measurement_noise <= 0.0) {
+    throw std::invalid_argument("EkfSocEstimator: non-positive variances");
+  }
+  reset(config);
+}
+
+void EkfSocEstimator::reset(const EkfConfig& config) {
+  config_ = config;
+  soc_ = config.initial_soc;
+  v_rc_ = 0.0;
+  p_[0][0] = config.initial_variance;
+  p_[0][1] = p_[1][0] = 0.0;
+  p_[1][1] = 1e-4;
+  primed_ = false;
+}
+
+double EkfSocEstimator::update(double voltage, double current_a,
+                               double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("EkfSocEstimator: negative dt");
+
+  // --- predict -----------------------------------------------------------
+  // State transition: soc' = soc + I dt / (3600 Q); v_rc' = a v_rc + b I,
+  // with a = exp(-dt/tau). The transition is linear, so F is exact.
+  const double r1 = params_.r1_ohm;
+  const double tau = r1 * params_.c1_farad;
+  const double a = primed_ ? std::exp(-dt_s / tau) : 1.0;
+  if (primed_) {
+    soc_ += current_a * dt_s / (3600.0 * params_.capacity_ah);
+    soc_ = util::clamp01(soc_);
+    v_rc_ = a * v_rc_ + current_a * r1 * (1.0 - a);
+
+    // P = F P F^T + Q with F = diag(1, a).
+    p_[0][0] += config_.process_noise_soc * dt_s;
+    p_[0][1] *= a;
+    p_[1][0] *= a;
+    p_[1][1] = a * a * p_[1][1] + config_.process_noise_vrc * dt_s;
+  }
+  primed_ = true;
+
+  // --- update ------------------------------------------------------------
+  // Measurement: V = OCV(soc) + I R0 + v_rc; H = [dOCV/dsoc, 1].
+  const double h0 = ocv_.slope(soc_);
+  const double predicted_v =
+      ocv_.ocv(soc_) + current_a * params_.r0_ohm + v_rc_;
+  const double innovation = voltage - predicted_v;
+
+  const double s = h0 * (h0 * p_[0][0] + p_[0][1]) +
+                   (h0 * p_[1][0] + p_[1][1]) + config_.measurement_noise;
+  const double k0 = (p_[0][0] * h0 + p_[0][1]) / s;
+  const double k1 = (p_[1][0] * h0 + p_[1][1]) / s;
+
+  soc_ = util::clamp01(soc_ + k0 * innovation);
+  v_rc_ += k1 * innovation;
+
+  // Joseph-free covariance update: P = (I - K H) P.
+  const double p00 = p_[0][0], p01 = p_[0][1], p10 = p_[1][0],
+               p11 = p_[1][1];
+  p_[0][0] = (1.0 - k0 * h0) * p00 - k0 * p10;
+  p_[0][1] = (1.0 - k0 * h0) * p01 - k0 * p11;
+  p_[1][0] = -k1 * h0 * p00 + (1.0 - k1) * p10;
+  p_[1][1] = -k1 * h0 * p01 + (1.0 - k1) * p11;
+  return soc_;
+}
+
+std::vector<double> EkfSocEstimator::filter(const data::Trace& trace) {
+  if (trace.empty()) {
+    throw std::invalid_argument("EkfSocEstimator::filter: empty trace");
+  }
+  std::vector<double> out;
+  out.reserve(trace.size());
+  double last_t = trace[0].time_s;
+  for (const auto& point : trace) {
+    const double dt = point.time_s - last_t;
+    last_t = point.time_s;
+    out.push_back(update(point.voltage, point.current, dt));
+  }
+  return out;
+}
+
+}  // namespace socpinn::baselines

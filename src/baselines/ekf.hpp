@@ -1,0 +1,56 @@
+#pragma once
+/// \file ekf.hpp
+/// Extended Kalman filter SoC estimator — the classical state-estimation
+/// method of the paper's taxonomy (category 2, "models based on state
+/// estimation (e.g., Kalman filters)" [14]). Estimates the hidden
+/// [SoC, v_rc] state of a first-order Thevenin model from terminal voltage
+/// and current, and serves as the strongest non-learned estimation
+/// baseline in the test suite.
+///
+/// Unlike the data-driven estimators it needs an explicit cell model
+/// (OCV curve + RC parameters) — exactly the dependency the paper's
+/// Branch 1 removes.
+
+#include "battery/chemistry.hpp"
+#include "battery/ocv.hpp"
+#include "data/trace.hpp"
+
+namespace socpinn::baselines {
+
+struct EkfConfig {
+  double initial_soc = 0.5;         ///< deliberately uninformed prior
+  double initial_variance = 0.1;    ///< prior variance on SoC
+  double process_noise_soc = 1e-10; ///< per-step SoC process noise
+  double process_noise_vrc = 1e-8;  ///< per-step RC-voltage process noise
+  double measurement_noise = 1e-4;  ///< voltage sensor variance (V^2)
+};
+
+class EkfSocEstimator {
+ public:
+  /// \param params the cell model the filter believes in (may deliberately
+  ///        mismatch the true cell — that is the realistic setting)
+  EkfSocEstimator(battery::CellParams params, EkfConfig config = {});
+
+  /// Processes one (voltage, current) sample taken dt seconds after the
+  /// previous one and returns the posterior SoC estimate.
+  double update(double voltage, double current_a, double dt_s);
+
+  /// Filters a whole trace, returning one SoC estimate per sample.
+  [[nodiscard]] std::vector<double> filter(const data::Trace& trace);
+
+  [[nodiscard]] double soc() const { return soc_; }
+  [[nodiscard]] double soc_variance() const { return p_[0][0]; }
+
+  void reset(const EkfConfig& config);
+
+ private:
+  battery::CellParams params_;
+  battery::OcvCurve ocv_;
+  EkfConfig config_;
+  double soc_;
+  double v_rc_ = 0.0;
+  double p_[2][2];  ///< state covariance
+  bool primed_ = false;
+};
+
+}  // namespace socpinn::baselines

@@ -1,0 +1,171 @@
+#include "baselines/lstm_estimator.hpp"
+
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/optimizer.hpp"
+#include "util/log.hpp"
+
+namespace socpinn::baselines {
+
+namespace {
+nn::LstmRegressor make_model(const LstmEstimatorConfig& config) {
+  util::Rng rng(config.seed);
+  return nn::LstmRegressor(3, config.hidden, rng);
+}
+}  // namespace
+
+LstmSocEstimator::LstmSocEstimator(LstmEstimatorConfig config)
+    : config_(config), model_(make_model(config)) {
+  if (config_.window < 2) {
+    throw std::invalid_argument("LstmSocEstimator: window < 2");
+  }
+}
+
+LstmSocEstimator::WindowSet LstmSocEstimator::collect_windows(
+    std::span<const data::Trace> traces, std::size_t stride) const {
+  if (stride == 0) throw std::invalid_argument("collect_windows: stride 0");
+  WindowSet set;
+  for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+    const data::Trace& trace = traces[ti];
+    if (trace.size() < config_.window) continue;
+    for (std::size_t end = config_.window - 1; end < trace.size();
+         end += stride) {
+      set.trace_index.push_back(ti);
+      set.end_position.push_back(end);
+    }
+  }
+  return set;
+}
+
+std::vector<nn::Matrix> LstmSocEstimator::make_sequence(
+    std::span<const data::Trace> traces, const WindowSet& set,
+    std::span<const std::size_t> selection) const {
+  const std::size_t batch = selection.size();
+  std::vector<nn::Matrix> sequence(config_.window, nn::Matrix(batch, 3));
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t w = selection[b];
+    const data::Trace& trace = traces[set.trace_index[w]];
+    const std::size_t end = set.end_position[w];
+    for (std::size_t s = 0; s < config_.window; ++s) {
+      const data::TracePoint& p = trace[end - config_.window + 1 + s];
+      double row[3] = {p.voltage, p.current, p.temp_c};
+      if (scaler_.fitted()) scaler_.transform_row(row);
+      sequence[s](b, 0) = row[0];
+      sequence[s](b, 1) = row[1];
+      sequence[s](b, 2) = row[2];
+    }
+  }
+  return sequence;
+}
+
+std::vector<double> LstmSocEstimator::fit(
+    std::span<const data::Trace> traces) {
+  const WindowSet set = collect_windows(traces, config_.train_stride);
+  const std::size_t n = set.end_position.size();
+  if (n == 0) throw std::invalid_argument("LstmSocEstimator::fit: no windows");
+
+  // Fit the scaler on all raw sensor rows seen by any window.
+  {
+    std::size_t total = 0;
+    for (const auto& trace : traces) total += trace.size();
+    nn::Matrix all(total, 3);
+    std::size_t row = 0;
+    for (const auto& trace : traces) {
+      for (const auto& p : trace) {
+        all(row, 0) = p.voltage;
+        all(row, 1) = p.current;
+        all(row, 2) = p.temp_c;
+        ++row;
+      }
+    }
+    scaler_.fit(all);
+  }
+
+  util::Rng rng(config_.seed + 17);
+  nn::Adam optimizer(config_.lr);
+  optimizer.attach(model_.params(), model_.grads());
+  const nn::MaeLoss loss;
+
+  std::vector<double> history;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::vector<std::size_t> order = rng.permutation(n);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t count = std::min(config_.batch_size, n - start);
+      const std::span<const std::size_t> selection(order.data() + start,
+                                                   count);
+      const std::vector<nn::Matrix> sequence =
+          make_sequence(traces, set, selection);
+      nn::Matrix targets(count, 1);
+      for (std::size_t b = 0; b < count; ++b) {
+        const std::size_t w = selection[b];
+        targets(b, 0) =
+            traces[set.trace_index[w]][set.end_position[w]].soc;
+      }
+      model_.zero_grad();
+      const nn::Matrix out = model_.forward(sequence);
+      epoch_loss += loss.value(out, targets);
+      model_.backward(loss.grad(out, targets));
+      if (config_.grad_clip > 0.0) {
+        nn::clip_grad_norm(model_.grads(), config_.grad_clip);
+      }
+      optimizer.step();
+      ++batches;
+    }
+    history.push_back(epoch_loss / static_cast<double>(batches));
+    util::log_debug("lstm epoch ", epoch, " mae ", history.back());
+  }
+  return history;
+}
+
+std::vector<double> LstmSocEstimator::predict(const data::Trace& trace,
+                                              std::size_t stride) {
+  if (!scaler_.fitted()) {
+    throw std::logic_error("LstmSocEstimator::predict before fit");
+  }
+  const std::span<const data::Trace> traces(&trace, 1);
+  const WindowSet set = collect_windows(traces, stride);
+  std::vector<double> out;
+  out.reserve(set.end_position.size());
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t start = 0; start < set.end_position.size();
+       start += kChunk) {
+    const std::size_t count =
+        std::min(kChunk, set.end_position.size() - start);
+    std::vector<std::size_t> selection(count);
+    for (std::size_t i = 0; i < count; ++i) selection[i] = start + i;
+    const std::vector<nn::Matrix> sequence =
+        make_sequence(traces, set, selection);
+    const nn::Matrix pred = model_.forward(sequence);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(pred(i, 0));
+  }
+  return out;
+}
+
+double LstmSocEstimator::evaluate_mae(std::span<const data::Trace> traces,
+                                      std::size_t stride) {
+  std::vector<double> pred, truth;
+  for (const data::Trace& trace : traces) {
+    const std::vector<double> p = predict(trace, stride);
+    pred.insert(pred.end(), p.begin(), p.end());
+    const WindowSet set =
+        collect_windows(std::span<const data::Trace>(&trace, 1), stride);
+    for (std::size_t w = 0; w < set.end_position.size(); ++w) {
+      truth.push_back(trace[set.end_position[w]].soc);
+    }
+  }
+  return nn::mae(pred, truth);
+}
+
+nn::ModelCost LstmSocEstimator::cost() const {
+  return nn::lstm_cost(3, config_.hidden, config_.window);
+}
+
+nn::ModelCost LstmSocEstimator::published_cost() const {
+  return nn::lstm_cost(3, config_.published_hidden, config_.window);
+}
+
+}  // namespace socpinn::baselines

@@ -1,0 +1,80 @@
+#pragma once
+/// \file lstm_estimator.hpp
+/// Sequence-model SoC estimator in the style of Wong et al. [17] — the
+/// state-of-the-art competitor of Table I. Consumes a sliding window of
+/// (V, I, T) samples through an LSTM and regresses SoC(t) at the window
+/// end. Note that, unlike the two-branch network, it can only *estimate*
+/// the present SoC (the "n.a." prediction cells of Table I).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/trace.hpp"
+#include "nn/cost_model.hpp"
+#include "nn/lstm.hpp"
+#include "nn/scaler.hpp"
+
+namespace socpinn::baselines {
+
+struct LstmEstimatorConfig {
+  std::size_t hidden = 32;        ///< trained size (right-sized for the sim)
+  std::size_t window = 30;        ///< input samples per estimate
+  std::size_t train_stride = 20;  ///< window spacing in the training set
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  double lr = 3e-3;
+  double grad_clip = 5.0;
+  std::uint64_t seed = 1;
+
+  /// Published architecture size of [17] (~1M params, ~4 Mb), reported in
+  /// Table I's cost columns without being instantiated.
+  std::size_t published_hidden = 512;
+};
+
+class LstmSocEstimator {
+ public:
+  explicit LstmSocEstimator(LstmEstimatorConfig config = {});
+
+  /// Builds windows from the traces and trains to convergence. Returns the
+  /// per-epoch training MAE.
+  std::vector<double> fit(std::span<const data::Trace> traces);
+
+  /// SoC estimates for every valid window position of a trace (positions
+  /// t >= window-1), spaced by `stride`.
+  [[nodiscard]] std::vector<double> predict(const data::Trace& trace,
+                                            std::size_t stride = 1);
+
+  /// MAE of predict() against ground truth over the given traces.
+  [[nodiscard]] double evaluate_mae(std::span<const data::Trace> traces,
+                                    std::size_t stride = 1);
+
+  /// Cost of the *trained* model.
+  [[nodiscard]] nn::ModelCost cost() const;
+
+  /// Cost of the published architecture of [17] for Table I.
+  [[nodiscard]] nn::ModelCost published_cost() const;
+
+  [[nodiscard]] const LstmEstimatorConfig& config() const { return config_; }
+
+ private:
+  struct WindowSet {
+    std::vector<std::size_t> trace_index;
+    std::vector<std::size_t> end_position;
+  };
+
+  [[nodiscard]] WindowSet collect_windows(std::span<const data::Trace> traces,
+                                          std::size_t stride) const;
+
+  /// Assembles the sequence batch (window x batch x 3, scaled) for the
+  /// selected windows.
+  [[nodiscard]] std::vector<nn::Matrix> make_sequence(
+      std::span<const data::Trace> traces, const WindowSet& set,
+      std::span<const std::size_t> selection) const;
+
+  LstmEstimatorConfig config_;
+  nn::LstmRegressor model_;
+  nn::StandardScaler scaler_;
+};
+
+}  // namespace socpinn::baselines

@@ -1,0 +1,49 @@
+#include "baselines/physics_only.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace socpinn::baselines {
+
+ClassicalEstimator::ClassicalEstimator(battery::Chemistry chem,
+                                       double capacity_ah)
+    : ocv_(chem), capacity_ah_(capacity_ah) {
+  if (capacity_ah <= 0.0) {
+    throw std::invalid_argument("ClassicalEstimator: capacity <= 0");
+  }
+}
+
+double ClassicalEstimator::estimate_soc(double voltage, double current,
+                                        double r0_guess_ohm) const {
+  // Back out the ohmic drop, then invert OCV. Polarization voltage is
+  // unobservable here, which is exactly why this baseline degrades under
+  // load (and why Branch 1 needs I and T as inputs).
+  const double rest_voltage = voltage - current * r0_guess_ohm;
+  return ocv_.soc_from_ocv(rest_voltage);
+}
+
+double ClassicalEstimator::predict_soc(double soc_now, double avg_current,
+                                       double horizon_s) const {
+  return battery::coulomb_predict_clamped(soc_now, avg_current, horizon_s,
+                                          capacity_ah_);
+}
+
+std::vector<double> ClassicalEstimator::rollout(const data::Trace& trace,
+                                                double r0_guess_ohm) const {
+  if (trace.size() < 2) {
+    throw std::invalid_argument("ClassicalEstimator::rollout: short trace");
+  }
+  std::vector<double> soc;
+  soc.reserve(trace.size());
+  soc.push_back(util::clamp01(
+      estimate_soc(trace[0].voltage, trace[0].current, r0_guess_ohm)));
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double dt = trace[i].time_s - trace[i - 1].time_s;
+    const double avg = 0.5 * (trace[i - 1].current + trace[i].current);
+    soc.push_back(predict_soc(soc.back(), avg, dt));
+  }
+  return soc;
+}
+
+}  // namespace socpinn::baselines

@@ -1,0 +1,44 @@
+#pragma once
+/// \file physics_only.hpp
+/// Model-free baselines from the paper's taxonomy of classical methods:
+/// rest-voltage (OCV) SoC estimation and pure Coulomb-counting prediction.
+/// The "Physics-Only" bars of Figs. 3-5 couple the NN estimator with Eq. 1
+/// (see core::predict_physics_only); this class is the fully classical
+/// variant with no learning anywhere, used by tests and the quickstart to
+/// show what physics alone achieves.
+
+#include "battery/coulomb.hpp"
+#include "battery/ocv.hpp"
+#include "data/trace.hpp"
+
+namespace socpinn::baselines {
+
+class ClassicalEstimator {
+ public:
+  /// \param chem chemistry whose OCV curve inverts voltage to SoC
+  /// \param capacity_ah rated capacity for Coulomb counting
+  ClassicalEstimator(battery::Chemistry chem, double capacity_ah);
+
+  /// OCV-based instantaneous estimate. Compensates the ohmic drop with the
+  /// given series resistance guess before inverting the OCV curve
+  /// (resistance 0 = naive rest-voltage lookup).
+  [[nodiscard]] double estimate_soc(double voltage, double current,
+                                    double r0_guess_ohm = 0.0) const;
+
+  /// Eq. 1 prediction from a known SoC.
+  [[nodiscard]] double predict_soc(double soc_now, double avg_current,
+                                   double horizon_s) const;
+
+  /// Full classical rollout over a trace: OCV estimate at the first sample,
+  /// then Coulomb counting on the trace's currents.
+  [[nodiscard]] std::vector<double> rollout(const data::Trace& trace,
+                                            double r0_guess_ohm = 0.0) const;
+
+  [[nodiscard]] double capacity_ah() const { return capacity_ah_; }
+
+ private:
+  battery::OcvCurve ocv_;
+  double capacity_ah_;
+};
+
+}  // namespace socpinn::baselines

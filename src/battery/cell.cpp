@@ -1,0 +1,49 @@
+#include "battery/cell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::battery {
+
+Cell::Cell(CellParams params, double initial_soc, double ambient_c,
+           SensorNoise noise, util::Rng noise_rng)
+    : ecm_(std::move(params), initial_soc),
+      thermal_(ecm_.params().heat_capacity_j_per_k,
+               ecm_.params().thermal_resistance_k_per_w, ambient_c),
+      ambient_c_(ambient_c),
+      noise_(noise),
+      noise_rng_(noise_rng) {}
+
+void Cell::advance(double current_a, double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("Cell::advance: negative dt");
+  double remaining = dt_s;
+  while (remaining > 0.0) {
+    const double step = std::min(remaining, kMaxInternalDt);
+    const EcmStepResult res =
+        ecm_.step(current_a, thermal_.temperature_c(), step);
+    thermal_.step(res.heat_w, ambient_c_, step);
+    remaining -= step;
+  }
+  time_s_ += dt_s;
+}
+
+Measurement Cell::measure(double current_a) {
+  Measurement m;
+  m.time_s = time_s_;
+  m.voltage = terminal_voltage(current_a) +
+              noise_rng_.normal(0.0, noise_.sigma_v);
+  m.current = current_a + noise_rng_.normal(0.0, noise_.sigma_i);
+  m.temp_c = thermal_.temperature_c() + noise_rng_.normal(0.0, noise_.sigma_t);
+  m.soc = soc();
+  return m;
+}
+
+bool Cell::at_discharge_cutoff(double current_a) const {
+  return terminal_voltage(current_a) <= ecm_.params().v_min;
+}
+
+bool Cell::at_charge_cutoff(double current_a) const {
+  return terminal_voltage(current_a) >= ecm_.params().v_max;
+}
+
+}  // namespace socpinn::battery

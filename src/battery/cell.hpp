@@ -1,0 +1,86 @@
+#pragma once
+/// \file cell.hpp
+/// Cell facade: couples the Thevenin electrical model with the lumped
+/// thermal model and optional sensor noise. This is the "battery under
+/// test" that the data generators cycle to produce synthetic datasets.
+
+#include <optional>
+
+#include "battery/chemistry.hpp"
+#include "battery/ecm.hpp"
+#include "battery/thermal.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::battery {
+
+/// Gaussian sensor noise applied to the measured quantities (the hidden
+/// true state is untouched). Defaults mimic a BMS-grade acquisition chain.
+struct SensorNoise {
+  double sigma_v = 0.004;  ///< V
+  double sigma_i = 0.010;  ///< A
+  double sigma_t = 0.15;   ///< degC
+
+  [[nodiscard]] static SensorNoise none() { return {0.0, 0.0, 0.0}; }
+};
+
+/// One sampled measurement (what a dataset row contains).
+struct Measurement {
+  double time_s = 0.0;
+  double voltage = 0.0;  ///< measured terminal voltage (noisy)
+  double current = 0.0;  ///< measured current, +charge (noisy)
+  double temp_c = 0.0;   ///< measured cell temperature (noisy)
+  double soc = 0.0;      ///< ground-truth SoC (exact, like lab equipment)
+};
+
+class Cell {
+ public:
+  /// \param params cell parameters (validated)
+  /// \param initial_soc in [0, 1]
+  /// \param ambient_c ambient temperature; the cell starts in equilibrium
+  /// \param noise optional measurement noise (seeded independently)
+  Cell(CellParams params, double initial_soc, double ambient_c,
+       SensorNoise noise = SensorNoise::none(),
+       util::Rng noise_rng = util::Rng(0));
+
+  /// Advances dt seconds at the given signed current (+charge). Internally
+  /// subdivides into steps of at most max_internal_dt for accuracy when the
+  /// caller's sampling period is long (e.g. Sandia's 120 s).
+  void advance(double current_a, double dt_s);
+
+  /// Takes a (noisy) measurement at the current simulation time.
+  [[nodiscard]] Measurement measure(double current_a);
+
+  /// True (noise-free) state accessors.
+  [[nodiscard]] double soc() const { return ecm_.state().soc; }
+  [[nodiscard]] double temperature_c() const { return thermal_.temperature_c(); }
+  [[nodiscard]] double time_s() const { return time_s_; }
+  [[nodiscard]] double terminal_voltage(double current_a) const {
+    return ecm_.terminal_voltage(current_a, thermal_.temperature_c());
+  }
+
+  /// True if the terminal voltage at this current is at/below the discharge
+  /// cut-off — the protocol-level "battery empty" condition.
+  [[nodiscard]] bool at_discharge_cutoff(double current_a) const;
+
+  /// True if at/above the charge cut-off voltage.
+  [[nodiscard]] bool at_charge_cutoff(double current_a) const;
+
+  [[nodiscard]] const CellParams& params() const { return ecm_.params(); }
+  [[nodiscard]] const TheveninModel& ecm() const { return ecm_; }
+
+  void set_ambient(double ambient_c) { ambient_c_ = ambient_c; }
+  [[nodiscard]] double ambient_c() const { return ambient_c_; }
+
+  /// Maximum internal integration step (seconds).
+  static constexpr double kMaxInternalDt = 1.0;
+
+ private:
+  TheveninModel ecm_;
+  LumpedThermal thermal_;
+  double ambient_c_;
+  double time_s_ = 0.0;
+  SensorNoise noise_;
+  util::Rng noise_rng_;
+};
+
+}  // namespace socpinn::battery

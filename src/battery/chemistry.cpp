@@ -1,0 +1,96 @@
+#include "battery/chemistry.hpp"
+
+#include <stdexcept>
+
+namespace socpinn::battery {
+
+std::string to_string(Chemistry chem) {
+  switch (chem) {
+    case Chemistry::kNca: return "NCA";
+    case Chemistry::kNmc: return "NMC";
+    case Chemistry::kLfp: return "LFP";
+    case Chemistry::kLgHg2: return "LG-HG2";
+  }
+  return "?";
+}
+
+void CellParams::validate() const {
+  if (capacity_ah <= 0.0) throw std::invalid_argument("capacity <= 0");
+  if (v_min >= v_max) throw std::invalid_argument("v_min >= v_max");
+  if (r0_ohm <= 0.0 || r1_ohm <= 0.0 || c1_farad <= 0.0) {
+    throw std::invalid_argument("non-positive RC parameters");
+  }
+  if (coulombic_efficiency <= 0.0 || coulombic_efficiency > 1.0) {
+    throw std::invalid_argument("coulombic efficiency outside (0, 1]");
+  }
+  if (peukert_k < 1.0 || peukert_k > 1.5) {
+    throw std::invalid_argument("implausible Peukert exponent");
+  }
+  if (true_capacity_scale <= 0.5 || true_capacity_scale > 1.2) {
+    throw std::invalid_argument("implausible true_capacity_scale");
+  }
+  if (heat_capacity_j_per_k <= 0.0 || thermal_resistance_k_per_w <= 0.0) {
+    throw std::invalid_argument("non-positive thermal parameters");
+  }
+}
+
+CellParams cell_params(Chemistry chem) {
+  CellParams p;
+  p.chemistry = chem;
+  p.name = to_string(chem);
+  switch (chem) {
+    case Chemistry::kNca:
+      p.capacity_ah = 3.2;
+      p.nominal_voltage = 3.6;
+      p.v_max = 4.2;
+      p.v_min = 2.5;
+      p.r0_ohm = 0.030;
+      p.r1_ohm = 0.018;
+      p.c1_farad = 1800.0;
+      p.peukert_k = 1.05;
+      p.true_capacity_scale = 0.94;
+      break;
+    case Chemistry::kNmc:
+      p.capacity_ah = 3.0;
+      p.nominal_voltage = 3.6;
+      p.v_max = 4.2;
+      p.v_min = 2.5;
+      p.r0_ohm = 0.025;
+      p.r1_ohm = 0.015;
+      p.c1_farad = 2000.0;
+      p.peukert_k = 1.04;
+      p.true_capacity_scale = 0.93;
+      break;
+    case Chemistry::kLfp:
+      p.capacity_ah = 1.1;
+      p.nominal_voltage = 3.2;
+      p.v_max = 3.6;
+      p.v_min = 2.0;
+      p.r0_ohm = 0.045;
+      p.r1_ohm = 0.020;
+      p.c1_farad = 1500.0;
+      p.peukert_k = 1.02;  // LFP tolerates rate well
+      p.true_capacity_scale = 0.97;
+      break;
+    case Chemistry::kLgHg2:
+      // 18650 HG2: 3 Ah high-drain NMC cell used by the McMaster dataset.
+      p.capacity_ah = 3.0;
+      p.nominal_voltage = 3.6;
+      p.v_max = 4.2;
+      p.v_min = 2.5;
+      p.r0_ohm = 0.020;  // high-drain cell: low DC resistance
+      p.r1_ohm = 0.012;
+      p.c1_farad = 2200.0;
+      p.peukert_k = 1.03;
+      p.true_capacity_scale = 0.91;
+      break;
+  }
+  p.validate();
+  return p;
+}
+
+std::vector<Chemistry> sandia_chemistries() {
+  return {Chemistry::kNca, Chemistry::kNmc, Chemistry::kLfp};
+}
+
+}  // namespace socpinn::battery

@@ -1,0 +1,81 @@
+#pragma once
+/// \file chemistry.hpp
+/// Cell parameter presets for the chemistries appearing in the paper's two
+/// datasets: the Sandia study cycles 18650 NCA / NMC / LFP cells [5], the
+/// McMaster dataset uses an LG HG2 3 Ah (NMC) cell [6].
+///
+/// Parameter values are representative of published equivalent-circuit fits
+/// for these cell classes; they are not vendor data. What matters for the
+/// reproduction is that the simulated (V, I, T, SoC) couplings are realistic
+/// in shape and magnitude, not that they match one specific cell.
+
+#include <string>
+#include <vector>
+
+namespace socpinn::battery {
+
+enum class Chemistry { kNca, kNmc, kLfp, kLgHg2 };
+
+[[nodiscard]] std::string to_string(Chemistry chem);
+
+/// Static parameters of a cell model.
+struct CellParams {
+  Chemistry chemistry = Chemistry::kNmc;
+  std::string name;
+
+  double capacity_ah = 3.0;     ///< rated capacity (datasheet C_rated)
+  double nominal_voltage = 3.6; ///< V
+  double v_max = 4.2;           ///< charge cut-off voltage
+  double v_min = 2.5;           ///< discharge cut-off voltage
+
+  // First-order Thevenin parameters at the 25 degC reference.
+  double r0_ohm = 0.025;  ///< series (ohmic) resistance
+  double r1_ohm = 0.015;  ///< polarization resistance
+  double c1_farad = 2000; ///< polarization capacitance (tau = r1*c1)
+
+  /// Resistance grows as the cell cools: R(T) = R_ref * exp(k*(25 - T)/10).
+  double resistance_temp_coeff = 0.30;
+
+  /// Usable capacity shrinks in the cold: at T < 25 degC,
+  /// Q_T = Q * (1 - capacity_cold_coeff * (25 - T) / 10), floored at 50 %.
+  double capacity_cold_coeff = 0.06;
+
+  /// Peukert-like rate derating: Q_rate = Q / rate^(peukert_k - 1) for
+  /// discharge rates above 1C.
+  double peukert_k = 1.05;
+
+  /// Ratio of the cell's *actual* usable capacity to the datasheet rating.
+  /// Real cells deviate from nameplate due to manufacturing spread and
+  /// aging (the paper notes Q_max "might not be an accurate guess"); this
+  /// is the systematic error that makes rated-capacity Coulomb counting —
+  /// and therefore the physics loss — an approximation.
+  double true_capacity_scale = 0.95;
+
+  /// Charge acceptance (fraction of charge current stored).
+  double coulombic_efficiency = 0.995;
+
+  // Lumped thermal parameters.
+  double heat_capacity_j_per_k = 45.0;      ///< typical 18650 (~45 g * ~1 J/gK)
+  double thermal_resistance_k_per_w = 6.0;  ///< cell-to-ambient
+
+  /// Rated capacity in coulombs.
+  [[nodiscard]] double capacity_coulombs() const {
+    return capacity_ah * 3600.0;
+  }
+
+  /// Current (A) corresponding to the given C-rate for this cell.
+  [[nodiscard]] double c_rate_to_amps(double c_rate) const {
+    return c_rate * capacity_ah;
+  }
+
+  /// Validates physical plausibility; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Preset for one of the supported chemistries.
+[[nodiscard]] CellParams cell_params(Chemistry chem);
+
+/// All chemistries cycled by the Sandia study.
+[[nodiscard]] std::vector<Chemistry> sandia_chemistries();
+
+}  // namespace socpinn::battery

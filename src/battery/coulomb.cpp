@@ -1,0 +1,49 @@
+#include "battery/coulomb.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace socpinn::battery {
+
+double coulomb_predict(double soc0, double avg_current_a, double horizon_s,
+                       double capacity_ah) {
+  if (capacity_ah <= 0.0) {
+    throw std::invalid_argument("coulomb_predict: capacity <= 0");
+  }
+  if (horizon_s < 0.0) {
+    throw std::invalid_argument("coulomb_predict: negative horizon");
+  }
+  return soc0 + avg_current_a * horizon_s / (3600.0 * capacity_ah);
+}
+
+double coulomb_predict_clamped(double soc0, double avg_current_a,
+                               double horizon_s, double capacity_ah) {
+  return util::clamp01(
+      coulomb_predict(soc0, avg_current_a, horizon_s, capacity_ah));
+}
+
+CoulombCounter::CoulombCounter(double capacity_ah, double initial_soc)
+    : capacity_ah_(capacity_ah), soc_(initial_soc) {
+  if (capacity_ah <= 0.0) {
+    throw std::invalid_argument("CoulombCounter: capacity <= 0");
+  }
+}
+
+void CoulombCounter::push(double current_a, double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("CoulombCounter: negative dt");
+  if (n_ > 0) {
+    const double avg = 0.5 * (last_current_ + current_a);
+    soc_ += avg * dt_s / (3600.0 * capacity_ah_);
+  }
+  last_current_ = current_a;
+  ++n_;
+}
+
+void CoulombCounter::reset(double soc) {
+  soc_ = soc;
+  last_current_ = 0.0;
+  n_ = 0;
+}
+
+}  // namespace socpinn::battery

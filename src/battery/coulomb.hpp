@@ -1,0 +1,52 @@
+#pragma once
+/// \file coulomb.hpp
+/// Coulomb counting — the physics equation the paper embeds in the loss
+/// (Eq. 1): SoC(t+Np) = SoC(t) + (1/C_rated) * integral of I dt.
+/// Sign convention: positive current charges the cell.
+
+#include <cstddef>
+
+namespace socpinn::battery {
+
+/// One-shot Eq. 1 with a constant average current.
+/// \param soc0 initial SoC
+/// \param avg_current_a average current over the horizon (signed, +charge)
+/// \param horizon_s prediction horizon Np in seconds
+/// \param capacity_ah rated capacity C_rated (Ah)
+/// \returns the *unclamped* predicted SoC — the physics collocation sampler
+///          decides how to treat out-of-range values.
+[[nodiscard]] double coulomb_predict(double soc0, double avg_current_a,
+                                     double horizon_s, double capacity_ah);
+
+/// Same, clamped into [0, 1] (used when rolling out the Physics-Only
+/// baseline over a full discharge).
+[[nodiscard]] double coulomb_predict_clamped(double soc0,
+                                             double avg_current_a,
+                                             double horizon_s,
+                                             double capacity_ah);
+
+/// Running Coulomb counter, the classical direct-measurement estimator
+/// (category 1 of the paper's related-work taxonomy). Integrates current
+/// with the trapezoid rule.
+class CoulombCounter {
+ public:
+  /// \param capacity_ah rated capacity used for normalization
+  /// \param initial_soc starting estimate
+  CoulombCounter(double capacity_ah, double initial_soc);
+
+  /// Accumulates one sample taken dt seconds after the previous one.
+  void push(double current_a, double dt_s);
+
+  [[nodiscard]] double soc() const { return soc_; }
+  [[nodiscard]] std::size_t samples() const { return n_; }
+
+  void reset(double soc);
+
+ private:
+  double capacity_ah_;
+  double soc_;
+  double last_current_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace socpinn::battery

@@ -1,0 +1,86 @@
+#include "battery/ecm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace socpinn::battery {
+
+TheveninModel::TheveninModel(CellParams params, double initial_soc)
+    : params_(std::move(params)), ocv_(params_.chemistry) {
+  params_.validate();
+  if (initial_soc < 0.0 || initial_soc > 1.0) {
+    throw std::invalid_argument("TheveninModel: initial SoC outside [0, 1]");
+  }
+  state_.soc = initial_soc;
+}
+
+double TheveninModel::r0_at(double temp_c) const {
+  return params_.r0_ohm *
+         std::exp(params_.resistance_temp_coeff * (25.0 - temp_c) / 10.0);
+}
+
+double TheveninModel::r1_at(double temp_c) const {
+  return params_.r1_ohm *
+         std::exp(params_.resistance_temp_coeff * (25.0 - temp_c) / 10.0);
+}
+
+double TheveninModel::effective_capacity_ah(double temp_c,
+                                            double current_a) const {
+  double q = params_.capacity_ah * params_.true_capacity_scale;
+  // Cold derating, linear below the 25 degC reference, floored at 50 %.
+  if (temp_c < 25.0) {
+    const double factor =
+        1.0 - params_.capacity_cold_coeff * (25.0 - temp_c) / 10.0;
+    q *= std::max(0.5, factor);
+  }
+  // Peukert-like derating for discharge rates above 1C.
+  const double rate = std::fabs(current_a) / params_.capacity_ah;
+  if (current_a < 0.0 && rate > 1.0) {
+    q /= std::pow(rate, params_.peukert_k - 1.0);
+  }
+  return q;
+}
+
+EcmStepResult TheveninModel::step(double current_a, double temp_c,
+                                  double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("TheveninModel: negative dt");
+
+  // SoC integration against the *effective* capacity; charge acceptance
+  // applies only when charging.
+  const double q_eff = effective_capacity_ah(temp_c, current_a);
+  const double eff =
+      current_a > 0.0 ? params_.coulombic_efficiency : 1.0;
+  state_.soc = util::clamp01(state_.soc +
+                             eff * current_a * dt_s / (3600.0 * q_eff));
+
+  // Exact exponential update of the RC pair: steady state i*R1, time
+  // constant R1*C1 (stable for the 120 s Sandia sampling step).
+  const double r1 = r1_at(temp_c);
+  const double tau = r1 * params_.c1_farad;
+  const double alpha = std::exp(-dt_s / tau);
+  state_.v_rc = state_.v_rc * alpha + current_a * r1 * (1.0 - alpha);
+
+  EcmStepResult out;
+  out.terminal_voltage = terminal_voltage(current_a, temp_c);
+  const double r0 = r0_at(temp_c);
+  out.heat_w = current_a * current_a * r0 +
+               state_.v_rc * state_.v_rc / r1;
+  return out;
+}
+
+double TheveninModel::terminal_voltage(double current_a,
+                                       double temp_c) const {
+  return ocv_.ocv(state_.soc) + current_a * r0_at(temp_c) + state_.v_rc;
+}
+
+void TheveninModel::reset(double soc) {
+  if (soc < 0.0 || soc > 1.0) {
+    throw std::invalid_argument("TheveninModel::reset: SoC outside [0, 1]");
+  }
+  state_.soc = soc;
+  state_.v_rc = 0.0;
+}
+
+}  // namespace socpinn::battery

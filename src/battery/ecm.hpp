@@ -1,0 +1,67 @@
+#pragma once
+/// \file ecm.hpp
+/// First-order Thevenin equivalent-circuit model: an OCV source in series
+/// with an ohmic resistance R0 and one RC polarization pair (R1 || C1).
+/// This is the standard "category 2" physics model of the paper's taxonomy
+/// and the digital twin that generates all synthetic ground truth.
+///
+/// The model deliberately includes the second-order effects that Eq. 1
+/// (plain Coulomb counting) neglects — temperature-dependent resistance,
+/// cold-temperature and high-rate capacity derating, coulombic efficiency —
+/// so the physics loss is a useful-but-imperfect regularizer exactly as in
+/// the paper.
+
+#include "battery/chemistry.hpp"
+#include "battery/ocv.hpp"
+
+namespace socpinn::battery {
+
+/// Electrical state of the Thevenin model.
+struct EcmState {
+  double soc = 1.0;   ///< true state of charge in [0, 1]
+  double v_rc = 0.0;  ///< polarization voltage across the RC pair (V)
+};
+
+/// Output of one integration step.
+struct EcmStepResult {
+  double terminal_voltage = 0.0;  ///< V at the cell tabs
+  double heat_w = 0.0;            ///< ohmic heat generated (W)
+};
+
+class TheveninModel {
+ public:
+  /// \param params validated cell parameters
+  /// \param initial_soc starting SoC in [0, 1]
+  TheveninModel(CellParams params, double initial_soc);
+
+  /// Advances the electrical state by dt at the given (signed, +charge)
+  /// current and cell temperature, returning terminal voltage and heat.
+  EcmStepResult step(double current_a, double temp_c, double dt_s);
+
+  /// Terminal voltage at the current state without advancing time.
+  [[nodiscard]] double terminal_voltage(double current_a,
+                                        double temp_c) const;
+
+  /// Ohmic resistance at temperature (Arrhenius-like growth in the cold).
+  [[nodiscard]] double r0_at(double temp_c) const;
+  [[nodiscard]] double r1_at(double temp_c) const;
+
+  /// Effective capacity after temperature and rate derating (Ah). This is
+  /// what separates the true SoC trajectory from rated-capacity Coulomb
+  /// counting.
+  [[nodiscard]] double effective_capacity_ah(double temp_c,
+                                             double current_a) const;
+
+  [[nodiscard]] const EcmState& state() const { return state_; }
+  [[nodiscard]] const CellParams& params() const { return params_; }
+  [[nodiscard]] const OcvCurve& ocv_curve() const { return ocv_; }
+
+  void reset(double soc);
+
+ private:
+  CellParams params_;
+  OcvCurve ocv_;
+  EcmState state_;
+};
+
+}  // namespace socpinn::battery

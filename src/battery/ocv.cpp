@@ -1,0 +1,67 @@
+#include "battery/ocv.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace socpinn::battery {
+
+namespace {
+
+/// Knot tables (SoC, OCV). Strictly increasing in both coordinates so the
+/// inverse lookup is well defined; the LFP plateau keeps a small residual
+/// slope, as real cells do.
+std::pair<std::vector<double>, std::vector<double>> knots(Chemistry chem) {
+  switch (chem) {
+    // The steep plunge below ~5 % SoC matters: it is what lets the
+    // terminal voltage reach the discharge cut-off under load, ending a
+    // discharge with a few percent of charge left (as real cells do).
+    case Chemistry::kNca:
+      return {{0.00, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70,
+               0.80, 0.90, 0.95, 1.00},
+              {2.50, 2.95, 3.25, 3.38, 3.50, 3.58, 3.64, 3.70, 3.78, 3.87,
+               3.96, 4.06, 4.13, 4.20}};
+    case Chemistry::kNmc:
+      return {{0.00, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70,
+               0.80, 0.90, 0.95, 1.00},
+              {2.55, 3.00, 3.30, 3.43, 3.55, 3.62, 3.67, 3.72, 3.80, 3.89,
+               3.98, 4.07, 4.13, 4.19}};
+    case Chemistry::kLfp:
+      return {{0.00, 0.03, 0.08, 0.15, 0.30, 0.50, 0.70, 0.85, 0.95, 0.98,
+               1.00},
+              {2.00, 2.90, 3.18, 3.26, 3.29, 3.31, 3.33, 3.34, 3.37, 3.43,
+               3.55}};
+    case Chemistry::kLgHg2:
+      return {{0.00, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70,
+               0.80, 0.90, 0.95, 1.00},
+              {2.50, 2.95, 3.21, 3.39, 3.52, 3.60, 3.65, 3.71, 3.79, 3.88,
+               3.97, 4.07, 4.13, 4.19}};
+  }
+  return {{0.0, 1.0}, {3.0, 4.2}};
+}
+
+util::Interp1D build_curve(Chemistry chem) {
+  auto [socs, volts] = knots(chem);
+  return util::Interp1D(std::move(socs), std::move(volts));
+}
+
+}  // namespace
+
+OcvCurve::OcvCurve(Chemistry chem) : chem_(chem), curve_(build_curve(chem)) {}
+
+double OcvCurve::ocv(double soc) const {
+  return curve_(util::clamp01(soc));
+}
+
+double OcvCurve::slope(double soc) const {
+  return curve_.derivative(util::clamp01(soc));
+}
+
+double OcvCurve::soc_from_ocv(double voltage) const {
+  return curve_.inverse(voltage);
+}
+
+double OcvCurve::v_at_empty() const { return curve_(0.0); }
+
+double OcvCurve::v_at_full() const { return curve_(1.0); }
+
+}  // namespace socpinn::battery

@@ -1,0 +1,37 @@
+#pragma once
+/// \file ocv.hpp
+/// Open-circuit-voltage curves OCV(SoC) per chemistry. Shapes follow the
+/// well-known characteristics: NCA/NMC are smoothly sloped S-curves, LFP
+/// has its signature flat 3.3 V plateau (which is what makes voltage-based
+/// SoC estimation hard on LFP — a property the estimator branch must cope
+/// with, exactly as on the real Sandia cells).
+
+#include "battery/chemistry.hpp"
+#include "util/math.hpp"
+
+namespace socpinn::battery {
+
+/// Monotonic piecewise-linear OCV(SoC) curve for a chemistry.
+class OcvCurve {
+ public:
+  explicit OcvCurve(Chemistry chem);
+
+  /// Open-circuit voltage at soc (clamped to [0, 1]).
+  [[nodiscard]] double ocv(double soc) const;
+
+  /// dOCV/dSoC at soc — used by the DE-PINN baseline's ODE residual.
+  [[nodiscard]] double slope(double soc) const;
+
+  /// Inverse lookup (rest-voltage based SoC estimate).
+  [[nodiscard]] double soc_from_ocv(double voltage) const;
+
+  [[nodiscard]] Chemistry chemistry() const { return chem_; }
+  [[nodiscard]] double v_at_empty() const;
+  [[nodiscard]] double v_at_full() const;
+
+ private:
+  Chemistry chem_;
+  util::Interp1D curve_;
+};
+
+}  // namespace socpinn::battery

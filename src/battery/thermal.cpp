@@ -1,0 +1,34 @@
+#include "battery/thermal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::battery {
+
+LumpedThermal::LumpedThermal(double heat_capacity_j_per_k,
+                             double thermal_resistance_k_per_w,
+                             double initial_temp_c)
+    : c_th_(heat_capacity_j_per_k),
+      r_th_(thermal_resistance_k_per_w),
+      temp_c_(initial_temp_c) {
+  if (c_th_ <= 0.0 || r_th_ <= 0.0) {
+    throw std::invalid_argument("LumpedThermal: non-positive parameters");
+  }
+}
+
+void LumpedThermal::step(double heat_w, double ambient_c, double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("LumpedThermal: negative dt");
+  if (heat_w < 0.0) heat_w = 0.0;  // resistive losses are never negative
+  // dT/dt = (P - (T - T_amb)/R) / C has fixed point T_inf and time constant
+  // tau = R*C; the exact update avoids instability at large dt (the Sandia
+  // protocol samples every 120 s).
+  const double t_inf = steady_state_c(heat_w, ambient_c);
+  const double tau = r_th_ * c_th_;
+  temp_c_ = t_inf + (temp_c_ - t_inf) * std::exp(-dt_s / tau);
+}
+
+double LumpedThermal::steady_state_c(double heat_w, double ambient_c) const {
+  return ambient_c + heat_w * r_th_;
+}
+
+}  // namespace socpinn::battery

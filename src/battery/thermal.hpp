@@ -1,0 +1,36 @@
+#pragma once
+/// \file thermal.hpp
+/// Lumped single-node thermal model: the cell is one thermal mass heated by
+/// ohmic losses and cooled toward ambient through a fixed thermal
+/// resistance. Gives the temperature traces that make T(t) an informative
+/// input of Branch 1 (internal resistance heats the cell under load).
+
+namespace socpinn::battery {
+
+class LumpedThermal {
+ public:
+  /// \param heat_capacity_j_per_k  cell thermal mass
+  /// \param thermal_resistance_k_per_w  cell-to-ambient resistance
+  /// \param initial_temp_c  starting cell temperature (degC)
+  LumpedThermal(double heat_capacity_j_per_k,
+                double thermal_resistance_k_per_w, double initial_temp_c);
+
+  /// Advances dt seconds with the given internal heat generation (W) and
+  /// ambient temperature (degC). Uses the exact exponential solution of the
+  /// linear node, so the step is unconditionally stable.
+  void step(double heat_w, double ambient_c, double dt_s);
+
+  [[nodiscard]] double temperature_c() const { return temp_c_; }
+
+  /// Steady-state temperature at constant heat/ambient.
+  [[nodiscard]] double steady_state_c(double heat_w, double ambient_c) const;
+
+  void reset(double temp_c) { temp_c_ = temp_c; }
+
+ private:
+  double c_th_;
+  double r_th_;
+  double temp_c_;
+};
+
+}  // namespace socpinn::battery

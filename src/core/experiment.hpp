@@ -1,0 +1,76 @@
+#pragma once
+/// \file experiment.hpp
+/// End-to-end experiment driver shared by the benchmark harnesses: builds
+/// the supervised datasets from traces, trains every model variant across
+/// seeds, and evaluates prediction MAE per test horizon — the procedure
+/// behind Figs. 3 and 4 (and reused by Table I and the ablations).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/trainer.hpp"
+#include "data/trace.hpp"
+
+namespace socpinn::core {
+
+enum class VariantKind {
+  kNoPinn,       ///< data loss only at the native horizon
+  kPhysicsOnly,  ///< Branch 2 replaced by Eq. 1
+  kPinn,         ///< data loss + physics loss over a horizon set
+};
+
+struct VariantSpec {
+  std::string label;
+  VariantKind kind = VariantKind::kNoPinn;
+  std::vector<double> physics_horizons_s;  ///< used when kind == kPinn
+};
+
+/// The six bars of Figs. 3 and 4: No-PINN, Physics-Only, PINN-<h> for each
+/// horizon, and PINN-All.
+[[nodiscard]] std::vector<VariantSpec> standard_variants(
+    const std::vector<double>& horizons_s);
+
+struct ExperimentSetup {
+  std::vector<data::Trace> train_traces;  ///< preprocessed training cycles
+  std::vector<data::Trace> test_traces;   ///< preprocessed test cycles
+  double native_horizon_s = 120.0;        ///< N of the data loss
+  std::vector<double> test_horizons_s;    ///< evaluation horizons
+  double capacity_ah = 3.0;               ///< C_rated for Eq. 1
+  double physics_weight = 1.0;            ///< lambda of the physics term
+  std::size_t branch1_stride = 1;
+  std::size_t branch2_stride = 1;
+  std::size_t eval_stride = 1;
+  TrainConfig train;
+};
+
+struct VariantResult {
+  std::string label;
+  std::vector<double> test_horizons_s;
+  std::vector<double> mae_mean;  ///< prediction MAE per horizon (seed mean)
+  std::vector<double> mae_std;   ///< seed standard deviation (0 for 1 seed)
+  double estimation_mae = 0.0;   ///< Branch-1 SoC(t) MAE on test (seed mean)
+};
+
+/// Runs the full matrix: for each seed, Branch 1 is trained once and
+/// shared by all variants (it is identical across them by construction);
+/// each variant then trains/evaluates its Branch 2.
+[[nodiscard]] std::vector<VariantResult> run_horizon_experiment(
+    const ExperimentSetup& setup, const std::vector<VariantSpec>& variants,
+    std::span<const std::uint64_t> seeds);
+
+/// Trains one complete model (both branches) for a single variant/seed —
+/// the entry point used by the examples and the rollout experiments.
+struct TrainedModel {
+  TwoBranchNet net;
+  TrainHistory branch1_history;
+  TrainHistory branch2_history;  ///< empty for Physics-Only
+};
+
+[[nodiscard]] TrainedModel train_two_branch(const ExperimentSetup& setup,
+                                            const VariantSpec& variant,
+                                            std::uint64_t seed);
+
+}  // namespace socpinn::core

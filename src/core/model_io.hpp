@@ -1,0 +1,27 @@
+#pragma once
+/// \file model_io.hpp
+/// Persistence of a trained TwoBranchNet: both branch MLPs plus both input
+/// scalers in one text artifact, so a trained model can be deployed to (or
+/// reloaded by) a BMS-side inference process.
+
+#include <string>
+
+#include "core/two_branch_net.hpp"
+
+namespace socpinn::core {
+
+/// Saves the full model. Both scalers must be fitted (i.e. the model must
+/// be trained); throws std::runtime_error otherwise or on I/O failure.
+void save_model(const std::string& path, TwoBranchNet& net);
+
+/// Loads a model written by save_model. The returned network uses the
+/// default TwoBranchConfig metadata but the exact persisted weights.
+[[nodiscard]] TwoBranchNet load_model(const std::string& path);
+
+/// Emits a C header with the model weights as float32 arrays plus a
+/// dependency-free forward-pass function — the "deploy to a PMIC" path of
+/// the embedded example. Returns the generated text.
+[[nodiscard]] std::string export_c_header(TwoBranchNet& net,
+                                          const std::string& symbol_prefix);
+
+}  // namespace socpinn::core

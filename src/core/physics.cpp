@@ -1,0 +1,92 @@
+#include "core/physics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "battery/coulomb.hpp"
+
+namespace socpinn::core {
+
+PhysicsConfig PhysicsConfig::from_data(const data::SupervisedData& branch2_data,
+                                       double capacity_ah,
+                                       std::vector<double> horizons_s) {
+  if (branch2_data.size() == 0) {
+    throw std::invalid_argument("PhysicsConfig::from_data: empty dataset");
+  }
+  PhysicsConfig config;
+  config.capacity_ah = capacity_ah;
+  config.horizons_s = std::move(horizons_s);
+  double i_min = branch2_data.x(0, 1);
+  double i_max = i_min;
+  double t_min = branch2_data.x(0, 2);
+  double t_max = t_min;
+  for (std::size_t r = 0; r < branch2_data.x.rows(); ++r) {
+    i_min = std::min(i_min, branch2_data.x(r, 1));
+    i_max = std::max(i_max, branch2_data.x(r, 1));
+    t_min = std::min(t_min, branch2_data.x(r, 2));
+    t_max = std::max(t_max, branch2_data.x(r, 2));
+  }
+  config.current_min_a = i_min;
+  config.current_max_a = i_max;
+  config.temp_min_c = t_min;
+  config.temp_max_c = t_max;
+  config.validate();
+  return config;
+}
+
+void PhysicsConfig::validate() const {
+  if (horizons_s.empty()) {
+    throw std::invalid_argument("PhysicsConfig: empty horizon set");
+  }
+  for (double h : horizons_s) {
+    if (h <= 0.0) throw std::invalid_argument("PhysicsConfig: horizon <= 0");
+  }
+  if (weight < 0.0) throw std::invalid_argument("PhysicsConfig: weight < 0");
+  if (capacity_ah <= 0.0) {
+    throw std::invalid_argument("PhysicsConfig: capacity <= 0");
+  }
+  if (current_min_a > current_max_a || temp_min_c > temp_max_c) {
+    throw std::invalid_argument("PhysicsConfig: inverted sampling range");
+  }
+}
+
+CollocationSampler::CollocationSampler(PhysicsConfig config, util::Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  config_.validate();
+}
+
+CollocationBatch CollocationSampler::sample(std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("CollocationSampler: empty batch");
+  }
+  CollocationBatch batch{nn::Matrix(count, 4), nn::Matrix(count, 1)};
+  for (std::size_t r = 0; r < count; ++r) {
+    double soc0 = 0.0, current = 0.0, horizon = 0.0, target = 0.0;
+    // Rejection-sample until Eq. 1 lands inside the physical band. The
+    // acceptance rate is high (most horizons move SoC by a few percent at
+    // most), so this loop terminates almost immediately.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      soc0 = rng_.uniform(0.0, 1.0);
+      current = rng_.uniform(config_.current_min_a, config_.current_max_a);
+      horizon = config_.horizons_s[rng_.index(config_.horizons_s.size())];
+      target = battery::coulomb_predict(soc0, current, horizon,
+                                        config_.capacity_ah);
+      if (target >= 0.0 && target <= 1.0) break;
+      target = -1.0;  // mark invalid in case the loop exhausts
+    }
+    if (target < 0.0) {
+      // Degenerate configuration (e.g. huge horizons): fall back to a
+      // clamped target rather than failing training.
+      target = battery::coulomb_predict_clamped(soc0, current, horizon,
+                                                config_.capacity_ah);
+    }
+    batch.x(r, 0) = soc0;
+    batch.x(r, 1) = current;
+    batch.x(r, 2) = rng_.uniform(config_.temp_min_c, config_.temp_max_c);
+    batch.x(r, 3) = horizon;
+    batch.y(r, 0) = target;
+  }
+  return batch;
+}
+
+}  // namespace socpinn::core

@@ -1,0 +1,77 @@
+#pragma once
+/// \file physics.hpp
+/// The physics side of the PINN (Sec. III-B): Coulomb-counting collocation
+/// points for Branch 2. For each minibatch of real data, an equally sized
+/// batch of synthetic conditions (SoC0, I, T, Np) is drawn, with Np sampled
+/// from the configured horizon set N, and the label comes from Eq. 1
+/// instead of ground truth:
+///
+///   SoC_p(t+Np) = SoC0 + I * Np / (3600 * C_rated)
+///
+/// No measured labels are needed, which is what lets the PINN train across
+/// horizons absent from the dataset.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/windowing.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::core {
+
+struct PhysicsConfig {
+  /// The horizon set N (seconds). One value per PINN-<h> variant;
+  /// several values for PINN-All.
+  std::vector<double> horizons_s;
+
+  /// Weight of the physics MAE in the total loss (Eq. 2 uses 1).
+  double weight = 1.0;
+
+  /// Collocation points drawn per minibatch (paper: same count as the
+  /// data minibatch; 0 means "match the data batch size").
+  std::size_t samples_per_batch = 0;
+
+  /// Rated capacity C_rated of the cell (Ah), from the datasheet.
+  double capacity_ah = 3.0;
+
+  /// Sampling ranges for the synthetic conditions; tie these to the
+  /// training data's observed ranges so collocation stays on-distribution.
+  double current_min_a = -6.0;
+  double current_max_a = 1.5;
+  double temp_min_c = 0.0;
+  double temp_max_c = 35.0;
+
+  /// Derives sampling ranges from a Branch-2 training set (columns:
+  /// soc, avg current, avg temp, horizon).
+  [[nodiscard]] static PhysicsConfig from_data(
+      const data::SupervisedData& branch2_data, double capacity_ah,
+      std::vector<double> horizons_s);
+
+  void validate() const;
+};
+
+/// One batch of collocation points.
+struct CollocationBatch {
+  nn::Matrix x;  ///< raw Branch-2 features [soc0, current, temp, horizon]
+  nn::Matrix y;  ///< Eq. 1 targets (in [0, 1] by construction)
+};
+
+/// Draws collocation batches. Initial SoC is sampled uniformly and the
+/// (current, horizon) pair is rejection-sampled so that the Eq. 1 target
+/// stays within the physical [0, 1] band — out-of-range SoC values never
+/// occur in real operation and would teach the network nothing.
+class CollocationSampler {
+ public:
+  CollocationSampler(PhysicsConfig config, util::Rng rng);
+
+  [[nodiscard]] CollocationBatch sample(std::size_t count);
+
+  [[nodiscard]] const PhysicsConfig& config() const { return config_; }
+
+ private:
+  PhysicsConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace socpinn::core

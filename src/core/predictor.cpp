@@ -1,0 +1,144 @@
+#include "core/predictor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "battery/coulomb.hpp"
+#include "util/math.hpp"
+
+namespace socpinn::core {
+
+namespace {
+
+/// Averages current and temperature over trace samples (t, t+k].
+struct WindowAvg {
+  double current = 0.0;
+  double temp = 0.0;
+};
+
+WindowAvg window_average(const data::Trace& trace, std::size_t t,
+                         std::size_t k) {
+  WindowAvg avg;
+  for (std::size_t j = t + 1; j <= t + k; ++j) {
+    avg.current += trace[j].current;
+    avg.temp += trace[j].temp_c;
+  }
+  avg.current /= static_cast<double>(k);
+  avg.temp /= static_cast<double>(k);
+  return avg;
+}
+
+std::size_t rollout_step_samples(const data::Trace& trace, double horizon_s) {
+  const double period = trace.sample_period_s();
+  const double ratio = horizon_s / period;
+  const auto k = static_cast<std::size_t>(std::llround(ratio));
+  if (k == 0 || std::fabs(ratio - static_cast<double>(k)) > 1e-6) {
+    throw std::invalid_argument(
+        "rollout: horizon must be a positive multiple of the sample period");
+  }
+  return k;
+}
+
+}  // namespace
+
+HorizonPrediction predict_cascade(TwoBranchNet& net,
+                                  const data::HorizonEvalData& eval) {
+  const std::size_t n = eval.size();
+  if (n == 0) throw std::invalid_argument("predict_cascade: empty eval set");
+
+  const nn::Matrix soc_est = net.estimate_batch(eval.sensors);
+  nn::Matrix b2_raw(n, 4);
+  for (std::size_t r = 0; r < n; ++r) {
+    b2_raw(r, 0) = soc_est(r, 0);
+    b2_raw(r, 1) = eval.workload(r, 0);
+    b2_raw(r, 2) = eval.workload(r, 1);
+    b2_raw(r, 3) = eval.workload(r, 2);
+  }
+  const nn::Matrix pred = net.predict_batch(b2_raw);
+
+  HorizonPrediction out;
+  out.soc_now_est.reserve(n);
+  out.soc_pred.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out.soc_now_est.push_back(soc_est(r, 0));
+    out.soc_pred.push_back(pred(r, 0));
+  }
+  return out;
+}
+
+HorizonPrediction predict_physics_only(TwoBranchNet& net,
+                                       const data::HorizonEvalData& eval,
+                                       double capacity_ah) {
+  const std::size_t n = eval.size();
+  if (n == 0) throw std::invalid_argument("predict_physics_only: empty set");
+
+  const nn::Matrix soc_est = net.estimate_batch(eval.sensors);
+  HorizonPrediction out;
+  out.soc_now_est.reserve(n);
+  out.soc_pred.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    out.soc_now_est.push_back(soc_est(r, 0));
+    out.soc_pred.push_back(battery::coulomb_predict(
+        soc_est(r, 0), eval.workload(r, 0), eval.workload(r, 2),
+        capacity_ah));
+  }
+  return out;
+}
+
+double Rollout::final_abs_error() const {
+  if (soc.empty()) throw std::logic_error("Rollout: empty trajectory");
+  return std::fabs(soc.back() - truth.back());
+}
+
+Rollout rollout_cascade(TwoBranchNet& net, const data::Trace& trace,
+                        double horizon_s) {
+  if (trace.size() < 2) {
+    throw std::invalid_argument("rollout_cascade: trace too short");
+  }
+  const std::size_t k = rollout_step_samples(trace, horizon_s);
+
+  Rollout rollout;
+  // Voltage is used exactly once: the initial Branch-1 estimate.
+  double soc = net.estimate_soc(trace[0].voltage, trace[0].current,
+                                trace[0].temp_c);
+  rollout.times_s.push_back(trace[0].time_s);
+  rollout.soc.push_back(soc);
+  rollout.truth.push_back(trace[0].soc);
+
+  for (std::size_t t = 0; t + k < trace.size(); t += k) {
+    const WindowAvg avg = window_average(trace, t, k);
+    soc = net.predict_soc(soc, avg.current, avg.temp, horizon_s);
+    rollout.times_s.push_back(trace[t + k].time_s);
+    rollout.soc.push_back(soc);
+    rollout.truth.push_back(trace[t + k].soc);
+  }
+  return rollout;
+}
+
+Rollout rollout_physics_only(TwoBranchNet& net, const data::Trace& trace,
+                             double horizon_s, double capacity_ah) {
+  if (trace.size() < 2) {
+    throw std::invalid_argument("rollout_physics_only: trace too short");
+  }
+  const std::size_t k = rollout_step_samples(trace, horizon_s);
+
+  Rollout rollout;
+  // Clamp the learned initial estimate into the band Eq. 1 operates on.
+  double soc = util::clamp01(net.estimate_soc(
+      trace[0].voltage, trace[0].current, trace[0].temp_c));
+  rollout.times_s.push_back(trace[0].time_s);
+  rollout.soc.push_back(soc);
+  rollout.truth.push_back(trace[0].soc);
+
+  for (std::size_t t = 0; t + k < trace.size(); t += k) {
+    const WindowAvg avg = window_average(trace, t, k);
+    soc = battery::coulomb_predict_clamped(soc, avg.current, horizon_s,
+                                           capacity_ah);
+    rollout.times_s.push_back(trace[t + k].time_s);
+    rollout.soc.push_back(soc);
+    rollout.truth.push_back(trace[t + k].soc);
+  }
+  return rollout;
+}
+
+}  // namespace socpinn::core

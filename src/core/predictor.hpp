@@ -1,0 +1,59 @@
+#pragma once
+/// \file predictor.hpp
+/// Inference paths of the cascaded model:
+///
+///  * single-step cascade (Branch 1 estimate feeds Branch 2) — the test
+///    condition of Figs. 3 and 4;
+///  * the Physics-Only baseline (Branch 2 replaced by Eq. 1);
+///  * autoregressive multi-step rollout (Fig. 2) used for the full
+///    discharge analysis of Fig. 5, where voltage is consumed only at the
+///    very first timestamp.
+
+#include <vector>
+
+#include "core/two_branch_net.hpp"
+#include "data/windowing.hpp"
+
+namespace socpinn::core {
+
+/// Predictions for a horizon evaluation set.
+struct HorizonPrediction {
+  std::vector<double> soc_now_est;  ///< Branch-1 estimates of SoC(t)
+  std::vector<double> soc_pred;     ///< predicted SoC(t+N)
+};
+
+/// Full cascaded prediction: SoC(t) from Branch 1, SoC(t+N) from Branch 2.
+[[nodiscard]] HorizonPrediction predict_cascade(
+    TwoBranchNet& net, const data::HorizonEvalData& eval);
+
+/// Physics-Only baseline: Branch 1 still estimates SoC(t), but the future
+/// value comes exclusively from Eq. 1 with the rated capacity.
+[[nodiscard]] HorizonPrediction predict_physics_only(
+    TwoBranchNet& net, const data::HorizonEvalData& eval, double capacity_ah);
+
+/// One autoregressive trajectory.
+struct Rollout {
+  std::vector<double> times_s;  ///< prediction timestamps (t0, t0+N, ...)
+  std::vector<double> soc;      ///< predicted SoC at those timestamps
+  std::vector<double> truth;    ///< ground-truth SoC at those timestamps
+
+  /// |predicted - true| at the end of the trajectory.
+  [[nodiscard]] double final_abs_error() const;
+};
+
+/// Rolls the cascade over a recorded trace: Branch 1 estimates SoC at the
+/// first sample (the only time voltage is used); Branch 2 then advances the
+/// estimate by `horizon_s` per step, fed with the trace's average current
+/// and temperature over each upcoming window (the "planned workload").
+[[nodiscard]] Rollout rollout_cascade(TwoBranchNet& net,
+                                      const data::Trace& trace,
+                                      double horizon_s);
+
+/// Same rollout with Eq. 1 instead of Branch 2 (Physics-Only line of
+/// Fig. 5). Predictions are clamped to [0, 1] as real BMS logic would.
+[[nodiscard]] Rollout rollout_physics_only(TwoBranchNet& net,
+                                           const data::Trace& trace,
+                                           double horizon_s,
+                                           double capacity_ah);
+
+}  // namespace socpinn::core

@@ -1,0 +1,265 @@
+#include "core/trainer.hpp"
+
+#include <stdexcept>
+
+#include "nn/dataloader.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scheduler.hpp"
+#include "util/log.hpp"
+
+namespace socpinn::core {
+
+void TrainConfig::validate() const {
+  if (epochs == 0) throw std::invalid_argument("TrainConfig: zero epochs");
+  if (batch_size == 0) throw std::invalid_argument("TrainConfig: zero batch");
+  if (lr <= 0.0 || lr_min <= 0.0 || lr_min > lr) {
+    throw std::invalid_argument("TrainConfig: need 0 < lr_min <= lr");
+  }
+  if (weight_decay < 0.0) {
+    throw std::invalid_argument("TrainConfig: negative weight decay");
+  }
+}
+
+double TrainHistory::final_data_loss() const {
+  if (data_loss.empty()) {
+    throw std::logic_error("TrainHistory: no recorded epochs");
+  }
+  return data_loss.back();
+}
+
+TrainHistory train_branch1(TwoBranchNet& net,
+                           const data::SupervisedData& branch1_data,
+                           const TrainConfig& config) {
+  config.validate();
+  if (branch1_data.x.cols() != 3) {
+    throw std::invalid_argument("train_branch1: expected 3 feature columns");
+  }
+  util::Rng rng(config.seed);
+
+  net.scaler1().fit(branch1_data.x);
+  const nn::Matrix x_scaled = net.scaler1().transform(branch1_data.x);
+  nn::DataLoader loader(x_scaled, branch1_data.y, config.batch_size,
+                        /*shuffle=*/true, rng.split());
+
+  nn::Mlp& branch1 = net.branch1();
+  nn::Adam optimizer(config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+  optimizer.attach(branch1.params(), branch1.grads());
+  const nn::CosineLr scheduler(config.lr, config.lr_min, config.epochs);
+  const nn::MaeLoss loss;
+
+  TrainHistory history;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    scheduler.apply(optimizer, epoch);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (const nn::Batch& batch : loader.epoch()) {
+      optimizer.zero_grad();
+      const nn::Matrix out = branch1.forward(batch.x, /*train=*/true);
+      epoch_loss += loss.value(out, batch.y);
+      branch1.backward(loss.grad(out, batch.y));
+      if (config.grad_clip > 0.0) {
+        nn::clip_grad_norm(branch1.grads(), config.grad_clip);
+      }
+      optimizer.step();
+      ++batches;
+    }
+    history.data_loss.push_back(epoch_loss / static_cast<double>(batches));
+    if (config.verbose) {
+      util::log_info("branch1 epoch ", epoch, " mae ",
+                     history.data_loss.back());
+    }
+  }
+  return history;
+}
+
+TrainHistory train_branch2(TwoBranchNet& net,
+                           const data::SupervisedData& branch2_data,
+                           const std::optional<PhysicsConfig>& physics,
+                           const TrainConfig& config) {
+  config.validate();
+  if (branch2_data.x.cols() != 4) {
+    throw std::invalid_argument("train_branch2: expected 4 feature columns");
+  }
+  util::Rng rng(config.seed);
+
+  std::optional<CollocationSampler> sampler;
+  if (physics) {
+    sampler.emplace(*physics, rng.split());
+  }
+
+  // Fit the Branch-2 scaler on the union of real features and a large
+  // collocation draw, so horizons outside the dataset (PINN-240s etc.)
+  // are scaled sensibly rather than mapped onto a constant column.
+  if (sampler) {
+    const std::size_t extra = std::max<std::size_t>(branch2_data.size(), 1024);
+    const CollocationBatch aug = sampler->sample(extra);
+    nn::Matrix combined(branch2_data.x.rows() + aug.x.rows(), 4);
+    for (std::size_t r = 0; r < branch2_data.x.rows(); ++r) {
+      combined.set_row(r, branch2_data.x.row(r));
+    }
+    for (std::size_t r = 0; r < aug.x.rows(); ++r) {
+      combined.set_row(branch2_data.x.rows() + r, aug.x.row(r));
+    }
+    net.scaler2().fit(combined);
+  } else {
+    net.scaler2().fit(branch2_data.x);
+  }
+
+  const nn::Matrix x_scaled = net.scaler2().transform(branch2_data.x);
+  nn::DataLoader loader(x_scaled, branch2_data.y, config.batch_size,
+                        /*shuffle=*/true, rng.split());
+
+  nn::Mlp& branch2 = net.branch2();
+  nn::Adam optimizer(config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+  optimizer.attach(branch2.params(), branch2.grads());
+  const nn::CosineLr scheduler(config.lr, config.lr_min, config.epochs);
+  const nn::MaeLoss loss;
+
+  TrainHistory history;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    scheduler.apply(optimizer, epoch);
+    double epoch_data = 0.0;
+    double epoch_physics = 0.0;
+    std::size_t batches = 0;
+    for (const nn::Batch& batch : loader.epoch()) {
+      optimizer.zero_grad();
+
+      // Data term of Eq. 2 at the dataset's native horizon.
+      const nn::Matrix out = branch2.forward(batch.x, /*train=*/true);
+      epoch_data += loss.value(out, batch.y);
+      branch2.backward(loss.grad(out, batch.y));
+
+      // Physics term on freshly drawn collocation points (Eq. 1 labels).
+      if (sampler) {
+        const std::size_t count = physics->samples_per_batch > 0
+                                      ? physics->samples_per_batch
+                                      : batch.x.rows();
+        const CollocationBatch colloc = sampler->sample(count);
+        const nn::Matrix colloc_x = net.scaler2().transform(colloc.x);
+        const nn::Matrix out_p = branch2.forward(colloc_x, /*train=*/true);
+        epoch_physics += loss.value(out_p, colloc.y);
+        branch2.backward(loss.grad(out_p, colloc.y) * physics->weight);
+      }
+
+      if (config.grad_clip > 0.0) {
+        nn::clip_grad_norm(branch2.grads(), config.grad_clip);
+      }
+      optimizer.step();
+      ++batches;
+    }
+    history.data_loss.push_back(epoch_data / static_cast<double>(batches));
+    if (sampler) {
+      history.physics_loss.push_back(epoch_physics /
+                                     static_cast<double>(batches));
+    }
+    if (config.verbose) {
+      util::log_info("branch2 epoch ", epoch, " data ",
+                     history.data_loss.back(), " physics ",
+                     sampler ? history.physics_loss.back() : 0.0);
+    }
+  }
+  return history;
+}
+
+TrainHistory train_joint(TwoBranchNet& net, const data::HorizonEvalData& data,
+                         const TrainConfig& config) {
+  config.validate();
+  if (data.size() == 0) throw std::invalid_argument("train_joint: empty data");
+  util::Rng rng(config.seed);
+
+  net.scaler1().fit(data.sensors);
+  // Fit the Branch-2 scaler using ground-truth SoC as a stand-in for the
+  // (not yet trained) Branch-1 estimate.
+  nn::Matrix b2_features(data.size(), 4);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    b2_features(r, 0) = data.soc_now[r];
+    b2_features(r, 1) = data.workload(r, 0);
+    b2_features(r, 2) = data.workload(r, 1);
+    b2_features(r, 3) = data.workload(r, 2);
+  }
+  net.scaler2().fit(b2_features);
+
+  // Pack [sensors | workload] so one DataLoader shuffles them together.
+  nn::Matrix packed(data.size(), 6);
+  nn::Matrix targets(data.size(), 1);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      packed(r, c) = data.sensors(r, c);
+      packed(r, 3 + c) = data.workload(r, c);
+    }
+    targets(r, 0) = data.target[r];
+  }
+  nn::DataLoader loader(packed, targets, config.batch_size, /*shuffle=*/true,
+                        rng.split());
+
+  nn::Mlp& b1 = net.branch1();
+  nn::Mlp& b2 = net.branch2();
+  std::vector<nn::Matrix*> params = b1.params();
+  std::vector<nn::Matrix*> grads = b1.grads();
+  for (nn::Matrix* p : b2.params()) params.push_back(p);
+  for (nn::Matrix* g : b2.grads()) grads.push_back(g);
+
+  nn::Adam optimizer(config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+  optimizer.attach(params, grads);
+  const nn::CosineLr scheduler(config.lr, config.lr_min, config.epochs);
+  const nn::MaeLoss loss;
+
+  const double soc_mean = net.scaler2().means()[0];
+  const double soc_std = net.scaler2().stds()[0];
+
+  TrainHistory history;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    scheduler.apply(optimizer, epoch);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (const nn::Batch& batch : loader.epoch()) {
+      optimizer.zero_grad();
+      const std::size_t n = batch.x.rows();
+
+      nn::Matrix sensors(n, 3);
+      nn::Matrix workload(n, 3);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+          sensors(r, c) = batch.x(r, c);
+          workload(r, c) = batch.x(r, 3 + c);
+        }
+      }
+
+      // Cascade: Branch 1 estimate feeds Branch 2's first input column.
+      const nn::Matrix soc_est =
+          b1.forward(net.scaler1().transform(sensors), /*train=*/true);
+      nn::Matrix b2_in_raw(n, 4);
+      for (std::size_t r = 0; r < n; ++r) {
+        b2_in_raw(r, 0) = soc_est(r, 0);
+        for (std::size_t c = 0; c < 3; ++c) {
+          b2_in_raw(r, 1 + c) = workload(r, c);
+        }
+      }
+      const nn::Matrix out =
+          b2.forward(net.scaler2().transform(b2_in_raw), /*train=*/true);
+      epoch_loss += loss.value(out, batch.y);
+
+      // Backward through Branch 2, then through the scaling of column 0
+      // into Branch 1 (the joint-training path the paper found inferior).
+      const nn::Matrix grad_b2_in = b2.backward(loss.grad(out, batch.y));
+      nn::Matrix grad_soc(n, 1);
+      for (std::size_t r = 0; r < n; ++r) {
+        grad_soc(r, 0) = grad_b2_in(r, 0) / soc_std;
+      }
+      (void)soc_mean;  // scaling offset has zero gradient
+      b1.backward(grad_soc);
+
+      if (config.grad_clip > 0.0) nn::clip_grad_norm(grads, config.grad_clip);
+      optimizer.step();
+      ++batches;
+    }
+    history.data_loss.push_back(epoch_loss / static_cast<double>(batches));
+    if (config.verbose) {
+      util::log_info("joint epoch ", epoch, " mae ", history.data_loss.back());
+    }
+  }
+  return history;
+}
+
+}  // namespace socpinn::core

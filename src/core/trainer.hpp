@@ -1,0 +1,68 @@
+#pragma once
+/// \file trainer.hpp
+/// Split training scheme of Sec. III-B:
+///
+///  * Branch 1 is trained alone on measured (V, I, T) -> SoC(t) with MAE.
+///  * Branch 2 is trained with ground-truth SoC(t) inputs on MAE at the
+///    dataset's native horizon; optionally a physics MAE on Coulomb
+///    collocation points is added per minibatch (the PINN setup, Eq. 2).
+///  * Gradients never flow from Branch 2 into Branch 1.
+///
+/// An optional joint-training mode (gradients propagated through both
+/// branches, Branch 2 fed with Branch 1 estimates) exists solely for the
+/// training ablation benchmark; the paper reports that split training is
+/// superior.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/physics.hpp"
+#include "core/two_branch_net.hpp"
+#include "data/windowing.hpp"
+
+namespace socpinn::core {
+
+struct TrainConfig {
+  std::size_t epochs = 120;
+  std::size_t batch_size = 64;
+  double lr = 1e-3;
+  double lr_min = 1e-4;       ///< cosine-annealed floor
+  double grad_clip = 5.0;     ///< global-norm clip; <= 0 disables
+  double weight_decay = 0.0;
+  std::uint64_t seed = 1;
+  bool verbose = false;       ///< log per-epoch losses at Info level
+
+  void validate() const;
+};
+
+/// Per-epoch training losses.
+struct TrainHistory {
+  std::vector<double> data_loss;
+  std::vector<double> physics_loss;  ///< empty when physics is disabled
+
+  [[nodiscard]] double final_data_loss() const;
+};
+
+/// Trains Branch 1; fits the Branch-1 scaler on the training features.
+TrainHistory train_branch1(TwoBranchNet& net,
+                           const data::SupervisedData& branch1_data,
+                           const TrainConfig& config);
+
+/// Trains Branch 2 (data loss at the native horizon + optional physics
+/// loss); fits the Branch-2 scaler on the union of data features and the
+/// physics horizon set so collocation inputs are scaled consistently.
+TrainHistory train_branch2(TwoBranchNet& net,
+                           const data::SupervisedData& branch2_data,
+                           const std::optional<PhysicsConfig>& physics,
+                           const TrainConfig& config);
+
+/// Ablation-only: joint end-to-end training. Branch 2 consumes Branch 1's
+/// estimate and gradients flow through the cascade. Both scalers are
+/// fitted. `branch1_data` and `eval` must be index-aligned views of the
+/// same samples (use data::build_horizon_eval with stride 1 plus matching
+/// Branch-1 rows), so the helper takes the horizon-eval layout directly.
+TrainHistory train_joint(TwoBranchNet& net, const data::HorizonEvalData& data,
+                         const TrainConfig& config);
+
+}  // namespace socpinn::core

@@ -1,0 +1,72 @@
+#include "core/two_branch_net.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace socpinn::core {
+
+namespace {
+
+std::vector<std::size_t> branch_dims(std::size_t inputs,
+                                     const std::vector<std::size_t>& hidden) {
+  if (hidden.empty()) {
+    throw std::invalid_argument("TwoBranchNet: need at least one hidden layer");
+  }
+  std::vector<std::size_t> dims;
+  dims.reserve(hidden.size() + 2);
+  dims.push_back(inputs);
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  dims.push_back(1);
+  return dims;
+}
+
+}  // namespace
+
+TwoBranchNet::TwoBranchNet(TwoBranchConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  util::Rng rng(seed);
+  util::Rng rng1 = rng.split();
+  util::Rng rng2 = rng.split();
+  branch1_ = nn::Mlp::make(branch_dims(3, config_.hidden), rng1,
+                           config_.activation);
+  branch2_ = nn::Mlp::make(branch_dims(4, config_.hidden), rng2,
+                           config_.activation);
+}
+
+double TwoBranchNet::estimate_soc(double voltage, double current,
+                                  double temp_c) {
+  std::array<double, 3> features{voltage, current, temp_c};
+  scaler1_.transform_row(features);
+  return branch1_.predict_scalar(features);
+}
+
+double TwoBranchNet::predict_soc(double soc_now, double avg_current,
+                                 double avg_temp_c, double horizon_s) {
+  std::array<double, 4> features{soc_now, avg_current, avg_temp_c, horizon_s};
+  scaler2_.transform_row(features);
+  return branch2_.predict_scalar(features);
+}
+
+nn::Matrix TwoBranchNet::estimate_batch(const nn::Matrix& sensors_raw) {
+  return branch1_.forward(scaler1_.transform(sensors_raw), /*train=*/false);
+}
+
+nn::Matrix TwoBranchNet::predict_batch(const nn::Matrix& branch2_raw) {
+  return branch2_.forward(scaler2_.transform(branch2_raw), /*train=*/false);
+}
+
+std::size_t TwoBranchNet::num_params() {
+  return branch1_.num_params() + branch2_.num_params();
+}
+
+nn::ModelCost TwoBranchNet::cost() {
+  const nn::ModelCost c1 = nn::mlp_cost(branch1_);
+  const nn::ModelCost c2 = nn::mlp_cost(branch2_);
+  nn::ModelCost total;
+  total.params = c1.params + c2.params;
+  total.bytes_f32 = c1.bytes_f32 + c2.bytes_f32;
+  total.macs = c1.macs + c2.macs;
+  return total;
+}
+
+}  // namespace socpinn::core

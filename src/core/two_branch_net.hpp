@@ -1,0 +1,72 @@
+#pragma once
+/// \file two_branch_net.hpp
+/// The paper's primary contribution (Fig. 1): two cascaded fully-connected
+/// branches.
+///
+///   Branch 1 (estimator):  [V(t), I(t), T(t)]            -> SoC(t)
+///   Branch 2 (predictor):  [SoC(t), avg I, avg T, N]      -> SoC(t+N)
+///
+/// Default hyper-parameters follow Sec. III-A: three hidden layers of
+/// 16/32/16 ReLU units per branch (an inverted bottleneck), scalar linear
+/// outputs, 2,322 trainable parameters in total. Each branch owns a
+/// StandardScaler for its raw inputs; SoC outputs are unscaled (already in
+/// [0, 1]).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/cost_model.hpp"
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+
+namespace socpinn::core {
+
+struct TwoBranchConfig {
+  std::vector<std::size_t> hidden = {16, 32, 16};
+  nn::ActivationKind activation = nn::ActivationKind::kRelu;
+};
+
+class TwoBranchNet {
+ public:
+  /// Builds both branches with independent weight streams from `seed`.
+  explicit TwoBranchNet(TwoBranchConfig config = {}, std::uint64_t seed = 1);
+
+  /// Branch-1 inference: estimated SoC(t) from raw sensor readings.
+  /// Requires a fitted Branch-1 scaler (training fits it).
+  [[nodiscard]] double estimate_soc(double voltage, double current,
+                                    double temp_c);
+
+  /// Branch-2 inference: predicted SoC(t+N) from the current SoC and the
+  /// expected workload. Requires a fitted Branch-2 scaler.
+  [[nodiscard]] double predict_soc(double soc_now, double avg_current,
+                                   double avg_temp_c, double horizon_s);
+
+  /// Batched variants; inputs are raw (unscaled) feature matrices with the
+  /// column orders documented above. Return n x 1 predictions.
+  [[nodiscard]] nn::Matrix estimate_batch(const nn::Matrix& sensors_raw);
+  [[nodiscard]] nn::Matrix predict_batch(const nn::Matrix& branch2_raw);
+
+  [[nodiscard]] nn::Mlp& branch1() { return branch1_; }
+  [[nodiscard]] nn::Mlp& branch2() { return branch2_; }
+  [[nodiscard]] nn::StandardScaler& scaler1() { return scaler1_; }
+  [[nodiscard]] nn::StandardScaler& scaler2() { return scaler2_; }
+  [[nodiscard]] const nn::StandardScaler& scaler1() const { return scaler1_; }
+  [[nodiscard]] const nn::StandardScaler& scaler2() const { return scaler2_; }
+
+  [[nodiscard]] const TwoBranchConfig& config() const { return config_; }
+
+  /// Total trainable parameters (paper: 2,322 for the default config).
+  [[nodiscard]] std::size_t num_params();
+
+  /// Cost of one full cascaded inference (Branch 1 + Branch 2).
+  [[nodiscard]] nn::ModelCost cost();
+
+ private:
+  TwoBranchConfig config_;
+  nn::Mlp branch1_;
+  nn::Mlp branch2_;
+  nn::StandardScaler scaler1_;
+  nn::StandardScaler scaler2_;
+};
+
+}  // namespace socpinn::core

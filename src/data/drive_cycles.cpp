@@ -1,0 +1,208 @@
+#include "data/drive_cycles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace socpinn::data {
+
+std::string to_string(DriveCycleKind kind) {
+  switch (kind) {
+    case DriveCycleKind::kUdds: return "UDDS";
+    case DriveCycleKind::kHwfet: return "HWFET";
+    case DriveCycleKind::kLa92: return "LA92";
+    case DriveCycleKind::kUs06: return "US06";
+  }
+  return "?";
+}
+
+std::vector<DriveCycleKind> all_drive_cycles() {
+  return {DriveCycleKind::kUdds, DriveCycleKind::kHwfet, DriveCycleKind::kLa92,
+          DriveCycleKind::kUs06};
+}
+
+DriveCycleSpec drive_cycle_spec(DriveCycleKind kind) {
+  DriveCycleSpec spec;
+  switch (kind) {
+    case DriveCycleKind::kUdds:
+      // Urban stop-and-go: 1369 s, mean ~31 km/h, frequent idling.
+      spec.duration_s = 1369.0;
+      spec.cruise_speed_mean_kmh = 40.0;
+      spec.cruise_speed_std_kmh = 12.0;
+      spec.max_speed_kmh = 91.0;
+      spec.idle_fraction = 0.19;
+      spec.accel_mean_ms2 = 0.9;
+      spec.accel_std_ms2 = 0.25;
+      spec.speed_jitter_kmh = 2.5;
+      break;
+    case DriveCycleKind::kHwfet:
+      // Highway: 765 s of sustained cruise, almost no idling.
+      spec.duration_s = 765.0;
+      spec.cruise_speed_mean_kmh = 78.0;
+      spec.cruise_speed_std_kmh = 8.0;
+      spec.max_speed_kmh = 97.0;
+      spec.idle_fraction = 0.01;
+      spec.accel_mean_ms2 = 0.5;
+      spec.accel_std_ms2 = 0.15;
+      spec.speed_jitter_kmh = 2.0;
+      break;
+    case DriveCycleKind::kLa92:
+      // Aggressive urban: 1435 s, higher speeds/accelerations than UDDS.
+      spec.duration_s = 1435.0;
+      spec.cruise_speed_mean_kmh = 55.0;
+      spec.cruise_speed_std_kmh = 18.0;
+      spec.max_speed_kmh = 108.0;
+      spec.idle_fraction = 0.16;
+      spec.accel_mean_ms2 = 1.5;
+      spec.accel_std_ms2 = 0.45;
+      spec.speed_jitter_kmh = 3.0;
+      break;
+    case DriveCycleKind::kUs06:
+      // Supplemental aggressive: 600 s, hard accelerations, ~130 km/h.
+      spec.duration_s = 600.0;
+      spec.cruise_speed_mean_kmh = 90.0;
+      spec.cruise_speed_std_kmh = 20.0;
+      spec.max_speed_kmh = 129.0;
+      spec.idle_fraction = 0.07;
+      spec.accel_mean_ms2 = 2.4;
+      spec.accel_std_ms2 = 0.6;
+      spec.speed_jitter_kmh = 4.0;
+      break;
+  }
+  return spec;
+}
+
+std::vector<double> synth_speed_profile(DriveCycleKind kind, util::Rng& rng) {
+  const DriveCycleSpec spec = drive_cycle_spec(kind);
+  const auto total = static_cast<std::size_t>(spec.duration_s);
+  std::vector<double> speeds;
+  speeds.reserve(total);
+
+  // Micro-trip synthesis: [idle] -> accelerate -> cruise -> decelerate,
+  // repeated until the schedule duration is filled.
+  double speed_kmh = 0.0;
+  while (speeds.size() < total) {
+    // Idle phase (probability-weighted so idle_fraction of time is spent
+    // at standstill across the cycle).
+    if (rng.uniform() < spec.idle_fraction * 3.0) {
+      const auto idle_s = static_cast<std::size_t>(rng.uniform(3.0, 25.0));
+      for (std::size_t s = 0; s < idle_s && speeds.size() < total; ++s) {
+        speeds.push_back(0.0);
+      }
+      speed_kmh = 0.0;
+    }
+    // Acceleration to a cruise target.
+    const double target_kmh = util::clamp(
+        rng.normal(spec.cruise_speed_mean_kmh, spec.cruise_speed_std_kmh),
+        10.0, spec.max_speed_kmh);
+    const double accel =
+        std::max(0.2, rng.normal(spec.accel_mean_ms2, spec.accel_std_ms2));
+    while (speed_kmh < target_kmh && speeds.size() < total) {
+      speed_kmh = std::min(target_kmh, speed_kmh + accel * 3.6);
+      speeds.push_back(speed_kmh);
+    }
+    // Cruise with jitter.
+    const auto cruise_s = static_cast<std::size_t>(rng.uniform(10.0, 60.0));
+    for (std::size_t s = 0; s < cruise_s && speeds.size() < total; ++s) {
+      speed_kmh = util::clamp(
+          speed_kmh + rng.normal(0.0, spec.speed_jitter_kmh), 0.0,
+          spec.max_speed_kmh);
+      speeds.push_back(speed_kmh);
+    }
+    // Deceleration (braking -> regen in the vehicle model).
+    const double decel =
+        std::max(0.3, rng.normal(spec.accel_mean_ms2 * 1.2, spec.accel_std_ms2));
+    const double floor_kmh = rng.uniform() < 0.5 ? 0.0 : target_kmh * 0.4;
+    while (speed_kmh > floor_kmh && speeds.size() < total) {
+      speed_kmh = std::max(floor_kmh, speed_kmh - decel * 3.6);
+      speeds.push_back(speed_kmh);
+    }
+  }
+  // Always end at rest, as dynamometer schedules do.
+  if (!speeds.empty()) speeds.back() = 0.0;
+  return speeds;
+}
+
+std::vector<double> speed_to_cell_current(
+    const std::vector<double>& speeds_kmh, const battery::CellParams& cell,
+    const VehicleParams& vehicle, double sample_period_s) {
+  if (speeds_kmh.size() < 2) {
+    throw std::invalid_argument("speed_to_cell_current: need >= 2 points");
+  }
+  if (sample_period_s <= 0.0) {
+    throw std::invalid_argument("speed_to_cell_current: bad period");
+  }
+  constexpr double kAirDensity = 1.20;  // kg/m^3
+  constexpr double kGravity = 9.81;     // m/s^2
+
+  const double duration = static_cast<double>(speeds_kmh.size() - 1);
+  const auto n_out =
+      static_cast<std::size_t>(std::floor(duration / sample_period_s)) + 1;
+  std::vector<double> current(n_out, 0.0);
+
+  const double i_max_discharge = cell.c_rate_to_amps(vehicle.max_discharge_c);
+  const double i_max_regen = cell.c_rate_to_amps(vehicle.max_regen_c);
+
+  for (std::size_t k = 0; k < n_out; ++k) {
+    const double t = static_cast<double>(k) * sample_period_s;
+    const auto idx = static_cast<std::size_t>(t);
+    const double frac = t - static_cast<double>(idx);
+    const double v0 = speeds_kmh[idx] / 3.6;
+    const double v1 = speeds_kmh[std::min(idx + 1, speeds_kmh.size() - 1)] / 3.6;
+    const double v = util::lerp(v0, v1, frac);
+    const double a = v1 - v0;  // m/s per 1 s grid step
+
+    // Longitudinal power at the wheels.
+    const double p_inertia = vehicle.mass_kg * a * v;
+    const double p_aero = 0.5 * kAirDensity * vehicle.cd_a_m2 * v * v * v;
+    const double p_roll =
+        v > 0.1 ? vehicle.rolling_resistance * vehicle.mass_kg * kGravity * v
+                : 0.0;
+    const double p_wheel = p_inertia + p_aero + p_roll;
+
+    // Battery power: traction through the drivetrain, braking through
+    // regenerative recovery; auxiliaries always draw.
+    double p_batt = vehicle.aux_power_w;
+    if (p_wheel >= 0.0) {
+      p_batt += p_wheel / vehicle.drivetrain_efficiency;
+    } else {
+      p_batt += p_wheel * vehicle.regen_efficiency;
+    }
+
+    // Per-cell current at nominal voltage; discharging is negative.
+    const double i_cell =
+        -p_batt / (static_cast<double>(vehicle.cells_in_pack) *
+                   cell.nominal_voltage);
+    current[k] = util::clamp(i_cell, -i_max_discharge, i_max_regen);
+  }
+  return current;
+}
+
+Trace run_current_profile(battery::Cell& cell,
+                          const std::vector<double>& current_a,
+                          double sample_period_s, bool repeat_until_empty,
+                          double max_duration_s) {
+  if (current_a.empty()) {
+    throw std::invalid_argument("run_current_profile: empty profile");
+  }
+  Trace trace;
+  const double t0 = cell.time_s();
+  double elapsed = 0.0;
+  std::size_t k = 0;
+  while (elapsed < max_duration_s) {
+    const double i = current_a[k % current_a.size()];
+    if (cell.at_discharge_cutoff(i)) break;
+    TracePoint p = cell.measure(i);
+    p.time_s -= t0;
+    trace.push_back(p);
+    cell.advance(i, sample_period_s);
+    elapsed += sample_period_s;
+    ++k;
+    if (!repeat_until_empty && k >= current_a.size()) break;
+  }
+  return trace;
+}
+
+}  // namespace socpinn::data

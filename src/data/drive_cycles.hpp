@@ -1,0 +1,76 @@
+#pragma once
+/// \file drive_cycles.hpp
+/// Synthetic EPA-style driving cycles. The LG/McMaster dataset drives a
+/// cell with current profiles derived from UDDS / HWFET / LA92 / US06
+/// dynamometer schedules; this module synthesizes speed profiles with the
+/// characteristic statistics of each schedule (micro-trip structure for
+/// urban cycles, sustained cruise for highway, aggressive accelerations for
+/// US06), converts them to cell-level current through a longitudinal
+/// vehicle model, and repeats them until the cell is empty.
+
+#include <string>
+#include <vector>
+
+#include "battery/cell.hpp"
+#include "data/trace.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::data {
+
+enum class DriveCycleKind { kUdds, kHwfet, kLa92, kUs06 };
+
+[[nodiscard]] std::string to_string(DriveCycleKind kind);
+[[nodiscard]] std::vector<DriveCycleKind> all_drive_cycles();
+
+/// Statistical signature of a schedule used by the synthesizer.
+struct DriveCycleSpec {
+  double duration_s = 1000.0;
+  double cruise_speed_mean_kmh = 45.0;  ///< target speed distribution mean
+  double cruise_speed_std_kmh = 15.0;
+  double max_speed_kmh = 100.0;
+  double idle_fraction = 0.15;     ///< fraction of time at standstill
+  double accel_mean_ms2 = 1.0;     ///< typical acceleration magnitude
+  double accel_std_ms2 = 0.3;
+  double speed_jitter_kmh = 2.0;   ///< cruise speed noise
+};
+
+/// Canonical spec for each schedule (durations match the EPA cycles).
+[[nodiscard]] DriveCycleSpec drive_cycle_spec(DriveCycleKind kind);
+
+/// Synthesizes one pass of the schedule as a 1 Hz speed profile (km/h).
+/// Deterministic given the RNG state.
+[[nodiscard]] std::vector<double> synth_speed_profile(DriveCycleKind kind,
+                                                      util::Rng& rng);
+
+/// Longitudinal vehicle model parameters. Defaults size the load so a 3 Ah
+/// cell sees ~0.5-1C average discharge with multi-C peaks, matching the
+/// high-drain usage of the LG dataset.
+struct VehicleParams {
+  double mass_kg = 1500.0;
+  double cd_a_m2 = 0.62;            ///< drag coefficient * frontal area
+  double rolling_resistance = 0.010;
+  double drivetrain_efficiency = 0.92;
+  double regen_efficiency = 0.60;   ///< fraction of braking power recovered
+  double aux_power_w = 300.0;       ///< HVAC/electronics constant draw
+  std::size_t cells_in_pack = 960;  ///< 96s10p of 18650 cells
+  double max_discharge_c = 4.0;     ///< motor-controller current limit
+  double max_regen_c = 1.0;         ///< charge-current limit
+};
+
+/// Converts a 1 Hz speed profile into a per-cell current profile (A,
+/// +charge i.e. regen, -discharge) at the requested sample period using
+/// linear interpolation of speed between the 1 Hz points.
+[[nodiscard]] std::vector<double> speed_to_cell_current(
+    const std::vector<double>& speeds_kmh, const battery::CellParams& cell,
+    const VehicleParams& vehicle, double sample_period_s);
+
+/// Applies a current profile to a cell until either the profile is
+/// exhausted (repeating it if `repeat_until_empty`) or the cell reaches its
+/// discharge cut-off. Samples every `sample_period_s`.
+[[nodiscard]] Trace run_current_profile(battery::Cell& cell,
+                                        const std::vector<double>& current_a,
+                                        double sample_period_s,
+                                        bool repeat_until_empty,
+                                        double max_duration_s = 6.0 * 3600.0);
+
+}  // namespace socpinn::data

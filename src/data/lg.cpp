@@ -1,0 +1,113 @@
+#include "data/lg.hpp"
+
+#include <stdexcept>
+
+namespace socpinn::data {
+
+namespace {
+
+constexpr double kMaxRunDuration = 6.0 * 3600.0;
+
+battery::Cell make_cell(const LgConfig& config, double ambient_c,
+                        util::Rng& rng) {
+  return battery::Cell(battery::cell_params(battery::Chemistry::kLgHg2),
+                       /*initial_soc=*/1.0, ambient_c, config.noise,
+                       rng.split());
+}
+
+/// A mixed cycle concatenates randomly ordered segments of all four
+/// schedules, as the McMaster mixed cycles do.
+std::vector<double> mixed_cycle_current(const LgConfig& config,
+                                        util::Rng& rng) {
+  std::vector<DriveCycleKind> kinds = all_drive_cycles();
+  rng.shuffle(kinds);
+  std::vector<double> current;
+  for (DriveCycleKind kind : kinds) {
+    const std::vector<double> segment = lg_cycle_current(kind, config, rng);
+    current.insert(current.end(), segment.begin(), segment.end());
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<double> lg_cycle_current(DriveCycleKind kind,
+                                     const LgConfig& config, util::Rng& rng) {
+  const std::vector<double> speeds = synth_speed_profile(kind, rng);
+  return speed_to_cell_current(
+      speeds, battery::cell_params(battery::Chemistry::kLgHg2),
+      config.vehicle, config.sample_period_s);
+}
+
+std::vector<Trace> LgDataset::train_traces() const {
+  std::vector<Trace> out;
+  out.reserve(train_runs.size());
+  for (const auto& run : train_runs) out.push_back(run.trace);
+  return out;
+}
+
+std::vector<Trace> LgDataset::test_traces() const {
+  std::vector<Trace> out;
+  out.reserve(test_runs.size());
+  for (const auto& run : test_runs) out.push_back(run.trace);
+  return out;
+}
+
+const LgRun& LgDataset::test_run(const std::string& name) const {
+  for (const auto& run : test_runs) {
+    if (run.cycle_name == name) return run;
+  }
+  throw std::out_of_range("LgDataset: no test run named '" + name + "'");
+}
+
+LgDataset generate_lg(const LgConfig& config) {
+  if (config.n_mixed < 2) {
+    throw std::invalid_argument("generate_lg: need >= 2 mixed cycles");
+  }
+  if (config.train_temps_c.empty()) {
+    throw std::invalid_argument("generate_lg: no training temperatures");
+  }
+  util::Rng rng(config.seed);
+  LgDataset dataset;
+
+  // Mixed cycles: the first n_mixed-1 train, the last one tests (held back
+  // so the test-run order is UDDS/HWFET/LA92/US06/MIXED<n>).
+  LgRun mixed_test;
+  for (int m = 0; m < config.n_mixed; ++m) {
+    const bool is_test = m == config.n_mixed - 1;
+    const double ambient =
+        is_test ? config.test_temp_c
+                : config.train_temps_c[static_cast<std::size_t>(m) %
+                                       config.train_temps_c.size()];
+    battery::Cell cell = make_cell(config, ambient, rng);
+    const std::vector<double> profile = mixed_cycle_current(config, rng);
+    LgRun run;
+    run.cycle_name = "MIXED" + std::to_string(m + 1);
+    run.ambient_c = ambient;
+    run.trace = run_current_profile(cell, profile, config.sample_period_s,
+                                    /*repeat_until_empty=*/true,
+                                    kMaxRunDuration);
+    if (is_test) {
+      mixed_test = std::move(run);
+    } else {
+      dataset.train_runs.push_back(std::move(run));
+    }
+  }
+
+  // Pure driving-cycle test runs (full discharges).
+  for (DriveCycleKind kind : all_drive_cycles()) {
+    battery::Cell cell = make_cell(config, config.test_temp_c, rng);
+    const std::vector<double> profile = lg_cycle_current(kind, config, rng);
+    LgRun run;
+    run.cycle_name = to_string(kind);
+    run.ambient_c = config.test_temp_c;
+    run.trace = run_current_profile(cell, profile, config.sample_period_s,
+                                    /*repeat_until_empty=*/true,
+                                    kMaxRunDuration);
+    dataset.test_runs.push_back(std::move(run));
+  }
+  dataset.test_runs.push_back(std::move(mixed_test));
+  return dataset;
+}
+
+}  // namespace socpinn::data

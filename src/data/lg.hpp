@@ -1,0 +1,61 @@
+#pragma once
+/// \file lg.hpp
+/// LG-like dataset factory mirroring the McMaster LGHG2 collection [6]:
+/// a 3 Ah cell driven by UDDS / HWFET / LA92 / US06 current profiles plus
+/// eight mixed cycles, sampled at 0.1 s. Following the paper (and [17]),
+/// seven mixed cycles form the training set (0..25 degC) and the test set
+/// holds the four pure driving cycles plus the final mixed cycle.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "battery/cell.hpp"
+#include "data/drive_cycles.hpp"
+#include "data/trace.hpp"
+
+namespace socpinn::data {
+
+/// One recorded LG-style run (a full discharge under a driving profile).
+struct LgRun {
+  std::string cycle_name;   ///< "UDDS", "MIXED3", ...
+  double ambient_c = 25.0;
+  Trace trace;
+};
+
+struct LgConfig {
+  /// Ambient temperatures assigned round-robin to the mixed training
+  /// cycles (the McMaster set spans several ambients; the paper keeps
+  /// 0..25 degC for training).
+  std::vector<double> train_temps_c = {0.0, 10.0, 25.0};
+  /// Ambient temperature of the pure-cycle test runs.
+  double test_temp_c = 25.0;
+  int n_mixed = 8;                 ///< total mixed cycles (last one => test)
+  double sample_period_s = 0.1;    ///< dataset granularity
+  battery::SensorNoise noise = {}; ///< defaults to BMS-grade noise
+  VehicleParams vehicle = {};
+  std::uint64_t seed = 7;
+};
+
+struct LgDataset {
+  std::vector<LgRun> train_runs;  ///< MIXED1..MIXED7
+  std::vector<LgRun> test_runs;   ///< UDDS, HWFET, LA92, US06, MIXED8
+
+  [[nodiscard]] std::vector<Trace> train_traces() const;
+  [[nodiscard]] std::vector<Trace> test_traces() const;
+
+  /// Test runs filtered by name substring (e.g. "UDDS") — used by the
+  /// Fig. 5 rollout experiment.
+  [[nodiscard]] const LgRun& test_run(const std::string& name) const;
+};
+
+/// Simulates the full dataset. Deterministic for a given config.
+[[nodiscard]] LgDataset generate_lg(const LgConfig& config);
+
+/// Builds the per-cell current profile (A, +charge) for one pure cycle at
+/// the given sample period. Exposed for the rollout example/bench.
+[[nodiscard]] std::vector<double> lg_cycle_current(DriveCycleKind kind,
+                                                   const LgConfig& config,
+                                                   util::Rng& rng);
+
+}  // namespace socpinn::data

@@ -1,0 +1,72 @@
+#include "data/preprocess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::data {
+
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t window) {
+  if (window == 0) throw std::invalid_argument("moving_average: window 0");
+  std::vector<double> out(xs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i >= window) acc -= xs[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+Trace smooth_trace(const Trace& trace, double window_s) {
+  if (trace.size() < 2) return trace;
+  const double period = trace.sample_period_s();
+  const auto window =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::llround(window_s / period)));
+  const auto v = moving_average(trace.voltages(), window);
+  const auto i = moving_average(trace.currents(), window);
+  const auto t = moving_average(trace.temperatures(), window);
+
+  Trace out;
+  out.reserve(trace.size());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    TracePoint p = trace[k];
+    p.voltage = v[k];
+    p.current = i[k];
+    p.temp_c = t[k];
+    out.push_back(p);
+  }
+  return out;
+}
+
+Trace resample(const Trace& trace, double new_period_s) {
+  if (trace.size() < 2) return trace;
+  const double period = trace.sample_period_s();
+  const double ratio = new_period_s / period;
+  const auto stride = static_cast<std::size_t>(std::llround(ratio));
+  if (stride == 0 || std::fabs(ratio - static_cast<double>(stride)) > 1e-6) {
+    throw std::invalid_argument(
+        "resample: new period must be an integer multiple of the old one");
+  }
+  if (stride == 1) return trace;
+
+  Trace out;
+  out.reserve(trace.size() / stride + 1);
+  for (std::size_t k = 0; k < trace.size(); k += stride) {
+    TracePoint p = trace[k];
+    // Average the current over the decimated interval to conserve charge.
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = k; j < std::min(k + stride, trace.size()); ++j) {
+      acc += trace[j].current;
+      ++n;
+    }
+    p.current = acc / static_cast<double>(n);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace socpinn::data

@@ -1,0 +1,31 @@
+#pragma once
+/// \file preprocess.hpp
+/// Pre-processing used before training: the causal moving average the paper
+/// applies to the LG dataset ("a moving average of 30s ... smooths the I, V
+/// and T values and removes noisy peaks"), plus trace resampling used to
+/// build the longer-horizon test sets.
+
+#include <vector>
+
+#include "data/trace.hpp"
+
+namespace socpinn::data {
+
+/// Causal (trailing) moving average over a window of `window` samples.
+/// The first window-1 outputs average the samples available so far, so the
+/// output has the same length as the input. Throws if window == 0.
+[[nodiscard]] std::vector<double> moving_average(
+    const std::vector<double>& xs, std::size_t window);
+
+/// Applies moving_average to the V, I and T channels of a trace; time and
+/// ground-truth SoC are left untouched. `window_s` is converted to samples
+/// using the trace's sampling period (minimum 1 sample).
+[[nodiscard]] Trace smooth_trace(const Trace& trace, double window_s);
+
+/// Decimates a trace to a coarser sampling period (an integer multiple of
+/// the original). Voltage/temperature take the instantaneous value at the
+/// kept sample; current is averaged over the skipped interval so charge is
+/// conserved, mirroring how battery testers log at low rates.
+[[nodiscard]] Trace resample(const Trace& trace, double new_period_s);
+
+}  // namespace socpinn::data

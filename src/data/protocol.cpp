@@ -1,0 +1,121 @@
+#include "data/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace socpinn::data {
+
+ProtocolStep cc_discharge(const battery::CellParams& params, double c_rate) {
+  if (c_rate <= 0.0) throw std::invalid_argument("cc_discharge: rate <= 0");
+  ProtocolStep step;
+  step.mode = StepMode::kConstantCurrent;
+  step.value = -params.c_rate_to_amps(c_rate);
+  // Generous bound: a 1C discharge takes ~1 h; scale with rate.
+  step.max_duration_s = 2.0 * 3600.0 / c_rate;
+  return step;
+}
+
+ProtocolStep cc_charge(const battery::CellParams& params, double c_rate) {
+  if (c_rate <= 0.0) throw std::invalid_argument("cc_charge: rate <= 0");
+  ProtocolStep step;
+  step.mode = StepMode::kConstantCurrent;
+  step.value = params.c_rate_to_amps(c_rate);
+  step.max_duration_s = 3.0 * 3600.0 / c_rate;
+  return step;
+}
+
+ProtocolStep cv_hold(const battery::CellParams& params, double taper_c_rate) {
+  ProtocolStep step;
+  step.mode = StepMode::kConstantVoltage;
+  step.value = params.v_max;
+  step.max_duration_s = 2.0 * 3600.0;
+  step.taper_current_a = params.c_rate_to_amps(taper_c_rate);
+  return step;
+}
+
+ProtocolStep rest(double duration_s) {
+  if (duration_s <= 0.0) throw std::invalid_argument("rest: duration <= 0");
+  ProtocolStep step;
+  step.mode = StepMode::kRest;
+  step.max_duration_s = duration_s;
+  return step;
+}
+
+ProtocolRunner::ProtocolRunner(double sample_period_s, double control_period_s)
+    : sample_period_s_(sample_period_s), control_period_s_(control_period_s) {
+  if (sample_period_s <= 0.0 || control_period_s <= 0.0) {
+    throw std::invalid_argument("ProtocolRunner: non-positive period");
+  }
+  if (control_period_s > sample_period_s) {
+    control_period_s_ = sample_period_s;
+  }
+  const double ratio = sample_period_s_ / control_period_s_;
+  if (std::fabs(ratio - std::round(ratio)) > 1e-9) {
+    throw std::invalid_argument(
+        "ProtocolRunner: control period must divide sample period");
+  }
+}
+
+Trace ProtocolRunner::run(battery::Cell& cell,
+                          const std::vector<ProtocolStep>& steps) const {
+  Trace trace;
+  const double t0 = cell.time_s();
+  double since_sample = sample_period_s_;  // sample immediately at t=0
+
+  auto command_current = [&](const ProtocolStep& step) -> double {
+    switch (step.mode) {
+      case StepMode::kRest:
+        return 0.0;
+      case StepMode::kConstantCurrent:
+        return step.value;
+      case StepMode::kConstantVoltage: {
+        // Exact inversion of the Thevenin terminal equation:
+        // v_target = OCV(soc) + i*R0(T) + v_rc  =>  i = (v_target-OCV-v_rc)/R0.
+        const auto& ecm = cell.ecm();
+        const double ocv = ecm.ocv_curve().ocv(ecm.state().soc);
+        const double r0 = ecm.r0_at(cell.temperature_c());
+        const double i = (step.value - ocv - ecm.state().v_rc) / r0;
+        // CV only ever tops up; never let regulation discharge the cell.
+        return util::clamp(i, 0.0, cell.params().c_rate_to_amps(1.0));
+      }
+    }
+    return 0.0;
+  };
+
+  auto step_finished = [&](const ProtocolStep& step, double current,
+                           double elapsed) -> bool {
+    if (elapsed >= step.max_duration_s) return true;
+    switch (step.mode) {
+      case StepMode::kRest:
+        return false;  // duration bound only
+      case StepMode::kConstantCurrent:
+        return step.value < 0.0 ? cell.at_discharge_cutoff(current)
+                                : cell.at_charge_cutoff(current);
+      case StepMode::kConstantVoltage:
+        return std::fabs(current) <= step.taper_current_a;
+    }
+    return true;
+  };
+
+  for (const ProtocolStep& step : steps) {
+    double elapsed = 0.0;
+    while (true) {
+      const double current = command_current(step);
+      if (step_finished(step, current, elapsed)) break;
+      if (since_sample >= sample_period_s_) {
+        TracePoint p = cell.measure(current);
+        p.time_s -= t0;
+        trace.push_back(p);
+        since_sample = 0.0;
+      }
+      cell.advance(current, control_period_s_);
+      elapsed += control_period_s_;
+      since_sample += control_period_s_;
+    }
+  }
+  return trace;
+}
+
+}  // namespace socpinn::data

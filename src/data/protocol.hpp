@@ -1,0 +1,70 @@
+#pragma once
+/// \file protocol.hpp
+/// Battery cycling protocols: the sequence of constant-current,
+/// constant-voltage and rest steps that a battery tester executes. The
+/// Sandia dataset substitute cycles cells with CC discharge / CC-CV charge,
+/// sampling every 120 s, exactly like the published protocol.
+
+#include <vector>
+
+#include "battery/cell.hpp"
+#include "data/trace.hpp"
+
+namespace socpinn::data {
+
+enum class StepMode {
+  kConstantCurrent,  ///< hold current until a voltage cut-off
+  kConstantVoltage,  ///< hold voltage until the current tapers
+  kRest,             ///< zero current for a fixed duration
+};
+
+/// One protocol step. Termination:
+///  * CC charge (value > 0): terminal voltage reaches v_max
+///  * CC discharge (value < 0): terminal voltage reaches v_min
+///  * CV: |current| falls below taper_current_a
+///  * Rest: max_duration_s elapses
+/// max_duration_s always acts as a safety bound.
+struct ProtocolStep {
+  StepMode mode = StepMode::kRest;
+  double value = 0.0;            ///< A for CC (+charge), V for CV
+  double max_duration_s = 3600.0;
+  double taper_current_a = 0.05;
+};
+
+/// CC discharge at `c_rate` (positive number, e.g. 2.0 for 2C) to v_min.
+[[nodiscard]] ProtocolStep cc_discharge(const battery::CellParams& params,
+                                        double c_rate);
+
+/// CC charge at `c_rate` to v_max.
+[[nodiscard]] ProtocolStep cc_charge(const battery::CellParams& params,
+                                     double c_rate);
+
+/// CV hold at v_max until the current tapers below `taper_c_rate`.
+[[nodiscard]] ProtocolStep cv_hold(const battery::CellParams& params,
+                                   double taper_c_rate = 0.05);
+
+/// Rest for `duration_s`.
+[[nodiscard]] ProtocolStep rest(double duration_s);
+
+/// Executes protocol steps on a cell, appending measurements to a trace
+/// every `sample_period_s` of protocol time.
+class ProtocolRunner {
+ public:
+  /// \param sample_period_s measurement cadence (the dataset granularity)
+  /// \param control_period_s how often the controller re-evaluates the
+  ///        current command (CV regulation accuracy); must divide evenly
+  ///        into sample_period_s for uniform sampling.
+  explicit ProtocolRunner(double sample_period_s,
+                          double control_period_s = 1.0);
+
+  /// Runs all steps in order, returning the sampled trace. The trace time
+  /// axis starts at 0 regardless of the cell's prior history.
+  [[nodiscard]] Trace run(battery::Cell& cell,
+                          const std::vector<ProtocolStep>& steps) const;
+
+ private:
+  double sample_period_s_;
+  double control_period_s_;
+};
+
+}  // namespace socpinn::data

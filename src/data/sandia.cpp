@@ -1,0 +1,89 @@
+#include "data/sandia.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "data/protocol.hpp"
+
+namespace socpinn::data {
+
+std::string CyclingRun::label() const {
+  std::ostringstream out;
+  out << battery::to_string(chemistry) << " -" << discharge_c_rate << "C @"
+      << ambient_c << "C";
+  return out.str();
+}
+
+namespace {
+
+/// Records one condition: the cell starts full and rested, then runs
+/// `cycles` discharge/charge rounds sampled at the dataset cadence.
+CyclingRun record_condition(battery::Chemistry chem, double charge_c,
+                            double discharge_c, double ambient_c, int cycles,
+                            double sample_period_s,
+                            const battery::SensorNoise& noise,
+                            util::Rng& rng) {
+  const battery::CellParams params = battery::cell_params(chem);
+  battery::Cell cell(params, /*initial_soc=*/1.0, ambient_c, noise,
+                     rng.split());
+
+  std::vector<ProtocolStep> steps;
+  for (int c = 0; c < cycles; ++c) {
+    steps.push_back(cc_discharge(params, discharge_c));
+    steps.push_back(rest(600.0));
+    steps.push_back(cc_charge(params, charge_c));
+    steps.push_back(cv_hold(params));
+    steps.push_back(rest(600.0));
+  }
+
+  ProtocolRunner runner(sample_period_s, /*control_period_s=*/1.0);
+  CyclingRun run;
+  run.chemistry = chem;
+  run.discharge_c_rate = discharge_c;
+  run.ambient_c = ambient_c;
+  run.trace = runner.run(cell, steps);
+  return run;
+}
+
+}  // namespace
+
+std::vector<Trace> SandiaDataset::train_traces() const {
+  std::vector<Trace> out;
+  out.reserve(train_runs.size());
+  for (const auto& run : train_runs) out.push_back(run.trace);
+  return out;
+}
+
+std::vector<Trace> SandiaDataset::test_traces() const {
+  std::vector<Trace> out;
+  out.reserve(test_runs.size());
+  for (const auto& run : test_runs) out.push_back(run.trace);
+  return out;
+}
+
+SandiaDataset generate_sandia(const SandiaConfig& config) {
+  if (config.cycles_per_condition < 1) {
+    throw std::invalid_argument("generate_sandia: cycles_per_condition < 1");
+  }
+  util::Rng rng(config.seed);
+  SandiaDataset dataset;
+  for (battery::Chemistry chem : config.chemistries) {
+    for (double ambient : config.ambient_temps_c) {
+      for (double rate : config.train_discharge_rates) {
+        dataset.train_runs.push_back(record_condition(
+            chem, config.charge_c_rate, rate, ambient,
+            config.cycles_per_condition, config.sample_period_s, config.noise,
+            rng));
+      }
+      for (double rate : config.test_discharge_rates) {
+        dataset.test_runs.push_back(record_condition(
+            chem, config.charge_c_rate, rate, ambient,
+            config.cycles_per_condition, config.sample_period_s, config.noise,
+            rng));
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace socpinn::data

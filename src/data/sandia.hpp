@@ -1,0 +1,51 @@
+#pragma once
+/// \file sandia.hpp
+/// Sandia-like dataset factory. Mirrors the protocol of Preger et al. [5]
+/// as used by the paper: 18650 NCA/NMC/LFP cells cycled with constant
+/// currents, 0.5C charge, 1C/2C/3C discharge, ambient temperatures of
+/// 15/25/35 degC, sampled every 120 s. The paper trains on the 0.5C/-1C
+/// condition and tests on 0.5C/-2C and 0.5C/-3C.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "battery/cell.hpp"
+#include "data/trace.hpp"
+
+namespace socpinn::data {
+
+/// One cycling condition's recorded data.
+struct CyclingRun {
+  battery::Chemistry chemistry = battery::Chemistry::kNmc;
+  double discharge_c_rate = 1.0;
+  double ambient_c = 25.0;
+  Trace trace;
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct SandiaConfig {
+  std::vector<battery::Chemistry> chemistries = battery::sandia_chemistries();
+  double charge_c_rate = 0.5;
+  std::vector<double> train_discharge_rates = {1.0};
+  std::vector<double> test_discharge_rates = {2.0, 3.0};
+  std::vector<double> ambient_temps_c = {15.0, 25.0, 35.0};
+  int cycles_per_condition = 1;     ///< full cycles recorded per condition
+  double sample_period_s = 120.0;   ///< dataset granularity
+  battery::SensorNoise noise = {};  ///< BMS-grade noise by default
+  std::uint64_t seed = 42;
+};
+
+struct SandiaDataset {
+  std::vector<CyclingRun> train_runs;
+  std::vector<CyclingRun> test_runs;
+
+  [[nodiscard]] std::vector<Trace> train_traces() const;
+  [[nodiscard]] std::vector<Trace> test_traces() const;
+};
+
+/// Simulates the full cycling matrix. Deterministic for a given config.
+[[nodiscard]] SandiaDataset generate_sandia(const SandiaConfig& config);
+
+}  // namespace socpinn::data

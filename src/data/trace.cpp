@@ -1,0 +1,99 @@
+#include "data/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace socpinn::data {
+
+Trace::Trace(std::vector<TracePoint> points) : points_(std::move(points)) {}
+
+double Trace::duration_s() const {
+  if (points_.size() < 2) return 0.0;
+  return points_.back().time_s - points_.front().time_s;
+}
+
+double Trace::sample_period_s() const {
+  if (points_.size() < 2) {
+    throw std::logic_error("Trace::sample_period_s: need >= 2 points");
+  }
+  const double period = points_[1].time_s - points_[0].time_s;
+  if (period <= 0.0) {
+    throw std::logic_error("Trace::sample_period_s: non-increasing time");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dt = points_[i].time_s - points_[i - 1].time_s;
+    if (std::fabs(dt - period) > 0.01 * period) {
+      throw std::logic_error("Trace::sample_period_s: non-uniform sampling");
+    }
+  }
+  return period;
+}
+
+std::vector<double> Trace::times() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.time_s);
+  return out;
+}
+
+std::vector<double> Trace::voltages() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.voltage);
+  return out;
+}
+
+std::vector<double> Trace::currents() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.current);
+  return out;
+}
+
+std::vector<double> Trace::temperatures() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.temp_c);
+  return out;
+}
+
+std::vector<double> Trace::socs() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.soc);
+  return out;
+}
+
+Trace Trace::slice(std::size_t from, std::size_t to) const {
+  if (from > to || to > points_.size()) {
+    throw std::out_of_range("Trace::slice: bad range");
+  }
+  return Trace(std::vector<TracePoint>(points_.begin() + from,
+                                       points_.begin() + to));
+}
+
+void Trace::to_csv(const std::string& path) const {
+  util::CsvDocument doc;
+  doc.header = {"time_s", "voltage", "current", "temp_c", "soc"};
+  doc.columns = {times(), voltages(), currents(), temperatures(), socs()};
+  util::write_csv(path, doc);
+}
+
+Trace Trace::from_csv(const std::string& path) {
+  const util::CsvDocument doc = util::read_csv(path);
+  const auto& t = doc.column("time_s");
+  const auto& v = doc.column("voltage");
+  const auto& i = doc.column("current");
+  const auto& temp = doc.column("temp_c");
+  const auto& soc = doc.column("soc");
+  Trace trace;
+  trace.reserve(t.size());
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    trace.push_back({t[k], v[k], i[k], temp[k], soc[k]});
+  }
+  return trace;
+}
+
+}  // namespace socpinn::data

@@ -1,0 +1,62 @@
+#pragma once
+/// \file trace.hpp
+/// Uniformly sampled battery measurement time series — the in-memory
+/// equivalent of one dataset file (one charge/discharge cycle).
+
+#include <string>
+#include <vector>
+
+#include "battery/cell.hpp"
+
+namespace socpinn::data {
+
+/// One dataset row. Same fields as battery::Measurement; aliased here so
+/// the data layer does not leak simulator types into file formats.
+using TracePoint = battery::Measurement;
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TracePoint> points);
+
+  void push_back(const TracePoint& p) { points_.push_back(p); }
+  void reserve(std::size_t n) { points_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] const TracePoint& operator[](std::size_t i) const {
+    return points_[i];
+  }
+  [[nodiscard]] const TracePoint& front() const { return points_.front(); }
+  [[nodiscard]] const TracePoint& back() const { return points_.back(); }
+
+  [[nodiscard]] auto begin() const { return points_.begin(); }
+  [[nodiscard]] auto end() const { return points_.end(); }
+
+  /// Total time covered (seconds); 0 for traces with < 2 points.
+  [[nodiscard]] double duration_s() const;
+
+  /// Sampling period inferred from the first two points; throws if the
+  /// trace has fewer than two points or is visibly non-uniform (>1 %
+  /// deviation anywhere).
+  [[nodiscard]] double sample_period_s() const;
+
+  /// Column extractions (copies).
+  [[nodiscard]] std::vector<double> times() const;
+  [[nodiscard]] std::vector<double> voltages() const;
+  [[nodiscard]] std::vector<double> currents() const;
+  [[nodiscard]] std::vector<double> temperatures() const;
+  [[nodiscard]] std::vector<double> socs() const;
+
+  /// Half-open index slice [from, to).
+  [[nodiscard]] Trace slice(std::size_t from, std::size_t to) const;
+
+  /// CSV persistence (columns: time_s, voltage, current, temp_c, soc).
+  void to_csv(const std::string& path) const;
+  [[nodiscard]] static Trace from_csv(const std::string& path);
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace socpinn::data

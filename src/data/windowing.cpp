@@ -1,0 +1,140 @@
+#include "data/windowing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::data {
+
+namespace {
+
+/// Number of samples covered by `horizon_s` at the trace's rate; throws if
+/// the horizon is not an integer multiple of the period.
+std::size_t horizon_samples(const Trace& trace, double horizon_s) {
+  const double period = trace.sample_period_s();
+  const double ratio = horizon_s / period;
+  const auto k = static_cast<std::size_t>(std::llround(ratio));
+  if (k == 0 || std::fabs(ratio - static_cast<double>(k)) > 1e-6) {
+    throw std::invalid_argument(
+        "windowing: horizon must be a positive integer multiple of the "
+        "sampling period");
+  }
+  return k;
+}
+
+/// Averages of current and temperature over samples (t, t+k].
+struct WindowAvg {
+  double current = 0.0;
+  double temp = 0.0;
+};
+
+WindowAvg window_average(const Trace& trace, std::size_t t, std::size_t k) {
+  WindowAvg avg;
+  for (std::size_t j = t + 1; j <= t + k; ++j) {
+    avg.current += trace[j].current;
+    avg.temp += trace[j].temp_c;
+  }
+  avg.current /= static_cast<double>(k);
+  avg.temp /= static_cast<double>(k);
+  return avg;
+}
+
+void require_stride(std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("windowing: stride 0");
+}
+
+}  // namespace
+
+SupervisedData build_branch1_data(std::span<const Trace> traces,
+                                  std::size_t stride) {
+  require_stride(stride);
+  std::size_t total = 0;
+  for (const Trace& t : traces) total += (t.size() + stride - 1) / stride;
+  if (total == 0) throw std::invalid_argument("build_branch1_data: no data");
+
+  SupervisedData data{nn::Matrix(total, 3), nn::Matrix(total, 1)};
+  std::size_t row = 0;
+  for (const Trace& trace : traces) {
+    for (std::size_t i = 0; i < trace.size(); i += stride) {
+      data.x(row, 0) = trace[i].voltage;
+      data.x(row, 1) = trace[i].current;
+      data.x(row, 2) = trace[i].temp_c;
+      data.y(row, 0) = trace[i].soc;
+      ++row;
+    }
+  }
+  return data;
+}
+
+SupervisedData build_branch2_data(std::span<const Trace> traces,
+                                  double horizon_s, std::size_t stride) {
+  require_stride(stride);
+  std::vector<double> xs, ys;
+  for (const Trace& trace : traces) {
+    if (trace.size() < 2) continue;
+    const std::size_t k = horizon_samples(trace, horizon_s);
+    if (trace.size() <= k) continue;
+    for (std::size_t t = 0; t + k < trace.size(); t += stride) {
+      const WindowAvg avg = window_average(trace, t, k);
+      xs.push_back(trace[t].soc);
+      xs.push_back(avg.current);
+      xs.push_back(avg.temp);
+      xs.push_back(horizon_s);
+      ys.push_back(trace[t + k].soc);
+    }
+  }
+  if (ys.empty()) {
+    throw std::invalid_argument("build_branch2_data: traces shorter than horizon");
+  }
+  const std::size_t n = ys.size();
+  return SupervisedData{nn::Matrix(n, 4, std::move(xs)),
+                        nn::Matrix(n, 1, std::move(ys))};
+}
+
+HorizonEvalData build_horizon_eval(std::span<const Trace> traces,
+                                   double horizon_s, std::size_t stride) {
+  require_stride(stride);
+  std::vector<double> sensors, workload;
+  HorizonEvalData data;
+  data.horizon_s = horizon_s;
+  for (const Trace& trace : traces) {
+    if (trace.size() < 2) continue;
+    const std::size_t k = horizon_samples(trace, horizon_s);
+    if (trace.size() <= k) continue;
+    for (std::size_t t = 0; t + k < trace.size(); t += stride) {
+      const WindowAvg avg = window_average(trace, t, k);
+      sensors.push_back(trace[t].voltage);
+      sensors.push_back(trace[t].current);
+      sensors.push_back(trace[t].temp_c);
+      workload.push_back(avg.current);
+      workload.push_back(avg.temp);
+      workload.push_back(horizon_s);
+      data.soc_now.push_back(trace[t].soc);
+      data.target.push_back(trace[t + k].soc);
+    }
+  }
+  if (data.target.empty()) {
+    throw std::invalid_argument("build_horizon_eval: traces shorter than horizon");
+  }
+  const std::size_t n = data.target.size();
+  data.sensors = nn::Matrix(n, 3, std::move(sensors));
+  data.workload = nn::Matrix(n, 3, std::move(workload));
+  return data;
+}
+
+SupervisedData build_branch1_data(const Trace& trace, std::size_t stride) {
+  return build_branch1_data(std::span<const Trace>(&trace, 1), stride);
+}
+
+SupervisedData build_branch2_data(const Trace& trace, double horizon_s,
+                                  std::size_t stride) {
+  return build_branch2_data(std::span<const Trace>(&trace, 1), horizon_s,
+                            stride);
+}
+
+HorizonEvalData build_horizon_eval(const Trace& trace, double horizon_s,
+                                   std::size_t stride) {
+  return build_horizon_eval(std::span<const Trace>(&trace, 1), horizon_s,
+                            stride);
+}
+
+}  // namespace socpinn::data

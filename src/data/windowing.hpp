@@ -1,0 +1,69 @@
+#pragma once
+/// \file windowing.hpp
+/// Builds the supervised learning problems of the paper from raw traces:
+///
+///  * Branch 1 samples:  (V(t), I(t), T(t)) -> SoC(t)
+///  * Branch 2 samples:  (SoC(t), avg I(t..t+N), avg T(t..t+N), N) -> SoC(t+N)
+///  * Full-model evaluation samples at a horizon N: the Branch-1 sensor
+///    inputs at t plus the Branch-2 workload inputs, with both the true
+///    SoC(t) (diagnostics) and the SoC(t+N) target.
+///
+/// The longer-horizon test sets follow the paper's procedure: sliding
+/// windows over the native-rate data, averaging current and temperature in
+/// each window and using the final SoC as the target.
+
+#include <span>
+#include <vector>
+
+#include "data/trace.hpp"
+#include "nn/matrix.hpp"
+
+namespace socpinn::data {
+
+/// Feature/target pair for one branch.
+struct SupervisedData {
+  nn::Matrix x;
+  nn::Matrix y;
+
+  [[nodiscard]] std::size_t size() const { return x.rows(); }
+};
+
+/// Evaluation set for the cascaded model at one horizon.
+struct HorizonEvalData {
+  nn::Matrix sensors;            ///< [V, I, T] at time t (Branch-1 input)
+  nn::Matrix workload;           ///< [avg I, avg T, N] over (t, t+N]
+  std::vector<double> soc_now;   ///< ground-truth SoC(t)
+  std::vector<double> target;    ///< ground-truth SoC(t+N)
+  double horizon_s = 0.0;
+
+  [[nodiscard]] std::size_t size() const { return sensors.rows(); }
+};
+
+/// Branch-1 dataset from one or more traces. `stride` keeps every
+/// stride-th sample (>=1) to bound dataset size on finely sampled traces.
+[[nodiscard]] SupervisedData build_branch1_data(
+    std::span<const Trace> traces, std::size_t stride = 1);
+
+/// Branch-2 training dataset at horizon `horizon_s` (must be an integer
+/// multiple of the sampling period). Inputs use ground-truth SoC(t), as the
+/// paper's split training scheme prescribes.
+[[nodiscard]] SupervisedData build_branch2_data(std::span<const Trace> traces,
+                                                double horizon_s,
+                                                std::size_t stride = 1);
+
+/// Full-model evaluation dataset at `horizon_s`.
+[[nodiscard]] HorizonEvalData build_horizon_eval(std::span<const Trace> traces,
+                                                 double horizon_s,
+                                                 std::size_t stride = 1);
+
+/// Convenience overloads for a single trace.
+[[nodiscard]] SupervisedData build_branch1_data(const Trace& trace,
+                                                std::size_t stride = 1);
+[[nodiscard]] SupervisedData build_branch2_data(const Trace& trace,
+                                                double horizon_s,
+                                                std::size_t stride = 1);
+[[nodiscard]] HorizonEvalData build_horizon_eval(const Trace& trace,
+                                                 double horizon_s,
+                                                 std::size_t stride = 1);
+
+}  // namespace socpinn::data

@@ -1,0 +1,33 @@
+#include "nn/cost_model.hpp"
+
+#include "nn/lstm.hpp"
+#include "util/table.hpp"
+
+namespace socpinn::nn {
+
+std::string ModelCost::mem_str() const {
+  return util::format_bytes(static_cast<double>(bytes_f32));
+}
+
+std::string ModelCost::ops_str() const {
+  return util::format_count(static_cast<double>(macs));
+}
+
+ModelCost mlp_cost(Mlp& net) {
+  ModelCost cost;
+  cost.params = net.num_params();
+  cost.bytes_f32 = cost.params * sizeof(float);
+  cost.macs = net.macs_per_sample();
+  return cost;
+}
+
+ModelCost lstm_cost(std::size_t input_dim, std::size_t hidden_dim,
+                    std::size_t seq_len) {
+  ModelCost cost;
+  cost.params = lstm_param_count(input_dim, hidden_dim);
+  cost.bytes_f32 = cost.params * sizeof(float);
+  cost.macs = lstm_mac_count(input_dim, hidden_dim, seq_len);
+  return cost;
+}
+
+}  // namespace socpinn::nn

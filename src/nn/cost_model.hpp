@@ -1,0 +1,32 @@
+#pragma once
+/// \file cost_model.hpp
+/// Memory and operation cost accounting behind the paper's efficiency
+/// claims: 2,322 parameters / ~9 kB / ~1150 ops per branch for the
+/// two-branch net versus ~4 Mb / ~300 M ops for the LSTM of [17].
+
+#include <cstddef>
+#include <string>
+
+#include "nn/mlp.hpp"
+
+namespace socpinn::nn {
+
+/// Cost summary of a model for the Table I "Mem" / "Ops" columns.
+struct ModelCost {
+  std::size_t params = 0;       ///< trainable scalar parameters
+  std::size_t bytes_f32 = 0;    ///< storage at float32 (as reported in paper)
+  std::size_t macs = 0;         ///< multiply-accumulates per inference
+
+  [[nodiscard]] std::string mem_str() const;  ///< e.g. "9.1 kB"
+  [[nodiscard]] std::string ops_str() const;  ///< e.g. "1.2 k"
+};
+
+/// Cost of one forward pass of an MLP (single sample).
+[[nodiscard]] ModelCost mlp_cost(Mlp& net);
+
+/// Cost of an LSTM + scalar-head estimator over a window of seq_len steps.
+[[nodiscard]] ModelCost lstm_cost(std::size_t input_dim,
+                                  std::size_t hidden_dim,
+                                  std::size_t seq_len);
+
+}  // namespace socpinn::nn

@@ -1,0 +1,44 @@
+#include "nn/dataloader.hpp"
+
+#include <stdexcept>
+
+namespace socpinn::nn {
+
+DataLoader::DataLoader(Matrix x, Matrix y, std::size_t batch_size,
+                       bool shuffle, util::Rng rng)
+    : x_(std::move(x)),
+      y_(std::move(y)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(rng) {
+  if (x_.rows() != y_.rows()) {
+    throw std::invalid_argument("DataLoader: X/Y row count mismatch");
+  }
+  if (x_.rows() == 0) throw std::invalid_argument("DataLoader: empty dataset");
+  if (batch_size_ == 0) throw std::invalid_argument("DataLoader: batch 0");
+}
+
+std::size_t DataLoader::num_batches() const {
+  return (x_.rows() + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<Batch> DataLoader::epoch() {
+  std::vector<std::size_t> order(x_.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (shuffle_) rng_.shuffle(order);
+
+  std::vector<Batch> batches;
+  batches.reserve(num_batches());
+  for (std::size_t start = 0; start < order.size(); start += batch_size_) {
+    const std::size_t count = std::min(batch_size_, order.size() - start);
+    Batch batch{Matrix(count, x_.cols()), Matrix(count, y_.cols())};
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.x.set_row(i, x_.row(order[start + i]));
+      batch.y.set_row(i, y_.row(order[start + i]));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace socpinn::nn

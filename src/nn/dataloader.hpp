@@ -1,0 +1,42 @@
+#pragma once
+/// \file dataloader.hpp
+/// Minibatch iteration over an (X, Y) pair with per-epoch shuffling.
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+
+/// A single minibatch (owning copies of the selected rows).
+struct Batch {
+  Matrix x;
+  Matrix y;
+};
+
+class DataLoader {
+ public:
+  /// Keeps references? No — copies X/Y so callers can discard them. Throws
+  /// if row counts differ or batch_size is zero.
+  DataLoader(Matrix x, Matrix y, std::size_t batch_size, bool shuffle,
+             util::Rng rng);
+
+  /// Number of batches per epoch (last partial batch included).
+  [[nodiscard]] std::size_t num_batches() const;
+
+  [[nodiscard]] std::size_t num_samples() const { return x_.rows(); }
+
+  /// Materializes the batches for one epoch (reshuffled each call when
+  /// shuffling is enabled).
+  [[nodiscard]] std::vector<Batch> epoch();
+
+ private:
+  Matrix x_;
+  Matrix y_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  util::Rng rng_;
+};
+
+}  // namespace socpinn::nn

@@ -1,0 +1,38 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::nn {
+
+GradCheckResult check_gradient(Matrix& param, const Matrix& analytic_grad,
+                               const std::function<double()>& loss_fn,
+                               double epsilon) {
+  if (param.rows() != analytic_grad.rows() ||
+      param.cols() != analytic_grad.cols()) {
+    throw std::invalid_argument("check_gradient: shape mismatch");
+  }
+  if (epsilon <= 0.0) throw std::invalid_argument("check_gradient: eps <= 0");
+
+  GradCheckResult result;
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const double original = param.data()[i];
+    param.data()[i] = original + epsilon;
+    const double loss_plus = loss_fn();
+    param.data()[i] = original - epsilon;
+    const double loss_minus = loss_fn();
+    param.data()[i] = original;
+
+    const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    const double analytic = analytic_grad.data()[i];
+    const double abs_diff = std::fabs(analytic - numeric);
+    const double denom =
+        std::max(1e-8, std::fabs(analytic) + std::fabs(numeric));
+    result.max_abs_diff = std::max(result.max_abs_diff, abs_diff);
+    result.max_rel_diff = std::max(result.max_rel_diff, abs_diff / denom);
+    ++result.checked;
+  }
+  return result;
+}
+
+}  // namespace socpinn::nn

@@ -1,0 +1,33 @@
+#pragma once
+/// \file gradcheck.hpp
+/// Central finite-difference gradient verification. Every layer's backward
+/// pass is validated against this in the test suite — the PINN loss blends
+/// two gradient sources, so analytic correctness is load-bearing.
+
+#include <functional>
+
+#include "nn/matrix.hpp"
+
+namespace socpinn::nn {
+
+struct GradCheckResult {
+  double max_abs_diff = 0.0;   ///< worst |analytic - numeric|
+  double max_rel_diff = 0.0;   ///< worst relative difference
+  std::size_t checked = 0;     ///< number of coordinates compared
+
+  [[nodiscard]] bool passed(double tol = 1e-5) const {
+    return checked > 0 && max_rel_diff <= tol;
+  }
+};
+
+/// Compares `analytic_grad` against central differences of `loss_fn` taken
+/// over the entries of `param`. `loss_fn` must recompute the full forward
+/// pass from scratch at the current parameter values.
+///
+/// Relative difference uses |a-n| / max(1e-8, |a|+|n|), the customary
+/// gradcheck normalization.
+[[nodiscard]] GradCheckResult check_gradient(
+    Matrix& param, const Matrix& analytic_grad,
+    const std::function<double()>& loss_fn, double epsilon = 1e-6);
+
+}  // namespace socpinn::nn

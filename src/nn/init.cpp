@@ -1,0 +1,32 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace socpinn::nn {
+
+void initialize(Matrix& w, InitScheme scheme, util::Rng& rng) {
+  const auto fan_in = static_cast<double>(w.rows());
+  const auto fan_out = static_cast<double>(w.cols());
+  switch (scheme) {
+    case InitScheme::kHeUniform: {
+      const double bound = std::sqrt(6.0 / fan_in);
+      for (auto& v : w.data()) v = rng.uniform(-bound, bound);
+      break;
+    }
+    case InitScheme::kXavierUniform: {
+      const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+      for (auto& v : w.data()) v = rng.uniform(-bound, bound);
+      break;
+    }
+    case InitScheme::kSmallNormal: {
+      for (auto& v : w.data()) v = rng.normal(0.0, 0.01);
+      break;
+    }
+    case InitScheme::kZeros: {
+      w.fill(0.0);
+      break;
+    }
+  }
+}
+
+}  // namespace socpinn::nn

@@ -1,0 +1,22 @@
+#pragma once
+/// \file init.hpp
+/// Weight initialization schemes. He initialization is the default for the
+/// ReLU MLPs of the paper; Xavier for tanh/sigmoid gates in the LSTM.
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+
+enum class InitScheme {
+  kHeUniform,      ///< U(-sqrt(6/fan_in), +sqrt(6/fan_in)) — ReLU networks
+  kXavierUniform,  ///< U(-sqrt(6/(fan_in+fan_out)), ...) — tanh/sigmoid
+  kSmallNormal,    ///< N(0, 0.01) — diagnostic baseline
+  kZeros,          ///< all zeros — biases
+};
+
+/// Fills `w` in place. fan_in/fan_out are taken from the matrix shape
+/// (rows = fan_in, cols = fan_out), matching the Dense weight layout.
+void initialize(Matrix& w, InitScheme scheme, util::Rng& rng);
+
+}  // namespace socpinn::nn

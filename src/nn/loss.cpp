@@ -1,0 +1,96 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::nn {
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("loss: pred/target shape mismatch");
+  }
+}
+double inv_count(const Matrix& m) {
+  if (m.size() == 0) throw std::invalid_argument("loss: empty batch");
+  return 1.0 / static_cast<double>(m.size());
+}
+}  // namespace
+
+double MaeLoss::value(const Matrix& pred, const Matrix& target) const {
+  require_same_shape(pred, target);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    acc += std::fabs(pred.data()[i] - target.data()[i]);
+  }
+  return acc * inv_count(pred);
+}
+
+Matrix MaeLoss::grad(const Matrix& pred, const Matrix& target) const {
+  require_same_shape(pred, target);
+  const double scale = inv_count(pred);
+  Matrix g(pred.rows(), pred.cols());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = pred.data()[i] - target.data()[i];
+    g.data()[i] = r > 0.0 ? scale : (r < 0.0 ? -scale : 0.0);
+  }
+  return g;
+}
+
+double MseLoss::value(const Matrix& pred, const Matrix& target) const {
+  require_same_shape(pred, target);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = pred.data()[i] - target.data()[i];
+    acc += r * r;
+  }
+  return acc * inv_count(pred);
+}
+
+Matrix MseLoss::grad(const Matrix& pred, const Matrix& target) const {
+  require_same_shape(pred, target);
+  const double scale = 2.0 * inv_count(pred);
+  Matrix g(pred.rows(), pred.cols());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    g.data()[i] = scale * (pred.data()[i] - target.data()[i]);
+  }
+  return g;
+}
+
+HuberLoss::HuberLoss(double delta) : delta_(delta) {
+  if (delta <= 0.0) throw std::invalid_argument("HuberLoss: delta <= 0");
+}
+
+double HuberLoss::value(const Matrix& pred, const Matrix& target) const {
+  require_same_shape(pred, target);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = std::fabs(pred.data()[i] - target.data()[i]);
+    acc += r <= delta_ ? 0.5 * r * r : delta_ * (r - 0.5 * delta_);
+  }
+  return acc * inv_count(pred);
+}
+
+Matrix HuberLoss::grad(const Matrix& pred, const Matrix& target) const {
+  require_same_shape(pred, target);
+  const double scale = inv_count(pred);
+  Matrix g(pred.rows(), pred.cols());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = pred.data()[i] - target.data()[i];
+    if (std::fabs(r) <= delta_) {
+      g.data()[i] = scale * r;
+    } else {
+      g.data()[i] = scale * delta_ * (r > 0.0 ? 1.0 : -1.0);
+    }
+  }
+  return g;
+}
+
+std::unique_ptr<Loss> make_loss(const std::string& name) {
+  if (name == "mae") return std::make_unique<MaeLoss>();
+  if (name == "mse") return std::make_unique<MseLoss>();
+  if (name == "huber") return std::make_unique<HuberLoss>();
+  throw std::invalid_argument("make_loss: unknown loss '" + name + "'");
+}
+
+}  // namespace socpinn::nn

@@ -1,0 +1,66 @@
+#pragma once
+/// \file loss.hpp
+/// Regression losses with analytic gradients. The paper trains both
+/// branches with MAE (Eq. 2); MSE and Huber are available for ablations.
+
+#include <memory>
+#include <string>
+
+#include "nn/matrix.hpp"
+
+namespace socpinn::nn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Mean loss over every element of the batch.
+  [[nodiscard]] virtual double value(const Matrix& pred,
+                                     const Matrix& target) const = 0;
+
+  /// Gradient of value() w.r.t. pred (same shape as pred).
+  [[nodiscard]] virtual Matrix grad(const Matrix& pred,
+                                    const Matrix& target) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Mean Absolute Error. Subgradient 0 at exact zeros of the residual.
+class MaeLoss final : public Loss {
+ public:
+  [[nodiscard]] double value(const Matrix& pred,
+                             const Matrix& target) const override;
+  [[nodiscard]] Matrix grad(const Matrix& pred,
+                            const Matrix& target) const override;
+  [[nodiscard]] std::string name() const override { return "mae"; }
+};
+
+/// Mean Squared Error.
+class MseLoss final : public Loss {
+ public:
+  [[nodiscard]] double value(const Matrix& pred,
+                             const Matrix& target) const override;
+  [[nodiscard]] Matrix grad(const Matrix& pred,
+                            const Matrix& target) const override;
+  [[nodiscard]] std::string name() const override { return "mse"; }
+};
+
+/// Huber loss: quadratic within |r| <= delta, linear outside.
+class HuberLoss final : public Loss {
+ public:
+  explicit HuberLoss(double delta = 1.0);
+  [[nodiscard]] double value(const Matrix& pred,
+                             const Matrix& target) const override;
+  [[nodiscard]] Matrix grad(const Matrix& pred,
+                            const Matrix& target) const override;
+  [[nodiscard]] std::string name() const override { return "huber"; }
+  [[nodiscard]] double delta() const { return delta_; }
+
+ private:
+  double delta_;
+};
+
+/// Factory by name ("mae", "mse", "huber"); throws on unknown name.
+[[nodiscard]] std::unique_ptr<Loss> make_loss(const std::string& name);
+
+}  // namespace socpinn::nn

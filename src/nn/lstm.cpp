@@ -1,0 +1,209 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace socpinn::nn {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Copies columns [from, from+width) of src into a new matrix.
+Matrix slice_cols(const Matrix& src, std::size_t from, std::size_t width) {
+  Matrix out(src.rows(), width);
+  for (std::size_t r = 0; r < src.rows(); ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      out(r, c) = src(r, from + c);
+    }
+  }
+  return out;
+}
+
+/// Writes `block` into columns [from, ...) of dst.
+void paste_cols(Matrix& dst, const Matrix& block, std::size_t from) {
+  for (std::size_t r = 0; r < block.rows(); ++r) {
+    for (std::size_t c = 0; c < block.cols(); ++c) {
+      dst(r, from + c) = block(r, c);
+    }
+  }
+}
+
+}  // namespace
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, util::Rng& rng)
+    : in_(input_dim),
+      hidden_(hidden_dim),
+      wx_(input_dim, 4 * hidden_dim),
+      wh_(hidden_dim, 4 * hidden_dim),
+      b_(1, 4 * hidden_dim),
+      dwx_(input_dim, 4 * hidden_dim),
+      dwh_(hidden_dim, 4 * hidden_dim),
+      db_(1, 4 * hidden_dim) {
+  if (input_dim == 0 || hidden_dim == 0) {
+    throw std::invalid_argument("Lstm: zero-sized dimensions");
+  }
+  initialize(wx_, InitScheme::kXavierUniform, rng);
+  initialize(wh_, InitScheme::kXavierUniform, rng);
+  b_.fill(0.0);
+  // Forget gate bias (second block) starts at 1.
+  for (std::size_t c = hidden_; c < 2 * hidden_; ++c) b_(0, c) = 1.0;
+}
+
+Matrix Lstm::forward(const std::vector<Matrix>& sequence) {
+  if (sequence.empty()) throw std::invalid_argument("Lstm: empty sequence");
+  const std::size_t batch = sequence.front().rows();
+  cache_.clear();
+  cache_.reserve(sequence.size());
+
+  Matrix h(batch, hidden_);
+  Matrix c(batch, hidden_);
+  for (const Matrix& x : sequence) {
+    if (x.rows() != batch || x.cols() != in_) {
+      throw std::invalid_argument("Lstm: inconsistent step shape");
+    }
+    StepCache step;
+    step.x = x;
+    step.h_prev = h;
+    step.c_prev = c;
+
+    Matrix a = matmul(x, wx_) + matmul(h, wh_);
+    add_row_broadcast(a, b_);
+
+    step.i = slice_cols(a, 0, hidden_);
+    step.f = slice_cols(a, hidden_, hidden_);
+    step.g = slice_cols(a, 2 * hidden_, hidden_);
+    step.o = slice_cols(a, 3 * hidden_, hidden_);
+    step.i.apply(sigmoid);
+    step.f.apply(sigmoid);
+    step.g.apply([](double v) { return std::tanh(v); });
+    step.o.apply(sigmoid);
+
+    c = hadamard(step.f, step.c_prev) + hadamard(step.i, step.g);
+    step.c = c;
+    step.tanh_c = c;
+    step.tanh_c.apply([](double v) { return std::tanh(v); });
+    h = hadamard(step.o, step.tanh_c);
+
+    cache_.push_back(std::move(step));
+  }
+  return h;
+}
+
+std::vector<Matrix> Lstm::backward(const Matrix& grad_last_hidden) {
+  if (cache_.empty()) throw std::logic_error("Lstm::backward before forward");
+  const std::size_t batch = cache_.front().x.rows();
+  if (grad_last_hidden.rows() != batch ||
+      grad_last_hidden.cols() != hidden_) {
+    throw std::invalid_argument("Lstm::backward: gradient shape mismatch");
+  }
+
+  std::vector<Matrix> dx(cache_.size());
+  Matrix dh = grad_last_hidden;
+  Matrix dc(batch, hidden_);
+
+  for (std::size_t s = cache_.size(); s-- > 0;) {
+    const StepCache& step = cache_[s];
+
+    // h = o * tanh(c)
+    Matrix d_o = hadamard(dh, step.tanh_c);
+    Matrix dc_total = dc;
+    for (std::size_t idx = 0; idx < dc_total.size(); ++idx) {
+      const double tc = step.tanh_c.data()[idx];
+      dc_total.data()[idx] +=
+          dh.data()[idx] * step.o.data()[idx] * (1.0 - tc * tc);
+    }
+
+    // c = f * c_prev + i * g
+    Matrix d_i = hadamard(dc_total, step.g);
+    Matrix d_g = hadamard(dc_total, step.i);
+    Matrix d_f = hadamard(dc_total, step.c_prev);
+    dc = hadamard(dc_total, step.f);
+
+    // Pre-activation gradients.
+    Matrix da(batch, 4 * hidden_);
+    for (std::size_t idx = 0; idx < d_i.size(); ++idx) {
+      const double iv = step.i.data()[idx];
+      d_i.data()[idx] *= iv * (1.0 - iv);
+      const double fv = step.f.data()[idx];
+      d_f.data()[idx] *= fv * (1.0 - fv);
+      const double gv = step.g.data()[idx];
+      d_g.data()[idx] *= 1.0 - gv * gv;
+      const double ov = step.o.data()[idx];
+      d_o.data()[idx] *= ov * (1.0 - ov);
+    }
+    paste_cols(da, d_i, 0);
+    paste_cols(da, d_f, hidden_);
+    paste_cols(da, d_g, 2 * hidden_);
+    paste_cols(da, d_o, 3 * hidden_);
+
+    dwx_ += matmul_transpose_a(step.x, da);
+    dwh_ += matmul_transpose_a(step.h_prev, da);
+    db_ += sum_rows(da);
+
+    dx[s] = matmul_transpose_b(da, wx_);
+    dh = matmul_transpose_b(da, wh_);
+  }
+  return dx;
+}
+
+void Lstm::zero_grad() {
+  dwx_.fill(0.0);
+  dwh_.fill(0.0);
+  db_.fill(0.0);
+}
+
+LstmRegressor::LstmRegressor(std::size_t input_dim, std::size_t hidden_dim,
+                             util::Rng& rng)
+    : lstm_(input_dim, hidden_dim, rng),
+      head_(hidden_dim, 1, rng, InitScheme::kXavierUniform) {}
+
+Matrix LstmRegressor::forward(const std::vector<Matrix>& sequence) {
+  return head_.forward(lstm_.forward(sequence), /*train=*/true);
+}
+
+void LstmRegressor::backward(const Matrix& grad_output) {
+  const Matrix grad_hidden = head_.backward(grad_output);
+  (void)lstm_.backward(grad_hidden);
+}
+
+std::vector<Matrix*> LstmRegressor::params() {
+  auto out = lstm_.params();
+  for (Matrix* p : head_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Matrix*> LstmRegressor::grads() {
+  auto out = lstm_.grads();
+  for (Matrix* g : head_.grads()) out.push_back(g);
+  return out;
+}
+
+void LstmRegressor::zero_grad() {
+  lstm_.zero_grad();
+  head_.zero_grad();
+}
+
+std::size_t LstmRegressor::num_params() const {
+  return lstm_.num_params() + (lstm_.hidden_dim() + 1);
+}
+
+std::size_t LstmRegressor::macs_per_sample(std::size_t seq_len) const {
+  return lstm_.macs_per_step() * seq_len + lstm_.hidden_dim();
+}
+
+std::size_t lstm_param_count(std::size_t input_dim, std::size_t hidden_dim) {
+  const std::size_t gates = 4 * hidden_dim;
+  return input_dim * gates + hidden_dim * gates + gates  // LSTM
+         + hidden_dim + 1;                               // dense head
+}
+
+std::size_t lstm_mac_count(std::size_t input_dim, std::size_t hidden_dim,
+                           std::size_t seq_len) {
+  const std::size_t per_step = 4 * hidden_dim * (input_dim + hidden_dim);
+  return per_step * seq_len + hidden_dim;
+}
+
+}  // namespace socpinn::nn

@@ -1,0 +1,104 @@
+#pragma once
+/// \file lstm.hpp
+/// Single-layer LSTM with full backpropagation-through-time, plus a small
+/// regressor (LSTM + dense head) used to reproduce the sequence baselines of
+/// Table I: the LSTM SoC estimator of Wong et al. [17] and the DE-LSTM of
+/// Dang et al. [7].
+///
+/// Sequences are represented as std::vector<Matrix> of length T where each
+/// element is a (batch x features) matrix. Gate layout inside the packed
+/// weight matrices is [input | forget | candidate | output].
+
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+
+class Lstm {
+ public:
+  /// Builds an in->hidden LSTM. Forget-gate biases start at 1 (standard
+  /// trick to avoid early vanishing of the cell state).
+  Lstm(std::size_t input_dim, std::size_t hidden_dim, util::Rng& rng);
+
+  /// Runs the sequence, returning the final hidden state (batch x hidden).
+  /// All steps must share the same batch size. Caches activations for
+  /// backward().
+  Matrix forward(const std::vector<Matrix>& sequence);
+
+  /// BPTT from the gradient w.r.t. the final hidden state. Accumulates
+  /// parameter gradients and returns per-step input gradients.
+  std::vector<Matrix> backward(const Matrix& grad_last_hidden);
+
+  [[nodiscard]] std::vector<Matrix*> params() { return {&wx_, &wh_, &b_}; }
+  [[nodiscard]] std::vector<Matrix*> grads() { return {&dwx_, &dwh_, &db_}; }
+  void zero_grad();
+
+  [[nodiscard]] std::size_t input_dim() const { return in_; }
+  [[nodiscard]] std::size_t hidden_dim() const { return hidden_; }
+  [[nodiscard]] std::size_t num_params() const {
+    return wx_.size() + wh_.size() + b_.size();
+  }
+  /// MACs for one sample and one timestep.
+  [[nodiscard]] std::size_t macs_per_step() const {
+    return wx_.size() + wh_.size();
+  }
+
+ private:
+  struct StepCache {
+    Matrix x, h_prev, c_prev;
+    Matrix i, f, g, o;  ///< post-activation gates
+    Matrix c, tanh_c;
+  };
+
+  std::size_t in_;
+  std::size_t hidden_;
+  Matrix wx_;  ///< in x 4*hidden
+  Matrix wh_;  ///< hidden x 4*hidden
+  Matrix b_;   ///< 1 x 4*hidden
+  Matrix dwx_, dwh_, db_;
+  std::vector<StepCache> cache_;
+};
+
+/// LSTM followed by a dense head mapping the final hidden state to a scalar
+/// (the estimated SoC). Mirrors the architecture family of [17].
+class LstmRegressor {
+ public:
+  LstmRegressor(std::size_t input_dim, std::size_t hidden_dim,
+                util::Rng& rng);
+
+  /// Predicts one scalar per batch row from a (T x batch x features) window.
+  Matrix forward(const std::vector<Matrix>& sequence);
+
+  /// Backward from gradient w.r.t. the scalar outputs (batch x 1).
+  void backward(const Matrix& grad_output);
+
+  [[nodiscard]] std::vector<Matrix*> params();
+  [[nodiscard]] std::vector<Matrix*> grads();
+  void zero_grad();
+
+  [[nodiscard]] std::size_t num_params() const;
+  /// MACs for one sample over a window of `seq_len` steps.
+  [[nodiscard]] std::size_t macs_per_sample(std::size_t seq_len) const;
+
+  [[nodiscard]] Lstm& lstm() { return lstm_; }
+  [[nodiscard]] Dense& head() { return head_; }
+
+ private:
+  Lstm lstm_;
+  Dense head_;
+};
+
+/// Analytic parameter count of a single-layer LSTM + scalar head, used to
+/// report the cost of the published baselines without instantiating them.
+[[nodiscard]] std::size_t lstm_param_count(std::size_t input_dim,
+                                           std::size_t hidden_dim);
+
+/// Analytic MAC count per inference over a window of seq_len steps.
+[[nodiscard]] std::size_t lstm_mac_count(std::size_t input_dim,
+                                         std::size_t hidden_dim,
+                                         std::size_t seq_len);
+
+}  // namespace socpinn::nn

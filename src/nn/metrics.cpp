@@ -1,0 +1,92 @@
+#include "nn/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace socpinn::nn {
+
+namespace {
+void require_match(std::span<const double> pred, std::span<const double> truth,
+                   const char* who) {
+  if (pred.size() != truth.size()) {
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  }
+  if (pred.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty input");
+  }
+}
+}  // namespace
+
+double mae(std::span<const double> pred, std::span<const double> truth) {
+  require_match(pred, truth, "mae");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    acc += std::fabs(pred[i] - truth[i]);
+  }
+  return acc / static_cast<double>(pred.size());
+}
+
+double rmse(std::span<const double> pred, std::span<const double> truth) {
+  require_match(pred, truth, "rmse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double r = pred[i] - truth[i];
+    acc += r * r;
+  }
+  return std::sqrt(acc / static_cast<double>(pred.size()));
+}
+
+double max_abs_error(std::span<const double> pred,
+                     std::span<const double> truth) {
+  require_match(pred, truth, "max_abs_error");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    worst = std::max(worst, std::fabs(pred[i] - truth[i]));
+  }
+  return worst;
+}
+
+double r_squared(std::span<const double> pred, std::span<const double> truth) {
+  require_match(pred, truth, "r_squared");
+  const double truth_mean = util::mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - truth_mean) * (truth[i] - truth_mean);
+  }
+  if (ss_tot == 0.0) {
+    throw std::invalid_argument("r_squared: truth has zero variance");
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mae(const Matrix& pred, const Matrix& truth) {
+  return mae(pred.data(), truth.data());
+}
+
+double rmse(const Matrix& pred, const Matrix& truth) {
+  return rmse(pred.data(), truth.data());
+}
+
+std::string RegressionReport::str() const {
+  std::ostringstream out;
+  out << "mae=" << mae << " rmse=" << rmse << " max=" << max_abs
+      << " r2=" << r2;
+  return out.str();
+}
+
+RegressionReport evaluate(std::span<const double> pred,
+                          std::span<const double> truth) {
+  RegressionReport report;
+  report.mae = mae(pred, truth);
+  report.rmse = rmse(pred, truth);
+  report.max_abs = max_abs_error(pred, truth);
+  report.r2 = r_squared(pred, truth);
+  return report;
+}
+
+}  // namespace socpinn::nn

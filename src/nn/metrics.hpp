@@ -1,0 +1,48 @@
+#pragma once
+/// \file metrics.hpp
+/// Regression metrics used to score every experiment. The paper reports
+/// MAE; RMSE / max error / R^2 are computed alongside for the records in
+/// EXPERIMENTS.md.
+
+#include <span>
+#include <string>
+
+#include "nn/matrix.hpp"
+
+namespace socpinn::nn {
+
+/// Mean absolute error. Throws on empty or mismatched inputs.
+[[nodiscard]] double mae(std::span<const double> pred,
+                         std::span<const double> truth);
+
+/// Root mean squared error.
+[[nodiscard]] double rmse(std::span<const double> pred,
+                          std::span<const double> truth);
+
+/// Largest absolute residual.
+[[nodiscard]] double max_abs_error(std::span<const double> pred,
+                                   std::span<const double> truth);
+
+/// Coefficient of determination; 1 is perfect, can be negative.
+/// Throws if truth has zero variance.
+[[nodiscard]] double r_squared(std::span<const double> pred,
+                               std::span<const double> truth);
+
+/// Matrix overloads flatten the arguments.
+[[nodiscard]] double mae(const Matrix& pred, const Matrix& truth);
+[[nodiscard]] double rmse(const Matrix& pred, const Matrix& truth);
+
+/// Bundle of all metrics for result tables.
+struct RegressionReport {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double max_abs = 0.0;
+  double r2 = 0.0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+[[nodiscard]] RegressionReport evaluate(std::span<const double> pred,
+                                        std::span<const double> truth);
+
+}  // namespace socpinn::nn

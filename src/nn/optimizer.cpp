@@ -1,0 +1,124 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::nn {
+
+Optimizer::Optimizer(double lr) : lr_(lr) {
+  if (lr <= 0.0) throw std::invalid_argument("Optimizer: lr must be > 0");
+}
+
+void Optimizer::attach(std::vector<Matrix*> params,
+                       std::vector<Matrix*> grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("Optimizer::attach: params/grads mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i] == nullptr || grads[i] == nullptr) {
+      throw std::invalid_argument("Optimizer::attach: null tensor");
+    }
+    if (params[i]->rows() != grads[i]->rows() ||
+        params[i]->cols() != grads[i]->cols()) {
+      throw std::invalid_argument("Optimizer::attach: shape mismatch");
+    }
+  }
+  params_ = std::move(params);
+  grads_ = std::move(grads);
+}
+
+void Optimizer::zero_grad() {
+  for (Matrix* g : grads_) g->fill(0.0);
+}
+
+void Optimizer::set_learning_rate(double lr) {
+  if (lr <= 0.0) throw std::invalid_argument("set_learning_rate: lr <= 0");
+  lr_ = lr;
+}
+
+double clip_grad_norm(const std::vector<Matrix*>& grads, double max_norm) {
+  if (max_norm <= 0.0) throw std::invalid_argument("clip_grad_norm: bound <= 0");
+  double sq = 0.0;
+  for (const Matrix* g : grads) sq += g->squared_norm();
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Matrix* g : grads) *g *= scale;
+  }
+  return norm;
+}
+
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("Sgd: momentum outside [0, 1)");
+  }
+}
+
+void Sgd::attach(std::vector<Matrix*> params, std::vector<Matrix*> grads) {
+  Optimizer::attach(std::move(params), std::move(grads));
+  velocity_.clear();
+  for (const Matrix* p : params_) {
+    velocity_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    Matrix& v = velocity_[i];
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      v.data()[k] = momentum_ * v.data()[k] + g.data()[k];
+      p.data()[k] -= lr_ * v.data()[k];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : Optimizer(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas outside [0, 1)");
+  }
+  if (eps <= 0.0) throw std::invalid_argument("Adam: eps <= 0");
+  if (weight_decay < 0.0) throw std::invalid_argument("Adam: negative decay");
+}
+
+void Adam::attach(std::vector<Matrix*> params, std::vector<Matrix*> grads) {
+  Optimizer::attach(std::move(params), std::move(grads));
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (const Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      const double gk = g.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0 - beta1_) * gk;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0 - beta2_) * gk * gk;
+      const double m_hat = m.data()[k] / bc1;
+      const double v_hat = v.data()[k] / bc2;
+      double update = m_hat / (std::sqrt(v_hat) + eps_);
+      if (weight_decay_ > 0.0) update += weight_decay_ * p.data()[k];
+      p.data()[k] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace socpinn::nn

@@ -1,0 +1,76 @@
+#pragma once
+/// \file optimizer.hpp
+/// First-order optimizers operating on (parameter, gradient) tensor pairs.
+/// Adam is the workhorse for all experiments; SGD exists for tests and the
+/// training ablation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace socpinn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers the tensors to optimize. Must be called once before step();
+  /// params[i] pairs with grads[i]. Pointers must outlive the optimizer.
+  virtual void attach(std::vector<Matrix*> params, std::vector<Matrix*> grads);
+
+  /// Applies one update using the current gradients.
+  virtual void step() = 0;
+
+  /// Zeroes all attached gradients.
+  void zero_grad();
+
+  [[nodiscard]] double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr);
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  explicit Optimizer(double lr);
+
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+  double lr_;
+};
+
+/// Clips the global L2 norm of the gradient set to max_norm; returns the
+/// pre-clip norm. No-op if the norm is already within bounds.
+double clip_grad_norm(const std::vector<Matrix*>& grads, double max_norm);
+
+/// Plain SGD with optional classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  void attach(std::vector<Matrix*> params, std::vector<Matrix*> grads) override;
+  void step() override;
+  [[nodiscard]] std::string name() const override { return "sgd"; }
+
+ private:
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW when
+/// weight_decay > 0).
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+  void attach(std::vector<Matrix*> params, std::vector<Matrix*> grads) override;
+  void step() override;
+  [[nodiscard]] std::string name() const override { return "adam"; }
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace socpinn::nn

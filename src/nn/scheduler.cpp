@@ -1,0 +1,45 @@
+#include "nn/scheduler.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace socpinn::nn {
+
+ConstantLr::ConstantLr(double lr) : lr_(lr) {
+  if (lr <= 0.0) throw std::invalid_argument("ConstantLr: lr <= 0");
+}
+
+double ConstantLr::rate_at(std::size_t /*epoch*/) const { return lr_; }
+
+StepLr::StepLr(double initial_lr, std::size_t period, double gamma)
+    : initial_lr_(initial_lr), period_(period), gamma_(gamma) {
+  if (initial_lr <= 0.0) throw std::invalid_argument("StepLr: lr <= 0");
+  if (period == 0) throw std::invalid_argument("StepLr: period == 0");
+  if (gamma <= 0.0 || gamma > 1.0) {
+    throw std::invalid_argument("StepLr: gamma outside (0, 1]");
+  }
+}
+
+double StepLr::rate_at(std::size_t epoch) const {
+  const auto decays = static_cast<double>(epoch / period_);
+  return initial_lr_ * std::pow(gamma_, decays);
+}
+
+CosineLr::CosineLr(double initial_lr, double min_lr, std::size_t total_epochs)
+    : initial_lr_(initial_lr), min_lr_(min_lr), total_epochs_(total_epochs) {
+  if (initial_lr <= 0.0 || min_lr <= 0.0 || min_lr > initial_lr) {
+    throw std::invalid_argument("CosineLr: need 0 < min_lr <= initial_lr");
+  }
+  if (total_epochs == 0) throw std::invalid_argument("CosineLr: zero epochs");
+}
+
+double CosineLr::rate_at(std::size_t epoch) const {
+  const double progress =
+      std::min(1.0, static_cast<double>(epoch) /
+                        static_cast<double>(total_epochs_));
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return min_lr_ + (initial_lr_ - min_lr_) * cosine;
+}
+
+}  // namespace socpinn::nn

@@ -1,0 +1,58 @@
+#pragma once
+/// \file scheduler.hpp
+/// Learning-rate schedules applied per epoch on top of an Optimizer.
+
+#include <cstddef>
+
+#include "nn/optimizer.hpp"
+
+namespace socpinn::nn {
+
+class LrScheduler {
+ public:
+  virtual ~LrScheduler() = default;
+
+  /// Sets the optimizer's learning rate for the given 0-based epoch.
+  void apply(Optimizer& opt, std::size_t epoch) const {
+    opt.set_learning_rate(rate_at(epoch));
+  }
+
+  /// Learning rate at a given epoch.
+  [[nodiscard]] virtual double rate_at(std::size_t epoch) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr final : public LrScheduler {
+ public:
+  explicit ConstantLr(double lr);
+  [[nodiscard]] double rate_at(std::size_t epoch) const override;
+
+ private:
+  double lr_;
+};
+
+/// Multiplies by `gamma` every `period` epochs.
+class StepLr final : public LrScheduler {
+ public:
+  StepLr(double initial_lr, std::size_t period, double gamma);
+  [[nodiscard]] double rate_at(std::size_t epoch) const override;
+
+ private:
+  double initial_lr_;
+  std::size_t period_;
+  double gamma_;
+};
+
+/// Cosine annealing from initial_lr to min_lr over total_epochs.
+class CosineLr final : public LrScheduler {
+ public:
+  CosineLr(double initial_lr, double min_lr, std::size_t total_epochs);
+  [[nodiscard]] double rate_at(std::size_t epoch) const override;
+
+ private:
+  double initial_lr_;
+  double min_lr_;
+  std::size_t total_epochs_;
+};
+
+}  // namespace socpinn::nn

@@ -1,0 +1,33 @@
+#pragma once
+/// \file serialize.hpp
+/// Text-based (de)serialization for MLPs and scalers. A human-inspectable
+/// format was chosen over binary: model files are tiny (the paper's full
+/// network is 2,322 parameters) and diffable artifacts simplify debugging
+/// and regression testing.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+
+namespace socpinn::nn {
+
+/// Writes an MLP to the stream. Supports Dense and Activation layers;
+/// throws std::runtime_error for unsupported layer types (Dropout is a
+/// train-only construct and is intentionally not persisted).
+void save_mlp(std::ostream& out, const Mlp& net);
+
+/// Reads an MLP written by save_mlp. Throws std::runtime_error on parse
+/// errors or version mismatch.
+[[nodiscard]] Mlp load_mlp(std::istream& in);
+
+/// Scaler round-trip.
+void save_scaler(std::ostream& out, const StandardScaler& scaler);
+[[nodiscard]] StandardScaler load_scaler(std::istream& in);
+
+/// File-path conveniences.
+void save_mlp_file(const std::string& path, const Mlp& net);
+[[nodiscard]] Mlp load_mlp_file(const std::string& path);
+
+}  // namespace socpinn::nn

@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace socpinn::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("ArgParser: expected --key[=value], got '" +
+                                  arg + "'");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key + " is not a number");
+  }
+}
+
+int ArgParser::get_int(const std::string& key, int fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stoi(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key + " is not an integer");
+  }
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  if (v->empty() || *v == "true" || *v == "1") return true;
+  if (*v == "false" || *v == "0") return false;
+  throw std::invalid_argument("ArgParser: --" + key + " is not a boolean");
+}
+
+}  // namespace socpinn::util

@@ -1,0 +1,43 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny command-line argument parser for the example and benchmark binaries.
+/// Supports `--key=value`, `--key value` and boolean `--flag` forms.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace socpinn::util {
+
+class ArgParser {
+ public:
+  /// Parses argv. Throws std::invalid_argument for arguments that do not
+  /// start with "--".
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if --key was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// String value of --key, or fallback when absent.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+
+  /// Numeric accessors; throw std::invalid_argument on parse failure.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+
+  /// Boolean: `--key` alone, or --key=true/false/1/0.
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+
+  std::string program_;
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace socpinn::util

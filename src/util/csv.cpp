@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace socpinn::util {
+
+std::size_t CsvDocument::column_index(const std::string& name) const {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == name) return c;
+  }
+  throw std::out_of_range("CsvDocument: no column named '" + name + "'");
+}
+
+const std::vector<double>& CsvDocument::column(const std::string& name) const {
+  return columns.at(column_index(name));
+}
+
+void write_csv(const std::string& path, const CsvDocument& doc) {
+  if (doc.header.size() != doc.columns.size()) {
+    throw std::runtime_error("write_csv: header/column count mismatch");
+  }
+  const std::size_t rows = doc.num_rows();
+  for (const auto& col : doc.columns) {
+    if (col.size() != rows) {
+      throw std::runtime_error("write_csv: ragged columns");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  out.precision(12);
+  for (std::size_t c = 0; c < doc.header.size(); ++c) {
+    out << doc.header[c] << (c + 1 < doc.header.size() ? "," : "\n");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < doc.columns.size(); ++c) {
+      out << doc.columns[c][r] << (c + 1 < doc.columns.size() ? "," : "\n");
+    }
+  }
+  if (!out) throw std::runtime_error("write_csv: write failure on " + path);
+}
+
+CsvDocument read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvDocument doc;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty file");
+  {
+    std::istringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) doc.header.push_back(cell);
+  }
+  doc.columns.assign(doc.header.size(), {});
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string cell;
+    std::size_t c = 0;
+    while (std::getline(ss, cell, ',')) {
+      if (c >= doc.columns.size()) {
+        throw std::runtime_error("read_csv: too many cells at line " +
+                                 std::to_string(line_no));
+      }
+      try {
+        doc.columns[c].push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error("read_csv: non-numeric cell at line " +
+                                 std::to_string(line_no));
+      }
+      ++c;
+    }
+    if (c != doc.columns.size()) {
+      throw std::runtime_error("read_csv: too few cells at line " +
+                               std::to_string(line_no));
+    }
+  }
+  return doc;
+}
+
+}  // namespace socpinn::util

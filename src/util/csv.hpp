@@ -1,0 +1,36 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV reader/writer used to persist simulated traces and experiment
+/// results so they can be plotted externally. Only handles numeric columns
+/// and unquoted headers — all files in this project are machine-generated.
+
+#include <string>
+#include <vector>
+
+namespace socpinn::util {
+
+/// Column-major numeric CSV document.
+struct CsvDocument {
+  std::vector<std::string> header;           ///< one name per column
+  std::vector<std::vector<double>> columns;  ///< columns[c][row]
+
+  [[nodiscard]] std::size_t num_rows() const {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+  [[nodiscard]] std::size_t num_cols() const { return columns.size(); }
+
+  /// Index of a named column; throws if absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  /// Named column accessor; throws if absent.
+  [[nodiscard]] const std::vector<double>& column(const std::string& name) const;
+};
+
+/// Writes the document to path. Throws std::runtime_error on I/O failure or
+/// if columns have mismatched lengths.
+void write_csv(const std::string& path, const CsvDocument& doc);
+
+/// Reads a numeric CSV with a header row. Throws on malformed input.
+[[nodiscard]] CsvDocument read_csv(const std::string& path);
+
+}  // namespace socpinn::util

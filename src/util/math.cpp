@@ -1,0 +1,79 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace socpinn::util {
+
+double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double clamp01(double x) { return clamp(x, 0.0, 1.0); }
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+double trapezoid(std::span<const double> ys, double dx) {
+  if (ys.size() < 2) return 0.0;
+  double acc = 0.5 * (ys.front() + ys.back());
+  for (std::size_t i = 1; i + 1 < ys.size(); ++i) acc += ys[i];
+  return acc * dx;
+}
+
+Interp1D::Interp1D(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  if (xs_.size() < 2) throw std::invalid_argument("Interp1D: need >= 2 knots");
+  if (xs_.size() != ys_.size()) {
+    throw std::invalid_argument("Interp1D: xs/ys size mismatch");
+  }
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (xs_[i] <= xs_[i - 1]) {
+      throw std::invalid_argument("Interp1D: xs must be strictly increasing");
+    }
+  }
+}
+
+std::size_t Interp1D::segment_of(double x) const {
+  // Index i of segment [xs_[i], xs_[i+1]] containing the clamped x.
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  if (it == xs_.begin()) return 0;
+  const auto idx = static_cast<std::size_t>(it - xs_.begin()) - 1;
+  return std::min(idx, xs_.size() - 2);
+}
+
+double Interp1D::operator()(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const std::size_t i = segment_of(x);
+  const double t = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+  return lerp(ys_[i], ys_[i + 1], t);
+}
+
+double Interp1D::derivative(double x) const {
+  const std::size_t i = segment_of(x);
+  return (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+}
+
+double Interp1D::inverse(double y) const {
+  for (std::size_t i = 1; i < ys_.size(); ++i) {
+    if (ys_[i] <= ys_[i - 1]) {
+      throw std::logic_error("Interp1D::inverse: curve not strictly increasing");
+    }
+  }
+  if (y <= ys_.front()) return xs_.front();
+  if (y >= ys_.back()) return xs_.back();
+  const auto it = std::upper_bound(ys_.begin(), ys_.end(), y);
+  const auto i = static_cast<std::size_t>(it - ys_.begin()) - 1;
+  const double t = (y - ys_[i]) / (ys_[i + 1] - ys_[i]);
+  return lerp(xs_[i], xs_[i + 1], t);
+}
+
+}  // namespace socpinn::util

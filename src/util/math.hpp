@@ -1,0 +1,60 @@
+#pragma once
+/// \file math.hpp
+/// Small numeric helpers shared across the battery models and data pipeline:
+/// clamping, linear interpolation over tabulated curves, and quadrature.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace socpinn::util {
+
+/// Clamps x into [lo, hi].
+[[nodiscard]] double clamp(double x, double lo, double hi);
+
+/// Clamps x into [0, 1] — the valid SoC range.
+[[nodiscard]] double clamp01(double x);
+
+/// Linear interpolation between a and b with weight t in [0, 1].
+[[nodiscard]] double lerp(double a, double b, double t);
+
+/// Relative/absolute closeness check used by tests and gradient checking.
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                                double abs_tol = 1e-12);
+
+/// Trapezoidal integral of uniformly sampled values with step dx.
+[[nodiscard]] double trapezoid(std::span<const double> ys, double dx);
+
+/// Piecewise-linear 1-D interpolant over a strictly increasing knot grid.
+///
+/// Queries outside the grid are clamped to the boundary values (battery
+/// curves such as OCV(SoC) must never extrapolate into nonphysical values).
+class Interp1D {
+ public:
+  /// Builds the interpolant. Throws if fewer than two knots or if xs is not
+  /// strictly increasing.
+  Interp1D(std::vector<double> xs, std::vector<double> ys);
+
+  /// Interpolated value at x (clamped to the grid).
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Derivative dy/dx of the active segment at x (boundary segments used
+  /// outside the grid).
+  [[nodiscard]] double derivative(double x) const;
+
+  /// Inverse lookup: for monotonically increasing y values, finds x such
+  /// that (*this)(x) == y. Throws if the curve is not strictly increasing.
+  [[nodiscard]] double inverse(double y) const;
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] double x_min() const { return xs_.front(); }
+  [[nodiscard]] double x_max() const { return xs_.back(); }
+
+ private:
+  [[nodiscard]] std::size_t segment_of(double x) const;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace socpinn::util

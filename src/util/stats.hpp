@@ -1,0 +1,58 @@
+#pragma once
+/// \file stats.hpp
+/// Descriptive statistics used by metrics, experiment aggregation and tests.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace socpinn::util {
+
+/// Arithmetic mean. Throws on empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator). Requires xs.size() >= 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Minimum / maximum. Throw on empty input.
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Throws on empty input.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Welford online accumulator; numerically stable mean/variance without
+/// storing samples. Useful for long simulation traces.
+class RunningStats {
+ public:
+  void push(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< unbiased; requires count() >= 2
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;  ///< requires count() >= 1
+  [[nodiscard]] double max() const;  ///< requires count() >= 1
+
+  /// Merges another accumulator (parallel Welford combine).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary string: "mean=... std=... min=... max=... n=...".
+[[nodiscard]] std::string summarize(std::span<const double> xs);
+
+}  // namespace socpinn::util

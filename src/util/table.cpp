@@ -1,0 +1,96 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace socpinn::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row_values(const std::string& label,
+                               const std::vector<double>& values,
+                               int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::str() const {
+  std::size_t ncols = header_.size();
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::str(const std::string& title) const {
+  std::ostringstream out;
+  out << "== " << title << " ==\n" << str();
+  return out.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string format_bytes(double bytes) {
+  const char* units[] = {"B", "kB", "MB", "GB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 3) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(bytes < 10 ? 1 : 0) << bytes << ' '
+      << units[u];
+  return out.str();
+}
+
+std::string format_count(double count) {
+  const char* units[] = {"", " k", " M", " G"};
+  int u = 0;
+  while (count >= 1000.0 && u < 3) {
+    count /= 1000.0;
+    ++u;
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(count < 10 && u > 0 ? 1 : 0) << count
+      << units[u];
+  return out.str();
+}
+
+}  // namespace socpinn::util

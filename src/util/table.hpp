@@ -1,0 +1,47 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table rendering for benchmark and example output. Every experiment
+/// harness prints its table/figure data through this class so the rows line
+/// up with the paper's presentation.
+
+#include <string>
+#include <vector>
+
+namespace socpinn::util {
+
+/// Column-aligned text table with a header row and '-' separators.
+class TextTable {
+ public:
+  /// Sets the header; resets alignment bookkeeping.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  void add_row_values(const std::string& label,
+                      const std::vector<double>& values, int precision = 4);
+
+  /// Renders the table with column-width alignment.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders with a title line above the table.
+  [[nodiscard]] std::string str(const std::string& title) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+/// Human-readable byte count, e.g. 9.1 kB, 4.0 MB.
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Human-readable operation count, e.g. 1.2 k, 300 M.
+[[nodiscard]] std::string format_count(double count);
+
+}  // namespace socpinn::util

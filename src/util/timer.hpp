@@ -1,0 +1,29 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing for training loops and example output.
+
+#include <chrono>
+
+namespace socpinn::util {
+
+/// Monotonic stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace socpinn::util

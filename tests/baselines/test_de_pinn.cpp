@@ -1,0 +1,98 @@
+#include "baselines/de_pinn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/protocol.hpp"
+
+namespace socpinn::baselines {
+namespace {
+
+std::vector<data::Trace> make_traces() {
+  const battery::CellParams params =
+      battery::cell_params(battery::Chemistry::kNmc);
+  std::vector<data::Trace> traces;
+  for (std::uint64_t seed : {3, 4}) {
+    battery::Cell cell(params, 1.0, 25.0, battery::SensorNoise::none(),
+                       util::Rng(seed));
+    data::ProtocolRunner runner(120.0);
+    traces.push_back(runner.run(
+        cell, {data::cc_discharge(params, 1.0), data::rest(600.0),
+               data::cc_charge(params, 0.5), data::cv_hold(params)}));
+  }
+  return traces;
+}
+
+DePinnConfig fast_config() {
+  DePinnConfig config;
+  config.hidden = {24, 24};
+  config.epochs = 60;
+  config.train_stride = 1;
+  config.capacity_ah = 3.0;
+  return config;
+}
+
+TEST(DeMlpEstimator, TrainsToLowError) {
+  const auto traces = make_traces();
+  DeMlpEstimator estimator(fast_config());
+  const auto history = estimator.fit(std::span<const data::Trace>(traces));
+  ASSERT_EQ(history.size(), 60u);
+  EXPECT_LT(history.back(), 0.5 * history.front());
+  EXPECT_LT(estimator.evaluate_mae(std::span<const data::Trace>(traces), 3),
+            0.06);
+}
+
+TEST(DeMlpEstimator, PhysicsResidualActsAsRegularizer) {
+  // With an absurdly large residual weight the data fit must get worse —
+  // evidence the physics term actually participates in training.
+  const auto traces = make_traces();
+  DePinnConfig strong = fast_config();
+  strong.physics_weight = 500.0;
+  DePinnConfig none = fast_config();
+  none.physics_weight = 0.0;
+
+  DeMlpEstimator with_strong(strong);
+  DeMlpEstimator without(none);
+  (void)with_strong.fit(std::span<const data::Trace>(traces));
+  (void)without.fit(std::span<const data::Trace>(traces));
+  const double mae_strong =
+      with_strong.evaluate_mae(std::span<const data::Trace>(traces), 3);
+  const double mae_none =
+      without.evaluate_mae(std::span<const data::Trace>(traces), 3);
+  EXPECT_GT(mae_strong, mae_none);
+}
+
+TEST(DeMlpEstimator, PredictBeforeFitThrows) {
+  DeMlpEstimator estimator(fast_config());
+  const auto traces = make_traces();
+  EXPECT_THROW((void)estimator.predict(traces[0]), std::logic_error);
+}
+
+TEST(DeMlpEstimator, PredictStrideControlsCount) {
+  const auto traces = make_traces();
+  DeMlpEstimator estimator(fast_config());
+  (void)estimator.fit(std::span<const data::Trace>(traces));
+  const auto dense = estimator.predict(traces[0], 1);
+  const auto sparse = estimator.predict(traces[0], 10);
+  EXPECT_EQ(dense.size(), traces[0].size());
+  EXPECT_EQ(sparse.size(), (traces[0].size() + 9) / 10);
+  EXPECT_THROW((void)estimator.predict(traces[0], 0), std::invalid_argument);
+}
+
+TEST(DeMlpEstimator, CostMatchesArchitecture) {
+  DeMlpEstimator estimator(fast_config());
+  const nn::ModelCost cost = estimator.cost();
+  EXPECT_EQ(cost.params, 3u * 24 + 24 + 24u * 24 + 24 + 24u + 1);
+}
+
+TEST(DeMlpEstimator, Validates) {
+  DePinnConfig bad = fast_config();
+  bad.capacity_ah = 0.0;
+  EXPECT_THROW(DeMlpEstimator{bad}, std::invalid_argument);
+  DeMlpEstimator ok(fast_config());
+  std::vector<data::Trace> empty;
+  EXPECT_THROW((void)ok.fit(std::span<const data::Trace>(empty)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::baselines

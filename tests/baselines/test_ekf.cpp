@@ -1,0 +1,101 @@
+#include "baselines/ekf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/protocol.hpp"
+#include "nn/metrics.hpp"
+
+namespace socpinn::baselines {
+namespace {
+
+data::Trace make_discharge_trace(double c_rate = 1.0) {
+  const battery::CellParams params =
+      battery::cell_params(battery::Chemistry::kNmc);
+  battery::Cell cell(params, 0.95, 25.0);
+  data::ProtocolRunner runner(10.0);
+  return runner.run(cell, {data::cc_discharge(params, c_rate)});
+}
+
+TEST(Ekf, ConvergesFromWrongPrior) {
+  const data::Trace trace = make_discharge_trace();
+  EkfConfig config;
+  config.initial_soc = 0.3;  // truth starts at 0.95
+  EkfSocEstimator ekf(battery::cell_params(battery::Chemistry::kNmc),
+                      config);
+  const std::vector<double> estimates = ekf.filter(trace);
+  ASSERT_EQ(estimates.size(), trace.size());
+  // After the burn-in the filter must lock on to the true SoC.
+  std::vector<double> tail_est, tail_truth;
+  for (std::size_t i = trace.size() / 4; i < trace.size(); ++i) {
+    tail_est.push_back(estimates[i]);
+    tail_truth.push_back(trace[i].soc);
+  }
+  EXPECT_LT(nn::mae(tail_est, tail_truth), 0.05);
+  // And it must actually have moved from the prior.
+  EXPECT_GT(estimates.front(), 0.3);
+}
+
+TEST(Ekf, VarianceShrinksWithEvidence) {
+  const data::Trace trace = make_discharge_trace();
+  EkfSocEstimator ekf(battery::cell_params(battery::Chemistry::kNmc));
+  const double prior_var = ekf.soc_variance();
+  (void)ekf.filter(trace);
+  EXPECT_LT(ekf.soc_variance(), 0.1 * prior_var);
+}
+
+TEST(Ekf, TracksUnderModelMismatch) {
+  // Filter believes nameplate parameters; the true cell holds only ~93 %
+  // of them and has different resistance at temperature. The voltage
+  // feedback must still keep the estimate usable (this robustness is why
+  // EKFs are the classical workhorse).
+  const data::Trace trace = make_discharge_trace(2.0);
+  EkfSocEstimator ekf(battery::cell_params(battery::Chemistry::kNmc));
+  const std::vector<double> estimates = ekf.filter(trace);
+  std::vector<double> truth;
+  for (const auto& p : trace) truth.push_back(p.soc);
+  EXPECT_LT(nn::mae(estimates, truth), 0.08);
+}
+
+TEST(Ekf, EstimatesStayInPhysicalRange) {
+  const data::Trace trace = make_discharge_trace(3.0);
+  EkfConfig config;
+  config.initial_soc = 1.0;
+  EkfSocEstimator ekf(battery::cell_params(battery::Chemistry::kNmc),
+                      config);
+  for (double soc : ekf.filter(trace)) {
+    EXPECT_GE(soc, 0.0);
+    EXPECT_LE(soc, 1.0);
+  }
+}
+
+TEST(Ekf, ResetRestoresPrior) {
+  const data::Trace trace = make_discharge_trace();
+  EkfConfig config;
+  EkfSocEstimator ekf(battery::cell_params(battery::Chemistry::kNmc),
+                      config);
+  (void)ekf.filter(trace);
+  ekf.reset(config);
+  EXPECT_DOUBLE_EQ(ekf.soc(), config.initial_soc);
+  EXPECT_DOUBLE_EQ(ekf.soc_variance(), config.initial_variance);
+}
+
+TEST(Ekf, Validates) {
+  EkfConfig bad;
+  bad.initial_soc = 1.5;
+  EXPECT_THROW(EkfSocEstimator(
+                   battery::cell_params(battery::Chemistry::kNmc), bad),
+               std::invalid_argument);
+  bad = EkfConfig{};
+  bad.measurement_noise = 0.0;
+  EXPECT_THROW(EkfSocEstimator(
+                   battery::cell_params(battery::Chemistry::kNmc), bad),
+               std::invalid_argument);
+  EkfSocEstimator ok(battery::cell_params(battery::Chemistry::kNmc));
+  EXPECT_THROW((void)ok.update(3.7, -1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)ok.filter(data::Trace{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::baselines

@@ -1,0 +1,90 @@
+#include "baselines/lstm_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/protocol.hpp"
+
+namespace socpinn::baselines {
+namespace {
+
+/// Small but real training problem: one CC cycle at the 120 s cadence.
+std::vector<data::Trace> make_traces() {
+  const battery::CellParams params =
+      battery::cell_params(battery::Chemistry::kNmc);
+  std::vector<data::Trace> traces;
+  for (std::uint64_t seed : {1, 2}) {
+    battery::Cell cell(params, 1.0, 25.0, battery::SensorNoise::none(),
+                       util::Rng(seed));
+    data::ProtocolRunner runner(120.0);
+    traces.push_back(runner.run(
+        cell, {data::cc_discharge(params, 1.0), data::rest(600.0),
+               data::cc_charge(params, 0.5), data::cv_hold(params)}));
+  }
+  return traces;
+}
+
+LstmEstimatorConfig fast_config() {
+  LstmEstimatorConfig config;
+  config.hidden = 12;
+  config.window = 8;
+  config.train_stride = 2;
+  config.epochs = 40;
+  config.batch_size = 32;
+  return config;
+}
+
+TEST(LstmSocEstimator, TrainsToLowError) {
+  const auto traces = make_traces();
+  LstmSocEstimator estimator(fast_config());
+  const std::vector<double> history =
+      estimator.fit(std::span<const data::Trace>(traces));
+  ASSERT_EQ(history.size(), 40u);
+  EXPECT_LT(history.back(), 0.5 * history.front());
+  EXPECT_LT(estimator.evaluate_mae(std::span<const data::Trace>(traces), 5),
+            0.06);
+}
+
+TEST(LstmSocEstimator, PredictCountsMatchWindows) {
+  const auto traces = make_traces();
+  LstmSocEstimator estimator(fast_config());
+  (void)estimator.fit(std::span<const data::Trace>(traces));
+  const auto preds = estimator.predict(traces[0], /*stride=*/1);
+  EXPECT_EQ(preds.size(), traces[0].size() - fast_config().window + 1);
+}
+
+TEST(LstmSocEstimator, PredictBeforeFitThrows) {
+  LstmSocEstimator estimator(fast_config());
+  const auto traces = make_traces();
+  EXPECT_THROW((void)estimator.predict(traces[0]), std::logic_error);
+}
+
+TEST(LstmSocEstimator, CostReflectsConfiguredSizes) {
+  const LstmEstimatorConfig config = fast_config();
+  LstmSocEstimator estimator(config);
+  const nn::ModelCost cost = estimator.cost();
+  EXPECT_EQ(cost.params, nn::lstm_param_count(3, config.hidden));
+  EXPECT_EQ(cost.macs, nn::lstm_mac_count(3, config.hidden, config.window));
+}
+
+TEST(LstmSocEstimator, PublishedCostIsMegabyteClass) {
+  LstmSocEstimator estimator(fast_config());
+  // The [17] architecture we compare against in Table I: ~4 Mb.
+  EXPECT_GT(estimator.published_cost().bytes_f32, 3u * 1024 * 1024);
+}
+
+TEST(LstmSocEstimator, RejectsDegenerateConfig) {
+  LstmEstimatorConfig bad = fast_config();
+  bad.window = 1;
+  EXPECT_THROW(LstmSocEstimator{bad}, std::invalid_argument);
+}
+
+TEST(LstmSocEstimator, FitRejectsTracesShorterThanWindow) {
+  LstmSocEstimator estimator(fast_config());
+  std::vector<data::Trace> tiny(1);
+  tiny[0].push_back({0.0, 3.7, 0.0, 25.0, 1.0});
+  EXPECT_THROW((void)estimator.fit(std::span<const data::Trace>(tiny)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::baselines

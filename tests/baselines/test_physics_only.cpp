@@ -1,0 +1,74 @@
+#include "baselines/physics_only.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/protocol.hpp"
+
+namespace socpinn::baselines {
+namespace {
+
+TEST(ClassicalEstimator, RestVoltageLookupIsExactAtRest) {
+  const battery::OcvCurve curve(battery::Chemistry::kNmc);
+  const ClassicalEstimator estimator(battery::Chemistry::kNmc, 3.0);
+  for (double soc : {0.2, 0.5, 0.8}) {
+    const double rest_v = curve.ocv(soc);
+    EXPECT_NEAR(estimator.estimate_soc(rest_v, 0.0), soc, 1e-9);
+  }
+}
+
+TEST(ClassicalEstimator, OhmicCompensationImprovesLoadedEstimate) {
+  const battery::CellParams params =
+      battery::cell_params(battery::Chemistry::kNmc);
+  battery::Cell cell(params, 0.7, 25.0);
+  // Pull 2C briefly so the terminal voltage sags.
+  cell.advance(-6.0, 30.0);
+  const double v = cell.terminal_voltage(-6.0);
+  const ClassicalEstimator estimator(battery::Chemistry::kNmc,
+                                     params.capacity_ah);
+  const double naive = estimator.estimate_soc(v, -6.0, 0.0);
+  const double compensated = estimator.estimate_soc(v, -6.0, params.r0_ohm);
+  const double truth = cell.soc();
+  EXPECT_LT(std::fabs(compensated - truth), std::fabs(naive - truth));
+}
+
+TEST(ClassicalEstimator, PredictMatchesClampedCoulomb) {
+  const ClassicalEstimator estimator(battery::Chemistry::kNmc, 3.0);
+  EXPECT_NEAR(estimator.predict_soc(0.8, -3.0, 360.0), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(estimator.predict_soc(0.05, -3.0, 3600.0), 0.0);
+}
+
+TEST(ClassicalEstimator, RolloutFollowsDischargeShape) {
+  const battery::CellParams params =
+      battery::cell_params(battery::Chemistry::kNmc);
+  battery::Cell cell(params, 1.0, 25.0);
+  data::ProtocolRunner runner(120.0);
+  const data::Trace trace =
+      runner.run(cell, {data::cc_discharge(params, 1.0)});
+
+  const ClassicalEstimator estimator(battery::Chemistry::kNmc,
+                                     params.capacity_ah);
+  const std::vector<double> soc = estimator.rollout(trace, params.r0_ohm);
+  ASSERT_EQ(soc.size(), trace.size());
+  // Monotone non-increasing during a pure discharge.
+  for (std::size_t i = 1; i < soc.size(); ++i) {
+    EXPECT_LE(soc[i], soc[i - 1] + 1e-9);
+  }
+  // Rated-capacity counting overestimates the final SoC (the cell's true
+  // capacity is ~93 % of nameplate).
+  EXPECT_GT(soc.back(), trace.back().soc);
+  EXPECT_LT(soc.back(), trace.back().soc + 0.25);
+}
+
+TEST(ClassicalEstimator, Validates) {
+  EXPECT_THROW(ClassicalEstimator(battery::Chemistry::kNmc, 0.0),
+               std::invalid_argument);
+  const ClassicalEstimator estimator(battery::Chemistry::kNmc, 3.0);
+  data::Trace tiny;
+  tiny.push_back({0.0, 3.7, 0.0, 25.0, 0.5});
+  EXPECT_THROW((void)estimator.rollout(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::baselines

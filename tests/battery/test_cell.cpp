@@ -1,0 +1,115 @@
+#include "battery/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socpinn::battery {
+namespace {
+
+Cell make_cell(double soc = 1.0, double ambient = 25.0,
+               SensorNoise noise = SensorNoise::none()) {
+  return Cell(cell_params(Chemistry::kNmc), soc, ambient, noise,
+              util::Rng(99));
+}
+
+TEST(Cell, StartsInThermalEquilibrium) {
+  Cell cell = make_cell(0.8, 15.0);
+  EXPECT_DOUBLE_EQ(cell.temperature_c(), 15.0);
+  EXPECT_DOUBLE_EQ(cell.soc(), 0.8);
+  EXPECT_DOUBLE_EQ(cell.time_s(), 0.0);
+}
+
+TEST(Cell, AdvanceTracksTimeAndSoc) {
+  Cell cell = make_cell(1.0);
+  cell.advance(-3.0, 600.0);  // 1C for 10 min
+  EXPECT_DOUBLE_EQ(cell.time_s(), 600.0);
+  EXPECT_LT(cell.soc(), 1.0);
+  EXPECT_GT(cell.soc(), 0.7);
+}
+
+TEST(Cell, LongStepSubdividesInternally) {
+  // Advancing 120 s in one call must equal 120 calls of 1 s (the internal
+  // step cap guarantees the ODE accuracy at the Sandia cadence).
+  Cell coarse = make_cell(0.9);
+  Cell fine = make_cell(0.9);
+  coarse.advance(-2.0, 120.0);
+  for (int i = 0; i < 120; ++i) fine.advance(-2.0, 1.0);
+  EXPECT_NEAR(coarse.soc(), fine.soc(), 1e-12);
+  EXPECT_NEAR(coarse.temperature_c(), fine.temperature_c(), 1e-9);
+}
+
+TEST(Cell, SustainedDischargeHeatsTheCell) {
+  Cell cell = make_cell(1.0, 25.0);
+  cell.advance(-6.0, 300.0);  // 2C
+  EXPECT_GT(cell.temperature_c(), 25.0);
+}
+
+TEST(Cell, NoiselessMeasurementMatchesTruth) {
+  Cell cell = make_cell(0.75);
+  const Measurement m = cell.measure(-3.0);
+  EXPECT_DOUBLE_EQ(m.soc, 0.75);
+  EXPECT_DOUBLE_EQ(m.current, -3.0);
+  EXPECT_DOUBLE_EQ(m.voltage, cell.terminal_voltage(-3.0));
+  EXPECT_DOUBLE_EQ(m.temp_c, cell.temperature_c());
+}
+
+TEST(Cell, NoisePerturbssMeasurementsNotState) {
+  SensorNoise noise;  // default BMS-grade noise
+  Cell cell(cell_params(Chemistry::kNmc), 0.75, 25.0, noise, util::Rng(5));
+  double v_spread = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const Measurement m = cell.measure(-3.0);
+    EXPECT_DOUBLE_EQ(m.soc, 0.75);  // ground truth stays exact
+    v_spread = std::max(v_spread,
+                        std::fabs(m.voltage - cell.terminal_voltage(-3.0)));
+  }
+  EXPECT_GT(v_spread, 0.0);
+  EXPECT_LT(v_spread, 0.05);
+}
+
+TEST(Cell, DischargeCutoffDetection) {
+  Cell cell = make_cell(1.0);
+  EXPECT_FALSE(cell.at_discharge_cutoff(-3.0));
+  // Drain far past empty; the cutoff must trip.
+  for (int i = 0; i < 90 && !cell.at_discharge_cutoff(-3.0); ++i) {
+    cell.advance(-3.0, 60.0);
+  }
+  EXPECT_TRUE(cell.at_discharge_cutoff(-3.0));
+  EXPECT_LT(cell.soc(), 0.1);
+}
+
+TEST(Cell, ChargeCutoffDetection) {
+  Cell cell = make_cell(0.2);
+  EXPECT_FALSE(cell.at_charge_cutoff(1.5));
+  for (int i = 0; i < 200 && !cell.at_charge_cutoff(1.5); ++i) {
+    cell.advance(1.5, 60.0);
+  }
+  EXPECT_TRUE(cell.at_charge_cutoff(1.5));
+}
+
+TEST(Cell, ColdAmbientRaisesSag) {
+  Cell warm = make_cell(0.6, 25.0);
+  Cell cold = make_cell(0.6, -10.0);
+  const double sag_warm =
+      warm.terminal_voltage(0.0) - warm.terminal_voltage(-3.0);
+  const double sag_cold =
+      cold.terminal_voltage(0.0) - cold.terminal_voltage(-3.0);
+  EXPECT_GT(sag_cold, sag_warm);
+}
+
+TEST(Cell, AmbientCanChangeMidRun) {
+  Cell cell = make_cell(0.9, 25.0);
+  cell.set_ambient(0.0);
+  EXPECT_DOUBLE_EQ(cell.ambient_c(), 0.0);
+  cell.advance(0.0, 3600.0);
+  EXPECT_NEAR(cell.temperature_c(), 0.0, 0.5);
+}
+
+TEST(Cell, RejectsNegativeAdvance) {
+  Cell cell = make_cell();
+  EXPECT_THROW(cell.advance(0.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::battery

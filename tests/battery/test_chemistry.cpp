@@ -1,0 +1,84 @@
+#include "battery/chemistry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::battery {
+namespace {
+
+TEST(Chemistry, AllPresetsValidate) {
+  for (Chemistry chem : {Chemistry::kNca, Chemistry::kNmc, Chemistry::kLfp,
+                         Chemistry::kLgHg2}) {
+    EXPECT_NO_THROW(cell_params(chem).validate()) << to_string(chem);
+  }
+}
+
+TEST(Chemistry, NamesAreDistinct) {
+  EXPECT_EQ(to_string(Chemistry::kNca), "NCA");
+  EXPECT_EQ(to_string(Chemistry::kNmc), "NMC");
+  EXPECT_EQ(to_string(Chemistry::kLfp), "LFP");
+  EXPECT_EQ(to_string(Chemistry::kLgHg2), "LG-HG2");
+}
+
+TEST(Chemistry, LgHg2MatchesDatasetCell) {
+  // The McMaster dataset cell is a 3 Ah LG HG2.
+  const CellParams p = cell_params(Chemistry::kLgHg2);
+  EXPECT_DOUBLE_EQ(p.capacity_ah, 3.0);
+  EXPECT_DOUBLE_EQ(p.v_max, 4.2);
+}
+
+TEST(Chemistry, LfpHasLowerVoltageWindow) {
+  const CellParams lfp = cell_params(Chemistry::kLfp);
+  const CellParams nmc = cell_params(Chemistry::kNmc);
+  EXPECT_LT(lfp.v_max, nmc.v_max);
+  EXPECT_LT(lfp.nominal_voltage, nmc.nominal_voltage);
+}
+
+TEST(Chemistry, CRateConversion) {
+  const CellParams p = cell_params(Chemistry::kNmc);
+  EXPECT_DOUBLE_EQ(p.c_rate_to_amps(1.0), p.capacity_ah);
+  EXPECT_DOUBLE_EQ(p.c_rate_to_amps(2.0), 2.0 * p.capacity_ah);
+  EXPECT_DOUBLE_EQ(p.capacity_coulombs(), p.capacity_ah * 3600.0);
+}
+
+TEST(Chemistry, SandiaSetHasThreeChemistries) {
+  const auto chems = sandia_chemistries();
+  ASSERT_EQ(chems.size(), 3u);
+  EXPECT_EQ(chems[0], Chemistry::kNca);
+  EXPECT_EQ(chems[1], Chemistry::kNmc);
+  EXPECT_EQ(chems[2], Chemistry::kLfp);
+}
+
+TEST(Chemistry, ValidateCatchesBadParameters) {
+  CellParams p = cell_params(Chemistry::kNmc);
+  p.capacity_ah = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = cell_params(Chemistry::kNmc);
+  p.v_min = p.v_max + 0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = cell_params(Chemistry::kNmc);
+  p.coulombic_efficiency = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = cell_params(Chemistry::kNmc);
+  p.peukert_k = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = cell_params(Chemistry::kNmc);
+  p.true_capacity_scale = 0.3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Chemistry, TrueCapacityDeviatesFromNameplate) {
+  // The deliberate rated-vs-actual gap that makes Eq. 1 an approximation.
+  for (Chemistry chem : {Chemistry::kNca, Chemistry::kNmc, Chemistry::kLfp,
+                         Chemistry::kLgHg2}) {
+    const CellParams p = cell_params(chem);
+    EXPECT_LT(p.true_capacity_scale, 1.0) << to_string(chem);
+    EXPECT_GT(p.true_capacity_scale, 0.85) << to_string(chem);
+  }
+}
+
+}  // namespace
+}  // namespace socpinn::battery

@@ -1,0 +1,84 @@
+#include "battery/coulomb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::battery {
+namespace {
+
+TEST(CoulombPredict, Equation1KnownValues) {
+  // 3 Ah cell discharged at 3 A (1C) for 360 s: SoC drops by 0.1.
+  EXPECT_NEAR(coulomb_predict(0.8, -3.0, 360.0, 3.0), 0.7, 1e-12);
+  // Charging raises SoC: 1.5 A for 1200 s = 0.5 Ah of a 3 Ah cell.
+  EXPECT_NEAR(coulomb_predict(0.5, 1.5, 1200.0, 3.0), 0.5 + 1.0 / 6.0,
+              1e-12);
+}
+
+TEST(CoulombPredict, ZeroHorizonIsIdentity) {
+  EXPECT_DOUBLE_EQ(coulomb_predict(0.42, -5.0, 0.0, 3.0), 0.42);
+}
+
+TEST(CoulombPredict, ZeroCurrentIsIdentity) {
+  EXPECT_DOUBLE_EQ(coulomb_predict(0.42, 0.0, 1e6, 3.0), 0.42);
+}
+
+TEST(CoulombPredict, UnclampedCanLeavePhysicalRange) {
+  EXPECT_GT(coulomb_predict(0.9, 3.0, 3600.0, 3.0), 1.0);
+  EXPECT_LT(coulomb_predict(0.1, -3.0, 3600.0, 3.0), 0.0);
+}
+
+TEST(CoulombPredict, ClampedVariantStaysInRange) {
+  EXPECT_DOUBLE_EQ(coulomb_predict_clamped(0.9, 3.0, 3600.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(coulomb_predict_clamped(0.1, -3.0, 3600.0, 3.0), 0.0);
+}
+
+TEST(CoulombPredict, Validates) {
+  EXPECT_THROW((void)coulomb_predict(0.5, 1.0, 10.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)coulomb_predict(0.5, 1.0, -10.0, 3.0),
+               std::invalid_argument);
+}
+
+TEST(CoulombCounter, ConstantCurrentIsExact) {
+  CoulombCounter counter(3.0, 1.0);
+  for (int i = 0; i <= 360; ++i) counter.push(-3.0, i == 0 ? 0.0 : 1.0);
+  EXPECT_NEAR(counter.soc(), 1.0 - 360.0 / 3600.0, 1e-12);
+}
+
+TEST(CoulombCounter, TrapezoidHandlesRamps) {
+  // Current ramping 0 -> -2 A over 100 s at 1 s steps: charge = average
+  // current (-1 A) * 100 s.
+  CoulombCounter counter(1.0, 1.0);
+  for (int i = 0; i <= 100; ++i) {
+    counter.push(-2.0 * i / 100.0, i == 0 ? 0.0 : 1.0);
+  }
+  EXPECT_NEAR(counter.soc(), 1.0 - 100.0 / 3600.0, 1e-12);
+}
+
+TEST(CoulombCounter, FirstPushOnlyPrimes) {
+  CoulombCounter counter(3.0, 0.5);
+  counter.push(-10.0, 0.0);
+  EXPECT_DOUBLE_EQ(counter.soc(), 0.5);
+  EXPECT_EQ(counter.samples(), 1u);
+}
+
+TEST(CoulombCounter, ResetRestartsIntegration) {
+  CoulombCounter counter(3.0, 1.0);
+  counter.push(-3.0, 0.0);
+  counter.push(-3.0, 100.0);
+  counter.reset(0.7);
+  EXPECT_DOUBLE_EQ(counter.soc(), 0.7);
+  EXPECT_EQ(counter.samples(), 0u);
+  // First push after reset must not integrate.
+  counter.push(-6.0, 50.0);
+  EXPECT_DOUBLE_EQ(counter.soc(), 0.7);
+}
+
+TEST(CoulombCounter, Validates) {
+  EXPECT_THROW(CoulombCounter(0.0, 0.5), std::invalid_argument);
+  CoulombCounter counter(3.0, 0.5);
+  counter.push(1.0, 0.0);
+  EXPECT_THROW(counter.push(1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::battery

@@ -1,0 +1,161 @@
+#include "battery/ecm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socpinn::battery {
+namespace {
+
+class EcmAllChemistries : public ::testing::TestWithParam<Chemistry> {};
+
+TEST_P(EcmAllChemistries, SocStaysInPhysicalRange) {
+  TheveninModel model(cell_params(GetParam()), 0.5);
+  // Hammer the model with extreme currents; SoC must stay in [0, 1].
+  for (int i = 0; i < 5000; ++i) {
+    model.step(i % 2 == 0 ? -20.0 : 20.0, 25.0, 10.0);
+    EXPECT_GE(model.state().soc, 0.0);
+    EXPECT_LE(model.state().soc, 1.0);
+  }
+}
+
+TEST_P(EcmAllChemistries, DischargeDecreasesSocChargeIncreases) {
+  TheveninModel model(cell_params(GetParam()), 0.5);
+  const double before = model.state().soc;
+  model.step(-1.0, 25.0, 60.0);
+  EXPECT_LT(model.state().soc, before);
+  const double mid = model.state().soc;
+  model.step(+1.0, 25.0, 60.0);
+  EXPECT_GT(model.state().soc, mid);
+}
+
+TEST_P(EcmAllChemistries, TerminalVoltageSagsUnderLoad) {
+  const CellParams params = cell_params(GetParam());
+  TheveninModel model(params, 0.7);
+  const double rest = model.terminal_voltage(0.0, 25.0);
+  const double loaded = model.terminal_voltage(-params.c_rate_to_amps(2.0),
+                                               25.0);
+  EXPECT_LT(loaded, rest);
+  const double charging = model.terminal_voltage(params.c_rate_to_amps(0.5),
+                                                 25.0);
+  EXPECT_GT(charging, rest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chemistries, EcmAllChemistries,
+                         ::testing::Values(Chemistry::kNca, Chemistry::kNmc,
+                                           Chemistry::kLfp,
+                                           Chemistry::kLgHg2));
+
+TEST(Ecm, RestingVoltageEqualsOcv) {
+  TheveninModel model(cell_params(Chemistry::kNmc), 0.6);
+  EXPECT_DOUBLE_EQ(model.terminal_voltage(0.0, 25.0),
+                   model.ocv_curve().ocv(0.6));
+}
+
+TEST(Ecm, RcVoltageConvergesToIR1) {
+  const CellParams params = cell_params(Chemistry::kNmc);
+  TheveninModel model(params, 0.9);
+  const double current = -2.0;
+  // Many time constants at constant current: v_rc -> i * R1.
+  for (int i = 0; i < 400; ++i) model.step(current, 25.0, 1.0);
+  EXPECT_NEAR(model.state().v_rc, current * model.r1_at(25.0), 1e-4);
+}
+
+TEST(Ecm, RcVoltageRelaxesAtRest) {
+  TheveninModel model(cell_params(Chemistry::kNmc), 0.9);
+  for (int i = 0; i < 60; ++i) model.step(-3.0, 25.0, 1.0);
+  const double polarized = std::fabs(model.state().v_rc);
+  EXPECT_GT(polarized, 1e-3);
+  for (int i = 0; i < 600; ++i) model.step(0.0, 25.0, 1.0);
+  EXPECT_LT(std::fabs(model.state().v_rc), 1e-6);
+}
+
+TEST(Ecm, ColdIncreasesResistance) {
+  TheveninModel model(cell_params(Chemistry::kNmc), 0.5);
+  EXPECT_GT(model.r0_at(0.0), model.r0_at(25.0));
+  EXPECT_GT(model.r0_at(-20.0), model.r0_at(0.0));
+  EXPECT_LT(model.r0_at(40.0), model.r0_at(25.0));
+}
+
+TEST(Ecm, ColdShrinksEffectiveCapacity) {
+  TheveninModel model(cell_params(Chemistry::kNmc), 0.5);
+  EXPECT_LT(model.effective_capacity_ah(0.0, -1.0),
+            model.effective_capacity_ah(25.0, -1.0));
+  // Floor at 50 % of the scaled capacity.
+  EXPECT_GE(model.effective_capacity_ah(-100.0, -1.0),
+            0.5 * cell_params(Chemistry::kNmc).capacity_ah *
+                cell_params(Chemistry::kNmc).true_capacity_scale - 1e-12);
+}
+
+TEST(Ecm, HighDischargeRateShrinksEffectiveCapacity) {
+  const CellParams params = cell_params(Chemistry::kNmc);
+  TheveninModel model(params, 0.5);
+  const double q_1c = model.effective_capacity_ah(25.0, -params.capacity_ah);
+  const double q_3c =
+      model.effective_capacity_ah(25.0, -3.0 * params.capacity_ah);
+  EXPECT_LT(q_3c, q_1c);
+  // Charging is not Peukert-derated.
+  const double q_charge =
+      model.effective_capacity_ah(25.0, 3.0 * params.capacity_ah);
+  EXPECT_DOUBLE_EQ(q_charge, q_1c);
+}
+
+TEST(Ecm, EffectiveCapacityBelowNameplate) {
+  // true_capacity_scale < 1 means Coulomb counting against the rated
+  // capacity systematically under-estimates SoC loss — the Eq. 1 error
+  // the PINN must learn around.
+  const CellParams params = cell_params(Chemistry::kLgHg2);
+  TheveninModel model(params, 1.0);
+  EXPECT_LT(model.effective_capacity_ah(25.0, -1.0), params.capacity_ah);
+}
+
+TEST(Ecm, FullDischargeTimeReflectsEffectiveCapacity) {
+  const CellParams params = cell_params(Chemistry::kNmc);
+  TheveninModel model(params, 1.0);
+  const double current = -params.capacity_ah;  // 1C
+  double t = 0.0;
+  while (model.state().soc > 0.0 && t < 2.0 * 3600.0) {
+    model.step(current, 25.0, 1.0);
+    t += 1.0;
+  }
+  // Nameplate 1C would take 3600 s; the real cell holds ~93 %.
+  EXPECT_NEAR(t, 3600.0 * params.true_capacity_scale, 30.0);
+}
+
+TEST(Ecm, StepSizeInvarianceAtConstantCurrent) {
+  TheveninModel coarse(cell_params(Chemistry::kNmc), 0.8);
+  TheveninModel fine(cell_params(Chemistry::kNmc), 0.8);
+  coarse.step(-2.0, 25.0, 100.0);
+  for (int i = 0; i < 1000; ++i) fine.step(-2.0, 25.0, 0.1);
+  EXPECT_NEAR(coarse.state().soc, fine.state().soc, 1e-9);
+  EXPECT_NEAR(coarse.state().v_rc, fine.state().v_rc, 1e-9);
+}
+
+TEST(Ecm, HeatIsNonNegative) {
+  TheveninModel model(cell_params(Chemistry::kNmc), 0.5);
+  for (double current : {-9.0, -1.0, 0.0, 1.0, 3.0}) {
+    const EcmStepResult result = model.step(current, 25.0, 1.0);
+    EXPECT_GE(result.heat_w, 0.0) << "current " << current;
+  }
+}
+
+TEST(Ecm, ValidatesConstruction) {
+  EXPECT_THROW(TheveninModel(cell_params(Chemistry::kNmc), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(TheveninModel(cell_params(Chemistry::kNmc), -0.1),
+               std::invalid_argument);
+  TheveninModel ok(cell_params(Chemistry::kNmc), 0.5);
+  EXPECT_THROW(ok.step(1.0, 25.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(ok.reset(2.0), std::invalid_argument);
+}
+
+TEST(Ecm, ResetClearsPolarization) {
+  TheveninModel model(cell_params(Chemistry::kNmc), 0.5);
+  for (int i = 0; i < 30; ++i) model.step(-3.0, 25.0, 1.0);
+  model.reset(0.9);
+  EXPECT_DOUBLE_EQ(model.state().soc, 0.9);
+  EXPECT_DOUBLE_EQ(model.state().v_rc, 0.0);
+}
+
+}  // namespace
+}  // namespace socpinn::battery

@@ -1,0 +1,68 @@
+#include "battery/ocv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::battery {
+namespace {
+
+class OcvAllChemistries : public ::testing::TestWithParam<Chemistry> {};
+
+TEST_P(OcvAllChemistries, StrictlyIncreasingInSoc) {
+  const OcvCurve curve(GetParam());
+  double prev = curve.ocv(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    const double v = curve.ocv(i / 100.0);
+    EXPECT_GT(v, prev) << "soc=" << i / 100.0;
+    prev = v;
+  }
+}
+
+TEST_P(OcvAllChemistries, InverseRoundTrips) {
+  const OcvCurve curve(GetParam());
+  for (double soc : {0.0, 0.1, 0.33, 0.5, 0.72, 0.9, 1.0}) {
+    EXPECT_NEAR(curve.soc_from_ocv(curve.ocv(soc)), soc, 1e-9);
+  }
+}
+
+TEST_P(OcvAllChemistries, ClampsOutsideSocRange) {
+  const OcvCurve curve(GetParam());
+  EXPECT_DOUBLE_EQ(curve.ocv(-0.5), curve.v_at_empty());
+  EXPECT_DOUBLE_EQ(curve.ocv(1.5), curve.v_at_full());
+}
+
+TEST_P(OcvAllChemistries, SlopeIsPositive) {
+  const OcvCurve curve(GetParam());
+  for (double soc : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_GT(curve.slope(soc), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chemistries, OcvAllChemistries,
+                         ::testing::Values(Chemistry::kNca, Chemistry::kNmc,
+                                           Chemistry::kLfp,
+                                           Chemistry::kLgHg2));
+
+TEST(Ocv, LfpPlateauIsFlatterThanNmc) {
+  // The LFP signature: mid-SoC slope much smaller than NMC's. This is what
+  // makes pure-voltage SoC estimation hard on LFP cells.
+  const OcvCurve lfp(Chemistry::kLfp);
+  const OcvCurve nmc(Chemistry::kNmc);
+  const double lfp_mid_slope = lfp.ocv(0.7) - lfp.ocv(0.3);
+  const double nmc_mid_slope = nmc.ocv(0.7) - nmc.ocv(0.3);
+  EXPECT_LT(lfp_mid_slope, 0.3 * nmc_mid_slope);
+}
+
+TEST(Ocv, VoltageWindowsMatchCellParams) {
+  for (Chemistry chem : {Chemistry::kNca, Chemistry::kNmc,
+                         Chemistry::kLgHg2}) {
+    const OcvCurve curve(chem);
+    const CellParams params = cell_params(chem);
+    // The full-charge OCV sits at/near the charge cut-off; the empty OCV
+    // must be above the discharge cut-off (cut-off is hit under load).
+    EXPECT_NEAR(curve.v_at_full(), params.v_max, 0.05);
+    EXPECT_GE(curve.v_at_empty(), params.v_min - 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace socpinn::battery

@@ -1,0 +1,75 @@
+#include "battery/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socpinn::battery {
+namespace {
+
+TEST(Thermal, NoHeatRelaxesToAmbient) {
+  LumpedThermal model(45.0, 6.0, 40.0);
+  for (int i = 0; i < 10000; ++i) model.step(0.0, 25.0, 1.0);
+  EXPECT_NEAR(model.temperature_c(), 25.0, 1e-6);
+}
+
+TEST(Thermal, ConstantHeatReachesSteadyState) {
+  LumpedThermal model(45.0, 6.0, 25.0);
+  for (int i = 0; i < 20000; ++i) model.step(2.0, 25.0, 1.0);
+  // T_inf = T_amb + P * R_th = 25 + 12.
+  EXPECT_NEAR(model.temperature_c(), 37.0, 1e-6);
+  EXPECT_DOUBLE_EQ(model.steady_state_c(2.0, 25.0), 37.0);
+}
+
+TEST(Thermal, ExactStepMatchesAnalyticSolution) {
+  const double c_th = 45.0, r_th = 6.0, t0 = 30.0, amb = 20.0;
+  LumpedThermal model(c_th, r_th, t0);
+  const double dt = 100.0;
+  model.step(0.0, amb, dt);
+  const double tau = r_th * c_th;
+  const double expected = amb + (t0 - amb) * std::exp(-dt / tau);
+  EXPECT_NEAR(model.temperature_c(), expected, 1e-12);
+}
+
+TEST(Thermal, LargeStepEqualsManySmallSteps) {
+  // The exponential update must be step-size invariant (used at the 120 s
+  // Sandia cadence and the 0.1 s LG cadence alike).
+  LumpedThermal coarse(45.0, 6.0, 25.0);
+  LumpedThermal fine(45.0, 6.0, 25.0);
+  coarse.step(3.0, 15.0, 120.0);
+  for (int i = 0; i < 1200; ++i) fine.step(3.0, 15.0, 0.1);
+  EXPECT_NEAR(coarse.temperature_c(), fine.temperature_c(), 1e-9);
+}
+
+TEST(Thermal, HeatingIsMonotonicTowardSteadyState) {
+  LumpedThermal model(45.0, 6.0, 25.0);
+  double prev = model.temperature_c();
+  for (int i = 0; i < 100; ++i) {
+    model.step(1.5, 25.0, 5.0);
+    EXPECT_GE(model.temperature_c(), prev);
+    prev = model.temperature_c();
+  }
+  EXPECT_LT(prev, model.steady_state_c(1.5, 25.0) + 1e-9);
+}
+
+TEST(Thermal, NegativeHeatIsTreatedAsZero) {
+  LumpedThermal model(45.0, 6.0, 25.0);
+  model.step(-5.0, 25.0, 100.0);
+  EXPECT_NEAR(model.temperature_c(), 25.0, 1e-9);
+}
+
+TEST(Thermal, ResetOverridesState) {
+  LumpedThermal model(45.0, 6.0, 25.0);
+  model.reset(-10.0);
+  EXPECT_DOUBLE_EQ(model.temperature_c(), -10.0);
+}
+
+TEST(Thermal, ValidatesConstruction) {
+  EXPECT_THROW(LumpedThermal(0.0, 6.0, 25.0), std::invalid_argument);
+  EXPECT_THROW(LumpedThermal(45.0, -1.0, 25.0), std::invalid_argument);
+  LumpedThermal ok(45.0, 6.0, 25.0);
+  EXPECT_THROW(ok.step(1.0, 25.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::battery

@@ -1,0 +1,35 @@
+#pragma once
+/// Shared fixtures for core-level tests: a small, fast synthetic cycling
+/// dataset (one NMC cell, one ambient) that trains in well under a second.
+
+#include <vector>
+
+#include "data/protocol.hpp"
+#include "data/trace.hpp"
+
+namespace socpinn::core::testing {
+
+/// One discharge/rest/charge cycle at the Sandia cadence (~190 samples).
+inline data::Trace make_cycle_trace(double discharge_c = 1.0,
+                                    double ambient_c = 25.0,
+                                    std::uint64_t seed = 1) {
+  const battery::CellParams params =
+      battery::cell_params(battery::Chemistry::kNmc);
+  battery::Cell cell(params, 1.0, ambient_c, battery::SensorNoise::none(),
+                     util::Rng(seed));
+  data::ProtocolRunner runner(120.0);
+  return runner.run(cell, {data::cc_discharge(params, discharge_c),
+                           data::rest(600.0),
+                           data::cc_charge(params, 0.5),
+                           data::cv_hold(params), data::rest(600.0)});
+}
+
+inline std::vector<data::Trace> make_train_traces() {
+  return {make_cycle_trace(1.0, 25.0, 1), make_cycle_trace(1.0, 15.0, 2)};
+}
+
+inline std::vector<data::Trace> make_test_traces() {
+  return {make_cycle_trace(2.0, 25.0, 3)};
+}
+
+}  // namespace socpinn::core::testing

@@ -1,0 +1,144 @@
+#include "core/physics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "battery/coulomb.hpp"
+
+namespace socpinn::core {
+namespace {
+
+PhysicsConfig basic_config() {
+  PhysicsConfig config;
+  config.horizons_s = {30.0, 50.0, 70.0};
+  config.capacity_ah = 3.0;
+  config.current_min_a = -9.0;
+  config.current_max_a = 3.0;
+  config.temp_min_c = 0.0;
+  config.temp_max_c = 25.0;
+  return config;
+}
+
+TEST(PhysicsConfig, ValidationCatchesErrors) {
+  PhysicsConfig config = basic_config();
+  EXPECT_NO_THROW(config.validate());
+
+  config.horizons_s = {};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = basic_config();
+  config.horizons_s = {-5.0};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = basic_config();
+  config.capacity_ah = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = basic_config();
+  config.current_min_a = 5.0;  // > max
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = basic_config();
+  config.weight = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(PhysicsConfig, FromDataExtractsObservedRanges) {
+  data::SupervisedData b2{nn::Matrix(3, 4), nn::Matrix(3, 1)};
+  // Columns: soc, current, temp, horizon.
+  b2.x = nn::Matrix(3, 4,
+                    std::vector<double>{0.9, -2.0, 10.0, 30.0,   //
+                                        0.5, -7.5, 25.0, 30.0,   //
+                                        0.1, 1.5, 15.0, 30.0});
+  const PhysicsConfig config =
+      PhysicsConfig::from_data(b2, 3.0, {30.0, 50.0});
+  EXPECT_DOUBLE_EQ(config.current_min_a, -7.5);
+  EXPECT_DOUBLE_EQ(config.current_max_a, 1.5);
+  EXPECT_DOUBLE_EQ(config.temp_min_c, 10.0);
+  EXPECT_DOUBLE_EQ(config.temp_max_c, 25.0);
+  EXPECT_DOUBLE_EQ(config.capacity_ah, 3.0);
+}
+
+TEST(CollocationSampler, TargetsObeyEquationOne) {
+  CollocationSampler sampler(basic_config(), util::Rng(1));
+  const CollocationBatch batch = sampler.sample(256);
+  ASSERT_EQ(batch.x.rows(), 256u);
+  ASSERT_EQ(batch.x.cols(), 4u);
+  for (std::size_t r = 0; r < batch.x.rows(); ++r) {
+    const double expected = battery::coulomb_predict(
+        batch.x(r, 0), batch.x(r, 1), batch.x(r, 3), 3.0);
+    EXPECT_NEAR(batch.y(r, 0), expected, 1e-12);
+  }
+}
+
+TEST(CollocationSampler, TargetsStayInPhysicalBand) {
+  CollocationSampler sampler(basic_config(), util::Rng(2));
+  const CollocationBatch batch = sampler.sample(1024);
+  for (std::size_t r = 0; r < batch.y.rows(); ++r) {
+    EXPECT_GE(batch.y(r, 0), 0.0);
+    EXPECT_LE(batch.y(r, 0), 1.0);
+  }
+}
+
+TEST(CollocationSampler, DrawsFromConfiguredRanges) {
+  const PhysicsConfig config = basic_config();
+  CollocationSampler sampler(config, util::Rng(3));
+  const CollocationBatch batch = sampler.sample(512);
+  std::set<double> horizons;
+  for (std::size_t r = 0; r < batch.x.rows(); ++r) {
+    EXPECT_GE(batch.x(r, 0), 0.0);
+    EXPECT_LE(batch.x(r, 0), 1.0);
+    EXPECT_GE(batch.x(r, 1), config.current_min_a);
+    EXPECT_LE(batch.x(r, 1), config.current_max_a);
+    EXPECT_GE(batch.x(r, 2), config.temp_min_c);
+    EXPECT_LE(batch.x(r, 2), config.temp_max_c);
+    horizons.insert(batch.x(r, 3));
+  }
+  // All configured horizons appear; nothing else does.
+  EXPECT_EQ(horizons.size(), config.horizons_s.size());
+  for (double h : config.horizons_s) {
+    EXPECT_TRUE(horizons.count(h)) << h;
+  }
+}
+
+TEST(CollocationSampler, SingleHorizonVariant) {
+  PhysicsConfig config = basic_config();
+  config.horizons_s = {120.0};
+  CollocationSampler sampler(config, util::Rng(4));
+  const CollocationBatch batch = sampler.sample(64);
+  for (std::size_t r = 0; r < batch.x.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(batch.x(r, 3), 120.0);
+  }
+}
+
+TEST(CollocationSampler, DeterministicGivenSeed) {
+  CollocationSampler a(basic_config(), util::Rng(5));
+  CollocationSampler b(basic_config(), util::Rng(5));
+  const CollocationBatch ba = a.sample(32);
+  const CollocationBatch bb = b.sample(32);
+  EXPECT_TRUE(ba.x == bb.x);
+  EXPECT_TRUE(ba.y == bb.y);
+}
+
+TEST(CollocationSampler, RejectsEmptyBatch) {
+  CollocationSampler sampler(basic_config(), util::Rng(6));
+  EXPECT_THROW((void)sampler.sample(0), std::invalid_argument);
+}
+
+TEST(CollocationSampler, LabelsNeedNoGroundTruth) {
+  // The PINN's key advantage (Sec. IV-A): horizons absent from the data
+  // still produce supervised pairs. Sample at a horizon far longer than
+  // anything a 120 s dataset contains.
+  PhysicsConfig config = basic_config();
+  config.horizons_s = {3600.0};
+  CollocationSampler sampler(config, util::Rng(7));
+  const CollocationBatch batch = sampler.sample(128);
+  for (std::size_t r = 0; r < batch.y.rows(); ++r) {
+    EXPECT_GE(batch.y(r, 0), 0.0);
+    EXPECT_LE(batch.y(r, 0), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace socpinn::core

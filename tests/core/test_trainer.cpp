@@ -1,0 +1,177 @@
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/test_helpers.hpp"
+#include "data/windowing.hpp"
+#include "nn/metrics.hpp"
+
+namespace socpinn::core {
+namespace {
+
+TrainConfig fast_config() {
+  TrainConfig config;
+  config.epochs = 60;
+  config.batch_size = 64;
+  config.lr = 2e-3;
+  config.seed = 1;
+  return config;
+}
+
+TEST(TrainConfig, Validation) {
+  TrainConfig config = fast_config();
+  EXPECT_NO_THROW(config.validate());
+  config.epochs = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = fast_config();
+  config.batch_size = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = fast_config();
+  config.lr_min = config.lr * 2;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = fast_config();
+  config.weight_decay = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(TrainBranch1, LearnsSocEstimation) {
+  const auto traces = testing::make_train_traces();
+  const data::SupervisedData b1 =
+      data::build_branch1_data(std::span<const data::Trace>(traces));
+  TwoBranchNet net({}, 1);
+  const TrainHistory history = train_branch1(net, b1, fast_config());
+
+  ASSERT_EQ(history.data_loss.size(), 60u);
+  // Loss must fall substantially and end low on the training data.
+  EXPECT_LT(history.final_data_loss(), 0.25 * history.data_loss.front());
+  EXPECT_LT(history.final_data_loss(), 0.03);
+  EXPECT_TRUE(net.scaler1().fitted());
+
+  const nn::Matrix est = net.estimate_batch(b1.x);
+  EXPECT_LT(nn::mae(est, b1.y), 0.04);
+}
+
+TEST(TrainBranch1, RejectsWrongFeatureWidth) {
+  TwoBranchNet net;
+  data::SupervisedData bad{nn::Matrix(10, 4), nn::Matrix(10, 1)};
+  EXPECT_THROW((void)train_branch1(net, bad, fast_config()),
+               std::invalid_argument);
+}
+
+TEST(TrainBranch2, LearnsNativeHorizonWithoutPhysics) {
+  const auto traces = testing::make_train_traces();
+  const data::SupervisedData b2 = data::build_branch2_data(
+      std::span<const data::Trace>(traces), 120.0);
+  TwoBranchNet net({}, 2);
+  const TrainHistory history =
+      train_branch2(net, b2, std::nullopt, fast_config());
+
+  EXPECT_TRUE(history.physics_loss.empty());
+  EXPECT_LT(history.final_data_loss(), 0.03);
+  EXPECT_TRUE(net.scaler2().fitted());
+
+  const nn::Matrix pred = net.predict_batch(b2.x);
+  EXPECT_LT(nn::mae(pred, b2.y), 0.04);
+}
+
+TEST(TrainBranch2, PhysicsLossIsTrackedAndDecreases) {
+  const auto traces = testing::make_train_traces();
+  const data::SupervisedData b2 = data::build_branch2_data(
+      std::span<const data::Trace>(traces), 120.0);
+  TwoBranchNet net({}, 3);
+  const PhysicsConfig physics =
+      PhysicsConfig::from_data(b2, 3.0, {120.0, 240.0, 360.0});
+  const TrainHistory history =
+      train_branch2(net, b2, physics, fast_config());
+
+  ASSERT_EQ(history.physics_loss.size(), history.data_loss.size());
+  EXPECT_LT(history.physics_loss.back(),
+            0.5 * history.physics_loss.front());
+}
+
+TEST(TrainBranch2, PhysicsImprovesUnseenHorizon) {
+  // The paper's core claim, in miniature: train at N=120 s, test at
+  // N=360 s. The PINN must beat the purely data-driven model.
+  const auto traces = testing::make_train_traces();
+  const auto test_traces = testing::make_test_traces();
+  const data::SupervisedData b2 = data::build_branch2_data(
+      std::span<const data::Trace>(traces), 120.0);
+  const data::SupervisedData b2_far = data::build_branch2_data(
+      std::span<const data::Trace>(test_traces), 360.0);
+
+  TrainConfig config = fast_config();
+  config.epochs = 100;
+
+  TwoBranchNet no_pinn({}, 4);
+  (void)train_branch2(no_pinn, b2, std::nullopt, config);
+
+  TwoBranchNet pinn({}, 4);
+  const PhysicsConfig physics =
+      PhysicsConfig::from_data(b2, 3.0, {120.0, 240.0, 360.0});
+  (void)train_branch2(pinn, b2, physics, config);
+
+  const double mae_no_pinn = nn::mae(no_pinn.predict_batch(b2_far.x),
+                                     b2_far.y);
+  const double mae_pinn = nn::mae(pinn.predict_batch(b2_far.x), b2_far.y);
+  EXPECT_LT(mae_pinn, mae_no_pinn);
+  EXPECT_LT(mae_pinn, 0.08);
+}
+
+TEST(TrainBranch2, ScalerCoversPhysicsHorizons) {
+  // With PINN-All horizons, the fitted horizon column must not treat N as
+  // constant even if the data has a single N.
+  const auto traces = testing::make_train_traces();
+  const data::SupervisedData b2 = data::build_branch2_data(
+      std::span<const data::Trace>(traces), 120.0);
+  TwoBranchNet net({}, 5);
+  const PhysicsConfig physics =
+      PhysicsConfig::from_data(b2, 3.0, {120.0, 240.0, 360.0});
+  TrainConfig config = fast_config();
+  config.epochs = 2;
+  (void)train_branch2(net, b2, physics, config);
+  // Std of the N column reflects the horizon spread (> 50 s).
+  EXPECT_GT(net.scaler2().stds()[3], 50.0);
+}
+
+TEST(TrainBranch2, RejectsWrongFeatureWidth) {
+  TwoBranchNet net;
+  data::SupervisedData bad{nn::Matrix(10, 3), nn::Matrix(10, 1)};
+  EXPECT_THROW((void)train_branch2(net, bad, std::nullopt, fast_config()),
+               std::invalid_argument);
+}
+
+TEST(TrainBranch1, DeterministicGivenSeed) {
+  const auto traces = testing::make_train_traces();
+  const data::SupervisedData b1 =
+      data::build_branch1_data(std::span<const data::Trace>(traces));
+  TrainConfig config = fast_config();
+  config.epochs = 10;
+
+  TwoBranchNet a({}, 9), b({}, 9);
+  (void)train_branch1(a, b1, config);
+  (void)train_branch1(b, b1, config);
+  EXPECT_TRUE(*a.branch1().params()[0] == *b.branch1().params()[0]);
+}
+
+TEST(TrainJoint, ReducesCascadeLoss) {
+  const auto traces = testing::make_train_traces();
+  const data::HorizonEvalData joint_data = data::build_horizon_eval(
+      std::span<const data::Trace>(traces), 120.0);
+  TwoBranchNet net({}, 6);
+  TrainConfig config = fast_config();
+  config.epochs = 40;
+  const TrainHistory history = train_joint(net, joint_data, config);
+  EXPECT_LT(history.final_data_loss(), 0.6 * history.data_loss.front());
+  EXPECT_TRUE(net.scaler1().fitted());
+  EXPECT_TRUE(net.scaler2().fitted());
+}
+
+TEST(TrainJoint, RejectsEmptyData) {
+  TwoBranchNet net;
+  data::HorizonEvalData empty;
+  EXPECT_THROW((void)train_joint(net, empty, fast_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::core

@@ -1,0 +1,83 @@
+#include "core/two_branch_net.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::core {
+namespace {
+
+TEST(TwoBranchNet, DefaultConfigMatchesPaper) {
+  TwoBranchNet net;
+  // Sec. III-A: 2,322 trainable parameters, ~9 kB at float32, ~1150 MACs
+  // per branch.
+  EXPECT_EQ(net.num_params(), 2322u);
+  const nn::ModelCost cost = net.cost();
+  EXPECT_EQ(cost.params, 2322u);
+  EXPECT_NEAR(static_cast<double>(cost.bytes_f32), 9.0 * 1024.0, 300.0);
+  EXPECT_EQ(net.branch1().input_dim(), 3u);
+  EXPECT_EQ(net.branch2().input_dim(), 4u);
+  EXPECT_EQ(net.branch1().output_dim(), 1u);
+  EXPECT_EQ(net.branch2().output_dim(), 1u);
+}
+
+TEST(TwoBranchNet, SeedsControlInitialization) {
+  TwoBranchNet a({}, 1), b({}, 1), c({}, 2);
+  // Same seed: identical weights.
+  EXPECT_TRUE(*a.branch1().params()[0] == *b.branch1().params()[0]);
+  // Different seed: different weights.
+  EXPECT_FALSE(*a.branch1().params()[0] == *c.branch1().params()[0]);
+}
+
+TEST(TwoBranchNet, BranchesHaveIndependentWeights) {
+  TwoBranchNet net({}, 3);
+  // Branch 1 (3 inputs) and Branch 2 (4 inputs) differ structurally, and
+  // their hidden layers must not share a weight stream.
+  const nn::Matrix& w1 = *net.branch1().params()[2];  // 16x32 hidden
+  const nn::Matrix& w2 = *net.branch2().params()[2];
+  EXPECT_FALSE(w1 == w2);
+}
+
+TEST(TwoBranchNet, CustomHiddenSizes) {
+  TwoBranchConfig config;
+  config.hidden = {8, 8};
+  TwoBranchNet net(config, 1);
+  EXPECT_EQ(net.branch1().num_params(),
+            3u * 8 + 8 + 8u * 8 + 8 + 8u + 1);
+  EXPECT_THROW(TwoBranchNet(TwoBranchConfig{{}, nn::ActivationKind::kRelu}),
+               std::invalid_argument);
+}
+
+TEST(TwoBranchNet, InferenceRequiresFittedScalers) {
+  TwoBranchNet net;
+  EXPECT_THROW((void)net.estimate_soc(3.7, -1.0, 25.0), std::logic_error);
+  EXPECT_THROW((void)net.predict_soc(0.5, -1.0, 25.0, 30.0),
+               std::logic_error);
+}
+
+TEST(TwoBranchNet, ScalarAndBatchInferenceAgree) {
+  TwoBranchNet net({}, 5);
+  net.scaler1() = nn::StandardScaler::from_moments({3.7, -1.0, 25.0},
+                                                   {0.3, 2.0, 8.0});
+  net.scaler2() = nn::StandardScaler::from_moments(
+      {0.5, -1.0, 25.0, 60.0}, {0.25, 2.0, 8.0, 30.0});
+
+  const double scalar = net.estimate_soc(3.81, -2.0, 24.0);
+  nn::Matrix batch(1, 3, std::vector<double>{3.81, -2.0, 24.0});
+  EXPECT_DOUBLE_EQ(net.estimate_batch(batch)(0, 0), scalar);
+
+  const double pred = net.predict_soc(0.8, -3.0, 25.0, 30.0);
+  nn::Matrix batch2(1, 4, std::vector<double>{0.8, -3.0, 25.0, 30.0});
+  EXPECT_DOUBLE_EQ(net.predict_batch(batch2)(0, 0), pred);
+}
+
+TEST(TwoBranchNet, CopyIsDeep) {
+  TwoBranchNet a({}, 7);
+  a.scaler1() = nn::StandardScaler::from_moments({0.0, 0.0, 0.0},
+                                                 {1.0, 1.0, 1.0});
+  TwoBranchNet b = a;
+  const double before = b.estimate_soc(0.1, 0.2, 0.3);
+  for (nn::Matrix* p : a.branch1().params()) p->fill(0.0);
+  EXPECT_DOUBLE_EQ(b.estimate_soc(0.1, 0.2, 0.3), before);
+}
+
+}  // namespace
+}  // namespace socpinn::core

@@ -1,0 +1,166 @@
+#include "data/drive_cycles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace socpinn::data {
+namespace {
+
+class DriveCycleAll : public ::testing::TestWithParam<DriveCycleKind> {};
+
+TEST_P(DriveCycleAll, SpeedProfileMatchesSpecEnvelope) {
+  const DriveCycleKind kind = GetParam();
+  const DriveCycleSpec spec = drive_cycle_spec(kind);
+  util::Rng rng(1);
+  const std::vector<double> speeds = synth_speed_profile(kind, rng);
+  EXPECT_EQ(speeds.size(), static_cast<std::size_t>(spec.duration_s));
+  for (double v : speeds) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, spec.max_speed_kmh + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(speeds.back(), 0.0);  // schedules end at rest
+}
+
+TEST_P(DriveCycleAll, DeterministicGivenSeed) {
+  const DriveCycleKind kind = GetParam();
+  util::Rng a(7), b(7);
+  EXPECT_EQ(synth_speed_profile(kind, a), synth_speed_profile(kind, b));
+}
+
+TEST_P(DriveCycleAll, DifferentSeedsDiffer) {
+  const DriveCycleKind kind = GetParam();
+  util::Rng a(1), b(2);
+  EXPECT_NE(synth_speed_profile(kind, a), synth_speed_profile(kind, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DriveCycleAll,
+                         ::testing::Values(DriveCycleKind::kUdds,
+                                           DriveCycleKind::kHwfet,
+                                           DriveCycleKind::kLa92,
+                                           DriveCycleKind::kUs06));
+
+TEST(DriveCycles, HighwayFasterThanUrban) {
+  util::Rng rng(3);
+  const auto udds = synth_speed_profile(DriveCycleKind::kUdds, rng);
+  const auto hwfet = synth_speed_profile(DriveCycleKind::kHwfet, rng);
+  EXPECT_GT(util::mean(hwfet), 1.4 * util::mean(udds));
+}
+
+TEST(DriveCycles, UrbanIdlesMoreThanHighway) {
+  util::Rng rng(5);
+  auto idle_fraction = [](const std::vector<double>& speeds) {
+    std::size_t idle = 0;
+    for (double v : speeds) {
+      if (v < 0.5) ++idle;
+    }
+    return static_cast<double>(idle) / static_cast<double>(speeds.size());
+  };
+  const auto udds = synth_speed_profile(DriveCycleKind::kUdds, rng);
+  const auto hwfet = synth_speed_profile(DriveCycleKind::kHwfet, rng);
+  EXPECT_GT(idle_fraction(udds), 2.0 * idle_fraction(hwfet));
+}
+
+TEST(DriveCycles, NamesAreCanonical) {
+  EXPECT_EQ(to_string(DriveCycleKind::kUdds), "UDDS");
+  EXPECT_EQ(to_string(DriveCycleKind::kHwfet), "HWFET");
+  EXPECT_EQ(to_string(DriveCycleKind::kLa92), "LA92");
+  EXPECT_EQ(to_string(DriveCycleKind::kUs06), "US06");
+  EXPECT_EQ(all_drive_cycles().size(), 4u);
+}
+
+TEST(VehicleModel, CurrentProfileHasExpectedSigns) {
+  util::Rng rng(11);
+  const auto speeds = synth_speed_profile(DriveCycleKind::kUdds, rng);
+  const auto cell = battery::cell_params(battery::Chemistry::kLgHg2);
+  const auto current = speed_to_cell_current(speeds, cell, {}, 0.1);
+  // Mostly discharging (negative), with some regen (positive) samples.
+  std::size_t discharging = 0, regen = 0;
+  for (double i : current) {
+    if (i < -0.01) ++discharging;
+    if (i > 0.01) ++regen;
+  }
+  EXPECT_GT(discharging, current.size() / 3);
+  EXPECT_GT(regen, 0u);
+}
+
+TEST(VehicleModel, RespectsCurrentLimits) {
+  util::Rng rng(13);
+  const auto speeds = synth_speed_profile(DriveCycleKind::kUs06, rng);
+  const auto cell = battery::cell_params(battery::Chemistry::kLgHg2);
+  VehicleParams vehicle;
+  const auto current = speed_to_cell_current(speeds, cell, vehicle, 0.1);
+  const double i_max = cell.c_rate_to_amps(vehicle.max_discharge_c);
+  const double i_regen = cell.c_rate_to_amps(vehicle.max_regen_c);
+  for (double i : current) {
+    EXPECT_GE(i, -i_max - 1e-9);
+    EXPECT_LE(i, i_regen + 1e-9);
+  }
+}
+
+TEST(VehicleModel, Us06DrawsMoreThanUdds) {
+  util::Rng rng(17);
+  const auto cell = battery::cell_params(battery::Chemistry::kLgHg2);
+  const auto i_udds = speed_to_cell_current(
+      synth_speed_profile(DriveCycleKind::kUdds, rng), cell, {}, 0.1);
+  const auto i_us06 = speed_to_cell_current(
+      synth_speed_profile(DriveCycleKind::kUs06, rng), cell, {}, 0.1);
+  EXPECT_LT(util::mean(i_us06), util::mean(i_udds));  // more negative
+}
+
+TEST(VehicleModel, SampleCountMatchesPeriod) {
+  util::Rng rng(19);
+  const auto speeds = synth_speed_profile(DriveCycleKind::kHwfet, rng);
+  const auto cell = battery::cell_params(battery::Chemistry::kLgHg2);
+  const auto current = speed_to_cell_current(speeds, cell, {}, 0.1);
+  EXPECT_EQ(current.size(), (speeds.size() - 1) * 10 + 1);
+}
+
+TEST(VehicleModel, Validates) {
+  const auto cell = battery::cell_params(battery::Chemistry::kLgHg2);
+  EXPECT_THROW((void)speed_to_cell_current({1.0}, cell, {}, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)speed_to_cell_current({1.0, 2.0}, cell, {}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(RunCurrentProfile, StopsAtCutoffWhenRepeating) {
+  battery::Cell cell(battery::cell_params(battery::Chemistry::kLgHg2), 1.0,
+                     25.0);
+  const std::vector<double> profile(100, -6.0);  // 2C constant
+  const Trace trace =
+      run_current_profile(cell, profile, 1.0, /*repeat_until_empty=*/true);
+  EXPECT_TRUE(cell.at_discharge_cutoff(-6.0));
+  EXPECT_GT(trace.size(), 500u);
+  EXPECT_LT(trace.back().soc, 0.1);
+}
+
+TEST(RunCurrentProfile, SinglePassStopsAtProfileEnd) {
+  battery::Cell cell(battery::cell_params(battery::Chemistry::kLgHg2), 1.0,
+                     25.0);
+  const std::vector<double> profile(50, -1.0);
+  const Trace trace =
+      run_current_profile(cell, profile, 1.0, /*repeat_until_empty=*/false);
+  EXPECT_EQ(trace.size(), 50u);
+}
+
+TEST(RunCurrentProfile, RespectsMaxDuration) {
+  battery::Cell cell(battery::cell_params(battery::Chemistry::kLgHg2), 1.0,
+                     25.0);
+  const std::vector<double> profile(10, -0.01);  // trickle: would take ages
+  const Trace trace = run_current_profile(cell, profile, 1.0, true,
+                                          /*max_duration_s=*/120.0);
+  EXPECT_LE(trace.size(), 121u);
+}
+
+TEST(RunCurrentProfile, RejectsEmptyProfile) {
+  battery::Cell cell(battery::cell_params(battery::Chemistry::kLgHg2), 1.0,
+                     25.0);
+  EXPECT_THROW((void)run_current_profile(cell, {}, 1.0, false),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::data

@@ -1,0 +1,106 @@
+#include "data/lg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace socpinn::data {
+namespace {
+
+/// Shared dataset: generation is fast (~0.2 s) but reuse keeps the suite
+/// snappy.
+const LgDataset& dataset() {
+  static const LgDataset ds = generate_lg(LgConfig{});
+  return ds;
+}
+
+TEST(Lg, SplitMatchesPaperProtocol) {
+  // 7 mixed train cycles; 4 pure + 1 mixed test cycles.
+  EXPECT_EQ(dataset().train_runs.size(), 7u);
+  EXPECT_EQ(dataset().test_runs.size(), 5u);
+  EXPECT_EQ(dataset().test_runs.back().cycle_name, "MIXED8");
+}
+
+TEST(Lg, PureCyclesAreAllPresent) {
+  for (const char* name : {"UDDS", "HWFET", "LA92", "US06"}) {
+    EXPECT_NO_THROW((void)dataset().test_run(name)) << name;
+  }
+  EXPECT_THROW((void)dataset().test_run("NEDC"), std::out_of_range);
+}
+
+TEST(Lg, SamplingCadenceIsTenthOfSecond) {
+  EXPECT_NEAR(dataset().train_runs[0].trace.sample_period_s(), 0.1, 1e-9);
+}
+
+TEST(Lg, AllRunsAreFullDischarges) {
+  for (const auto& run : dataset().train_runs) {
+    EXPECT_LT(run.trace.back().soc, 0.1) << run.cycle_name;
+    EXPECT_GT(run.trace.front().soc, 0.95) << run.cycle_name;
+  }
+  for (const auto& run : dataset().test_runs) {
+    EXPECT_LT(run.trace.back().soc, 0.1) << run.cycle_name;
+  }
+}
+
+TEST(Lg, TrainingTemperaturesFollowConfig) {
+  const LgConfig config;
+  for (std::size_t i = 0; i < dataset().train_runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        dataset().train_runs[i].ambient_c,
+        config.train_temps_c[i % config.train_temps_c.size()]);
+  }
+}
+
+TEST(Lg, AggressiveCycleDischargesFastest) {
+  const double us06 = dataset().test_run("US06").trace.duration_s();
+  const double udds = dataset().test_run("UDDS").trace.duration_s();
+  EXPECT_LT(us06, 0.6 * udds);
+}
+
+TEST(Lg, CurrentsIncludeRegenAndRespectLimits) {
+  const LgConfig config;
+  const auto cell = battery::cell_params(battery::Chemistry::kLgHg2);
+  const auto currents = dataset().test_run("LA92").trace.currents();
+  EXPECT_GT(util::max_of(currents), 0.1);   // regen happens
+  EXPECT_LT(util::min_of(currents), -3.0);  // multi-C discharge happens
+  EXPECT_GE(util::min_of(currents),
+            -cell.c_rate_to_amps(config.vehicle.max_discharge_c) - 0.1);
+}
+
+TEST(Lg, MixedCyclesDifferFromEachOther) {
+  const Trace& a = dataset().train_runs[0].trace;
+  const Trace& b = dataset().train_runs[1].trace;
+  // Different segment shuffles and noise streams: durations differ.
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Lg, DeterministicForSameSeed) {
+  const LgDataset again = generate_lg(LgConfig{});
+  ASSERT_EQ(again.train_runs.size(), dataset().train_runs.size());
+  EXPECT_EQ(again.train_runs[0].trace.size(),
+            dataset().train_runs[0].trace.size());
+  EXPECT_DOUBLE_EQ(again.train_runs[0].trace[100].voltage,
+                   dataset().train_runs[0].trace[100].voltage);
+}
+
+TEST(Lg, ConfigValidation) {
+  LgConfig bad;
+  bad.n_mixed = 1;
+  EXPECT_THROW((void)generate_lg(bad), std::invalid_argument);
+  LgConfig no_temps;
+  no_temps.train_temps_c = {};
+  EXPECT_THROW((void)generate_lg(no_temps), std::invalid_argument);
+}
+
+TEST(Lg, CycleCurrentBuilderMatchesSamplePeriod) {
+  const LgConfig config;
+  util::Rng rng(1);
+  const auto current =
+      lg_cycle_current(DriveCycleKind::kHwfet, config, rng);
+  const auto spec = drive_cycle_spec(DriveCycleKind::kHwfet);
+  EXPECT_NEAR(static_cast<double>(current.size()) * config.sample_period_s,
+              spec.duration_s, 1.0);
+}
+
+}  // namespace
+}  // namespace socpinn::data

@@ -1,0 +1,135 @@
+#include "data/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace socpinn::data {
+namespace {
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> xs{1.0, 5.0, 3.0};
+  EXPECT_EQ(moving_average(xs, 1), xs);
+}
+
+TEST(MovingAverage, KnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const auto out = moving_average(xs, 2);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);   // partial window
+  EXPECT_DOUBLE_EQ(out[1], 1.5);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+  EXPECT_DOUBLE_EQ(out[3], 3.5);
+}
+
+TEST(MovingAverage, ConstantSignalUnchanged) {
+  const std::vector<double> xs(100, 7.0);
+  for (double v : moving_average(xs, 30)) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(MovingAverage, SuppressesNoise) {
+  util::Rng rng(3);
+  std::vector<double> xs(2000);
+  for (auto& v : xs) v = rng.normal(0.0, 1.0);
+  const auto smooth = moving_average(xs, 50);
+  double raw_power = 0.0, smooth_power = 0.0;
+  for (std::size_t i = 100; i < xs.size(); ++i) {
+    raw_power += xs[i] * xs[i];
+    smooth_power += smooth[i] * smooth[i];
+  }
+  // Averaging 50 iid samples cuts the variance ~50x.
+  EXPECT_LT(smooth_power, raw_power / 20.0);
+}
+
+TEST(MovingAverage, IsCausal) {
+  // A step at index k must not affect outputs before k.
+  std::vector<double> xs(20, 0.0);
+  for (std::size_t i = 10; i < 20; ++i) xs[i] = 1.0;
+  const auto out = moving_average(xs, 5);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(out[i], 0.0);
+  EXPECT_GT(out[10], 0.0);
+}
+
+TEST(MovingAverage, RejectsZeroWindow) {
+  EXPECT_THROW((void)moving_average({1.0}, 0), std::invalid_argument);
+}
+
+Trace noisy_trace(std::size_t n, double period, util::Rng& rng) {
+  Trace trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * period;
+    trace.push_back({t, 3.7 + rng.normal(0.0, 0.01),
+                     -2.0 + rng.normal(0.0, 0.1),
+                     25.0 + rng.normal(0.0, 0.2), 1.0 - 1e-4 * t});
+  }
+  return trace;
+}
+
+TEST(SmoothTrace, PreservesTimeAndSoc) {
+  util::Rng rng(5);
+  const Trace raw = noisy_trace(500, 0.1, rng);
+  const Trace smooth = smooth_trace(raw, 30.0);
+  ASSERT_EQ(smooth.size(), raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_DOUBLE_EQ(smooth[i].time_s, raw[i].time_s);
+    EXPECT_DOUBLE_EQ(smooth[i].soc, raw[i].soc);
+  }
+}
+
+TEST(SmoothTrace, ReducesChannelVariance) {
+  util::Rng rng(7);
+  const Trace raw = noisy_trace(3000, 0.1, rng);
+  const Trace smooth = smooth_trace(raw, 30.0);  // 300-sample window
+  double raw_dev = 0.0, smooth_dev = 0.0;
+  for (std::size_t i = 500; i < raw.size(); ++i) {
+    raw_dev += std::fabs(raw[i].current + 2.0);
+    smooth_dev += std::fabs(smooth[i].current + 2.0);
+  }
+  EXPECT_LT(smooth_dev, raw_dev / 5.0);
+}
+
+TEST(SmoothTrace, ShortTracePassesThrough) {
+  Trace tiny;
+  tiny.push_back({0.0, 3.7, 0.0, 25.0, 1.0});
+  const Trace out = smooth_trace(tiny, 30.0);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Resample, DecimatesByIntegerFactor) {
+  util::Rng rng(9);
+  const Trace raw = noisy_trace(100, 1.0, rng);
+  const Trace coarse = resample(raw, 10.0);
+  EXPECT_EQ(coarse.size(), 10u);
+  EXPECT_DOUBLE_EQ(coarse.sample_period_s(), 10.0);
+  EXPECT_DOUBLE_EQ(coarse[3].time_s, 30.0);
+}
+
+TEST(Resample, CurrentIsWindowAveraged) {
+  Trace raw;
+  for (int i = 0; i < 10; ++i) {
+    raw.push_back({static_cast<double>(i), 3.7,
+                   static_cast<double>(i % 2 == 0 ? -1.0 : -3.0), 25.0, 0.9});
+  }
+  const Trace coarse = resample(raw, 2.0);
+  // Window {i, i+1} averages -1 and -3.
+  EXPECT_DOUBLE_EQ(coarse[0].current, -2.0);
+}
+
+TEST(Resample, UnityFactorReturnsInput) {
+  util::Rng rng(11);
+  const Trace raw = noisy_trace(10, 1.0, rng);
+  const Trace same = resample(raw, 1.0);
+  EXPECT_EQ(same.size(), raw.size());
+}
+
+TEST(Resample, RejectsNonIntegerFactor) {
+  util::Rng rng(13);
+  const Trace raw = noisy_trace(10, 1.0, rng);
+  EXPECT_THROW((void)resample(raw, 2.5), std::invalid_argument);
+  EXPECT_THROW((void)resample(raw, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::data

@@ -1,0 +1,123 @@
+#include "data/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socpinn::data {
+namespace {
+
+battery::Cell make_cell(double soc, double ambient = 25.0) {
+  return battery::Cell(battery::cell_params(battery::Chemistry::kNmc), soc,
+                       ambient);
+}
+
+TEST(ProtocolSteps, BuildersEncodeTheRightModes) {
+  const auto params = battery::cell_params(battery::Chemistry::kNmc);
+  const ProtocolStep discharge = cc_discharge(params, 2.0);
+  EXPECT_EQ(discharge.mode, StepMode::kConstantCurrent);
+  EXPECT_DOUBLE_EQ(discharge.value, -2.0 * params.capacity_ah);
+
+  const ProtocolStep charge = cc_charge(params, 0.5);
+  EXPECT_DOUBLE_EQ(charge.value, 0.5 * params.capacity_ah);
+
+  const ProtocolStep cv = cv_hold(params);
+  EXPECT_EQ(cv.mode, StepMode::kConstantVoltage);
+  EXPECT_DOUBLE_EQ(cv.value, params.v_max);
+
+  const ProtocolStep pause = rest(300.0);
+  EXPECT_EQ(pause.mode, StepMode::kRest);
+  EXPECT_DOUBLE_EQ(pause.max_duration_s, 300.0);
+}
+
+TEST(ProtocolSteps, BuildersValidate) {
+  const auto params = battery::cell_params(battery::Chemistry::kNmc);
+  EXPECT_THROW((void)cc_discharge(params, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)cc_charge(params, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)rest(0.0), std::invalid_argument);
+}
+
+TEST(ProtocolRunner, SamplesAtRequestedCadence) {
+  battery::Cell cell = make_cell(1.0);
+  ProtocolRunner runner(120.0);
+  const Trace trace = runner.run(cell, {cc_discharge(cell.params(), 1.0)});
+  ASSERT_GE(trace.size(), 10u);
+  EXPECT_DOUBLE_EQ(trace.sample_period_s(), 120.0);
+  EXPECT_DOUBLE_EQ(trace.front().time_s, 0.0);
+}
+
+TEST(ProtocolRunner, DischargeStopsAtCutoffVoltage) {
+  battery::Cell cell = make_cell(1.0);
+  ProtocolRunner runner(60.0);
+  const Trace trace = runner.run(cell, {cc_discharge(cell.params(), 1.0)});
+  EXPECT_LT(cell.soc(), 0.1);
+  // The last sampled voltage is near (just above) the cut-off.
+  EXPECT_GT(trace.back().voltage, cell.params().v_min - 0.1);
+  // A 1C discharge of the ~93 %-of-nameplate cell lasts ~3350 s.
+  EXPECT_NEAR(trace.duration_s(), 3350.0, 350.0);
+}
+
+TEST(ProtocolRunner, CcCvChargeTerminatesByTaper) {
+  battery::Cell cell = make_cell(0.1);
+  ProtocolRunner runner(60.0);
+  const auto& params = cell.params();
+  (void)runner.run(cell,
+                   {cc_charge(params, 0.5), cv_hold(params, 0.05)});
+  EXPECT_GT(cell.soc(), 0.97);
+  // Terminal voltage at rest after CV must be near v_max.
+  EXPECT_NEAR(cell.terminal_voltage(0.0), params.v_max, 0.05);
+}
+
+TEST(ProtocolRunner, CvHoldsVoltageWithinTolerance) {
+  battery::Cell cell = make_cell(0.5);
+  ProtocolRunner runner(10.0);
+  const auto& params = cell.params();
+  const Trace trace =
+      runner.run(cell, {cc_charge(params, 0.5), cv_hold(params, 0.05)});
+  // In the CV phase no sampled voltage may exceed v_max by more than the
+  // regulation step.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_LT(trace[i].voltage, params.v_max + 0.02);
+  }
+}
+
+TEST(ProtocolRunner, RestHoldsZeroCurrent) {
+  battery::Cell cell = make_cell(0.5);
+  ProtocolRunner runner(10.0);
+  const Trace trace = runner.run(cell, {rest(120.0)});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace[i].current, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(cell.soc(), 0.5);
+}
+
+TEST(ProtocolRunner, FullCycleReturnsNearStartSoc) {
+  battery::Cell cell = make_cell(1.0);
+  ProtocolRunner runner(120.0);
+  const auto& params = cell.params();
+  (void)runner.run(cell, {cc_discharge(params, 1.0), rest(600.0),
+                          cc_charge(params, 0.5), cv_hold(params),
+                          rest(600.0)});
+  EXPECT_GT(cell.soc(), 0.95);
+}
+
+TEST(ProtocolRunner, GroundTruthSocIsMonotoneDuringDischarge) {
+  battery::Cell cell = make_cell(1.0);
+  ProtocolRunner runner(120.0);
+  const Trace trace = runner.run(cell, {cc_discharge(cell.params(), 2.0)});
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i].soc, trace[i - 1].soc + 1e-12);
+  }
+}
+
+TEST(ProtocolRunner, ValidatesPeriods) {
+  EXPECT_THROW(ProtocolRunner(0.0), std::invalid_argument);
+  EXPECT_THROW(ProtocolRunner(-1.0, 1.0), std::invalid_argument);
+  // Control period not dividing sample period.
+  EXPECT_THROW(ProtocolRunner(10.0, 3.0), std::invalid_argument);
+  // Control period longer than sample period is clamped, not an error.
+  EXPECT_NO_THROW(ProtocolRunner(0.1, 1.0));
+}
+
+}  // namespace
+}  // namespace socpinn::data

@@ -1,0 +1,114 @@
+#include "data/sandia.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace socpinn::data {
+namespace {
+
+SandiaConfig small_config() {
+  SandiaConfig config;
+  config.chemistries = {battery::Chemistry::kNmc};
+  config.ambient_temps_c = {25.0};
+  return config;
+}
+
+TEST(Sandia, RunMatrixMatchesConfig) {
+  SandiaConfig config;
+  config.cycles_per_condition = 1;
+  const SandiaDataset ds = generate_sandia(config);
+  // 3 chemistries x 3 temps x 1 train rate / 2 test rates.
+  EXPECT_EQ(ds.train_runs.size(), 9u);
+  EXPECT_EQ(ds.test_runs.size(), 18u);
+}
+
+TEST(Sandia, TrainIsMinusOneCTestIsHigherRates) {
+  const SandiaDataset ds = generate_sandia(small_config());
+  for (const auto& run : ds.train_runs) {
+    EXPECT_DOUBLE_EQ(run.discharge_c_rate, 1.0);
+  }
+  std::vector<double> test_rates;
+  for (const auto& run : ds.test_runs) {
+    test_rates.push_back(run.discharge_c_rate);
+  }
+  EXPECT_DOUBLE_EQ(util::min_of(test_rates), 2.0);
+  EXPECT_DOUBLE_EQ(util::max_of(test_rates), 3.0);
+}
+
+TEST(Sandia, SamplingCadenceIs120s) {
+  const SandiaDataset ds = generate_sandia(small_config());
+  EXPECT_DOUBLE_EQ(ds.train_runs[0].trace.sample_period_s(), 120.0);
+}
+
+TEST(Sandia, TracesCoverFullSocSwing) {
+  const SandiaDataset ds = generate_sandia(small_config());
+  for (const auto& run : ds.train_runs) {
+    const auto socs = run.trace.socs();
+    EXPECT_GT(util::max_of(socs), 0.95) << run.label();
+    EXPECT_LT(util::min_of(socs), 0.15) << run.label();
+  }
+}
+
+TEST(Sandia, HigherRateDischargesFaster) {
+  SandiaConfig config = small_config();
+  const SandiaDataset ds = generate_sandia(config);
+  // Find the -2C and -3C test runs; the -3C discharge segment is shorter,
+  // so the whole cycle (same charge) is shorter too.
+  double dur_2c = 0.0, dur_3c = 0.0;
+  for (const auto& run : ds.test_runs) {
+    if (run.discharge_c_rate == 2.0) dur_2c = run.trace.duration_s();
+    if (run.discharge_c_rate == 3.0) dur_3c = run.trace.duration_s();
+  }
+  EXPECT_GT(dur_2c, dur_3c);
+}
+
+TEST(Sandia, DeterministicForSameSeed) {
+  const SandiaDataset a = generate_sandia(small_config());
+  const SandiaDataset b = generate_sandia(small_config());
+  ASSERT_EQ(a.train_runs.size(), b.train_runs.size());
+  const Trace& ta = a.train_runs[0].trace;
+  const Trace& tb = b.train_runs[0].trace;
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta[i].voltage, tb[i].voltage);
+    EXPECT_DOUBLE_EQ(ta[i].soc, tb[i].soc);
+  }
+}
+
+TEST(Sandia, SeedChangesNoise) {
+  SandiaConfig a_cfg = small_config();
+  SandiaConfig b_cfg = small_config();
+  b_cfg.seed = a_cfg.seed + 1;
+  const SandiaDataset ds_a = generate_sandia(a_cfg);
+  const SandiaDataset ds_b = generate_sandia(b_cfg);
+  const Trace& a = ds_a.train_runs[0].trace;
+  const Trace& b = ds_b.train_runs[0].trace;
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a[i].voltage != b[i].voltage) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Sandia, TraceAccessorsMatchRuns) {
+  const SandiaDataset ds = generate_sandia(small_config());
+  EXPECT_EQ(ds.train_traces().size(), ds.train_runs.size());
+  EXPECT_EQ(ds.test_traces().size(), ds.test_runs.size());
+}
+
+TEST(Sandia, LabelsAreDescriptive) {
+  const SandiaDataset ds = generate_sandia(small_config());
+  const std::string label = ds.train_runs[0].label();
+  EXPECT_NE(label.find("NMC"), std::string::npos);
+  EXPECT_NE(label.find("-1"), std::string::npos);
+}
+
+TEST(Sandia, RejectsBadConfig) {
+  SandiaConfig config = small_config();
+  config.cycles_per_condition = 0;
+  EXPECT_THROW((void)generate_sandia(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::data

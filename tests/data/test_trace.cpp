@@ -1,0 +1,91 @@
+#include "data/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace socpinn::data {
+namespace {
+
+Trace make_trace(std::size_t n, double period = 1.0) {
+  Trace trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * period;
+    trace.push_back({t, 3.7 - 0.001 * t, -2.0, 25.0 + 0.01 * t,
+                     1.0 - 0.0001 * t});
+  }
+  return trace;
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace trace = make_trace(10);
+  EXPECT_EQ(trace.size(), 10u);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.front().time_s, 0.0);
+  EXPECT_DOUBLE_EQ(trace.back().time_s, 9.0);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 9.0);
+  EXPECT_DOUBLE_EQ(trace[3].time_s, 3.0);
+}
+
+TEST(Trace, SamplePeriodInference) {
+  EXPECT_DOUBLE_EQ(make_trace(10, 120.0).sample_period_s(), 120.0);
+  EXPECT_DOUBLE_EQ(make_trace(10, 0.1).sample_period_s(), 0.1);
+}
+
+TEST(Trace, SamplePeriodRejectsNonUniform) {
+  Trace trace;
+  trace.push_back({0.0, 3.7, 0.0, 25.0, 1.0});
+  trace.push_back({1.0, 3.7, 0.0, 25.0, 1.0});
+  trace.push_back({3.0, 3.7, 0.0, 25.0, 1.0});
+  EXPECT_THROW((void)trace.sample_period_s(), std::logic_error);
+}
+
+TEST(Trace, SamplePeriodNeedsTwoPoints) {
+  Trace trace;
+  trace.push_back({0.0, 3.7, 0.0, 25.0, 1.0});
+  EXPECT_THROW((void)trace.sample_period_s(), std::logic_error);
+}
+
+TEST(Trace, ColumnExtraction) {
+  const Trace trace = make_trace(5);
+  EXPECT_EQ(trace.times().size(), 5u);
+  EXPECT_DOUBLE_EQ(trace.voltages()[0], 3.7);
+  EXPECT_DOUBLE_EQ(trace.currents()[2], -2.0);
+  EXPECT_DOUBLE_EQ(trace.temperatures()[0], 25.0);
+  EXPECT_DOUBLE_EQ(trace.socs()[0], 1.0);
+}
+
+TEST(Trace, SliceHalfOpen) {
+  const Trace trace = make_trace(10);
+  const Trace sliced = trace.slice(2, 5);
+  EXPECT_EQ(sliced.size(), 3u);
+  EXPECT_DOUBLE_EQ(sliced[0].time_s, 2.0);
+  EXPECT_DOUBLE_EQ(sliced[2].time_s, 4.0);
+  EXPECT_THROW((void)trace.slice(5, 2), std::out_of_range);
+  EXPECT_THROW((void)trace.slice(0, 11), std::out_of_range);
+}
+
+TEST(Trace, EmptyTraceBehaviour) {
+  const Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 0.0);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const Trace trace = make_trace(20, 0.5);
+  const std::string path = ::testing::TempDir() + "socpinn_trace_test.csv";
+  trace.to_csv(path);
+  const Trace loaded = Trace::from_csv(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].time_s, trace[i].time_s);
+    EXPECT_DOUBLE_EQ(loaded[i].voltage, trace[i].voltage);
+    EXPECT_DOUBLE_EQ(loaded[i].current, trace[i].current);
+    EXPECT_DOUBLE_EQ(loaded[i].temp_c, trace[i].temp_c);
+    EXPECT_DOUBLE_EQ(loaded[i].soc, trace[i].soc);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace socpinn::data

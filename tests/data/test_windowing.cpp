@@ -1,0 +1,136 @@
+#include "data/windowing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::data {
+namespace {
+
+/// Trace with recognizable per-channel patterns for exact checks.
+Trace pattern_trace(std::size_t n, double period) {
+  Trace trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * period;
+    trace.push_back({t,
+                     /*voltage=*/4.0 - 0.01 * static_cast<double>(i),
+                     /*current=*/-1.0 - 0.1 * static_cast<double>(i),
+                     /*temp_c=*/25.0 + 0.5 * static_cast<double>(i),
+                     /*soc=*/1.0 - 0.02 * static_cast<double>(i)});
+  }
+  return trace;
+}
+
+TEST(Branch1Data, ColumnsAreVIT) {
+  const Trace trace = pattern_trace(10, 1.0);
+  const SupervisedData data = build_branch1_data(trace);
+  ASSERT_EQ(data.size(), 10u);
+  ASSERT_EQ(data.x.cols(), 3u);
+  EXPECT_DOUBLE_EQ(data.x(2, 0), trace[2].voltage);
+  EXPECT_DOUBLE_EQ(data.x(2, 1), trace[2].current);
+  EXPECT_DOUBLE_EQ(data.x(2, 2), trace[2].temp_c);
+  EXPECT_DOUBLE_EQ(data.y(2, 0), trace[2].soc);
+}
+
+TEST(Branch1Data, StrideSubsamples) {
+  const Trace trace = pattern_trace(10, 1.0);
+  const SupervisedData data = build_branch1_data(trace, 3);
+  ASSERT_EQ(data.size(), 4u);  // indices 0, 3, 6, 9
+  EXPECT_DOUBLE_EQ(data.y(1, 0), trace[3].soc);
+}
+
+TEST(Branch1Data, MultipleTracesConcatenate) {
+  const std::vector<Trace> traces{pattern_trace(5, 1.0),
+                                  pattern_trace(7, 1.0)};
+  const SupervisedData data =
+      build_branch1_data(std::span<const Trace>(traces));
+  EXPECT_EQ(data.size(), 12u);
+}
+
+TEST(Branch1Data, RejectsStrideZeroAndEmpty) {
+  const Trace trace = pattern_trace(5, 1.0);
+  EXPECT_THROW((void)build_branch1_data(trace, 0), std::invalid_argument);
+  const std::vector<Trace> none;
+  EXPECT_THROW((void)build_branch1_data(std::span<const Trace>(none)),
+               std::invalid_argument);
+}
+
+TEST(Branch2Data, EncodesPaperInputLayout) {
+  const Trace trace = pattern_trace(10, 1.0);
+  const SupervisedData data = build_branch2_data(trace, 2.0);
+  ASSERT_EQ(data.x.cols(), 4u);
+  ASSERT_EQ(data.size(), 8u);  // t = 0..7 with t+2 in range
+  // Row 0: soc(0); averages over samples 1..2; horizon; target soc(2).
+  EXPECT_DOUBLE_EQ(data.x(0, 0), trace[0].soc);
+  EXPECT_DOUBLE_EQ(data.x(0, 1),
+                   0.5 * (trace[1].current + trace[2].current));
+  EXPECT_DOUBLE_EQ(data.x(0, 2), 0.5 * (trace[1].temp_c + trace[2].temp_c));
+  EXPECT_DOUBLE_EQ(data.x(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(data.y(0, 0), trace[2].soc);
+}
+
+TEST(Branch2Data, HorizonMustBeMultipleOfPeriod) {
+  const Trace trace = pattern_trace(10, 120.0);
+  EXPECT_NO_THROW((void)build_branch2_data(trace, 240.0));
+  EXPECT_THROW((void)build_branch2_data(trace, 130.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_branch2_data(trace, 0.0), std::invalid_argument);
+}
+
+TEST(Branch2Data, TooShortTracesThrow) {
+  const Trace trace = pattern_trace(3, 1.0);
+  EXPECT_THROW((void)build_branch2_data(trace, 5.0), std::invalid_argument);
+}
+
+TEST(Branch2Data, LongerHorizonFewerSamples) {
+  const Trace trace = pattern_trace(100, 1.0);
+  const auto short_h = build_branch2_data(trace, 1.0);
+  const auto long_h = build_branch2_data(trace, 10.0);
+  EXPECT_GT(short_h.size(), long_h.size());
+  EXPECT_EQ(short_h.size(), 99u);
+  EXPECT_EQ(long_h.size(), 90u);
+}
+
+TEST(HorizonEval, AlignsSensorsWorkloadAndTargets) {
+  const Trace trace = pattern_trace(12, 1.0);
+  const HorizonEvalData eval = build_horizon_eval(trace, 3.0);
+  ASSERT_EQ(eval.size(), 9u);
+  EXPECT_DOUBLE_EQ(eval.horizon_s, 3.0);
+  for (std::size_t r = 0; r < eval.size(); ++r) {
+    EXPECT_DOUBLE_EQ(eval.sensors(r, 0), trace[r].voltage);
+    EXPECT_DOUBLE_EQ(eval.soc_now[r], trace[r].soc);
+    EXPECT_DOUBLE_EQ(eval.target[r], trace[r + 3].soc);
+    EXPECT_DOUBLE_EQ(eval.workload(r, 2), 3.0);
+  }
+}
+
+TEST(HorizonEval, WorkloadAveragesExcludeCurrentSample) {
+  const Trace trace = pattern_trace(6, 1.0);
+  const HorizonEvalData eval = build_horizon_eval(trace, 2.0);
+  // Window (0, 2]: samples 1 and 2 only.
+  EXPECT_DOUBLE_EQ(eval.workload(0, 0),
+                   0.5 * (trace[1].current + trace[2].current));
+}
+
+TEST(HorizonEval, ConsistentWithBranch2Data) {
+  // The eval set and the training set at the same horizon must contain the
+  // same workloads and targets (eval adds the sensor columns).
+  const Trace trace = pattern_trace(20, 1.0);
+  const SupervisedData b2 = build_branch2_data(trace, 4.0);
+  const HorizonEvalData eval = build_horizon_eval(trace, 4.0);
+  ASSERT_EQ(b2.size(), eval.size());
+  for (std::size_t r = 0; r < b2.size(); ++r) {
+    EXPECT_DOUBLE_EQ(b2.x(r, 0), eval.soc_now[r]);
+    EXPECT_DOUBLE_EQ(b2.x(r, 1), eval.workload(r, 0));
+    EXPECT_DOUBLE_EQ(b2.y(r, 0), eval.target[r]);
+  }
+}
+
+TEST(HorizonEval, SkipsTracesShorterThanHorizon) {
+  const std::vector<Trace> traces{pattern_trace(3, 1.0),
+                                  pattern_trace(20, 1.0)};
+  const HorizonEvalData eval =
+      build_horizon_eval(std::span<const Trace>(traces), 5.0);
+  EXPECT_EQ(eval.size(), 15u);  // only the long trace contributes
+}
+
+}  // namespace
+}  // namespace socpinn::data

@@ -1,0 +1,173 @@
+/// End-to-end integration tests: the full pipeline from simulated cells to
+/// trained PINNs, reproducing the paper's qualitative claims on small
+/// instances of both dataset substitutes. Thresholds are deliberately loose
+/// — the point is the *shape* (who beats whom), not exact numbers.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/model_io.hpp"
+#include "data/lg.hpp"
+#include "data/preprocess.hpp"
+#include "data/sandia.hpp"
+#include "nn/metrics.hpp"
+
+namespace socpinn {
+namespace {
+
+/// Small Sandia instance: one chemistry, one ambient, 1 seed.
+class SandiaEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SandiaConfig config;
+    config.chemistries = {battery::Chemistry::kNmc};
+    config.cycles_per_condition = 2;  // all three ambients, one chemistry
+    const data::SandiaDataset ds = data::generate_sandia(config);
+
+    core::ExperimentSetup setup;
+    setup.train_traces = ds.train_traces();
+    setup.test_traces = ds.test_traces();
+    setup.native_horizon_s = 120.0;
+    setup.test_horizons_s = {120.0, 240.0, 360.0};
+    setup.capacity_ah =
+        battery::cell_params(battery::Chemistry::kNmc).capacity_ah;
+    setup.train.epochs = 150;
+
+    const auto variants = core::standard_variants({120.0, 240.0, 360.0});
+    const std::uint64_t seeds[] = {1};
+    results_ = new std::vector<core::VariantResult>(
+        core::run_horizon_experiment(setup, variants, seeds));
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const core::VariantResult& find(const std::string& label) {
+    for (const auto& r : *results_) {
+      if (r.label == label) return r;
+    }
+    throw std::out_of_range(label);
+  }
+
+  static std::vector<core::VariantResult>* results_;
+};
+
+std::vector<core::VariantResult>* SandiaEndToEnd::results_ = nullptr;
+
+TEST_F(SandiaEndToEnd, EstimationIsAccurate) {
+  EXPECT_LT(find("No-PINN").estimation_mae, 0.08);
+}
+
+TEST_F(SandiaEndToEnd, AllVariantsReasonableAtNativeHorizon) {
+  for (const auto& r : *results_) {
+    EXPECT_LT(r.mae_mean[0], 0.15) << r.label;
+  }
+}
+
+TEST_F(SandiaEndToEnd, NoPinnDegradesWithHorizon) {
+  const auto& no_pinn = find("No-PINN");
+  EXPECT_GT(no_pinn.mae_mean[2], 1.5 * no_pinn.mae_mean[0]);
+}
+
+TEST_F(SandiaEndToEnd, PinnAllBeatsNoPinnAtUnseenHorizons) {
+  // Fig. 3's headline: the physics loss regularizes across horizons.
+  const auto& no_pinn = find("No-PINN");
+  const auto& pinn_all = find("PINN-All");
+  EXPECT_LT(pinn_all.mae_mean[1], no_pinn.mae_mean[1]);
+  EXPECT_LT(pinn_all.mae_mean[2], no_pinn.mae_mean[2]);
+}
+
+TEST_F(SandiaEndToEnd, PinnAllIsUniformlyDecent) {
+  const auto& pinn_all = find("PINN-All");
+  for (double mae : pinn_all.mae_mean) {
+    EXPECT_LT(mae, 0.15);
+  }
+}
+
+/// Small LG instance (reduced cycles for speed).
+class LgEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::LgConfig config;
+    config.n_mixed = 4;  // 3 train + 1 test mixed cycles
+    const data::LgDataset ds = data::generate_lg(config);
+
+    setup_ = new core::ExperimentSetup();
+    for (const auto& run : ds.train_runs) {
+      setup_->train_traces.push_back(data::smooth_trace(run.trace, 30.0));
+    }
+    for (const auto& run : ds.test_runs) {
+      setup_->test_traces.push_back(data::smooth_trace(run.trace, 30.0));
+    }
+    setup_->native_horizon_s = 30.0;
+    setup_->test_horizons_s = {30.0, 70.0};
+    setup_->capacity_ah = 3.0;
+    setup_->train.epochs = 120;
+    setup_->branch1_stride = 150;
+    setup_->branch2_stride = 150;
+    setup_->eval_stride = 300;
+
+    const std::vector<core::VariantSpec> variants = {
+        {"No-PINN", core::VariantKind::kNoPinn, {}},
+        {"PINN-All", core::VariantKind::kPinn, {30.0, 50.0, 70.0}},
+    };
+    const std::uint64_t seeds[] = {1};
+    results_ = new std::vector<core::VariantResult>(
+        core::run_horizon_experiment(*setup_, variants, seeds));
+    lg_dataset_ = new data::LgDataset(std::move(ds));
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    delete setup_;
+    delete lg_dataset_;
+    results_ = nullptr;
+    setup_ = nullptr;
+    lg_dataset_ = nullptr;
+  }
+
+  static core::ExperimentSetup* setup_;
+  static std::vector<core::VariantResult>* results_;
+  static data::LgDataset* lg_dataset_;
+};
+
+core::ExperimentSetup* LgEndToEnd::setup_ = nullptr;
+std::vector<core::VariantResult>* LgEndToEnd::results_ = nullptr;
+data::LgDataset* LgEndToEnd::lg_dataset_ = nullptr;
+
+TEST_F(LgEndToEnd, EstimationMatchesPaperScale) {
+  // Paper Table I: SoC(t) MAE of 0.014 at 25 C on LG. Allow a loose band.
+  EXPECT_LT((*results_)[0].estimation_mae, 0.05);
+}
+
+TEST_F(LgEndToEnd, PinnGeneralizesToLongHorizon) {
+  const auto& no_pinn = (*results_)[0];
+  const auto& pinn_all = (*results_)[1];
+  // At the unseen 70 s horizon the PINN must win clearly (paper: 82 %).
+  EXPECT_LT(pinn_all.mae_mean[1], 0.6 * no_pinn.mae_mean[1]);
+  EXPECT_LT(pinn_all.mae_mean[1], 0.08);
+}
+
+TEST_F(LgEndToEnd, AutoregressiveRolloutBeatsUntrainedDivergence) {
+  // Fig. 5 in miniature: a PINN rollout over a full pure-cycle discharge
+  // ends near the truth.
+  const core::VariantSpec spec{"PINN-All", core::VariantKind::kPinn,
+                               {30.0, 50.0, 70.0}};
+  core::TrainedModel model = core::train_two_branch(*setup_, spec, 1);
+  const data::Trace trace =
+      data::smooth_trace(lg_dataset_->test_run("US06").trace, 30.0);
+  const core::Rollout rollout = core::rollout_cascade(model.net, trace, 30.0);
+  EXPECT_LT(rollout.final_abs_error(), 0.35);
+  // Save/load round trip preserves the rollout.
+  const std::string path = ::testing::TempDir() + "socpinn_e2e_model.txt";
+  core::save_model(path, model.net);
+  core::TwoBranchNet loaded = core::load_model(path);
+  const core::Rollout again = core::rollout_cascade(loaded, trace, 30.0);
+  EXPECT_DOUBLE_EQ(again.soc.back(), rollout.soc.back());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace socpinn

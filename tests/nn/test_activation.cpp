@@ -1,0 +1,96 @@
+#include "nn/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+namespace {
+
+TEST(Activation, ReluValues) {
+  Activation relu(ActivationKind::kRelu);
+  const Matrix x(1, 4, std::vector<double>{-2.0, -0.5, 0.0, 3.0});
+  const Matrix y = relu.forward(x, false);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 3), 3.0);
+}
+
+TEST(Activation, LeakyReluKeepsSmallNegativeSlope) {
+  Activation leaky(ActivationKind::kLeakyRelu);
+  const Matrix x(1, 2, std::vector<double>{-1.0, 2.0});
+  const Matrix y = leaky.forward(x, false);
+  EXPECT_DOUBLE_EQ(y(0, 0), -0.01);
+  EXPECT_DOUBLE_EQ(y(0, 1), 2.0);
+}
+
+TEST(Activation, TanhAndSigmoidValues) {
+  Activation tanh_layer(ActivationKind::kTanh);
+  Activation sigmoid(ActivationKind::kSigmoid);
+  const Matrix x(1, 1, std::vector<double>{0.7});
+  EXPECT_NEAR(tanh_layer.forward(x, false)(0, 0), std::tanh(0.7), 1e-15);
+  EXPECT_NEAR(sigmoid.forward(x, false)(0, 0), 1.0 / (1.0 + std::exp(-0.7)),
+              1e-15);
+}
+
+TEST(Activation, IdentityPassesThrough) {
+  Activation id(ActivationKind::kIdentity);
+  const Matrix x(2, 2, std::vector<double>{1, 2, 3, 4});
+  EXPECT_TRUE(id.forward(x, false) == x);
+}
+
+TEST(Activation, BackwardRejectsShapeMismatch) {
+  Activation relu(ActivationKind::kRelu);
+  (void)relu.forward(Matrix(2, 2), true);
+  EXPECT_THROW((void)relu.backward(Matrix(1, 2)), std::invalid_argument);
+}
+
+TEST(Activation, NameRoundTrip) {
+  for (ActivationKind kind :
+       {ActivationKind::kRelu, ActivationKind::kLeakyRelu,
+        ActivationKind::kTanh, ActivationKind::kSigmoid,
+        ActivationKind::kIdentity}) {
+    EXPECT_EQ(activation_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)activation_from_string("swish"), std::invalid_argument);
+}
+
+class ActivationGradCheck
+    : public ::testing::TestWithParam<ActivationKind> {};
+
+TEST_P(ActivationGradCheck, InputGradientMatchesNumeric) {
+  const ActivationKind kind = GetParam();
+  util::Rng rng(7);
+  Activation layer(kind);
+  Matrix x(3, 5);
+  for (auto& v : x.data()) {
+    v = rng.uniform(-2.0, 2.0);
+    // Keep samples away from the ReLU kink where the numeric gradient is
+    // ill-defined.
+    if (std::fabs(v) < 0.05) v = 0.1;
+  }
+  Matrix target(3, 5);
+  for (auto& v : target.data()) v = rng.uniform(-1.0, 1.0);
+  const MseLoss loss;
+
+  auto loss_fn = [&] { return loss.value(layer.forward(x, true), target); };
+  const Matrix pred = layer.forward(x, true);
+  const Matrix dx = layer.backward(loss.grad(pred, target));
+  const GradCheckResult result = check_gradient(x, dx, loss_fn, 1e-6);
+  EXPECT_TRUE(result.passed(1e-5)) << "rel diff " << result.max_rel_diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ActivationGradCheck,
+                         ::testing::Values(ActivationKind::kRelu,
+                                           ActivationKind::kLeakyRelu,
+                                           ActivationKind::kTanh,
+                                           ActivationKind::kSigmoid,
+                                           ActivationKind::kIdentity));
+
+}  // namespace
+}  // namespace socpinn::nn

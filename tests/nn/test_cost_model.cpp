@@ -1,0 +1,68 @@
+#include "nn/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/lstm.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+namespace {
+
+TEST(CostModel, PaperBranchCost) {
+  util::Rng rng(1);
+  // One branch of the paper's network: ~1,150 MACs per inference and the
+  // two branches together store ~9 kB at float32.
+  Mlp branch1 = Mlp::make({3, 16, 32, 16, 1}, rng);
+  Mlp branch2 = Mlp::make({4, 16, 32, 16, 1}, rng);
+  const ModelCost c1 = mlp_cost(branch1);
+  const ModelCost c2 = mlp_cost(branch2);
+  EXPECT_EQ(c1.macs, 3u * 16 + 16u * 32 + 32u * 16 + 16u);  // 1104
+  EXPECT_EQ(c2.macs, 4u * 16 + 16u * 32 + 32u * 16 + 16u);  // 1120
+  EXPECT_NEAR(static_cast<double>(c1.macs), 1150.0, 70.0);
+  EXPECT_EQ(c1.params + c2.params, 2322u);
+  EXPECT_NEAR(static_cast<double>(c1.bytes_f32 + c2.bytes_f32),
+              9.0 * 1024.0, 300.0);
+}
+
+TEST(CostModel, LstmParamFormula) {
+  // 4 gates of (in*h + h*h + h) plus the scalar head (h + 1).
+  EXPECT_EQ(lstm_param_count(3, 10),
+            4u * (3 * 10 + 10 * 10 + 10) + 10 + 1);
+}
+
+TEST(CostModel, LstmMacFormula) {
+  EXPECT_EQ(lstm_mac_count(3, 10, 5), 4u * 10 * (3 + 10) * 5 + 10);
+}
+
+TEST(CostModel, PublishedLstmScaleMatchesPaper) {
+  // The LSTM of [17] is reported at ~4 Mb and ~300 M operations. With a
+  // 512-unit hidden layer the parameter storage lands in the megabyte
+  // class, 3 orders of magnitude above the two-branch model.
+  const ModelCost lstm = lstm_cost(3, 512, 100);
+  EXPECT_GT(lstm.bytes_f32, 3u * 1024 * 1024);
+  EXPECT_GT(lstm.macs, 90'000'000u);
+
+  util::Rng rng(1);
+  Mlp branch = Mlp::make({3, 16, 32, 16, 1}, rng);
+  const ModelCost ours = mlp_cost(branch);
+  EXPECT_GT(lstm.bytes_f32 / ours.bytes_f32, 300u);
+  EXPECT_GT(lstm.macs / ours.macs, 50'000u);
+}
+
+TEST(CostModel, CostStringsUseHumanUnits) {
+  ModelCost cost;
+  cost.bytes_f32 = 9 * 1024;
+  cost.macs = 1150;
+  EXPECT_EQ(cost.mem_str(), "9.0 kB");
+  EXPECT_EQ(cost.ops_str(), "1.1 k");
+}
+
+TEST(CostModel, InstantiatedLstmMatchesFormulas) {
+  util::Rng rng(2);
+  LstmRegressor model(3, 8, rng);
+  EXPECT_EQ(model.num_params(), lstm_param_count(3, 8));
+  EXPECT_EQ(model.macs_per_sample(20), lstm_mac_count(3, 8, 20));
+}
+
+}  // namespace
+}  // namespace socpinn::nn

@@ -1,0 +1,88 @@
+#include "nn/dataloader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace socpinn::nn {
+namespace {
+
+Matrix index_column(std::size_t n) {
+  Matrix m(n, 1);
+  for (std::size_t i = 0; i < n; ++i) m(i, 0) = static_cast<double>(i);
+  return m;
+}
+
+TEST(DataLoader, BatchCountAndSizes) {
+  DataLoader loader(index_column(10), index_column(10), 4, false,
+                    util::Rng(1));
+  EXPECT_EQ(loader.num_batches(), 3u);
+  const auto batches = loader.epoch();
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].x.rows(), 4u);
+  EXPECT_EQ(batches[1].x.rows(), 4u);
+  EXPECT_EQ(batches[2].x.rows(), 2u);  // trailing partial batch
+}
+
+TEST(DataLoader, WithoutShuffleKeepsOrder) {
+  DataLoader loader(index_column(6), index_column(6), 2, false, util::Rng(1));
+  const auto batches = loader.epoch();
+  EXPECT_DOUBLE_EQ(batches[0].x(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(batches[0].x(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(batches[2].x(1, 0), 5.0);
+}
+
+TEST(DataLoader, ShuffleCoversAllSamplesExactlyOnce) {
+  DataLoader loader(index_column(100), index_column(100), 7, true,
+                    util::Rng(3));
+  const auto batches = loader.epoch();
+  std::multiset<double> seen;
+  for (const auto& batch : batches) {
+    for (std::size_t r = 0; r < batch.x.rows(); ++r) {
+      seen.insert(batch.x(r, 0));
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(seen.count(static_cast<double>(i)), 1u);
+  }
+}
+
+TEST(DataLoader, ShuffleChangesOrderBetweenEpochs) {
+  DataLoader loader(index_column(50), index_column(50), 50, true,
+                    util::Rng(4));
+  const auto e1 = loader.epoch();
+  const auto e2 = loader.epoch();
+  bool any_diff = false;
+  for (std::size_t r = 0; r < 50; ++r) {
+    if (e1[0].x(r, 0) != e2[0].x(r, 0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DataLoader, XandYStayAligned) {
+  Matrix x = index_column(30);
+  Matrix y = index_column(30);
+  y *= 10.0;
+  DataLoader loader(std::move(x), std::move(y), 8, true, util::Rng(5));
+  for (const auto& batch : loader.epoch()) {
+    for (std::size_t r = 0; r < batch.x.rows(); ++r) {
+      EXPECT_DOUBLE_EQ(batch.y(r, 0), 10.0 * batch.x(r, 0));
+    }
+  }
+}
+
+TEST(DataLoader, ConstructionValidates) {
+  EXPECT_THROW(DataLoader(index_column(3), index_column(4), 2, false,
+                          util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(DataLoader(index_column(3), index_column(3), 0, false,
+                          util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      DataLoader(Matrix(), Matrix(), 2, false, util::Rng(1)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::nn

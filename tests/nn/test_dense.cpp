@@ -1,0 +1,113 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.hpp"
+#include "nn/loss.hpp"
+
+namespace socpinn::nn {
+namespace {
+
+TEST(Dense, ShapesAndParamCount) {
+  util::Rng rng(1);
+  Dense layer(3, 16, rng);
+  EXPECT_EQ(layer.input_dim(), 3u);
+  EXPECT_EQ(layer.output_dim(), 16u);
+  EXPECT_EQ(layer.num_params(), 3u * 16u + 16u);
+  EXPECT_EQ(layer.macs_per_sample(), 48u);
+}
+
+TEST(Dense, RejectsZeroSizes) {
+  util::Rng rng(1);
+  EXPECT_THROW(Dense(0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(Dense(4, 0, rng), std::invalid_argument);
+}
+
+TEST(Dense, ForwardComputesAffineMap) {
+  util::Rng rng(1);
+  Dense layer(2, 2, rng);
+  // Overwrite with known weights: y = [x0 + 2 x1, 3 x0 + 4 x1] + [0.5, -1].
+  layer.weights() = Matrix(2, 2, std::vector<double>{1, 3, 2, 4});
+  layer.bias() = Matrix(1, 2, std::vector<double>{0.5, -1.0});
+  const Matrix x(1, 2, std::vector<double>{1.0, 2.0});
+  const Matrix y = layer.forward(x, false);
+  EXPECT_DOUBLE_EQ(y(0, 0), 1.0 + 4.0 + 0.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), 3.0 + 8.0 - 1.0);
+}
+
+TEST(Dense, ForwardRejectsWrongWidth) {
+  util::Rng rng(1);
+  Dense layer(3, 4, rng);
+  EXPECT_THROW((void)layer.forward(Matrix(2, 2), false),
+               std::invalid_argument);
+}
+
+TEST(Dense, BackwardRejectsWrongShape) {
+  util::Rng rng(1);
+  Dense layer(3, 4, rng);
+  (void)layer.forward(Matrix(2, 3, 0.1), true);
+  EXPECT_THROW((void)layer.backward(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW((void)layer.backward(Matrix(3, 4)), std::invalid_argument);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  util::Rng rng(2);
+  Dense layer(2, 1, rng);
+  const Matrix x(1, 2, std::vector<double>{1.0, 1.0});
+  const Matrix g(1, 1, std::vector<double>{1.0});
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  const double first = (*layer.grads()[0])(0, 0);
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  EXPECT_DOUBLE_EQ((*layer.grads()[0])(0, 0), 2.0 * first);
+  layer.zero_grad();
+  EXPECT_DOUBLE_EQ((*layer.grads()[0])(0, 0), 0.0);
+}
+
+/// Parameterized gradcheck over several layer geometries and batch sizes.
+class DenseGradCheck
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DenseGradCheck, AnalyticMatchesNumeric) {
+  const auto [in, out, batch] = GetParam();
+  util::Rng rng(42 + in * 100 + out * 10 + batch);
+  Dense layer(in, out, rng);
+  Matrix x(batch, in);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  Matrix target(batch, out);
+  for (auto& v : target.data()) v = rng.uniform(-1.0, 1.0);
+  const MseLoss loss;  // smooth loss keeps finite differences well-behaved
+
+  auto loss_fn = [&] {
+    return loss.value(layer.forward(x, true), target);
+  };
+
+  layer.zero_grad();
+  const Matrix pred = layer.forward(x, true);
+  (void)layer.backward(loss.grad(pred, target));
+
+  for (std::size_t p = 0; p < layer.params().size(); ++p) {
+    const GradCheckResult result = check_gradient(
+        *layer.params()[p], *layer.grads()[p], loss_fn, 1e-6);
+    EXPECT_TRUE(result.passed(1e-5))
+        << "param " << p << " rel diff " << result.max_rel_diff;
+  }
+
+  // Input gradient check via a fresh backward pass.
+  layer.zero_grad();
+  const Matrix pred2 = layer.forward(x, true);
+  const Matrix dx = layer.backward(loss.grad(pred2, target));
+  const GradCheckResult input_check = check_gradient(x, dx, loss_fn, 1e-6);
+  EXPECT_TRUE(input_check.passed(1e-5))
+      << "input rel diff " << input_check.max_rel_diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DenseGradCheck,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 16, 4},
+                      std::tuple{16, 32, 8}, std::tuple{4, 1, 32},
+                      std::tuple{7, 5, 3}));
+
+}  // namespace
+}  // namespace socpinn::nn

@@ -1,0 +1,95 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+namespace {
+
+TEST(MaeLoss, ValueIsMeanAbsolute) {
+  const MaeLoss loss;
+  const Matrix pred(2, 1, std::vector<double>{1.0, 3.0});
+  const Matrix target(2, 1, std::vector<double>{0.0, 5.0});
+  EXPECT_DOUBLE_EQ(loss.value(pred, target), (1.0 + 2.0) / 2.0);
+}
+
+TEST(MaeLoss, GradientIsScaledSign) {
+  const MaeLoss loss;
+  const Matrix pred(2, 1, std::vector<double>{1.0, 3.0});
+  const Matrix target(2, 1, std::vector<double>{0.0, 5.0});
+  const Matrix g = loss.grad(pred, target);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(g(1, 0), -0.5);
+}
+
+TEST(MaeLoss, SubgradientZeroAtExactMatch) {
+  const MaeLoss loss;
+  const Matrix pred(1, 1, std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(loss.grad(pred, pred)(0, 0), 0.0);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  const MseLoss loss;
+  const Matrix pred(2, 1, std::vector<double>{1.0, 3.0});
+  const Matrix target(2, 1, std::vector<double>{0.0, 5.0});
+  EXPECT_DOUBLE_EQ(loss.value(pred, target), (1.0 + 4.0) / 2.0);
+  const Matrix g = loss.grad(pred, target);
+  EXPECT_DOUBLE_EQ(g(0, 0), 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 2.0 * -2.0 / 2.0);
+}
+
+TEST(HuberLoss, QuadraticInsideLinearOutside) {
+  const HuberLoss loss(1.0);
+  const Matrix pred(2, 1, std::vector<double>{0.5, 3.0});
+  const Matrix target(2, 1, std::vector<double>{0.0, 0.0});
+  // Inside: 0.5*0.25; outside: 1*(3-0.5).
+  EXPECT_DOUBLE_EQ(loss.value(pred, target), (0.125 + 2.5) / 2.0);
+  const Matrix g = loss.grad(pred, target);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.25);  // r/n
+  EXPECT_DOUBLE_EQ(g(1, 0), 0.5);   // delta*sign/n
+}
+
+TEST(HuberLoss, RejectsNonPositiveDelta) {
+  EXPECT_THROW(HuberLoss(0.0), std::invalid_argument);
+  EXPECT_THROW(HuberLoss(-1.0), std::invalid_argument);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  const MaeLoss loss;
+  EXPECT_THROW((void)loss.value(Matrix(2, 1), Matrix(1, 2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)loss.grad(Matrix(2, 1), Matrix(2, 2)),
+               std::invalid_argument);
+}
+
+TEST(Loss, EmptyBatchThrows) {
+  const MseLoss loss;
+  EXPECT_THROW((void)loss.value(Matrix(), Matrix()), std::invalid_argument);
+}
+
+TEST(Loss, FactoryByName) {
+  EXPECT_EQ(make_loss("mae")->name(), "mae");
+  EXPECT_EQ(make_loss("mse")->name(), "mse");
+  EXPECT_EQ(make_loss("huber")->name(), "huber");
+  EXPECT_THROW((void)make_loss("hinge"), std::invalid_argument);
+}
+
+/// The MAE gradient must be a valid subgradient: moving against it cannot
+/// increase the loss for small steps (checked across random instances).
+TEST(MaeLoss, GradientDescentDirectionDecreasesLoss) {
+  const MaeLoss loss;
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix pred(4, 2), target(4, 2);
+    for (auto& v : pred.data()) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : target.data()) v = rng.uniform(-1.0, 1.0);
+    const double before = loss.value(pred, target);
+    Matrix stepped = pred;
+    stepped -= loss.grad(pred, target) * 1e-3;
+    EXPECT_LE(loss.value(stepped, target), before + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace socpinn::nn

@@ -1,0 +1,185 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace socpinn::nn {
+namespace {
+
+std::vector<Matrix> random_sequence(std::size_t steps, std::size_t batch,
+                                    std::size_t features, util::Rng& rng) {
+  std::vector<Matrix> seq(steps, Matrix(batch, features));
+  for (auto& step : seq) {
+    for (auto& v : step.data()) v = rng.uniform(-1.0, 1.0);
+  }
+  return seq;
+}
+
+TEST(Lstm, OutputShapeAndDeterminism) {
+  util::Rng rng(1);
+  Lstm lstm(3, 8, rng);
+  util::Rng data_rng(2);
+  const auto seq = random_sequence(5, 4, 3, data_rng);
+  const Matrix h1 = lstm.forward(seq);
+  const Matrix h2 = lstm.forward(seq);
+  EXPECT_EQ(h1.rows(), 4u);
+  EXPECT_EQ(h1.cols(), 8u);
+  EXPECT_TRUE(h1 == h2);
+}
+
+TEST(Lstm, HiddenStateIsBounded) {
+  // h = o * tanh(c) with o in (0,1) => |h| < 1 always.
+  util::Rng rng(3);
+  Lstm lstm(2, 16, rng);
+  util::Rng data_rng(4);
+  auto seq = random_sequence(50, 2, 2, data_rng);
+  for (auto& step : seq) step *= 10.0;  // extreme inputs
+  const Matrix h = lstm.forward(seq);
+  for (double v : h.data()) {
+    EXPECT_LT(std::fabs(v), 1.0);
+  }
+}
+
+TEST(Lstm, RejectsBadInputs) {
+  util::Rng rng(1);
+  EXPECT_THROW(Lstm(0, 4, rng), std::invalid_argument);
+  Lstm lstm(3, 4, rng);
+  EXPECT_THROW((void)lstm.forward({}), std::invalid_argument);
+  std::vector<Matrix> ragged{Matrix(2, 3), Matrix(3, 3)};
+  EXPECT_THROW((void)lstm.forward(ragged), std::invalid_argument);
+  std::vector<Matrix> wrong_width{Matrix(2, 2)};
+  EXPECT_THROW((void)lstm.forward(wrong_width), std::invalid_argument);
+}
+
+TEST(Lstm, BackwardBeforeForwardThrows) {
+  util::Rng rng(1);
+  Lstm lstm(3, 4, rng);
+  EXPECT_THROW((void)lstm.backward(Matrix(2, 4)), std::logic_error);
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  util::Rng rng(1);
+  Lstm lstm(3, 4, rng);
+  const Matrix& b = *lstm.params()[2];
+  for (std::size_t c = 4; c < 8; ++c) {
+    EXPECT_DOUBLE_EQ(b(0, c), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(b(0, 0), 0.0);
+}
+
+/// BPTT gradcheck across sequence lengths — the critical correctness test
+/// for the baseline implementations.
+class LstmGradCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(LstmGradCheck, ParameterGradientsMatchNumeric) {
+  const int steps = GetParam();
+  util::Rng rng(100 + steps);
+  Lstm lstm(2, 4, rng);
+  util::Rng data_rng(200 + steps);
+  const auto seq = random_sequence(steps, 3, 2, data_rng);
+  Matrix target(3, 4);
+  for (auto& v : target.data()) v = data_rng.uniform(-0.5, 0.5);
+  const MseLoss loss;
+
+  auto loss_fn = [&] { return loss.value(lstm.forward(seq), target); };
+  lstm.zero_grad();
+  const Matrix h = lstm.forward(seq);
+  (void)lstm.backward(loss.grad(h, target));
+
+  const auto params = lstm.params();
+  const auto grads = lstm.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const GradCheckResult result =
+        check_gradient(*params[p], *grads[p], loss_fn, 1e-6);
+    EXPECT_TRUE(result.passed(1e-4))
+        << "param " << p << " rel diff " << result.max_rel_diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SequenceLengths, LstmGradCheck,
+                         ::testing::Values(1, 3, 8));
+
+TEST(Lstm, InputGradientsMatchNumeric) {
+  util::Rng rng(7);
+  Lstm lstm(2, 4, rng);
+  util::Rng data_rng(8);
+  auto seq = random_sequence(4, 2, 2, data_rng);
+  Matrix target(2, 4);
+  for (auto& v : target.data()) v = data_rng.uniform(-0.5, 0.5);
+  const MseLoss loss;
+
+  auto loss_fn = [&] { return loss.value(lstm.forward(seq), target); };
+  lstm.zero_grad();
+  const Matrix h = lstm.forward(seq);
+  const std::vector<Matrix> dx = lstm.backward(loss.grad(h, target));
+  ASSERT_EQ(dx.size(), seq.size());
+  for (std::size_t s = 0; s < seq.size(); ++s) {
+    const GradCheckResult result =
+        check_gradient(seq[s], dx[s], loss_fn, 1e-6);
+    EXPECT_TRUE(result.passed(1e-4))
+        << "step " << s << " rel diff " << result.max_rel_diff;
+  }
+}
+
+TEST(LstmRegressor, GradCheckThroughHead) {
+  util::Rng rng(9);
+  LstmRegressor model(2, 4, rng);
+  util::Rng data_rng(10);
+  const auto seq = random_sequence(3, 2, 2, data_rng);
+  Matrix target(2, 1);
+  for (auto& v : target.data()) v = data_rng.uniform(0.0, 1.0);
+  const MseLoss loss;
+
+  auto loss_fn = [&] { return loss.value(model.forward(seq), target); };
+  model.zero_grad();
+  const Matrix out = model.forward(seq);
+  model.backward(loss.grad(out, target));
+
+  const auto params = model.params();
+  const auto grads = model.grads();
+  ASSERT_EQ(params.size(), 5u);  // wx, wh, b, head W, head b
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const GradCheckResult result =
+        check_gradient(*params[p], *grads[p], loss_fn, 1e-6);
+    EXPECT_TRUE(result.passed(1e-4))
+        << "param " << p << " rel diff " << result.max_rel_diff;
+  }
+}
+
+TEST(LstmRegressor, LearnsRunningMean) {
+  // Supervised toy task: output the mean of the inputs over the sequence.
+  util::Rng rng(11);
+  LstmRegressor model(1, 8, rng);
+  Adam opt(1e-2);
+  opt.attach(model.params(), model.grads());
+  const MseLoss loss;
+  util::Rng data_rng(12);
+
+  double final_loss = 1.0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<Matrix> seq(6, Matrix(8, 1));
+    Matrix target(8, 1);
+    for (std::size_t b = 0; b < 8; ++b) {
+      double acc = 0.0;
+      for (auto& step : seq) {
+        step(b, 0) = data_rng.uniform(-1.0, 1.0);
+        acc += step(b, 0);
+      }
+      target(b, 0) = acc / 6.0;
+    }
+    model.zero_grad();
+    const Matrix out = model.forward(seq);
+    final_loss = loss.value(out, target);
+    model.backward(loss.grad(out, target));
+    opt.step();
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+}  // namespace
+}  // namespace socpinn::nn

@@ -1,0 +1,150 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Matrix, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3, 4}));
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, RowMajorIndexing) {
+  Matrix m(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, RowVectorFactories) {
+  const std::vector<double> vals{1, 2, 3};
+  const Matrix r = Matrix::row_vector(vals);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  const Matrix c = Matrix::column_vector(vals);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+}
+
+TEST(Matrix, SetRowAndRowView) {
+  Matrix m(2, 3);
+  const std::vector<double> row{7, 8, 9};
+  m.set_row(1, row);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8);
+  auto view = m.row(1);
+  EXPECT_DOUBLE_EQ(view[2], 9);
+  EXPECT_THROW(m.set_row(0, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  const Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, std::vector<double>{7, 8, 9, 10, 11, 12});
+  const Matrix c = matmul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, MatmulRejectsMismatch) {
+  EXPECT_THROW((void)matmul(Matrix(2, 3), Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(Matrix, TransposeVariantsAgree) {
+  const Matrix a(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 4, std::vector<double>{1, 0, 2, 1, 3, 1, 0, 2, 0, 1, 1, 0});
+  const Matrix expected = matmul(transpose(a), b);
+  const Matrix got = matmul_transpose_a(a, b);
+  EXPECT_TRUE(expected == got);
+
+  // matmul_transpose_b(x, y) == x * y^T: x is 2x3, y is 4x3 -> 2x4.
+  const Matrix x = transpose(a);
+  const Matrix y(4, 3,
+                 std::vector<double>{1, 2, 0, 1, 3, 0, 1, 1, 2, 0, 1, 1});
+  const Matrix expected2 = matmul(x, transpose(y));
+  const Matrix got2 = matmul_transpose_b(x, y);
+  EXPECT_TRUE(expected2 == got2);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(transpose(transpose(a)) == a);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  const Matrix a(1, 3, std::vector<double>{1, 2, 3});
+  const Matrix b(1, 3, std::vector<double>{4, 5, 6});
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 1), 7);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 2), 3);
+  const Matrix prod = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(prod(0, 0), 4);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(0, 2), 6);
+  const Matrix scaled2 = 2.0 * a;
+  EXPECT_TRUE(scaled == scaled2);
+}
+
+TEST(Matrix, ElementwiseOpsRejectMismatch) {
+  Matrix a(1, 2);
+  const Matrix b(2, 1);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW((void)hadamard(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, BroadcastBiasAndSumRows) {
+  Matrix m(2, 2, std::vector<double>{1, 2, 3, 4});
+  const Matrix bias(1, 2, std::vector<double>{10, 20});
+  add_row_broadcast(m, bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 11);
+  EXPECT_DOUBLE_EQ(m(1, 1), 24);
+
+  const Matrix sums = sum_rows(m);
+  ASSERT_EQ(sums.rows(), 1u);
+  EXPECT_DOUBLE_EQ(sums(0, 0), 11 + 13);
+  EXPECT_DOUBLE_EQ(sums(0, 1), 22 + 24);
+}
+
+TEST(Matrix, BroadcastRejectsBadBias) {
+  Matrix m(2, 2);
+  EXPECT_THROW(add_row_broadcast(m, Matrix(1, 3)), std::invalid_argument);
+  EXPECT_THROW(add_row_broadcast(m, Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, NormsAndSums) {
+  const Matrix m(1, 3, std::vector<double>{3, 4, 0});
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 25.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 7.0);
+}
+
+TEST(Matrix, ApplyTransformsEveryElement) {
+  Matrix m(2, 2, std::vector<double>{1, -2, 3, -4});
+  m.apply([](double x) { return x < 0 ? 0.0 : x; });
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace socpinn::nn

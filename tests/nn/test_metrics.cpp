@@ -1,0 +1,78 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace socpinn::nn {
+namespace {
+
+const std::vector<double> kPred{1.0, 2.0, 3.0};
+const std::vector<double> kTruth{1.5, 2.0, 1.0};
+
+TEST(Metrics, MaeKnownValue) {
+  EXPECT_DOUBLE_EQ(mae(kPred, kTruth), (0.5 + 0.0 + 2.0) / 3.0);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  EXPECT_DOUBLE_EQ(rmse(kPred, kTruth),
+                   std::sqrt((0.25 + 0.0 + 4.0) / 3.0));
+}
+
+TEST(Metrics, MaxAbsErrorKnownValue) {
+  EXPECT_DOUBLE_EQ(max_abs_error(kPred, kTruth), 2.0);
+}
+
+TEST(Metrics, RmseAtLeastMae) {
+  EXPECT_GE(rmse(kPred, kTruth), mae(kPred, kTruth));
+}
+
+TEST(Metrics, PerfectPredictionScoresPerfectly) {
+  const std::vector<double> xs{0.1, 0.5, 0.9, 0.3};
+  EXPECT_DOUBLE_EQ(mae(xs, xs), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(xs, xs), 0.0);
+  EXPECT_DOUBLE_EQ(r_squared(xs, xs), 1.0);
+}
+
+TEST(Metrics, R2OfMeanPredictorIsZero) {
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  const std::vector<double> mean_pred{2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(mean_pred, truth), 0.0, 1e-12);
+}
+
+TEST(Metrics, R2RejectsConstantTruth) {
+  const std::vector<double> truth{2.0, 2.0};
+  const std::vector<double> pred{1.0, 3.0};
+  EXPECT_THROW((void)r_squared(pred, truth), std::invalid_argument);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)mae(a, b), std::invalid_argument);
+  EXPECT_THROW((void)rmse(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyThrows) {
+  EXPECT_THROW((void)mae(std::vector<double>{}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, MatrixOverloadsFlatten) {
+  const Matrix pred(3, 1, kPred);
+  const Matrix truth(3, 1, kTruth);
+  EXPECT_DOUBLE_EQ(mae(pred, truth), mae(kPred, kTruth));
+  EXPECT_DOUBLE_EQ(rmse(pred, truth), rmse(kPred, kTruth));
+}
+
+TEST(Metrics, EvaluateBundlesEverything) {
+  const RegressionReport report = evaluate(kPred, kTruth);
+  EXPECT_DOUBLE_EQ(report.mae, mae(kPred, kTruth));
+  EXPECT_DOUBLE_EQ(report.rmse, rmse(kPred, kTruth));
+  EXPECT_DOUBLE_EQ(report.max_abs, 2.0);
+  EXPECT_NE(report.str().find("mae="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace socpinn::nn

@@ -1,0 +1,115 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace socpinn::nn {
+namespace {
+
+/// Minimizes f(p) = 0.5 * sum((p - target)^2) with the given optimizer and
+/// returns the final distance to the optimum.
+template <typename Opt>
+double minimize_quadratic(Opt& opt, int steps) {
+  Matrix p(2, 2, std::vector<double>{5.0, -3.0, 2.0, 8.0});
+  const Matrix target(2, 2, std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  Matrix g(2, 2);
+  opt.attach({&p}, {&g});
+  for (int i = 0; i < steps; ++i) {
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      g.data()[k] = p.data()[k] - target.data()[k];
+    }
+    opt.step();
+  }
+  Matrix diff = p;
+  diff -= target;
+  return std::sqrt(diff.squared_norm());
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd opt(0.1);
+  EXPECT_LT(minimize_quadratic(opt, 200), 1e-6);
+}
+
+TEST(Sgd, MomentumConvergesFaster) {
+  Sgd plain(0.05);
+  Sgd momentum(0.05, 0.9);
+  const double d_plain = minimize_quadratic(plain, 60);
+  const double d_momentum = minimize_quadratic(momentum, 60);
+  EXPECT_LT(d_momentum, d_plain);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam opt(0.3);
+  EXPECT_LT(minimize_quadratic(opt, 300), 1e-4);
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  // With zero gradient, AdamW decay must pull weights toward zero.
+  Adam opt(0.01, 0.9, 0.999, 1e-8, /*weight_decay=*/0.1);
+  Matrix p(1, 1, std::vector<double>{1.0});
+  Matrix g(1, 1);
+  opt.attach({&p}, {&g});
+  for (int i = 0; i < 100; ++i) opt.step();
+  EXPECT_LT(std::fabs(p(0, 0)), 1.0);
+  EXPECT_GT(p(0, 0), 0.0);
+}
+
+TEST(Optimizer, AttachValidatesPairs) {
+  Sgd opt(0.1);
+  Matrix p(2, 2), g_wrong(1, 2), g_ok(2, 2);
+  EXPECT_THROW(opt.attach({&p}, {}), std::invalid_argument);
+  EXPECT_THROW(opt.attach({&p}, {&g_wrong}), std::invalid_argument);
+  EXPECT_THROW(opt.attach({nullptr}, {&g_ok}), std::invalid_argument);
+  EXPECT_NO_THROW(opt.attach({&p}, {&g_ok}));
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Sgd opt(0.1);
+  Matrix p(1, 2);
+  Matrix g(1, 2, std::vector<double>{3.0, 4.0});
+  opt.attach({&p}, {&g});
+  opt.zero_grad();
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 0.0);
+}
+
+TEST(Optimizer, RejectsBadHyperparameters) {
+  EXPECT_THROW(Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 0.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 1e-8, -0.1), std::invalid_argument);
+}
+
+TEST(Optimizer, SetLearningRateValidates) {
+  Sgd opt(0.1);
+  opt.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+  EXPECT_THROW(opt.set_learning_rate(0.0), std::invalid_argument);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Matrix g(1, 2, std::vector<double>{3.0, 4.0});  // norm 5
+  const double norm = clip_grad_norm({&g}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(std::sqrt(g.squared_norm()), 1.0, 1e-12);
+  EXPECT_NEAR(g(0, 0) / g(0, 1), 0.75, 1e-12);  // direction preserved
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Matrix g(1, 2, std::vector<double>{0.3, 0.4});
+  (void)clip_grad_norm({&g}, 1.0);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(g(0, 1), 0.4);
+}
+
+TEST(ClipGradNorm, GlobalNormAcrossTensors) {
+  Matrix a(1, 1, std::vector<double>{3.0});
+  Matrix b(1, 1, std::vector<double>{4.0});
+  (void)clip_grad_norm({&a, &b}, 1.0);
+  EXPECT_NEAR(a(0, 0) * a(0, 0) + b(0, 0) * b(0, 0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace socpinn::nn

@@ -1,0 +1,117 @@
+#include "nn/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.normal(3.0, 2.0);
+  return m;
+}
+
+TEST(StandardScaler, TransformedColumnsAreStandardized) {
+  util::Rng rng(5);
+  const Matrix x = random_matrix(500, 3, rng);
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) mean += z(r, c);
+    mean /= static_cast<double>(z.rows());
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      var += (z(r, c) - mean) * (z(r, c) - mean);
+    }
+    var /= static_cast<double>(z.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-10);
+  }
+}
+
+TEST(StandardScaler, InverseTransformRoundTrips) {
+  util::Rng rng(6);
+  const Matrix x = random_matrix(50, 4, rng);
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  const Matrix back = scaler.inverse_transform(z);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back.data()[i], x.data()[i], 1e-10);
+  }
+}
+
+TEST(StandardScaler, TransformRowMatchesBatch) {
+  util::Rng rng(7);
+  const Matrix x = random_matrix(20, 3, rng);
+  StandardScaler scaler;
+  scaler.fit(x);
+  const Matrix z = scaler.transform(x);
+  double row[3] = {x(4, 0), x(4, 1), x(4, 2)};
+  scaler.transform_row(row);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(row[c], z(4, c));
+  }
+}
+
+TEST(StandardScaler, ConstantColumnScalesByMagnitude) {
+  // A constant horizon column (e.g. N = 120 s everywhere) must divide by
+  // its magnitude so unseen horizons map to O(1) deviations — this is what
+  // keeps the No-PINN model from exploding at test horizons.
+  Matrix x(10, 1, 120.0);
+  StandardScaler scaler;
+  scaler.fit(x);
+  EXPECT_DOUBLE_EQ(scaler.stds()[0], 120.0);
+  Matrix probe(1, 1, 240.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(probe)(0, 0), 1.0);
+}
+
+TEST(StandardScaler, ConstantZeroColumnUsesUnitScale) {
+  Matrix x(10, 1, 0.0);
+  StandardScaler scaler;
+  scaler.fit(x);
+  EXPECT_DOUBLE_EQ(scaler.stds()[0], 1.0);
+}
+
+TEST(StandardScaler, UnfittedThrows) {
+  const StandardScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  EXPECT_THROW((void)scaler.transform(Matrix(1, 1)), std::logic_error);
+  EXPECT_THROW((void)scaler.inverse_transform(Matrix(1, 1)),
+               std::logic_error);
+}
+
+TEST(StandardScaler, WidthMismatchThrows) {
+  StandardScaler scaler;
+  scaler.fit(Matrix(5, 3, 1.0));
+  EXPECT_THROW((void)scaler.transform(Matrix(5, 2)), std::invalid_argument);
+}
+
+TEST(StandardScaler, FromMomentsRebuilds) {
+  const StandardScaler scaler =
+      StandardScaler::from_moments({1.0, 2.0}, {0.5, 2.0});
+  Matrix x(1, 2, std::vector<double>{2.0, 6.0});
+  const Matrix z = scaler.transform(x);
+  EXPECT_DOUBLE_EQ(z(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(z(0, 1), 2.0);
+}
+
+TEST(StandardScaler, FromMomentsValidates) {
+  EXPECT_THROW((void)StandardScaler::from_moments({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)StandardScaler::from_moments({1.0}, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)StandardScaler::from_moments({}, {}),
+               std::invalid_argument);
+}
+
+TEST(StandardScaler, FitRejectsEmpty) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit(Matrix()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::nn

@@ -1,0 +1,56 @@
+#include "nn/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::nn {
+namespace {
+
+TEST(ConstantLr, NeverChanges) {
+  const ConstantLr sched(1e-3);
+  EXPECT_DOUBLE_EQ(sched.rate_at(0), 1e-3);
+  EXPECT_DOUBLE_EQ(sched.rate_at(1000), 1e-3);
+}
+
+TEST(StepLr, DecaysEveryPeriod) {
+  const StepLr sched(1.0, 10, 0.5);
+  EXPECT_DOUBLE_EQ(sched.rate_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(9), 1.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(10), 0.5);
+  EXPECT_DOUBLE_EQ(sched.rate_at(25), 0.25);
+}
+
+TEST(CosineLr, EndpointsAndMonotonicity) {
+  const CosineLr sched(1e-2, 1e-4, 100);
+  EXPECT_DOUBLE_EQ(sched.rate_at(0), 1e-2);
+  EXPECT_NEAR(sched.rate_at(100), 1e-4, 1e-12);
+  EXPECT_NEAR(sched.rate_at(200), 1e-4, 1e-12);  // clamped past the end
+  double prev = sched.rate_at(0);
+  for (std::size_t e = 1; e <= 100; ++e) {
+    const double rate = sched.rate_at(e);
+    EXPECT_LE(rate, prev + 1e-15);
+    prev = rate;
+  }
+}
+
+TEST(CosineLr, MidpointIsHalfway) {
+  const CosineLr sched(1.0, 0.0 + 1e-9, 100);
+  EXPECT_NEAR(sched.rate_at(50), 0.5, 1e-6);
+}
+
+TEST(Scheduler, AppliesToOptimizer) {
+  Sgd opt(1.0);
+  const StepLr sched(1.0, 5, 0.1);
+  sched.apply(opt, 7);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.1);
+}
+
+TEST(Scheduler, ConstructorsValidate) {
+  EXPECT_THROW(ConstantLr(0.0), std::invalid_argument);
+  EXPECT_THROW(StepLr(1.0, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(StepLr(1.0, 5, 1.5), std::invalid_argument);
+  EXPECT_THROW(CosineLr(1.0, 2.0, 10), std::invalid_argument);
+  EXPECT_THROW(CosineLr(1.0, 0.1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::nn

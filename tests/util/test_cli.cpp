@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsForm) {
+  const auto p = parse({"--epochs=42"});
+  EXPECT_EQ(p.get_int("epochs", 0), 42);
+}
+
+TEST(ArgParser, SpaceSeparatedForm) {
+  const auto p = parse({"--lr", "0.001"});
+  EXPECT_DOUBLE_EQ(p.get_double("lr", 1.0), 0.001);
+}
+
+TEST(ArgParser, BareFlagIsTrue) {
+  const auto p = parse({"--verbose"});
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_TRUE(p.get_bool("verbose", false));
+}
+
+TEST(ArgParser, FallbacksWhenAbsent) {
+  const auto p = parse({});
+  EXPECT_EQ(p.get("name", "default"), "default");
+  EXPECT_EQ(p.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(p.get_bool("flag", false));
+}
+
+TEST(ArgParser, ExplicitBooleans) {
+  EXPECT_FALSE(parse({"--f=false"}).get_bool("f", true));
+  EXPECT_FALSE(parse({"--f=0"}).get_bool("f", true));
+  EXPECT_TRUE(parse({"--f=true"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f=1"}).get_bool("f", false));
+}
+
+TEST(ArgParser, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsNonNumericValue) {
+  const auto p = parse({"--n=abc"});
+  EXPECT_THROW((void)p.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsBadBoolean) {
+  const auto p = parse({"--b=maybe"});
+  EXPECT_THROW((void)p.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(ArgParser, ProgramNameRecorded) {
+  const auto p = parse({});
+  EXPECT_EQ(p.program(), "prog");
+}
+
+TEST(ArgParser, FlagFollowedByFlag) {
+  const auto p = parse({"--a", "--b=1"});
+  EXPECT_TRUE(p.get_bool("a", false));
+  EXPECT_EQ(p.get_int("b", 0), 1);
+}
+
+}  // namespace
+}  // namespace socpinn::util

@@ -1,0 +1,91 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace socpinn::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("socpinn_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripsNumericData) {
+  CsvDocument doc;
+  doc.header = {"t", "v"};
+  doc.columns = {{0.0, 1.0, 2.0}, {3.5, 3.25, 3.125}};
+  write_csv(path_, doc);
+
+  const CsvDocument back = read_csv(path_);
+  ASSERT_EQ(back.header, doc.header);
+  ASSERT_EQ(back.num_rows(), 3u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_DOUBLE_EQ(back.columns[c][r], doc.columns[c][r]);
+    }
+  }
+}
+
+TEST_F(CsvTest, ColumnLookupByName) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.columns = {{1.0}, {2.0}};
+  EXPECT_EQ(doc.column_index("b"), 1u);
+  EXPECT_DOUBLE_EQ(doc.column("b")[0], 2.0);
+  EXPECT_THROW((void)doc.column("missing"), std::out_of_range);
+}
+
+TEST_F(CsvTest, WriteRejectsRaggedColumns) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.columns = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(write_csv(path_, doc), std::runtime_error);
+}
+
+TEST_F(CsvTest, WriteRejectsHeaderMismatch) {
+  CsvDocument doc;
+  doc.header = {"a"};
+  doc.columns = {{1.0}, {2.0}};
+  EXPECT_THROW(write_csv(path_, doc), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadRejectsMissingFile) {
+  EXPECT_THROW((void)read_csv("/nonexistent/path.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadRejectsNonNumericCell) {
+  std::ofstream out(path_);
+  out << "a,b\n1.0,oops\n";
+  out.close();
+  EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadRejectsShortRow) {
+  std::ofstream out(path_);
+  out << "a,b\n1.0\n";
+  out.close();
+  EXPECT_THROW((void)read_csv(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, EmptyDataSectionIsValid) {
+  std::ofstream out(path_);
+  out << "a,b\n";
+  out.close();
+  const CsvDocument doc = read_csv(path_);
+  EXPECT_EQ(doc.num_cols(), 2u);
+  EXPECT_EQ(doc.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace socpinn::util

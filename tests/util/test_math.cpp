@@ -1,0 +1,103 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace socpinn::util {
+namespace {
+
+TEST(MathClamp, ClampWorks) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathClamp, Clamp01IsSocRange) {
+  EXPECT_DOUBLE_EQ(clamp01(1.2), 1.0);
+  EXPECT_DOUBLE_EQ(clamp01(-0.2), 0.0);
+}
+
+TEST(MathLerp, EndpointsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 6.0, 0.5), 4.0);
+}
+
+TEST(MathApprox, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+}
+
+TEST(MathTrapezoid, ConstantFunction) {
+  const std::vector<double> ys{2.0, 2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(trapezoid(ys, 0.5), 4.0);  // width 2.0 * height 2.0
+}
+
+TEST(MathTrapezoid, LinearFunctionExact) {
+  // Integral of y = x over [0, 4] with unit steps: 8.
+  const std::vector<double> ys{0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(trapezoid(ys, 1.0), 8.0);
+}
+
+TEST(MathTrapezoid, DegenerateInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(trapezoid(std::vector<double>{}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(trapezoid(std::vector<double>{3.0}, 1.0), 0.0);
+}
+
+class Interp1DTest : public ::testing::Test {
+ protected:
+  Interp1D interp_{{0.0, 1.0, 2.0, 4.0}, {0.0, 10.0, 20.0, 0.0}};
+};
+
+TEST_F(Interp1DTest, HitsKnots) {
+  EXPECT_DOUBLE_EQ(interp_(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp_(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(interp_(4.0), 0.0);
+}
+
+TEST_F(Interp1DTest, InterpolatesBetweenKnots) {
+  EXPECT_DOUBLE_EQ(interp_(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_(3.0), 10.0);
+}
+
+TEST_F(Interp1DTest, ClampsOutsideGrid) {
+  EXPECT_DOUBLE_EQ(interp_(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interp_(99.0), 0.0);
+}
+
+TEST_F(Interp1DTest, DerivativePerSegment) {
+  EXPECT_DOUBLE_EQ(interp_.derivative(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(interp_.derivative(3.0), -10.0);
+}
+
+TEST(Interp1D, RejectsBadConstruction) {
+  EXPECT_THROW(Interp1D({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(Interp1D({1.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(Interp1D({2.0, 1.0}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(Interp1D({0.0, 1.0}, {0.0, 1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Interp1D, InverseRoundTripsOnMonotonicCurve) {
+  Interp1D curve({0.0, 0.5, 1.0}, {3.0, 3.7, 4.2});
+  for (double x : {0.0, 0.1, 0.25, 0.5, 0.77, 1.0}) {
+    EXPECT_NEAR(curve.inverse(curve(x)), x, 1e-12);
+  }
+}
+
+TEST(Interp1D, InverseClampsOutsideRange) {
+  Interp1D curve({0.0, 1.0}, {3.0, 4.2});
+  EXPECT_DOUBLE_EQ(curve.inverse(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.inverse(5.0), 1.0);
+}
+
+TEST(Interp1D, InverseRejectsNonMonotonicY) {
+  Interp1D curve({0.0, 1.0, 2.0}, {0.0, 5.0, 1.0});
+  EXPECT_THROW((void)curve.inverse(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace socpinn::util

@@ -1,0 +1,150 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace socpinn::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformMeanNearCenter) {
+  Rng rng(11);
+  double acc = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(19);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(29);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(31);
+  const auto p = rng.permutation(100);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 20u);
+}
+
+TEST(Rng, IndexThrowsOnEmpty) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child stream must differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(5), b(5);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+}  // namespace
+}  // namespace socpinn::util

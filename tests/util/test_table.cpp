@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socpinn::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer_name", "2"});
+  const std::string out = table.str();
+  // Every data line starts the value column at the same offset.
+  const auto header_pos = out.find("value");
+  const auto row1_line = out.find("a ");
+  ASSERT_NE(header_pos, std::string::npos);
+  ASSERT_NE(row1_line, std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NE(table.str().find("only"), std::string::npos);
+}
+
+TEST(TextTable, AddRowValuesFormatsPrecision) {
+  TextTable table;
+  table.set_header({"label", "x"});
+  table.add_row_values("row", {0.123456}, 3);
+  EXPECT_NE(table.str().find("0.123"), std::string::npos);
+  EXPECT_EQ(table.str().find("0.1235"), std::string::npos);
+}
+
+TEST(TextTable, TitleAppearsAboveTable) {
+  TextTable table;
+  table.set_header({"h"});
+  const std::string out = table.str("My Title");
+  EXPECT_EQ(out.find("== My Title =="), 0u);
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatBytes, ScalesUnits) {
+  EXPECT_EQ(format_bytes(512.0), "512 B");
+  EXPECT_EQ(format_bytes(9.0 * 1024.0), "9.0 kB");
+  EXPECT_EQ(format_bytes(4.0 * 1024.0 * 1024.0), "4.0 MB");
+}
+
+TEST(FormatCount, ScalesUnits) {
+  EXPECT_EQ(format_count(150.0), "150");
+  EXPECT_EQ(format_count(1150.0), "1.1 k");
+  EXPECT_EQ(format_count(300.0e6), "300 M");
+}
+
+}  // namespace
+}  // namespace socpinn::util
