@@ -1,0 +1,94 @@
+/// \file bench_fleet.cpp
+/// The "serve heavy traffic" workload: one FleetEngine advancing the SoC of
+/// N independent cells per planning tick with batched cascaded forwards,
+/// sharded across a thread pool. Reports cells/second per fleet size and
+/// thread count — the headline serving metric the ROADMAP scales against —
+/// plus the per-tick latency a BMS backend would see.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "serve/fleet_engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace socpinn;
+
+core::TwoBranchNet& shared_net() {
+  static core::TwoBranchNet net = [] {
+    core::TwoBranchNet n({}, 1);
+    n.scaler1() = nn::StandardScaler::from_moments({3.7, -1.5, 25.0},
+                                                   {0.3, 2.0, 8.0});
+    n.scaler2() = nn::StandardScaler::from_moments(
+        {0.5, -1.5, 25.0, 45.0}, {0.25, 2.0, 8.0, 18.0});
+    return n;
+  }();
+  return net;
+}
+
+nn::Matrix fleet_workload(std::size_t cells, util::Rng& rng) {
+  nn::Matrix m(cells, 3);
+  for (std::size_t r = 0; r < cells; ++r) {
+    m(r, 0) = rng.uniform(-6.0, 3.0);
+    m(r, 1) = rng.uniform(-5.0, 45.0);
+    m(r, 2) = rng.uniform(10.0, 600.0);
+  }
+  return m;
+}
+
+void BM_FleetTick(benchmark::State& state) {
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(11);
+  serve::FleetConfig config;
+  config.threads = threads;
+  serve::FleetEngine engine(shared_net(), cells, config);
+  std::vector<double> soc(cells, 0.8);
+  engine.set_soc(soc);
+  const nn::Matrix workload = fleet_workload(cells, rng);
+  engine.step(workload);  // warm every shard's workspace
+  for (auto _ : state) {
+    engine.step(workload);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells));
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["threads"] = static_cast<double>(engine.num_threads());
+}
+BENCHMARK(BM_FleetTick)
+    ->ArgsProduct({{1024, 16384, 131072}, {1, 0}})  // 0 = hardware threads
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FleetConnect(benchmark::State& state) {
+  // Cold-start path: batched Branch-1 estimates for a whole fleet joining
+  // at once (sensors -> initial SoC).
+  const auto cells = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(13);
+  serve::FleetEngine engine(shared_net(), cells, {});
+  nn::Matrix sensors(cells, 3);
+  for (std::size_t r = 0; r < cells; ++r) {
+    sensors(r, 0) = rng.uniform(3.2, 4.1);
+    sensors(r, 1) = rng.uniform(-5.0, 1.0);
+    sensors(r, 2) = rng.uniform(5.0, 40.0);
+  }
+  engine.init_from_sensors(sensors);
+  for (auto _ : state) {
+    engine.init_from_sensors(sensors);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells));
+}
+BENCHMARK(BM_FleetConnect)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("fleet serving benchmark: %u hardware threads\n",
+              std::thread::hardware_concurrency());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,11 +8,34 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include "battery/coulomb.hpp"
 #include "core/two_branch_net.hpp"
 #include "nn/lstm.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
+
+// Allocation counter backing the JSON report's steady-state numbers: every
+// operator new in this binary bumps it, so a window over the hot loop counts
+// exactly the heap traffic of one inference mode.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -75,6 +98,66 @@ void BM_AutoregressiveRollout(benchmark::State& state) {
 }
 BENCHMARK(BM_AutoregressiveRollout)->Arg(10)->Arg(100);
 
+nn::Matrix random_sensors(std::size_t n, util::Rng& rng) {
+  nn::Matrix m(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    m(r, 0) = rng.uniform(2.8, 4.2);
+    m(r, 1) = rng.uniform(-6.0, 3.0);
+    m(r, 2) = rng.uniform(-5.0, 45.0);
+  }
+  return m;
+}
+
+nn::Matrix random_workload(std::size_t n, util::Rng& rng) {
+  nn::Matrix m(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    m(r, 0) = rng.uniform(-6.0, 3.0);
+    m(r, 1) = rng.uniform(-5.0, 45.0);
+    m(r, 2) = rng.uniform(10.0, 600.0);
+  }
+  return m;
+}
+
+void BM_CascadeBatched(benchmark::State& state) {
+  // The refactor's one true forward path: full cascade for a whole batch
+  // through a reused workspace — allocation-free after warm-up.
+  core::TwoBranchNet& net = shared_net();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  const nn::Matrix sensors = random_sensors(batch, rng);
+  const nn::Matrix workload = random_workload(batch, rng);
+  core::InferenceWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.cascade_batch(sensors, workload, ws)(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CascadeBatched)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CascadePerSampleLoop(benchmark::State& state) {
+  // The pre-refactor pattern: one scalar cascade per sample in a loop.
+  core::TwoBranchNet& net = shared_net();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  const nn::Matrix sensors = random_sensors(batch, rng);
+  const nn::Matrix workload = random_workload(batch, rng);
+  core::InferenceWorkspace ws;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double soc = net.estimate_soc(sensors(r, 0), sensors(r, 1),
+                                          sensors(r, 2), ws);
+      acc += net.predict_soc(soc, workload(r, 0), workload(r, 1),
+                             workload(r, 2), ws);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_CascadePerSampleLoop)->Arg(256);
+
 void BM_CoulombPredict(benchmark::State& state) {
   // The Physics-Only step, for scale: Eq. 1 is three flops.
   double soc = 0.9;
@@ -117,11 +200,103 @@ void report_cost_model() {
       "~300 M ops (400x memory, 260kx ops)\n");
 }
 
+/// Measures the batched-vs-per-sample comparison directly (wall clock +
+/// allocation counter) and writes BENCH_inference.json for machine
+/// consumption by CI and later scaling PRs.
+void emit_bench_json(const char* path) {
+  core::TwoBranchNet& net = shared_net();
+  constexpr std::size_t kBatch = 256;
+  constexpr int kReps = 2000;
+  util::Rng rng(7);
+  const nn::Matrix sensors = random_sensors(kBatch, rng);
+  const nn::Matrix workload = random_workload(kBatch, rng);
+  core::InferenceWorkspace ws;
+  const double samples = static_cast<double>(kBatch) * kReps;
+  double acc = 0.0;
+
+  // Batched cascade through the reused workspace.
+  for (int i = 0; i < 10; ++i) {
+    acc += net.cascade_batch(sensors, workload, ws)(0, 0);  // warm-up
+  }
+  const std::size_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  util::WallTimer batched_timer;
+  for (int i = 0; i < kReps; ++i) {
+    acc += net.cascade_batch(sensors, workload, ws)(0, 0);
+  }
+  const double batched_ns = batched_timer.seconds() * 1e9 / samples;
+  const std::size_t batched_allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  // Per-sample loop over the workspace-backed scalar wrappers.
+  util::WallTimer scalar_timer;
+  for (int i = 0; i < kReps / 10; ++i) {
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      const double soc = net.estimate_soc(sensors(r, 0), sensors(r, 1),
+                                          sensors(r, 2), ws);
+      acc += net.predict_soc(soc, workload(r, 0), workload(r, 1),
+                             workload(r, 2), ws);
+    }
+  }
+  const double scalar_ns = scalar_timer.seconds() * 1e9 / (samples / 10.0);
+
+  // The seed's per-sample path: allocating layer-by-layer forward.
+  util::WallTimer legacy_timer;
+  for (int i = 0; i < kReps / 10; ++i) {
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      double f1[3] = {sensors(r, 0), sensors(r, 1), sensors(r, 2)};
+      net.scaler1().transform_row(f1);
+      const double soc = net.branch1().predict_scalar(f1);
+      double f2[4] = {soc, workload(r, 0), workload(r, 1), workload(r, 2)};
+      net.scaler2().transform_row(f2);
+      acc += net.branch2().predict_scalar(f2);
+    }
+  }
+  const double legacy_ns = legacy_timer.seconds() * 1e9 / (samples / 10.0);
+
+  const nn::ModelCost cost = net.cost();
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"cascade_inference\",\n");
+  std::fprintf(out, "  \"batch\": %zu,\n", kBatch);
+  std::fprintf(out, "  \"params\": %zu,\n", cost.params);
+  std::fprintf(out, "  \"macs_per_cascade\": %zu,\n", cost.macs);
+  std::fprintf(out, "  \"batched_ns_per_sample\": %.1f,\n", batched_ns);
+  std::fprintf(out, "  \"batched_samples_per_sec\": %.0f,\n",
+               1e9 / batched_ns);
+  std::fprintf(out, "  \"per_sample_workspace_ns_per_sample\": %.1f,\n",
+               scalar_ns);
+  std::fprintf(out, "  \"per_sample_legacy_ns_per_sample\": %.1f,\n",
+               legacy_ns);
+  std::fprintf(out, "  \"speedup_batched_vs_workspace_loop\": %.2f,\n",
+               scalar_ns / batched_ns);
+  std::fprintf(out, "  \"speedup_batched_vs_legacy_loop\": %.2f,\n",
+               legacy_ns / batched_ns);
+  std::fprintf(out, "  \"steady_state_allocs_per_batched_forward\": %.3f,\n",
+               static_cast<double>(batched_allocs) / kReps);
+  std::fprintf(out, "  \"checksum\": %.6f\n", acc);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("--- batched vs per-sample (batch %zu) ---\n", kBatch);
+  std::printf(
+      "batched %.0f ns/sample, workspace loop %.0f ns/sample (%.1fx), "
+      "legacy loop %.0f ns/sample (%.1fx), %.3f allocs per batched forward\n",
+      batched_ns, scalar_ns, scalar_ns / batched_ns, legacy_ns,
+      legacy_ns / batched_ns,
+      static_cast<double>(batched_allocs) / kReps);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   report_cost_model();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  emit_bench_json("BENCH_inference.json");
   return 0;
 }

@@ -138,13 +138,25 @@ std::vector<double> DeMlpEstimator::predict(const data::Trace& trace,
     throw std::logic_error("DeMlpEstimator::predict before fit");
   }
   if (stride == 0) throw std::invalid_argument("predict: stride 0");
+  const std::size_t n = (trace.size() + stride - 1) / stride;
   std::vector<double> out;
-  out.reserve(trace.size() / stride + 1);
-  for (std::size_t t = 0; t < trace.size(); t += stride) {
-    double row[3] = {trace[t].voltage, trace[t].current, trace[t].temp_c};
-    scaler_.transform_row(row);
-    out.push_back(net_.predict_scalar(row));
+  out.reserve(n);
+  if (n == 0) return out;
+
+  // One batched forward over every stride-th sample instead of a
+  // per-sample loop.
+  nn::Matrix raw(n, 3);
+  std::size_t r = 0;
+  for (std::size_t t = 0; t < trace.size(); t += stride, ++r) {
+    raw(r, 0) = trace[t].voltage;
+    raw(r, 1) = trace[t].current;
+    raw(r, 2) = trace[t].temp_c;
   }
+  nn::ForwardWorkspace ws;
+  nn::Matrix scaled;
+  scaler_.transform_into(raw, scaled);
+  const nn::Matrix& pred = net_.infer(scaled, ws);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(pred(i, 0));
   return out;
 }
 

@@ -41,12 +41,15 @@ std::size_t rollout_step_samples(const data::Trace& trace, double horizon_s) {
 
 }  // namespace
 
-HorizonPrediction predict_cascade(TwoBranchNet& net,
+HorizonPrediction predict_cascade(const TwoBranchNet& net,
                                   const data::HorizonEvalData& eval) {
   const std::size_t n = eval.size();
   if (n == 0) throw std::invalid_argument("predict_cascade: empty eval set");
 
-  const nn::Matrix soc_est = net.estimate_batch(eval.sensors);
+  InferenceWorkspace ws;
+  // Branch-1 output lives in ws.branch1 and stays valid through the
+  // Branch-2 forward below (documented workspace contract).
+  const nn::Matrix& soc_est = net.estimate_batch(eval.sensors, ws);
   nn::Matrix b2_raw(n, 4);
   for (std::size_t r = 0; r < n; ++r) {
     b2_raw(r, 0) = soc_est(r, 0);
@@ -54,25 +57,26 @@ HorizonPrediction predict_cascade(TwoBranchNet& net,
     b2_raw(r, 2) = eval.workload(r, 1);
     b2_raw(r, 3) = eval.workload(r, 2);
   }
-  const nn::Matrix pred = net.predict_batch(b2_raw);
+  const nn::Matrix& pred = net.predict_batch(b2_raw, ws);
 
   HorizonPrediction out;
   out.soc_now_est.reserve(n);
   out.soc_pred.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
-    out.soc_now_est.push_back(soc_est(r, 0));
+    out.soc_now_est.push_back(b2_raw(r, 0));
     out.soc_pred.push_back(pred(r, 0));
   }
   return out;
 }
 
-HorizonPrediction predict_physics_only(TwoBranchNet& net,
+HorizonPrediction predict_physics_only(const TwoBranchNet& net,
                                        const data::HorizonEvalData& eval,
                                        double capacity_ah) {
   const std::size_t n = eval.size();
   if (n == 0) throw std::invalid_argument("predict_physics_only: empty set");
 
-  const nn::Matrix soc_est = net.estimate_batch(eval.sensors);
+  InferenceWorkspace ws;
+  const nn::Matrix& soc_est = net.estimate_batch(eval.sensors, ws);
   HorizonPrediction out;
   out.soc_now_est.reserve(n);
   out.soc_pred.reserve(n);
@@ -90,7 +94,7 @@ double Rollout::final_abs_error() const {
   return std::fabs(soc.back() - truth.back());
 }
 
-Rollout rollout_cascade(TwoBranchNet& net, const data::Trace& trace,
+Rollout rollout_cascade(const TwoBranchNet& net, const data::Trace& trace,
                         double horizon_s) {
   if (trace.size() < 2) {
     throw std::invalid_argument("rollout_cascade: trace too short");
@@ -98,16 +102,17 @@ Rollout rollout_cascade(TwoBranchNet& net, const data::Trace& trace,
   const std::size_t k = rollout_step_samples(trace, horizon_s);
 
   Rollout rollout;
+  InferenceWorkspace ws;
   // Voltage is used exactly once: the initial Branch-1 estimate.
   double soc = net.estimate_soc(trace[0].voltage, trace[0].current,
-                                trace[0].temp_c);
+                                trace[0].temp_c, ws);
   rollout.times_s.push_back(trace[0].time_s);
   rollout.soc.push_back(soc);
   rollout.truth.push_back(trace[0].soc);
 
   for (std::size_t t = 0; t + k < trace.size(); t += k) {
     const WindowAvg avg = window_average(trace, t, k);
-    soc = net.predict_soc(soc, avg.current, avg.temp, horizon_s);
+    soc = net.predict_soc(soc, avg.current, avg.temp, horizon_s, ws);
     rollout.times_s.push_back(trace[t + k].time_s);
     rollout.soc.push_back(soc);
     rollout.truth.push_back(trace[t + k].soc);
@@ -115,7 +120,7 @@ Rollout rollout_cascade(TwoBranchNet& net, const data::Trace& trace,
   return rollout;
 }
 
-Rollout rollout_physics_only(TwoBranchNet& net, const data::Trace& trace,
+Rollout rollout_physics_only(const TwoBranchNet& net, const data::Trace& trace,
                              double horizon_s, double capacity_ah) {
   if (trace.size() < 2) {
     throw std::invalid_argument("rollout_physics_only: trace too short");
@@ -123,9 +128,10 @@ Rollout rollout_physics_only(TwoBranchNet& net, const data::Trace& trace,
   const std::size_t k = rollout_step_samples(trace, horizon_s);
 
   Rollout rollout;
+  InferenceWorkspace ws;
   // Clamp the learned initial estimate into the band Eq. 1 operates on.
   double soc = util::clamp01(net.estimate_soc(
-      trace[0].voltage, trace[0].current, trace[0].temp_c));
+      trace[0].voltage, trace[0].current, trace[0].temp_c, ws));
   rollout.times_s.push_back(trace[0].time_s);
   rollout.soc.push_back(soc);
   rollout.truth.push_back(trace[0].soc);

@@ -24,12 +24,12 @@ struct HorizonPrediction {
 
 /// Full cascaded prediction: SoC(t) from Branch 1, SoC(t+N) from Branch 2.
 [[nodiscard]] HorizonPrediction predict_cascade(
-    TwoBranchNet& net, const data::HorizonEvalData& eval);
+    const TwoBranchNet& net, const data::HorizonEvalData& eval);
 
 /// Physics-Only baseline: Branch 1 still estimates SoC(t), but the future
 /// value comes exclusively from Eq. 1 with the rated capacity.
 [[nodiscard]] HorizonPrediction predict_physics_only(
-    TwoBranchNet& net, const data::HorizonEvalData& eval, double capacity_ah);
+    const TwoBranchNet& net, const data::HorizonEvalData& eval, double capacity_ah);
 
 /// One autoregressive trajectory.
 struct Rollout {
@@ -45,13 +45,13 @@ struct Rollout {
 /// first sample (the only time voltage is used); Branch 2 then advances the
 /// estimate by `horizon_s` per step, fed with the trace's average current
 /// and temperature over each upcoming window (the "planned workload").
-[[nodiscard]] Rollout rollout_cascade(TwoBranchNet& net,
+[[nodiscard]] Rollout rollout_cascade(const TwoBranchNet& net,
                                       const data::Trace& trace,
                                       double horizon_s);
 
 /// Same rollout with Eq. 1 instead of Branch 2 (Physics-Only line of
 /// Fig. 5). Predictions are clamped to [0, 1] as real BMS logic would.
-[[nodiscard]] Rollout rollout_physics_only(TwoBranchNet& net,
+[[nodiscard]] Rollout rollout_physics_only(const TwoBranchNet& net,
                                            const data::Trace& trace,
                                            double horizon_s,
                                            double capacity_ah);

@@ -1,6 +1,5 @@
 #include "core/two_branch_net.hpp"
 
-#include <array>
 #include <stdexcept>
 
 namespace socpinn::core {
@@ -33,26 +32,72 @@ TwoBranchNet::TwoBranchNet(TwoBranchConfig config, std::uint64_t seed)
                            config_.activation);
 }
 
+const nn::Matrix& TwoBranchNet::estimate_batch(const nn::Matrix& sensors_raw,
+                                               InferenceWorkspace& ws) const {
+  scaler1_.transform_into(sensors_raw, ws.scaled);
+  return branch1_.infer(ws.scaled, ws.branch1);
+}
+
+const nn::Matrix& TwoBranchNet::predict_batch(const nn::Matrix& branch2_raw,
+                                              InferenceWorkspace& ws) const {
+  scaler2_.transform_into(branch2_raw, ws.scaled);
+  return branch2_.infer(ws.scaled, ws.branch2);
+}
+
+const nn::Matrix& TwoBranchNet::cascade_batch(const nn::Matrix& sensors_raw,
+                                              const nn::Matrix& workload_raw,
+                                              InferenceWorkspace& ws) const {
+  const std::size_t n = sensors_raw.rows();
+  if (workload_raw.rows() != n || workload_raw.cols() != 3) {
+    throw std::invalid_argument("cascade_batch: workload must be n x 3");
+  }
+  const nn::Matrix& soc_now = estimate_batch(sensors_raw, ws);
+  ws.cascade.resize(n, 4);
+  for (std::size_t r = 0; r < n; ++r) {
+    ws.cascade(r, 0) = soc_now(r, 0);
+    ws.cascade(r, 1) = workload_raw(r, 0);
+    ws.cascade(r, 2) = workload_raw(r, 1);
+    ws.cascade(r, 3) = workload_raw(r, 2);
+  }
+  return predict_batch(ws.cascade, ws);
+}
+
+double TwoBranchNet::estimate_soc(double voltage, double current,
+                                  double temp_c, InferenceWorkspace& ws) const {
+  ws.staging.resize(1, 3);
+  ws.staging(0, 0) = voltage;
+  ws.staging(0, 1) = current;
+  ws.staging(0, 2) = temp_c;
+  return estimate_batch(ws.staging, ws)(0, 0);
+}
+
+double TwoBranchNet::predict_soc(double soc_now, double avg_current,
+                                 double avg_temp_c, double horizon_s,
+                                 InferenceWorkspace& ws) const {
+  ws.staging.resize(1, 4);
+  ws.staging(0, 0) = soc_now;
+  ws.staging(0, 1) = avg_current;
+  ws.staging(0, 2) = avg_temp_c;
+  ws.staging(0, 3) = horizon_s;
+  return predict_batch(ws.staging, ws)(0, 0);
+}
+
 double TwoBranchNet::estimate_soc(double voltage, double current,
                                   double temp_c) {
-  std::array<double, 3> features{voltage, current, temp_c};
-  scaler1_.transform_row(features);
-  return branch1_.predict_scalar(features);
+  return estimate_soc(voltage, current, temp_c, ws_);
 }
 
 double TwoBranchNet::predict_soc(double soc_now, double avg_current,
                                  double avg_temp_c, double horizon_s) {
-  std::array<double, 4> features{soc_now, avg_current, avg_temp_c, horizon_s};
-  scaler2_.transform_row(features);
-  return branch2_.predict_scalar(features);
+  return predict_soc(soc_now, avg_current, avg_temp_c, horizon_s, ws_);
 }
 
 nn::Matrix TwoBranchNet::estimate_batch(const nn::Matrix& sensors_raw) {
-  return branch1_.forward(scaler1_.transform(sensors_raw), /*train=*/false);
+  return estimate_batch(sensors_raw, ws_);
 }
 
 nn::Matrix TwoBranchNet::predict_batch(const nn::Matrix& branch2_raw) {
-  return branch2_.forward(scaler2_.transform(branch2_raw), /*train=*/false);
+  return predict_batch(branch2_raw, ws_);
 }
 
 std::size_t TwoBranchNet::num_params() {

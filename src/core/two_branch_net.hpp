@@ -18,6 +18,7 @@
 #include "nn/cost_model.hpp"
 #include "nn/mlp.hpp"
 #include "nn/scaler.hpp"
+#include "nn/workspace.hpp"
 
 namespace socpinn::core {
 
@@ -26,23 +27,66 @@ struct TwoBranchConfig {
   nn::ActivationKind activation = nn::ActivationKind::kRelu;
 };
 
+/// Caller-owned scratch for allocation-free TwoBranchNet inference: per-layer
+/// activation buffers for both branches plus staging matrices for scaling and
+/// cascade assembly. Give each thread its own workspace; the net itself stays
+/// const and shareable.
+struct InferenceWorkspace {
+  nn::ForwardWorkspace branch1;
+  nn::ForwardWorkspace branch2;
+  nn::Matrix scaled;   ///< standardized inputs of the current forward
+  nn::Matrix staging;  ///< raw batch-of-1 staging for the scalar wrappers
+  nn::Matrix cascade;  ///< assembled Branch-2 input of cascade_batch()
+};
+
 class TwoBranchNet {
  public:
   /// Builds both branches with independent weight streams from `seed`.
   explicit TwoBranchNet(TwoBranchConfig config = {}, std::uint64_t seed = 1);
 
+  /// --- The one true forward path: batched, const, allocation-free. ---
+  /// Inputs are raw (unscaled) feature matrices; returned references point
+  /// into `ws` and stay valid until its next use at the same branch.
+  /// Requires fitted scalers (training fits them).
+
+  /// Branch-1 batch: n x 3 [V, I, T] -> n x 1 estimated SoC(t).
+  const nn::Matrix& estimate_batch(const nn::Matrix& sensors_raw,
+                                   InferenceWorkspace& ws) const;
+
+  /// Branch-2 batch: n x 4 [SoC, avg I, avg T, N] -> n x 1 SoC(t+N).
+  const nn::Matrix& predict_batch(const nn::Matrix& branch2_raw,
+                                  InferenceWorkspace& ws) const;
+
+  /// Full cascade: Branch-1 estimates SoC(t) from sensors (n x 3), Branch 2
+  /// advances it under `workload_raw` (n x 3: avg I, avg T, horizon N).
+  /// Returns n x 1 SoC(t+N); the intermediate Branch-1 estimates remain
+  /// readable as the previous estimate_batch result inside `ws`.
+  const nn::Matrix& cascade_batch(const nn::Matrix& sensors_raw,
+                                  const nn::Matrix& workload_raw,
+                                  InferenceWorkspace& ws) const;
+
+  /// Const scalar variants: batch-of-1 wrappers over the batched path.
+  [[nodiscard]] double estimate_soc(double voltage, double current,
+                                    double temp_c,
+                                    InferenceWorkspace& ws) const;
+  [[nodiscard]] double predict_soc(double soc_now, double avg_current,
+                                   double avg_temp_c, double horizon_s,
+                                   InferenceWorkspace& ws) const;
+
+  /// --- Convenience wrappers using the net's own workspace. ---
+  /// Not safe for concurrent use on one instance; prefer the const
+  /// overloads above with per-thread workspaces.
+
   /// Branch-1 inference: estimated SoC(t) from raw sensor readings.
-  /// Requires a fitted Branch-1 scaler (training fits it).
   [[nodiscard]] double estimate_soc(double voltage, double current,
                                     double temp_c);
 
   /// Branch-2 inference: predicted SoC(t+N) from the current SoC and the
-  /// expected workload. Requires a fitted Branch-2 scaler.
+  /// expected workload.
   [[nodiscard]] double predict_soc(double soc_now, double avg_current,
                                    double avg_temp_c, double horizon_s);
 
-  /// Batched variants; inputs are raw (unscaled) feature matrices with the
-  /// column orders documented above. Return n x 1 predictions.
+  /// Batched variants returning owned copies of the workspace result.
   [[nodiscard]] nn::Matrix estimate_batch(const nn::Matrix& sensors_raw);
   [[nodiscard]] nn::Matrix predict_batch(const nn::Matrix& branch2_raw);
 
@@ -67,6 +111,7 @@ class TwoBranchNet {
   nn::Mlp branch2_;
   nn::StandardScaler scaler1_;
   nn::StandardScaler scaler2_;
+  InferenceWorkspace ws_;  ///< backs the convenience wrappers only
 };
 
 }  // namespace socpinn::core

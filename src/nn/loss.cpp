@@ -15,46 +15,53 @@ double inv_count(const Matrix& m) {
   if (m.size() == 0) throw std::invalid_argument("loss: empty batch");
   return 1.0 / static_cast<double>(m.size());
 }
+
+/// Mean of f(residual) over the batch. Templated (like Matrix::apply) so the
+/// per-element call inlines instead of going through an indirect call.
+template <typename F>
+double mean_over_residuals(const Matrix& pred, const Matrix& target, F&& f) {
+  require_same_shape(pred, target);
+  const double scale = inv_count(pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    acc += f(pred.data()[i] - target.data()[i]);
+  }
+  return acc * scale;
+}
+
+/// Elementwise gradient g_i = f(residual_i) over the batch.
+template <typename F>
+Matrix grad_from_residuals(const Matrix& pred, const Matrix& target, F&& f) {
+  require_same_shape(pred, target);
+  if (pred.size() == 0) throw std::invalid_argument("loss: empty batch");
+  Matrix g(pred.rows(), pred.cols());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    g.data()[i] = f(pred.data()[i] - target.data()[i]);
+  }
+  return g;
+}
 }  // namespace
 
 double MaeLoss::value(const Matrix& pred, const Matrix& target) const {
-  require_same_shape(pred, target);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    acc += std::fabs(pred.data()[i] - target.data()[i]);
-  }
-  return acc * inv_count(pred);
+  return mean_over_residuals(pred, target,
+                             [](double r) { return std::fabs(r); });
 }
 
 Matrix MaeLoss::grad(const Matrix& pred, const Matrix& target) const {
-  require_same_shape(pred, target);
   const double scale = inv_count(pred);
-  Matrix g(pred.rows(), pred.cols());
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double r = pred.data()[i] - target.data()[i];
-    g.data()[i] = r > 0.0 ? scale : (r < 0.0 ? -scale : 0.0);
-  }
-  return g;
+  return grad_from_residuals(pred, target, [scale](double r) {
+    return r > 0.0 ? scale : (r < 0.0 ? -scale : 0.0);
+  });
 }
 
 double MseLoss::value(const Matrix& pred, const Matrix& target) const {
-  require_same_shape(pred, target);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double r = pred.data()[i] - target.data()[i];
-    acc += r * r;
-  }
-  return acc * inv_count(pred);
+  return mean_over_residuals(pred, target, [](double r) { return r * r; });
 }
 
 Matrix MseLoss::grad(const Matrix& pred, const Matrix& target) const {
-  require_same_shape(pred, target);
   const double scale = 2.0 * inv_count(pred);
-  Matrix g(pred.rows(), pred.cols());
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    g.data()[i] = scale * (pred.data()[i] - target.data()[i]);
-  }
-  return g;
+  return grad_from_residuals(pred, target,
+                             [scale](double r) { return scale * r; });
 }
 
 HuberLoss::HuberLoss(double delta) : delta_(delta) {
@@ -62,28 +69,20 @@ HuberLoss::HuberLoss(double delta) : delta_(delta) {
 }
 
 double HuberLoss::value(const Matrix& pred, const Matrix& target) const {
-  require_same_shape(pred, target);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double r = std::fabs(pred.data()[i] - target.data()[i]);
-    acc += r <= delta_ ? 0.5 * r * r : delta_ * (r - 0.5 * delta_);
-  }
-  return acc * inv_count(pred);
+  const double delta = delta_;
+  return mean_over_residuals(pred, target, [delta](double r) {
+    const double a = std::fabs(r);
+    return a <= delta ? 0.5 * a * a : delta * (a - 0.5 * delta);
+  });
 }
 
 Matrix HuberLoss::grad(const Matrix& pred, const Matrix& target) const {
-  require_same_shape(pred, target);
   const double scale = inv_count(pred);
-  Matrix g(pred.rows(), pred.cols());
-  for (std::size_t i = 0; i < pred.size(); ++i) {
-    const double r = pred.data()[i] - target.data()[i];
-    if (std::fabs(r) <= delta_) {
-      g.data()[i] = scale * r;
-    } else {
-      g.data()[i] = scale * delta_ * (r > 0.0 ? 1.0 : -1.0);
-    }
-  }
-  return g;
+  const double delta = delta_;
+  return grad_from_residuals(pred, target, [scale, delta](double r) {
+    if (std::fabs(r) <= delta) return scale * r;
+    return scale * delta * (r > 0.0 ? 1.0 : -1.0);
+  });
 }
 
 std::unique_ptr<Loss> make_loss(const std::string& name) {

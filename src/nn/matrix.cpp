@@ -89,8 +89,10 @@ Matrix& Matrix::operator*=(double scalar) {
   return *this;
 }
 
-void Matrix::apply(const std::function<double(double)>& f) {
-  for (auto& v : data_) v = f(v);
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
 }
 
 void Matrix::fill(double v) {
@@ -125,6 +127,173 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     }
   }
   return c;
+}
+
+namespace {
+
+/// Shared kernel of matmul_into / matmul_bias_into: each output row starts
+/// from `init` (zeros or a broadcast bias row) and accumulates rank-1
+/// updates in ascending-k order. Raw restrict pointers let the j loop
+/// vectorize; `noclone` keeps GCC from constant-propagating the tiny layer
+/// widths into specialized clones (whose interleaving vectorization is
+/// dramatically slower for these shapes than the plain saxpy form).
+__attribute__((noinline, noclone)) void matmul_rows(
+    const double* __restrict a, const double* __restrict b,
+    const double* __restrict init, double* __restrict out, std::size_t rows,
+    std::size_t inner, std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* __restrict a_row = a + i * inner;
+    double* __restrict out_row = out + i * cols;
+    if (init == nullptr) {
+      for (std::size_t j = 0; j < cols; ++j) out_row[j] = 0.0;
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) out_row[j] = init[j];
+    }
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double aik = a_row[k];
+      const double* __restrict b_row = b + k * cols;
+      for (std::size_t j = 0; j < cols; ++j) {
+        out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+}
+
+void matmul_rows(const Matrix& a, const Matrix& b, const double* init,
+                 Matrix& out) {
+  matmul_rows(a.data().data(), b.data().data(), init, out.data().data(),
+              a.rows(), a.cols(), b.cols());
+}
+
+}  // namespace
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_into: inner dimension mismatch");
+  }
+  if (&out == &a || &out == &b) {
+    throw std::invalid_argument("matmul_into: out must not alias an input");
+  }
+  out.resize(a.rows(), b.cols());
+  matmul_rows(a, b, nullptr, out);
+}
+
+void matmul_bias_into(const Matrix& a, const Matrix& b, const Matrix& bias_row,
+                      Matrix& out) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_bias_into: inner dimension mismatch");
+  }
+  if (bias_row.rows() != 1 || bias_row.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_bias_into: bias shape mismatch");
+  }
+  if (&out == &a || &out == &b || &out == &bias_row) {
+    throw std::invalid_argument("matmul_bias_into: out must not alias input");
+  }
+  out.resize(a.rows(), b.cols());
+  matmul_rows(a, b, bias_row.data().data(), out);
+}
+
+void copy_into(const Matrix& src, Matrix& dst) {
+  dst.resize(src.rows(), src.cols());
+  const auto s = src.data();
+  const auto d = dst.data();
+  for (std::size_t i = 0; i < s.size(); ++i) d[i] = s[i];
+}
+
+void transpose_into(const Matrix& src, Matrix& dst) {
+  if (&src == &dst) {
+    throw std::invalid_argument("transpose_into: dst must not alias src");
+  }
+  dst.resize(src.cols(), src.rows());
+  for (std::size_t r = 0; r < src.rows(); ++r) {
+    for (std::size_t c = 0; c < src.cols(); ++c) {
+      dst(c, r) = src(r, c);
+    }
+  }
+}
+
+namespace {
+
+/// Register-blocked tile of the feature-major forward: kOut output features
+/// x kBatch batch columns accumulate entirely in registers, with one
+/// activation-row load shared by all kOut FMA chains per k step. The tile
+/// shape (4 x 32 doubles = 16 512-bit accumulators) is chosen for the
+/// AVX-512/AVX2 register file; per element the order stays bias-then-
+/// ascending-k.
+template <int kOut, int kBatch>
+inline void dense_columns_tile(const double* __restrict a,
+                               const double* __restrict w,
+                               const double* __restrict bias,
+                               double* __restrict out, std::size_t in_f,
+                               std::size_t out_f, std::size_t batch,
+                               std::size_t of, std::size_t jt) {
+  double acc[kOut][kBatch];
+  for (int r = 0; r < kOut; ++r) {
+    const double b0 = bias[of + r];
+    for (int j = 0; j < kBatch; ++j) acc[r][j] = b0;
+  }
+  for (std::size_t k = 0; k < in_f; ++k) {
+    const double* __restrict a_row = a + k * batch + jt;
+    for (int r = 0; r < kOut; ++r) {
+      const double wk = w[k * out_f + of + r];
+      for (int j = 0; j < kBatch; ++j) acc[r][j] += wk * a_row[j];
+    }
+  }
+  for (int r = 0; r < kOut; ++r) {
+    double* __restrict o = out + (of + r) * batch + jt;
+    for (int j = 0; j < kBatch; ++j) o[j] = acc[r][j];
+  }
+}
+
+__attribute__((noinline, noclone)) void dense_columns_kernel(
+    const double* __restrict a, const double* __restrict w,
+    const double* __restrict bias, double* __restrict out, std::size_t in_f,
+    std::size_t out_f, std::size_t batch) {
+  constexpr int kOut = 4;
+  constexpr int kBatch = 32;
+  std::size_t jt = 0;
+  for (; jt + kBatch <= batch; jt += kBatch) {
+    std::size_t of = 0;
+    for (; of + kOut <= out_f; of += kOut) {
+      dense_columns_tile<kOut, kBatch>(a, w, bias, out, in_f, out_f, batch,
+                                       of, jt);
+    }
+    for (; of < out_f; ++of) {
+      dense_columns_tile<1, kBatch>(a, w, bias, out, in_f, out_f, batch, of,
+                                    jt);
+    }
+  }
+  // Remainder columns, one at a time (at most kBatch - 1 of them).
+  for (; jt < batch; ++jt) {
+    for (std::size_t of = 0; of < out_f; ++of) {
+      double acc = bias[of];
+      for (std::size_t k = 0; k < in_f; ++k) {
+        acc += w[k * out_f + of] * a[k * batch + jt];
+      }
+      out[of * batch + jt] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void dense_forward_columns(const Matrix& activations, const Matrix& weights,
+                           const Matrix& bias_row, Matrix& out) {
+  if (activations.rows() != weights.rows()) {
+    throw std::invalid_argument(
+        "dense_forward_columns: feature dimension mismatch");
+  }
+  if (bias_row.rows() != 1 || bias_row.cols() != weights.cols()) {
+    throw std::invalid_argument("dense_forward_columns: bias shape mismatch");
+  }
+  if (&out == &activations || &out == &weights || &out == &bias_row) {
+    throw std::invalid_argument(
+        "dense_forward_columns: out must not alias an input");
+  }
+  out.resize(weights.cols(), activations.cols());
+  dense_columns_kernel(activations.data().data(), weights.data().data(),
+                       bias_row.data().data(), out.data().data(),
+                       weights.rows(), weights.cols(), activations.cols());
 }
 
 Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {

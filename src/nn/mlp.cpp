@@ -43,6 +43,62 @@ Matrix Mlp::forward(const Matrix& input, bool train) {
   return x;
 }
 
+namespace {
+/// Batches at least this large run feature-major: the batch becomes the
+/// vectorized axis, making throughput independent of the tiny layer widths.
+/// Below it, the transpose overhead outweighs the gain and the row-major
+/// path (good at batch-of-1) wins. Both paths agree bitwise.
+constexpr std::size_t kColumnsMinBatch = 32;
+}  // namespace
+
+const Matrix& Mlp::infer(const Matrix& input, ForwardWorkspace& ws) const {
+  // Buffer layout: [0, n) layer outputs, n the transposed input, n+1 the
+  // re-transposed final output of the feature-major path.
+  const std::size_t n = layers_.size();
+  ws.ensure(n + 2);
+  if (n == 0) {
+    // Layerless net: hand back a workspace-owned copy so the reference
+    // contract (result lives in ws) holds regardless of topology.
+    copy_into(input, ws.buffer(0));
+    return ws.buffer(0);
+  }
+
+  if (input.rows() >= kColumnsMinBatch) {
+    // Feature-major: transpose once, run every layer with the batch as the
+    // unit-stride axis, transpose the (tiny) output back.
+    Matrix& staged = ws.buffer(n);
+    transpose_into(input, staged);
+    const Matrix* x = &staged;
+    for (std::size_t i = 0; i < n; ++i) {
+      Matrix& out = ws.buffer(i);
+      layers_[i]->infer_columns(*x, out);
+      x = &out;
+    }
+    transpose_into(*x, ws.buffer(n + 1));
+    return ws.buffer(n + 1);
+  }
+
+  const Matrix* x = &input;
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix& out = ws.buffer(i);
+    layers_[i]->infer_into(*x, out);
+    x = &out;
+  }
+  return *x;
+}
+
+double Mlp::infer_scalar(std::span<const double> features,
+                         ForwardWorkspace& ws) const {
+  Matrix& staged = ws.staging();
+  staged.resize(1, features.size());
+  for (std::size_t c = 0; c < features.size(); ++c) staged(0, c) = features[c];
+  const Matrix& out = infer(staged, ws);
+  if (out.cols() == 0 || out.rows() == 0) {
+    throw std::logic_error("Mlp::infer_scalar: empty output");
+  }
+  return out(0, 0);
+}
+
 double Mlp::predict_scalar(std::span<const double> features) {
   const Matrix out = forward(Matrix::row_vector(features), /*train=*/false);
   if (out.cols() == 0 || out.rows() == 0) {

@@ -11,6 +11,7 @@
 #include "nn/activation.hpp"
 #include "nn/dense.hpp"
 #include "nn/layer.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace socpinn::nn {
@@ -36,8 +37,20 @@ class Mlp {
   /// Appends a layer (takes ownership).
   void add(std::unique_ptr<Layer> layer);
 
-  /// Forward pass through all layers.
+  /// Forward pass through all layers. Caches activations for backward();
+  /// use infer() for the allocation-free inference-only path.
   Matrix forward(const Matrix& input, bool train = false);
+
+  /// Inference-only batched forward through the workspace's preallocated
+  /// buffers: zero heap allocations once the workspace is warm at the given
+  /// batch size. Const and thread-safe when each thread owns its workspace.
+  /// The returned reference points into `ws` and stays valid until the next
+  /// infer() with the same workspace.
+  const Matrix& infer(const Matrix& input, ForwardWorkspace& ws) const;
+
+  /// Batch-of-1 wrapper over infer(); returns the scalar first output.
+  [[nodiscard]] double infer_scalar(std::span<const double> features,
+                                    ForwardWorkspace& ws) const;
 
   /// Convenience single-sample forward; returns the scalar first output.
   [[nodiscard]] double predict_scalar(std::span<const double> features);

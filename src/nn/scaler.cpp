@@ -49,6 +49,19 @@ Matrix StandardScaler::transform(const Matrix& x) const {
   return out;
 }
 
+void StandardScaler::transform_into(const Matrix& x, Matrix& out) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument("StandardScaler::transform_into: width");
+  }
+  out.resize(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - means_[c]) / stds_[c];
+    }
+  }
+}
+
 void StandardScaler::transform_row(std::span<double> row) const {
   if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
   if (row.size() != means_.size()) {

@@ -25,6 +25,10 @@ class StandardScaler {
   /// Transforms a batch; throws if not fitted or width mismatches.
   [[nodiscard]] Matrix transform(const Matrix& x) const;
 
+  /// Standardizes x into out, resizing it with capacity reuse — no heap
+  /// allocation in the steady state. out must not alias x.
+  void transform_into(const Matrix& x, Matrix& out) const;
+
   /// Transforms a single row in place.
   void transform_row(std::span<double> row) const;
 

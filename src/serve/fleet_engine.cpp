@@ -1,0 +1,89 @@
+#include "serve/fleet_engine.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace socpinn::serve {
+
+FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
+                         FleetConfig config)
+    : net_(&net),
+      config_(config),
+      pool_(config.threads),
+      scratch_(pool_.size()),
+      soc_(num_cells, 0.0) {
+  if (num_cells == 0) {
+    throw std::invalid_argument("FleetEngine: empty fleet");
+  }
+}
+
+void FleetEngine::init_from_sensors(const nn::Matrix& sensors_raw) {
+  if (sensors_raw.rows() != num_cells() || sensors_raw.cols() != 3) {
+    throw std::invalid_argument(
+        "FleetEngine::init_from_sensors: need num_cells x 3 sensors");
+  }
+  pool_.parallel_for(
+      num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        ShardScratch& scratch = scratch_[shard];
+        const std::size_t count = end - begin;
+        scratch.input.resize(count, 3);
+        for (std::size_t i = 0; i < count; ++i) {
+          for (std::size_t c = 0; c < 3; ++c) {
+            scratch.input(i, c) = sensors_raw(begin + i, c);
+          }
+        }
+        const nn::Matrix& est =
+            net_->estimate_batch(scratch.input, scratch.ws);
+        for (std::size_t i = 0; i < count; ++i) {
+          soc_[begin + i] =
+              config_.clamp_soc ? util::clamp01(est(i, 0)) : est(i, 0);
+        }
+      });
+}
+
+void FleetEngine::set_soc(std::span<const double> soc) {
+  if (soc.size() != num_cells()) {
+    throw std::invalid_argument("FleetEngine::set_soc: size mismatch");
+  }
+  for (std::size_t i = 0; i < soc.size(); ++i) soc_[i] = soc[i];
+}
+
+void FleetEngine::step(const nn::Matrix& workload_raw) {
+  if (workload_raw.rows() != num_cells() || workload_raw.cols() != 3) {
+    throw std::invalid_argument(
+        "FleetEngine::step: need num_cells x 3 workload");
+  }
+  pool_.parallel_for(
+      num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        ShardScratch& scratch = scratch_[shard];
+        const std::size_t count = end - begin;
+        scratch.input.resize(count, 4);
+        for (std::size_t i = 0; i < count; ++i) {
+          scratch.input(i, 0) = soc_[begin + i];
+          scratch.input(i, 1) = workload_raw(begin + i, 0);
+          scratch.input(i, 2) = workload_raw(begin + i, 1);
+          scratch.input(i, 3) = workload_raw(begin + i, 2);
+        }
+        const nn::Matrix& pred =
+            net_->predict_batch(scratch.input, scratch.ws);
+        for (std::size_t i = 0; i < count; ++i) {
+          soc_[begin + i] =
+              config_.clamp_soc ? util::clamp01(pred(i, 0)) : pred(i, 0);
+        }
+      });
+  ++ticks_;
+}
+
+void FleetEngine::run(double avg_current, double avg_temp_c, double horizon_s,
+                      std::size_t ticks) {
+  nn::Matrix workload(num_cells(), 3);
+  for (std::size_t i = 0; i < num_cells(); ++i) {
+    workload(i, 0) = avg_current;
+    workload(i, 1) = avg_temp_c;
+    workload(i, 2) = horizon_s;
+  }
+  for (std::size_t t = 0; t < ticks; ++t) step(workload);
+}
+
+}  // namespace socpinn::serve

@@ -1,0 +1,78 @@
+#pragma once
+/// \file fleet_engine.hpp
+/// Fleet-scale serving: one engine owns the SoC state of N independent
+/// cells and advances the whole fleet per tick with batched cascaded
+/// forwards — one matmul per layer for all cells of a shard instead of a
+/// per-cell inference loop.
+///
+/// Deployment model (the scenario PINN4SOH-style fleet work targets): the
+/// BMS of every cell reports sensors once at connect time (Branch-1
+/// estimate, voltage consumed exactly once as in the paper's Fig. 2
+/// rollout), then the server advances each cell's SoC per planning tick
+/// from its expected workload (Branch 2). Work is sharded across a thread
+/// pool; each shard runs on its own InferenceWorkspace, so the shared
+/// TwoBranchNet is only ever read. Shard boundaries depend on nothing but
+/// (num_cells, num_threads), and every batched row is computed
+/// independently, so fleet results are bitwise identical for any thread
+/// count. After one warm-up tick per shard the engine performs zero heap
+/// allocations per tick.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/two_branch_net.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace socpinn::serve {
+
+struct FleetConfig {
+  std::size_t threads = 0;  ///< worker threads; 0 = hardware_concurrency
+  bool clamp_soc = true;    ///< clamp predictions into [0, 1] per tick
+};
+
+class FleetEngine {
+ public:
+  /// \param net trained model shared by every cell; the engine keeps a
+  ///        reference and never mutates it — it must outlive the engine.
+  FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
+              FleetConfig config = {});
+
+  /// Batched Branch-1 estimate across the fleet: row i of `sensors_raw`
+  /// (num_cells x 3: V, I, T) initializes cell i's SoC.
+  void init_from_sensors(const nn::Matrix& sensors_raw);
+
+  /// Directly seeds the per-cell SoC state (size num_cells).
+  void set_soc(std::span<const double> soc);
+
+  /// Advances every cell by one tick: row i of `workload_raw`
+  /// (num_cells x 3: avg current, avg temp, horizon_s) describes cell i's
+  /// expected workload, and Branch 2 maps [SoC_i, workload_i] -> SoC_i'.
+  void step(const nn::Matrix& workload_raw);
+
+  /// Convenience: `ticks` steps under one shared workload row
+  /// (avg current, avg temp, horizon_s) applied to every cell.
+  void run(double avg_current, double avg_temp_c, double horizon_s,
+           std::size_t ticks);
+
+  [[nodiscard]] std::span<const double> soc() const { return soc_; }
+  [[nodiscard]] std::size_t num_cells() const { return soc_.size(); }
+  [[nodiscard]] std::size_t num_threads() const { return pool_.size(); }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  /// Per-shard scratch: workspace plus the staged raw input rows.
+  struct ShardScratch {
+    core::InferenceWorkspace ws;
+    nn::Matrix input;
+  };
+
+  const core::TwoBranchNet* net_;
+  FleetConfig config_;
+  ThreadPool pool_;
+  std::vector<ShardScratch> scratch_;  ///< one per pool thread
+  std::vector<double> soc_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace socpinn::serve

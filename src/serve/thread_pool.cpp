@@ -1,0 +1,93 @@
+#include "serve/thread_pool.hpp"
+
+namespace socpinn::serve {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Contiguous shard `shard` of [0, n) split `shards` ways.
+struct Range {
+  std::size_t begin;
+  std::size_t end;
+};
+
+Range shard_range(std::size_t n, std::size_t shard, std::size_t shards) {
+  return {n * shard / shards, n * (shard + 1) / shards};
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t w = 1; w < total; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
+  const std::size_t shards = size();
+  if (shards == 1) {
+    if (n != 0) job(ctx, 0, 0, n);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = job;
+    job_ctx_ = ctx;
+    job_n_ = n;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  const Range own = shard_range(n, 0, shards);
+  if (own.begin != own.end) job(ctx, 0, own.begin, own.end);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  job_ctx_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job job;
+    void* ctx;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      ctx = job_ctx_;
+      n = job_n_;
+    }
+    const Range range = shard_range(n, worker_index, size());
+    if (range.begin != range.end) job(ctx, worker_index, range.begin, range.end);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace socpinn::serve

@@ -1,0 +1,78 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Minimal persistent worker pool for sharded fleet evaluation.
+///
+/// The pool exists to run the same callable over disjoint contiguous index
+/// ranges ("shards") of a fleet. Shard boundaries depend only on (n, size()),
+/// never on timing, and every row of a batched forward is computed
+/// independently, so results are bitwise identical for any thread count.
+/// Jobs are passed as a function pointer plus context (not std::function),
+/// so dispatching a tick performs no heap allocation.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace socpinn::serve {
+
+class ThreadPool {
+ public:
+  /// A shard job: fn(ctx, shard, begin, end) over the half-open range
+  /// [begin, end). Must not throw.
+  using Job = void (*)(void* ctx, std::size_t shard, std::size_t begin,
+                       std::size_t end);
+
+  /// Spawns `threads` persistent workers (0 = hardware_concurrency, with a
+  /// floor of 1). The caller of parallel_for acts as one of the shards, so
+  /// a pool of size T spawns T-1 OS threads.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Number of shards parallel_for splits into.
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs job(ctx, shard, begin, end) over [0, n) split into size()
+  /// contiguous shards and blocks until all shards finish. Shard s covers
+  /// [s*n/size(), (s+1)*n/size()); empty shards are skipped. The calling
+  /// thread executes shard 0. Only one parallel_for may be in flight at a
+  /// time (the blocking call enforces this for a single owner).
+  void parallel_for(std::size_t n, Job job, void* ctx);
+
+  /// Convenience adapter for callables: f(shard, begin, end). Works for
+  /// const callables too (the void* round-trip restores constness).
+  template <typename F>
+  void parallel_for(std::size_t n, F&& f) {
+    using Callable = std::remove_reference_t<F>;
+    parallel_for(
+        n,
+        [](void* ctx, std::size_t shard, std::size_t begin, std::size_t end) {
+          (*static_cast<Callable*>(ctx))(shard, begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job job_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;  ///< bumped per parallel_for to wake workers
+  std::size_t pending_ = 0;       ///< workers still running the current job
+  bool stop_ = false;
+};
+
+}  // namespace socpinn::serve

@@ -1,0 +1,108 @@
+/// Verifies the refactor's headline property: once a workspace is warm, the
+/// batched inference path and the fleet tick perform ZERO heap allocations.
+/// The whole test binary routes operator new through a counter; each test
+/// warms up, snapshots the counter, runs the steady state, and requires the
+/// counter unchanged.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/two_branch_net.hpp"
+#include "serve/fleet_engine.hpp"
+#include "support/fitted_net.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace socpinn::serve {
+namespace {
+
+std::size_t allocs() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(AllocFree, BatchedEstimateSteadyStateAllocatesNothing)
+{
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  util::Rng rng(3);
+  nn::Matrix sensors(256, 3);
+  for (auto& v : sensors.data()) v = rng.uniform(-1.0, 1.0);
+
+  core::InferenceWorkspace ws;
+  (void)net.estimate_batch(sensors, ws);  // warm-up sizes every buffer
+
+  const std::size_t before = allocs();
+  double acc = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const nn::Matrix& out = net.estimate_batch(sensors, ws);
+    acc += out(0, 0);
+  }
+  EXPECT_EQ(allocs(), before) << "batched estimate allocated on the hot path";
+  EXPECT_TRUE(acc == acc);
+}
+
+TEST(AllocFree, CascadeAndScalarWrappersSteadyState) {
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  util::Rng rng(5);
+  nn::Matrix sensors(64, 3);
+  nn::Matrix workload(64, 3);
+  for (auto& v : sensors.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : workload.data()) v = rng.uniform(-1.0, 1.0);
+
+  core::InferenceWorkspace ws;
+  (void)net.cascade_batch(sensors, workload, ws);
+  (void)net.estimate_soc(3.8, -2.0, 25.0, ws);
+  (void)net.predict_soc(0.7, -2.0, 25.0, 60.0, ws);
+
+  const std::size_t before = allocs();
+  double acc = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    acc += net.cascade_batch(sensors, workload, ws)(0, 0);
+    acc += net.estimate_soc(3.8, -2.0, 25.0, ws);
+    acc += net.predict_soc(acc > 0 ? 0.5 : 0.6, -2.0, 25.0, 60.0, ws);
+  }
+  EXPECT_EQ(allocs(), before) << "cascade/scalar wrappers allocated";
+}
+
+TEST(AllocFree, FleetTickSteadyStateAllocatesNothing) {
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  const std::size_t cells = 1000;
+  util::Rng rng(7);
+  nn::Matrix sensors(cells, 3);
+  nn::Matrix workload(cells, 3);
+  for (auto& v : sensors.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : workload.data()) v = rng.uniform(-1.0, 1.0);
+
+  FleetConfig config;
+  config.threads = 2;
+  FleetEngine engine(net, cells, config);
+  engine.init_from_sensors(sensors);
+  engine.step(workload);  // warm-up tick sizes every shard's scratch
+
+  const std::size_t before = allocs();
+  for (int tick = 0; tick < 25; ++tick) engine.step(workload);
+  EXPECT_EQ(allocs(), before) << "fleet tick allocated in steady state";
+  EXPECT_EQ(engine.ticks(), 26u);
+}
+
+}  // namespace
+}  // namespace socpinn::serve

@@ -1,0 +1,129 @@
+#include "serve/fleet_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/fitted_net.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::serve {
+namespace {
+
+using testing::random_sensors;
+using testing::random_workload;
+
+std::vector<double> run_fleet(const core::TwoBranchNet& net,
+                              std::size_t threads, std::size_t cells,
+                              std::size_t ticks) {
+  util::Rng rng(101);
+  const nn::Matrix sensors = random_sensors(cells, rng);
+  const nn::Matrix workload = random_workload(cells, rng);
+  FleetConfig config;
+  config.threads = threads;
+  FleetEngine engine(net, cells, config);
+  engine.init_from_sensors(sensors);
+  for (std::size_t t = 0; t < ticks; ++t) engine.step(workload);
+  return {engine.soc().begin(), engine.soc().end()};
+}
+
+TEST(FleetEngine, ResultsInvariantToThreadCount) {
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const std::size_t cells = 531;  // deliberately not a multiple of any count
+  const std::vector<double> single = run_fleet(net, 1, cells, 5);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{4}, std::size_t{hw}}) {
+    const std::vector<double> multi = run_fleet(net, threads, cells, 5);
+    ASSERT_EQ(multi.size(), single.size());
+    for (std::size_t i = 0; i < cells; ++i) {
+      // Bitwise identity, not approximate: sharding a row-independent
+      // batch must not change a single ulp.
+      EXPECT_EQ(multi[i], single[i]) << "cell " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(FleetEngine, MatchesScalarCascadePerCell) {
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const std::size_t cells = 97;
+  util::Rng rng(101);
+  const nn::Matrix sensors = random_sensors(cells, rng);
+  const nn::Matrix workload = random_workload(cells, rng);
+
+  FleetConfig config;
+  config.threads = 3;
+  FleetEngine engine(net, cells, config);
+  engine.init_from_sensors(sensors);
+  engine.step(workload);
+  engine.step(workload);
+
+  core::InferenceWorkspace ws;
+  for (std::size_t i = 0; i < cells; ++i) {
+    double soc = util::clamp01(
+        net.estimate_soc(sensors(i, 0), sensors(i, 1), sensors(i, 2), ws));
+    for (int tick = 0; tick < 2; ++tick) {
+      soc = util::clamp01(net.predict_soc(soc, workload(i, 0), workload(i, 1),
+                                          workload(i, 2), ws));
+    }
+    EXPECT_DOUBLE_EQ(engine.soc()[i], soc) << "cell " << i;
+  }
+}
+
+TEST(FleetEngine, SetSocAndRunAdvanceEveryCell) {
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  FleetConfig config;
+  config.threads = 2;
+  FleetEngine engine(net, 10, config);
+  const std::vector<double> start(10, 0.9);
+  engine.set_soc(start);
+  engine.run(-2.0, 25.0, 60.0, 3);
+  EXPECT_EQ(engine.ticks(), 3u);
+
+  core::InferenceWorkspace ws;
+  double expect = 0.9;
+  for (int tick = 0; tick < 3; ++tick) {
+    expect = util::clamp01(net.predict_soc(expect, -2.0, 25.0, 60.0, ws));
+  }
+  for (const double soc : engine.soc()) EXPECT_DOUBLE_EQ(soc, expect);
+}
+
+TEST(FleetEngine, ValidatesShapes) {
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  EXPECT_THROW(FleetEngine(net, 0), std::invalid_argument);
+
+  FleetEngine engine(net, 8, {.threads = 1});
+  EXPECT_THROW(engine.init_from_sensors(nn::Matrix(7, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(engine.init_from_sensors(nn::Matrix(8, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(engine.step(nn::Matrix(8, 4)), std::invalid_argument);
+  const std::vector<double> too_small(3, 0.5);
+  EXPECT_THROW(engine.set_soc(too_small), std::invalid_argument);
+}
+
+TEST(FleetEngine, ClampCanBeDisabled) {
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  FleetConfig config;
+  config.threads = 1;
+  config.clamp_soc = false;
+  FleetEngine engine(net, 4, config);
+  const std::vector<double> start(4, 0.5);
+  engine.set_soc(start);
+  nn::Matrix workload(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    workload(r, 0) = -2.0;
+    workload(r, 1) = 25.0;
+    workload(r, 2) = 60.0;
+  }
+  engine.step(workload);
+  core::InferenceWorkspace ws;
+  const double raw = net.predict_soc(0.5, -2.0, 25.0, 60.0, ws);
+  for (const double soc : engine.soc()) EXPECT_DOUBLE_EQ(soc, raw);
+}
+
+}  // namespace
+}  // namespace socpinn::serve

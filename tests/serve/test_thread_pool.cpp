@@ -1,0 +1,75 @@
+#include "serve/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace socpinn::serve {
+namespace {
+
+TEST(ThreadPool, SizeAccountsForCallerThread) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(4).size(), 4u);
+  EXPECT_GE(ThreadPool(0).size(), 1u);  // hardware_concurrency fallback
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ShardsAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4, {0, 0});
+  pool.parallel_for(103,
+                    [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                      ranges[shard] = {begin, end};
+                    });
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LE(begin, end);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 103u);
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+
+  std::atomic<int> sum{0};
+  pool.parallel_for(2, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum.fetch_add(static_cast<int>(i) + 1);
+  });
+  EXPECT_EQ(sum.load(), 3);  // 1 + 2: both indices visited despite n < size()
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(64, [&](std::size_t, std::size_t begin, std::size_t end) {
+      total.fetch_add(static_cast<long>(end - begin));
+    });
+  }
+  EXPECT_EQ(total.load(), 50l * 64l);
+}
+
+}  // namespace
+}  // namespace socpinn::serve

@@ -1,0 +1,55 @@
+#pragma once
+/// Shared fixtures for the inference-path test suites: a TwoBranchNet with
+/// deterministic weights and hand-set scaler moments (no training needed),
+/// plus random raw-input generators matching each branch's column order.
+
+#include "core/two_branch_net.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::testing {
+
+/// Net with fitted scalers; equal seeds give identical weights.
+inline core::TwoBranchNet make_fitted_net(std::uint64_t seed) {
+  core::TwoBranchNet net({}, seed);
+  net.scaler1() = nn::StandardScaler::from_moments({3.7, -1.5, 25.0},
+                                                   {0.3, 2.0, 8.0});
+  net.scaler2() = nn::StandardScaler::from_moments(
+      {0.5, -1.5, 25.0, 45.0}, {0.25, 2.0, 8.0, 18.0});
+  return net;
+}
+
+/// n x 3 raw Branch-1 input: [V, I, T].
+inline nn::Matrix random_sensors(std::size_t n, util::Rng& rng) {
+  nn::Matrix m(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    m(r, 0) = rng.uniform(2.8, 4.2);
+    m(r, 1) = rng.uniform(-6.0, 3.0);
+    m(r, 2) = rng.uniform(-5.0, 45.0);
+  }
+  return m;
+}
+
+/// n x 4 raw Branch-2 input: [SoC, avg I, avg T, N].
+inline nn::Matrix random_branch2(std::size_t n, util::Rng& rng) {
+  nn::Matrix m(n, 4);
+  for (std::size_t r = 0; r < n; ++r) {
+    m(r, 0) = rng.uniform(0.0, 1.0);
+    m(r, 1) = rng.uniform(-6.0, 3.0);
+    m(r, 2) = rng.uniform(-5.0, 45.0);
+    m(r, 3) = rng.uniform(10.0, 600.0);
+  }
+  return m;
+}
+
+/// n x 3 raw workload: [avg I, avg T, horizon N].
+inline nn::Matrix random_workload(std::size_t n, util::Rng& rng) {
+  nn::Matrix m(n, 3);
+  for (std::size_t r = 0; r < n; ++r) {
+    m(r, 0) = rng.uniform(-6.0, 3.0);
+    m(r, 1) = rng.uniform(-5.0, 45.0);
+    m(r, 2) = rng.uniform(10.0, 600.0);
+  }
+  return m;
+}
+
+}  // namespace socpinn::testing
