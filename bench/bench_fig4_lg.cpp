@@ -7,7 +7,8 @@
 /// 0.0210 (beating No-PINN by 3 % / 69 % / 82 %), and PINN-All is within
 /// 1.8 % of the best model everywhere.
 ///
-/// Options: --seeds=N (default 3), --epochs=N (default 200), --fast.
+/// Options: --seeds=N (default 3), --epochs=N (default 200), --fast,
+/// --smoke (--fast plus 2 epochs — the CI smoke mode).
 
 #include <cstdio>
 #include <vector>
@@ -25,9 +26,10 @@ using namespace socpinn;
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
   const util::ArgParser args(argc, argv);
-  const bool fast = args.get_bool("fast", false);
+  const bool smoke = args.get_bool("smoke", false);
+  const bool fast = smoke || args.get_bool("fast", false);
   const int n_seeds = args.get_int("seeds", fast ? 1 : 3);
-  const int epochs = args.get_int("epochs", 200);
+  const int epochs = args.get_int("epochs", smoke ? 2 : 200);
 
   util::WallTimer timer;
   data::LgConfig data_config;

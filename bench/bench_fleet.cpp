@@ -4,40 +4,32 @@
 /// sharded across a thread pool. Reports cells/second per fleet size and
 /// thread count — the headline serving metric the ROADMAP scales against —
 /// plus the per-tick latency a BMS backend would see.
+///
+/// Writes BENCH_fleet.json (same flat schema family as
+/// BENCH_inference.json): tick latency, cells/second, the batched-tick
+/// speedup over a per-cell scalar loop, and the steady-state allocation
+/// count — threshold-checked in CI via tools/check_bench_regression.py.
+///
+/// Options: --smoke (tiny reps for CI smoke runs; skips the Google
+/// Benchmark sweep and only emits the JSON), plus the usual
+/// --benchmark_* flags.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <thread>
+#include <vector>
 
+#include "bench_support.hpp"
 #include "serve/fleet_engine.hpp"
-#include "util/rng.hpp"
+#include "util/math.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace socpinn;
-
-core::TwoBranchNet& shared_net() {
-  static core::TwoBranchNet net = [] {
-    core::TwoBranchNet n({}, 1);
-    n.scaler1() = nn::StandardScaler::from_moments({3.7, -1.5, 25.0},
-                                                   {0.3, 2.0, 8.0});
-    n.scaler2() = nn::StandardScaler::from_moments(
-        {0.5, -1.5, 25.0, 45.0}, {0.25, 2.0, 8.0, 18.0});
-    return n;
-  }();
-  return net;
-}
-
-nn::Matrix fleet_workload(std::size_t cells, util::Rng& rng) {
-  nn::Matrix m(cells, 3);
-  for (std::size_t r = 0; r < cells; ++r) {
-    m(r, 0) = rng.uniform(-6.0, 3.0);
-    m(r, 1) = rng.uniform(-5.0, 45.0);
-    m(r, 2) = rng.uniform(10.0, 600.0);
-  }
-  return m;
-}
+using benchsupport::random_workload;
+using benchsupport::shared_net;
 
 void BM_FleetTick(benchmark::State& state) {
   const auto cells = static_cast<std::size_t>(state.range(0));
@@ -48,7 +40,7 @@ void BM_FleetTick(benchmark::State& state) {
   serve::FleetEngine engine(shared_net(), cells, config);
   std::vector<double> soc(cells, 0.8);
   engine.set_soc(soc);
-  const nn::Matrix workload = fleet_workload(cells, rng);
+  const nn::Matrix workload = random_workload(cells, rng);
   engine.step(workload);  // warm every shard's workspace
   for (auto _ : state) {
     engine.step(workload);
@@ -83,12 +75,82 @@ void BM_FleetConnect(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetConnect)->Arg(16384)->Unit(benchmark::kMicrosecond);
 
+/// Tick latency / throughput + batched-vs-scalar speedup + steady-state
+/// allocations, written for machine consumption by CI.
+void emit_bench_json(const char* path, std::size_t cells, int reps) {
+  core::TwoBranchNet& net = shared_net();
+  util::Rng rng(11);
+  const nn::Matrix workload = random_workload(cells, rng);
+  const std::vector<double> soc0(cells, 0.8);
+
+  serve::FleetEngine engine(net, cells, {});
+  engine.set_soc(soc0);
+  engine.step(workload);  // warm every shard's workspace
+  const std::size_t allocs_before = benchsupport::alloc_count();
+  util::WallTimer tick_timer;
+  for (int i = 0; i < reps; ++i) engine.step(workload);
+  const double tick_ms = tick_timer.millis() / reps;
+  const std::size_t tick_allocs =
+      benchsupport::alloc_count() - allocs_before;
+
+  // The pre-batching shape: one scalar Branch-2 forward per cell.
+  core::InferenceWorkspace ws;
+  std::vector<double> soc(soc0);
+  double acc = 0.0;
+  const int scalar_reps = reps / 5 + 1;
+  (void)net.predict_soc(soc[0], workload(0, 0), workload(0, 1),
+                        workload(0, 2), ws);  // warm-up
+  util::WallTimer scalar_timer;
+  for (int i = 0; i < scalar_reps; ++i) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      soc[c] = util::clamp01(net.predict_soc(soc[c], workload(c, 0),
+                                             workload(c, 1), workload(c, 2),
+                                             ws));
+    }
+    acc += soc[0];
+  }
+  const double scalar_ms = scalar_timer.millis() / scalar_reps;
+
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(file, "{\n");
+  std::fprintf(file, "  \"benchmark\": \"fleet_tick\",\n");
+  std::fprintf(file, "  \"cells\": %zu,\n", cells);
+  std::fprintf(file, "  \"threads\": %zu,\n", engine.num_threads());
+  std::fprintf(file, "  \"tick_ms\": %.3f,\n", tick_ms);
+  std::fprintf(file, "  \"cells_per_sec\": %.0f,\n",
+               static_cast<double>(cells) / (tick_ms * 1e-3));
+  std::fprintf(file, "  \"scalar_loop_ms\": %.3f,\n", scalar_ms);
+  std::fprintf(file, "  \"speedup_batched_vs_scalar\": %.2f,\n",
+               scalar_ms / tick_ms);
+  std::fprintf(file, "  \"steady_state_allocs_per_tick\": %.3f,\n",
+               static_cast<double>(tick_allocs) / reps);
+  std::fprintf(file, "  \"checksum\": %.6f\n", acc);
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+  std::printf(
+      "--- fleet tick (%zu cells, %zu threads) ---\n"
+      "tick %.3f ms (%.1f M cells/s), scalar loop %.3f ms (%.1fx), "
+      "%.3f allocs per steady-state tick\n",
+      cells, engine.num_threads(), tick_ms,
+      static_cast<double>(cells) / (tick_ms * 1e3), scalar_ms,
+      scalar_ms / tick_ms, static_cast<double>(tick_allocs) / reps);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<char*> argv_rest;
+  const bool smoke = benchsupport::strip_smoke_flag(argc, argv, argv_rest);
   std::printf("fleet serving benchmark: %u hardware threads\n",
               std::thread::hardware_concurrency());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  // Smoke mode still executes one tick and one connect benchmark body.
+  benchsupport::run_benchmarks(argc, argv_rest, smoke,
+                               "BM_FleetTick/1024/1$|BM_FleetConnect");
+  emit_bench_json("BENCH_fleet.json", smoke ? 4096 : 16384, smoke ? 60 : 200);
   return 0;
 }

@@ -7,51 +7,18 @@
 
 #include <benchmark/benchmark.h>
 
-#include <array>
-#include <atomic>
 #include <cstdio>
-#include <cstdlib>
-#include <new>
+#include <vector>
 
 #include "battery/coulomb.hpp"
-#include "core/two_branch_net.hpp"
+#include "bench_support.hpp"
 #include "nn/lstm.hpp"
-#include "util/rng.hpp"
 #include "util/timer.hpp"
-
-// Allocation counter backing the JSON report's steady-state numbers: every
-// operator new in this binary bumps it, so a window over the hot loop counts
-// exactly the heap traffic of one inference mode.
-namespace {
-std::atomic<std::size_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace socpinn;
-
-core::TwoBranchNet& shared_net() {
-  static core::TwoBranchNet net = [] {
-    core::TwoBranchNet n({}, 1);
-    n.scaler1() = nn::StandardScaler::from_moments({3.7, -1.5, 25.0},
-                                                   {0.3, 2.0, 8.0});
-    n.scaler2() = nn::StandardScaler::from_moments(
-        {0.5, -1.5, 25.0, 45.0}, {0.25, 2.0, 8.0, 18.0});
-    return n;
-  }();
-  return net;
-}
+using benchsupport::shared_net;
 
 void BM_Branch1Estimate(benchmark::State& state) {
   core::TwoBranchNet& net = shared_net();
@@ -98,25 +65,8 @@ void BM_AutoregressiveRollout(benchmark::State& state) {
 }
 BENCHMARK(BM_AutoregressiveRollout)->Arg(10)->Arg(100);
 
-nn::Matrix random_sensors(std::size_t n, util::Rng& rng) {
-  nn::Matrix m(n, 3);
-  for (std::size_t r = 0; r < n; ++r) {
-    m(r, 0) = rng.uniform(2.8, 4.2);
-    m(r, 1) = rng.uniform(-6.0, 3.0);
-    m(r, 2) = rng.uniform(-5.0, 45.0);
-  }
-  return m;
-}
-
-nn::Matrix random_workload(std::size_t n, util::Rng& rng) {
-  nn::Matrix m(n, 3);
-  for (std::size_t r = 0; r < n; ++r) {
-    m(r, 0) = rng.uniform(-6.0, 3.0);
-    m(r, 1) = rng.uniform(-5.0, 45.0);
-    m(r, 2) = rng.uniform(10.0, 600.0);
-  }
-  return m;
-}
+using benchsupport::random_sensors;
+using benchsupport::random_workload;
 
 void BM_CascadeBatched(benchmark::State& state) {
   // The refactor's one true forward path: full cascade for a whole batch
@@ -203,10 +153,9 @@ void report_cost_model() {
 /// Measures the batched-vs-per-sample comparison directly (wall clock +
 /// allocation counter) and writes BENCH_inference.json for machine
 /// consumption by CI and later scaling PRs.
-void emit_bench_json(const char* path) {
+void emit_bench_json(const char* path, const int kReps) {
   core::TwoBranchNet& net = shared_net();
   constexpr std::size_t kBatch = 256;
-  constexpr int kReps = 2000;
   util::Rng rng(7);
   const nn::Matrix sensors = random_sensors(kBatch, rng);
   const nn::Matrix workload = random_workload(kBatch, rng);
@@ -218,15 +167,14 @@ void emit_bench_json(const char* path) {
   for (int i = 0; i < 10; ++i) {
     acc += net.cascade_batch(sensors, workload, ws)(0, 0);  // warm-up
   }
-  const std::size_t allocs_before =
-      g_alloc_count.load(std::memory_order_relaxed);
+  const std::size_t allocs_before = benchsupport::alloc_count();
   util::WallTimer batched_timer;
   for (int i = 0; i < kReps; ++i) {
     acc += net.cascade_batch(sensors, workload, ws)(0, 0);
   }
   const double batched_ns = batched_timer.seconds() * 1e9 / samples;
   const std::size_t batched_allocs =
-      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+      benchsupport::alloc_count() - allocs_before;
 
   // Per-sample loop over the workspace-backed scalar wrappers.
   util::WallTimer scalar_timer;
@@ -294,9 +242,14 @@ void emit_bench_json(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --smoke: CI smoke mode — skip the Google Benchmark sweep and emit the
+  // JSON from a short measured run.
+  std::vector<char*> argv_rest;
+  const bool smoke = benchsupport::strip_smoke_flag(argc, argv, argv_rest);
   report_cost_model();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  emit_bench_json("BENCH_inference.json");
+  // Smoke mode still executes the scalar cascade and one batched body.
+  benchsupport::run_benchmarks(argc, argv_rest, smoke,
+                               "BM_FullCascade|BM_CascadeBatched/256$");
+  emit_bench_json("BENCH_inference.json", smoke ? 200 : 2000);
   return 0;
 }

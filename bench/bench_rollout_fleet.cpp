@@ -1,0 +1,181 @@
+/// \file bench_rollout_fleet.cpp
+/// Fleet-scale autoregressive rollout throughput: serve::RolloutEngine
+/// advancing a ragged fleet of synthetic discharge traces in lockstep
+/// (batched Branch-2 per step, lanes sharded across threads, retired lanes
+/// masked out) versus the legacy one-trace-at-a-time scalar walk.
+///
+/// Writes BENCH_rollout.json (same flat schema family as
+/// BENCH_inference.json) with the measured speedup and the steady-state
+/// allocation count — both threshold-checked in CI via
+/// tools/check_bench_regression.py.
+///
+/// Options: --smoke (tiny reps for CI smoke runs; skips the Google
+/// Benchmark sweep and only emits the JSON), plus the usual
+/// --benchmark_* flags.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "serve/rollout_engine.hpp"
+#include "util/math.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace socpinn;
+using benchsupport::shared_net;
+using benchsupport::synthetic_trace;
+
+/// Ragged fleet: drive-cycle-length traces whose lengths cycle through a
+/// small set, so lanes retire at different lockstep steps.
+std::vector<data::WorkloadSchedule> ragged_schedules(std::size_t lanes) {
+  std::vector<data::WorkloadSchedule> schedules;
+  schedules.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const std::size_t n = 160 + 60 * (i % 5);
+    schedules.push_back(
+        data::build_workload_schedule(synthetic_trace(n, 100 + i), 60.0));
+  }
+  return schedules;
+}
+
+std::size_t total_steps(const std::vector<data::WorkloadSchedule>& s) {
+  std::size_t steps = 0;
+  for (const auto& schedule : s) steps += schedule.num_steps();
+  return steps;
+}
+
+/// The pre-refactor path: one lane at a time, one scalar cascade per
+/// window.
+double scalar_walk_fleet(const core::TwoBranchNet& net,
+                         const std::vector<data::WorkloadSchedule>& schedules,
+                         core::InferenceWorkspace& ws) {
+  double acc = 0.0;
+  for (const auto& schedule : schedules) {
+    double soc = util::clamp01(net.estimate_soc(
+        schedule.voltage0, schedule.current0, schedule.temp0, ws));
+    for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+      soc = util::clamp01(net.predict_soc(soc, schedule.workload(w, 0),
+                                          schedule.workload(w, 1),
+                                          schedule.workload(w, 2), ws));
+    }
+    acc += soc;
+  }
+  return acc;
+}
+
+void BM_RolloutFleetEngine(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::vector<data::WorkloadSchedule> schedules =
+      ragged_schedules(lanes);
+  serve::RolloutConfig config;
+  config.threads = threads;
+  serve::RolloutEngine engine(shared_net(), config);
+  std::vector<core::Rollout> out(schedules.size());
+  std::vector<serve::RolloutLane> lane_specs(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lane_specs[i].schedule = &schedules[i];
+  }
+  engine.run_into(lane_specs, out);  // warm every buffer
+  for (auto _ : state) {
+    engine.run_into(lane_specs, out);
+    benchmark::DoNotOptimize(out[0].soc.back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_steps(schedules)));
+  state.counters["lanes"] = static_cast<double>(lanes);
+  state.counters["threads"] = static_cast<double>(engine.num_threads());
+}
+BENCHMARK(BM_RolloutFleetEngine)
+    ->ArgsProduct({{64, 256}, {1, 0}})  // 0 = hardware threads
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RolloutScalarLoop(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const std::vector<data::WorkloadSchedule> schedules =
+      ragged_schedules(lanes);
+  core::InferenceWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar_walk_fleet(shared_net(), schedules, ws));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_steps(schedules)));
+  state.counters["lanes"] = static_cast<double>(lanes);
+}
+BENCHMARK(BM_RolloutScalarLoop)->Arg(64)->Unit(benchmark::kMillisecond);
+
+/// Wall-clock + allocation comparison at the acceptance point (64 lanes),
+/// written for machine consumption by CI and later scaling PRs.
+void emit_bench_json(const char* path, int reps) {
+  const core::TwoBranchNet& net = shared_net();
+  constexpr std::size_t kLanes = 64;
+  const std::vector<data::WorkloadSchedule> schedules =
+      ragged_schedules(kLanes);
+  const std::size_t steps = total_steps(schedules);
+
+  serve::RolloutEngine engine(net, {});
+  std::vector<core::Rollout> out(schedules.size());
+  std::vector<serve::RolloutLane> lanes(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lanes[i].schedule = &schedules[i];
+  }
+  engine.run_into(lanes, out);  // warm-up
+  const std::size_t allocs_before = benchsupport::alloc_count();
+  util::WallTimer batched_timer;
+  for (int i = 0; i < reps; ++i) engine.run_into(lanes, out);
+  const double batched_ms = batched_timer.millis() / reps;
+  const std::size_t batched_allocs =
+      benchsupport::alloc_count() - allocs_before;
+
+  core::InferenceWorkspace ws;
+  double acc = scalar_walk_fleet(net, schedules, ws);  // warm-up
+  util::WallTimer scalar_timer;
+  for (int i = 0; i < reps; ++i) acc += scalar_walk_fleet(net, schedules, ws);
+  const double scalar_ms = scalar_timer.millis() / reps;
+
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(file, "{\n");
+  std::fprintf(file, "  \"benchmark\": \"fleet_rollout\",\n");
+  std::fprintf(file, "  \"lanes\": %zu,\n", kLanes);
+  std::fprintf(file, "  \"total_steps\": %zu,\n", steps);
+  std::fprintf(file, "  \"threads\": %zu,\n", engine.num_threads());
+  std::fprintf(file, "  \"batched_ms_per_fleet\": %.3f,\n", batched_ms);
+  std::fprintf(file, "  \"scalar_ms_per_fleet\": %.3f,\n", scalar_ms);
+  std::fprintf(file, "  \"steps_per_sec_batched\": %.0f,\n",
+               static_cast<double>(steps) / (batched_ms * 1e-3));
+  std::fprintf(file, "  \"speedup_batched_vs_scalar\": %.2f,\n",
+               scalar_ms / batched_ms);
+  std::fprintf(file, "  \"steady_state_allocs_per_run\": %.3f,\n",
+               static_cast<double>(batched_allocs) / reps);
+  std::fprintf(file, "  \"checksum\": %.6f\n", acc);
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+  std::printf(
+      "--- fleet rollout (%zu ragged lanes, %zu steps) ---\n"
+      "batched %.2f ms/fleet, scalar %.2f ms/fleet -> %.1fx, "
+      "%.3f allocs per steady-state run\n",
+      kLanes, steps, batched_ms, scalar_ms, scalar_ms / batched_ms,
+      static_cast<double>(batched_allocs) / reps);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> argv_rest;
+  const bool smoke = benchsupport::strip_smoke_flag(argc, argv, argv_rest);
+  // Smoke mode still executes one engine + one scalar benchmark body.
+  benchsupport::run_benchmarks(argc, argv_rest, smoke,
+                               "BM_RolloutFleetEngine/64/1$|"
+                               "BM_RolloutScalarLoop/64$");
+  emit_bench_json("BENCH_rollout.json", smoke ? 25 : 50);
+  return 0;
+}

@@ -42,7 +42,8 @@ struct TempSplit {
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
   const util::ArgParser args(argc, argv);
-  const int epochs = args.get_int("epochs", 200);
+  const bool smoke = args.get_bool("smoke", false);  // CI smoke mode
+  const int epochs = args.get_int("epochs", smoke ? 2 : 200);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
   util::WallTimer timer;

@@ -4,42 +4,9 @@
 #include <stdexcept>
 
 #include "battery/coulomb.hpp"
-#include "util/math.hpp"
+#include "serve/rollout_engine.hpp"
 
 namespace socpinn::core {
-
-namespace {
-
-/// Averages current and temperature over trace samples (t, t+k].
-struct WindowAvg {
-  double current = 0.0;
-  double temp = 0.0;
-};
-
-WindowAvg window_average(const data::Trace& trace, std::size_t t,
-                         std::size_t k) {
-  WindowAvg avg;
-  for (std::size_t j = t + 1; j <= t + k; ++j) {
-    avg.current += trace[j].current;
-    avg.temp += trace[j].temp_c;
-  }
-  avg.current /= static_cast<double>(k);
-  avg.temp /= static_cast<double>(k);
-  return avg;
-}
-
-std::size_t rollout_step_samples(const data::Trace& trace, double horizon_s) {
-  const double period = trace.sample_period_s();
-  const double ratio = horizon_s / period;
-  const auto k = static_cast<std::size_t>(std::llround(ratio));
-  if (k == 0 || std::fabs(ratio - static_cast<double>(k)) > 1e-6) {
-    throw std::invalid_argument(
-        "rollout: horizon must be a positive multiple of the sample period");
-  }
-  return k;
-}
-
-}  // namespace
 
 HorizonPrediction predict_cascade(const TwoBranchNet& net,
                                   const data::HorizonEvalData& eval) {
@@ -96,55 +63,19 @@ double Rollout::final_abs_error() const {
 
 Rollout rollout_cascade(const TwoBranchNet& net, const data::Trace& trace,
                         double horizon_s) {
-  if (trace.size() < 2) {
-    throw std::invalid_argument("rollout_cascade: trace too short");
-  }
-  const std::size_t k = rollout_step_samples(trace, horizon_s);
-
-  Rollout rollout;
-  InferenceWorkspace ws;
-  // Voltage is used exactly once: the initial Branch-1 estimate.
-  double soc = net.estimate_soc(trace[0].voltage, trace[0].current,
-                                trace[0].temp_c, ws);
-  rollout.times_s.push_back(trace[0].time_s);
-  rollout.soc.push_back(soc);
-  rollout.truth.push_back(trace[0].soc);
-
-  for (std::size_t t = 0; t + k < trace.size(); t += k) {
-    const WindowAvg avg = window_average(trace, t, k);
-    soc = net.predict_soc(soc, avg.current, avg.temp, horizon_s, ws);
-    rollout.times_s.push_back(trace[t + k].time_s);
-    rollout.soc.push_back(soc);
-    rollout.truth.push_back(trace[t + k].soc);
-  }
-  return rollout;
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, horizon_s);
+  serve::RolloutEngine engine(net, {.threads = 1});
+  return engine.run_single(schedule);
 }
 
 Rollout rollout_physics_only(const TwoBranchNet& net, const data::Trace& trace,
                              double horizon_s, double capacity_ah) {
-  if (trace.size() < 2) {
-    throw std::invalid_argument("rollout_physics_only: trace too short");
-  }
-  const std::size_t k = rollout_step_samples(trace, horizon_s);
-
-  Rollout rollout;
-  InferenceWorkspace ws;
-  // Clamp the learned initial estimate into the band Eq. 1 operates on.
-  double soc = util::clamp01(net.estimate_soc(
-      trace[0].voltage, trace[0].current, trace[0].temp_c, ws));
-  rollout.times_s.push_back(trace[0].time_s);
-  rollout.soc.push_back(soc);
-  rollout.truth.push_back(trace[0].soc);
-
-  for (std::size_t t = 0; t + k < trace.size(); t += k) {
-    const WindowAvg avg = window_average(trace, t, k);
-    soc = battery::coulomb_predict_clamped(soc, avg.current, horizon_s,
-                                           capacity_ah);
-    rollout.times_s.push_back(trace[t + k].time_s);
-    rollout.soc.push_back(soc);
-    rollout.truth.push_back(trace[t + k].soc);
-  }
-  return rollout;
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, horizon_s);
+  serve::RolloutEngine engine(net, {.threads = 1});
+  return engine.run_single(schedule, serve::LaneKind::kPhysicsOnly,
+                           capacity_ah);
 }
 
 }  // namespace socpinn::core

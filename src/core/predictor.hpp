@@ -45,12 +45,19 @@ struct Rollout {
 /// first sample (the only time voltage is used); Branch 2 then advances the
 /// estimate by `horizon_s` per step, fed with the trace's average current
 /// and temperature over each upcoming window (the "planned workload").
+///
+/// Batch-of-1 wrapper over serve::RolloutEngine — the fleet path and this
+/// scalar path are one implementation and agree bitwise. Predictions are
+/// clamped into [0, 1] per step (the engine's clamp_soc default, shared
+/// with FleetEngine); construct a RolloutEngine with clamp_soc = false for
+/// the raw network outputs.
 [[nodiscard]] Rollout rollout_cascade(const TwoBranchNet& net,
                                       const data::Trace& trace,
                                       double horizon_s);
 
 /// Same rollout with Eq. 1 instead of Branch 2 (Physics-Only line of
-/// Fig. 5). Predictions are clamped to [0, 1] as real BMS logic would.
+/// Fig. 5). Predictions are clamped to [0, 1] as real BMS logic would
+/// (same clamp_soc knob as rollout_cascade).
 [[nodiscard]] Rollout rollout_physics_only(const TwoBranchNet& net,
                                            const data::Trace& trace,
                                            double horizon_s,

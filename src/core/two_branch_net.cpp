@@ -44,6 +44,12 @@ const nn::Matrix& TwoBranchNet::predict_batch(const nn::Matrix& branch2_raw,
   return branch2_.infer(ws.scaled, ws.branch2);
 }
 
+const nn::Matrix& TwoBranchNet::predict_batch_columns(
+    const nn::Matrix& branch2_raw_columns, InferenceWorkspace& ws) const {
+  scaler2_.transform_columns_into(branch2_raw_columns, ws.scaled);
+  return branch2_.infer_columns(ws.scaled, ws.branch2);
+}
+
 const nn::Matrix& TwoBranchNet::cascade_batch(const nn::Matrix& sensors_raw,
                                               const nn::Matrix& workload_raw,
                                               InferenceWorkspace& ws) const {

@@ -57,6 +57,15 @@ class TwoBranchNet {
   const nn::Matrix& predict_batch(const nn::Matrix& branch2_raw,
                                   InferenceWorkspace& ws) const;
 
+  /// Feature-major Branch-2 batch for callers that keep lanes transposed:
+  /// `branch2_raw_columns` is 4 x n ([SoC; avg I; avg T; N] rows, batch as
+  /// the unit-stride axis), the result is the 1 x n prediction panel. Same
+  /// arithmetic as predict_batch — both layouts agree bitwise — without
+  /// the transpose round-trip; the per-step hot path of RolloutEngine and
+  /// FleetEngine.
+  const nn::Matrix& predict_batch_columns(
+      const nn::Matrix& branch2_raw_columns, InferenceWorkspace& ws) const;
+
   /// Full cascade: Branch-1 estimates SoC(t) from sensors (n x 3), Branch 2
   /// advances it under `workload_raw` (n x 3: avg I, avg T, horizon N).
   /// Returns n x 1 SoC(t+N); the intermediate Branch-1 estimates remain

@@ -121,6 +121,48 @@ HorizonEvalData build_horizon_eval(std::span<const Trace> traces,
   return data;
 }
 
+WorkloadSchedule build_workload_schedule(const Trace& trace,
+                                         double horizon_s) {
+  if (trace.size() < 2) {
+    throw std::invalid_argument("build_workload_schedule: trace too short");
+  }
+  const std::size_t k = horizon_samples(trace, horizon_s);
+
+  std::size_t steps = 0;
+  for (std::size_t t = 0; t + k < trace.size(); t += k) ++steps;
+
+  WorkloadSchedule schedule;
+  schedule.voltage0 = trace[0].voltage;
+  schedule.current0 = trace[0].current;
+  schedule.temp0 = trace[0].temp_c;
+  schedule.horizon_s = horizon_s;
+  schedule.workload = nn::Matrix(steps, 3);
+  schedule.times_s.reserve(steps + 1);
+  schedule.truth.reserve(steps + 1);
+  schedule.times_s.push_back(trace[0].time_s);
+  schedule.truth.push_back(trace[0].soc);
+  std::size_t w = 0;
+  for (std::size_t t = 0; t + k < trace.size(); t += k, ++w) {
+    const WindowAvg avg = window_average(trace, t, k);
+    schedule.workload(w, 0) = avg.current;
+    schedule.workload(w, 1) = avg.temp;
+    schedule.workload(w, 2) = horizon_s;
+    schedule.times_s.push_back(trace[t + k].time_s);
+    schedule.truth.push_back(trace[t + k].soc);
+  }
+  return schedule;
+}
+
+std::vector<WorkloadSchedule> build_workload_schedules(
+    std::span<const Trace> traces, double horizon_s) {
+  std::vector<WorkloadSchedule> schedules;
+  schedules.reserve(traces.size());
+  for (const Trace& trace : traces) {
+    schedules.push_back(build_workload_schedule(trace, horizon_s));
+  }
+  return schedules;
+}
+
 SupervisedData build_branch1_data(const Trace& trace, std::size_t stride) {
   return build_branch1_data(std::span<const Trace>(&trace, 1), stride);
 }

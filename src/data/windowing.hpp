@@ -56,6 +56,38 @@ struct HorizonEvalData {
                                                  double horizon_s,
                                                  std::size_t stride = 1);
 
+/// Per-trace rollout workload extracted once from a recorded trace: the
+/// Branch-1 sensor reading at t0 (the only time voltage is consumed — the
+/// paper's Fig. 2 discipline) plus one [avg I, avg T, N] row per planning
+/// window, with the prediction timestamps and ground-truth SoC used for
+/// evaluation. This is the unit of work of serve::RolloutEngine: one
+/// schedule per lane, schedules of different lengths make a ragged fleet.
+struct WorkloadSchedule {
+  double voltage0 = 0.0;  ///< V(t0), consumed by the Branch-1 seed only
+  double current0 = 0.0;  ///< I(t0)
+  double temp0 = 0.0;     ///< T(t0)
+  double horizon_s = 0.0;
+
+  nn::Matrix workload;          ///< num_steps x 3: [avg I, avg T, N] per window
+  std::vector<double> times_s;  ///< num_steps + 1: t0 and each window's end
+  std::vector<double> truth;    ///< ground-truth SoC at those timestamps
+
+  [[nodiscard]] std::size_t num_steps() const { return workload.rows(); }
+};
+
+/// Extracts the rollout schedule of one trace at `horizon_s` (an integer
+/// multiple of the sampling period; throws otherwise or when the trace has
+/// fewer than two samples). Window w averages current and temperature over
+/// samples (w*k, (w+1)*k] — identical math to build_branch2_data and the
+/// legacy per-trace walk, so the extraction itself never changes a
+/// prediction; only the advancement rule (and its clamp knob) does.
+[[nodiscard]] WorkloadSchedule build_workload_schedule(const Trace& trace,
+                                                       double horizon_s);
+
+/// One schedule per trace (a whole fleet in one call).
+[[nodiscard]] std::vector<WorkloadSchedule> build_workload_schedules(
+    std::span<const Trace> traces, double horizon_s);
+
 /// Convenience overloads for a single trace.
 [[nodiscard]] SupervisedData build_branch1_data(const Trace& trace,
                                                 std::size_t stride = 1);

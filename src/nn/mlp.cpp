@@ -43,14 +43,6 @@ Matrix Mlp::forward(const Matrix& input, bool train) {
   return x;
 }
 
-namespace {
-/// Batches at least this large run feature-major: the batch becomes the
-/// vectorized axis, making throughput independent of the tiny layer widths.
-/// Below it, the transpose overhead outweighs the gain and the row-major
-/// path (good at batch-of-1) wins. Both paths agree bitwise.
-constexpr std::size_t kColumnsMinBatch = 32;
-}  // namespace
-
 const Matrix& Mlp::infer(const Matrix& input, ForwardWorkspace& ws) const {
   // Buffer layout: [0, n) layer outputs, n the transposed input, n+1 the
   // re-transposed final output of the feature-major path.
@@ -68,13 +60,8 @@ const Matrix& Mlp::infer(const Matrix& input, ForwardWorkspace& ws) const {
     // unit-stride axis, transpose the (tiny) output back.
     Matrix& staged = ws.buffer(n);
     transpose_into(input, staged);
-    const Matrix* x = &staged;
-    for (std::size_t i = 0; i < n; ++i) {
-      Matrix& out = ws.buffer(i);
-      layers_[i]->infer_columns(*x, out);
-      x = &out;
-    }
-    transpose_into(*x, ws.buffer(n + 1));
+    const Matrix& out = infer_columns(staged, ws);
+    transpose_into(out, ws.buffer(n + 1));
     return ws.buffer(n + 1);
   }
 
@@ -82,6 +69,23 @@ const Matrix& Mlp::infer(const Matrix& input, ForwardWorkspace& ws) const {
   for (std::size_t i = 0; i < n; ++i) {
     Matrix& out = ws.buffer(i);
     layers_[i]->infer_into(*x, out);
+    x = &out;
+  }
+  return *x;
+}
+
+const Matrix& Mlp::infer_columns(const Matrix& input_columns,
+                                 ForwardWorkspace& ws) const {
+  const std::size_t n = layers_.size();
+  ws.ensure(n + 2);  // same layout as infer() so the two paths can nest
+  if (n == 0) {
+    copy_into(input_columns, ws.buffer(0));
+    return ws.buffer(0);
+  }
+  const Matrix* x = &input_columns;
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix& out = ws.buffer(i);
+    layers_[i]->infer_columns(*x, out);
     x = &out;
   }
   return *x;

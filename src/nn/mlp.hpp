@@ -16,6 +16,13 @@
 
 namespace socpinn::nn {
 
+/// Batch size from which the feature-major panel path (infer_columns /
+/// dense_forward_columns) beats the row-major kernels. Below it, staging
+/// overhead outweighs the gain and row-major (good at batch-of-1) wins.
+/// Both paths agree bitwise, so dispatching on this is a pure perf choice;
+/// the serve engines reuse it for their staging decisions.
+inline constexpr std::size_t kColumnsMinBatch = 32;
+
 class Mlp {
  public:
   Mlp() = default;
@@ -47,6 +54,15 @@ class Mlp {
   /// The returned reference points into `ws` and stays valid until the next
   /// infer() with the same workspace.
   const Matrix& infer(const Matrix& input, ForwardWorkspace& ws) const;
+
+  /// Feature-major inference for callers that keep the batch transposed:
+  /// `input_columns` is (in_features x batch) and the returned reference
+  /// (out_features x batch) points into ws. Same per-element arithmetic as
+  /// infer() — both layouts agree bitwise — but without the transpose
+  /// round-trip, which makes it the per-step hot path of lockstep rollout
+  /// and serving loops (and the seam a device backend plugs into).
+  const Matrix& infer_columns(const Matrix& input_columns,
+                              ForwardWorkspace& ws) const;
 
   /// Batch-of-1 wrapper over infer(); returns the scalar first output.
   [[nodiscard]] double infer_scalar(std::span<const double> features,

@@ -49,6 +49,18 @@ void FleetEngine::set_soc(std::span<const double> soc) {
   for (std::size_t i = 0; i < soc.size(); ++i) soc_[i] = soc[i];
 }
 
+void FleetEngine::forward_shard(ShardScratch& scratch, std::size_t begin,
+                                std::size_t count) {
+  const bool columns = count >= nn::kColumnsMinBatch;
+  const nn::Matrix& pred =
+      columns ? net_->predict_batch_columns(scratch.input, scratch.ws)
+              : net_->predict_batch(scratch.input, scratch.ws);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double raw = columns ? pred(0, i) : pred(i, 0);
+    soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
+  }
+}
+
 void FleetEngine::step(const nn::Matrix& workload_raw) {
   if (workload_raw.rows() != num_cells() || workload_raw.cols() != 3) {
     throw std::invalid_argument(
@@ -58,32 +70,77 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
-        scratch.input.resize(count, 4);
-        for (std::size_t i = 0; i < count; ++i) {
-          scratch.input(i, 0) = soc_[begin + i];
-          scratch.input(i, 1) = workload_raw(begin + i, 0);
-          scratch.input(i, 2) = workload_raw(begin + i, 1);
-          scratch.input(i, 3) = workload_raw(begin + i, 2);
+        // Stage feature-major (batch as the unit-stride axis, no transpose
+        // round-trip) for big shards, row-major below the panel threshold
+        // where the small-batch kernels win; both layouts agree bitwise.
+        if (count >= nn::kColumnsMinBatch) {
+          scratch.input.resize(4, count);
+          for (std::size_t i = 0; i < count; ++i) {
+            scratch.input(0, i) = soc_[begin + i];
+            scratch.input(1, i) = workload_raw(begin + i, 0);
+            scratch.input(2, i) = workload_raw(begin + i, 1);
+            scratch.input(3, i) = workload_raw(begin + i, 2);
+          }
+        } else {
+          scratch.input.resize(count, 4);
+          for (std::size_t i = 0; i < count; ++i) {
+            scratch.input(i, 0) = soc_[begin + i];
+            scratch.input(i, 1) = workload_raw(begin + i, 0);
+            scratch.input(i, 2) = workload_raw(begin + i, 1);
+            scratch.input(i, 3) = workload_raw(begin + i, 2);
+          }
         }
-        const nn::Matrix& pred =
-            net_->predict_batch(scratch.input, scratch.ws);
-        for (std::size_t i = 0; i < count; ++i) {
-          soc_[begin + i] =
-              config_.clamp_soc ? util::clamp01(pred(i, 0)) : pred(i, 0);
+        forward_shard(scratch, begin, count);
+      });
+  ++ticks_;
+}
+
+void FleetEngine::tick_shared(const double* row3) {
+  pool_.parallel_for(
+      num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        ShardScratch& scratch = scratch_[shard];
+        const std::size_t count = end - begin;
+        const bool columns = count >= nn::kColumnsMinBatch;
+        if (row3 != nullptr) {
+          if (columns) {
+            scratch.input.resize(4, count);
+            for (std::size_t i = 0; i < count; ++i) {
+              scratch.input(1, i) = row3[0];
+              scratch.input(2, i) = row3[1];
+              scratch.input(3, i) = row3[2];
+            }
+          } else {
+            scratch.input.resize(count, 4);
+            for (std::size_t i = 0; i < count; ++i) {
+              scratch.input(i, 1) = row3[0];
+              scratch.input(i, 2) = row3[1];
+              scratch.input(i, 3) = row3[2];
+            }
+          }
         }
+        for (std::size_t i = 0; i < count; ++i) {
+          (columns ? scratch.input(0, i) : scratch.input(i, 0)) =
+              soc_[begin + i];
+        }
+        forward_shard(scratch, begin, count);
       });
   ++ticks_;
 }
 
 void FleetEngine::run(double avg_current, double avg_temp_c, double horizon_s,
                       std::size_t ticks) {
-  nn::Matrix workload(num_cells(), 3);
-  for (std::size_t i = 0; i < num_cells(); ++i) {
-    workload(i, 0) = avg_current;
-    workload(i, 1) = avg_temp_c;
-    workload(i, 2) = horizon_s;
+  if (ticks == 0) return;
+  const double row[3] = {avg_current, avg_temp_c, horizon_s};
+  tick_shared(row);  // stages the shared workload row once per shard
+  for (std::size_t t = 1; t < ticks; ++t) tick_shared(nullptr);
+}
+
+void FleetEngine::run(const data::WorkloadSchedule& schedule) {
+  for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+    const double row[3] = {schedule.workload(w, 0), schedule.workload(w, 1),
+                           schedule.workload(w, 2)};
+    tick_shared(row);
   }
-  for (std::size_t t = 0; t < ticks; ++t) step(workload);
 }
 
 }  // namespace socpinn::serve

@@ -22,13 +22,17 @@
 #include <vector>
 
 #include "core/two_branch_net.hpp"
+#include "data/windowing.hpp"
 #include "serve/thread_pool.hpp"
 
 namespace socpinn::serve {
 
 struct FleetConfig {
   std::size_t threads = 0;  ///< worker threads; 0 = hardware_concurrency
-  bool clamp_soc = true;    ///< clamp predictions into [0, 1] per tick
+  /// Clamp predictions into [0, 1] per tick. Same knob and same default
+  /// (on) as RolloutConfig::clamp_soc — every serving/rollout path clamps
+  /// unless explicitly disabled.
+  bool clamp_soc = true;
 };
 
 class FleetEngine {
@@ -51,9 +55,17 @@ class FleetEngine {
   void step(const nn::Matrix& workload_raw);
 
   /// Convenience: `ticks` steps under one shared workload row
-  /// (avg current, avg temp, horizon_s) applied to every cell.
+  /// (avg current, avg temp, horizon_s) applied to every cell. The shared
+  /// row is staged into each shard's scratch once, before the tick loop;
+  /// only the SoC column is rewritten per tick.
   void run(double avg_current, double avg_temp_c, double horizon_s,
            std::size_t ticks);
+
+  /// Schedule-driven variant: advances the whole fleet through every
+  /// window of one shared data::WorkloadSchedule — tick w applies schedule
+  /// row w to every cell. This is the seam serving shares with the Fig. 5
+  /// evaluation (see serve::RolloutEngine for per-lane schedules).
+  void run(const data::WorkloadSchedule& schedule);
 
   [[nodiscard]] std::span<const double> soc() const { return soc_; }
   [[nodiscard]] std::size_t num_cells() const { return soc_.size(); }
@@ -66,6 +78,20 @@ class FleetEngine {
     core::InferenceWorkspace ws;
     nn::Matrix input;
   };
+
+  /// One tick against per-shard staged Branch-2 inputs. When `row3` is
+  /// non-null its [avg I, avg T, N] values are staged into the workload
+  /// slots first; nullptr reuses the values staged by the previous call
+  /// (the run() fast path — only the SoC slot is rewritten).
+  void tick_shared(const double* row3);
+
+  /// Shared per-shard forward + clamped write-back used by step() and
+  /// tick_shared(). `scratch.input` must hold the shard's staged raw
+  /// Branch-2 inputs: feature-major (4 x count) for shards at or above the
+  /// panel threshold, row-major (count x 4) below it — the same dispatch
+  /// both stagers apply.
+  void forward_shard(ShardScratch& scratch, std::size_t begin,
+                     std::size_t count);
 
   const core::TwoBranchNet* net_;
   FleetConfig config_;

@@ -1,0 +1,163 @@
+#include "serve/rollout_engine.hpp"
+
+#include <stdexcept>
+
+#include "battery/coulomb.hpp"
+#include "util/math.hpp"
+
+namespace socpinn::serve {
+
+RolloutEngine::RolloutEngine(const core::TwoBranchNet& net,
+                             RolloutConfig config)
+    : net_(&net),
+      config_(config),
+      pool_(config.threads),
+      scratch_(pool_.size()) {}
+
+std::vector<core::Rollout> RolloutEngine::run(
+    std::span<const RolloutLane> lanes) {
+  std::vector<core::Rollout> out(lanes.size());
+  run_into(lanes, out);
+  return out;
+}
+
+std::vector<core::Rollout> RolloutEngine::run(
+    std::span<const data::WorkloadSchedule> schedules) {
+  std::vector<RolloutLane> lanes(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lanes[i].schedule = &schedules[i];
+  }
+  return run(lanes);
+}
+
+core::Rollout RolloutEngine::run_single(const data::WorkloadSchedule& schedule,
+                                        LaneKind kind, double capacity_ah) {
+  const RolloutLane lane{&schedule, kind, capacity_ah};
+  core::Rollout out;
+  run_into({&lane, 1}, {&out, 1});
+  return out;
+}
+
+void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
+                             std::span<core::Rollout> out) {
+  if (lanes.size() != out.size()) {
+    throw std::invalid_argument("RolloutEngine: lanes/out size mismatch");
+  }
+  if (lanes.empty()) return;
+  // Validate up front: shard jobs must not throw.
+  for (const RolloutLane& lane : lanes) {
+    if (lane.schedule == nullptr) {
+      throw std::invalid_argument("RolloutEngine: lane without a schedule");
+    }
+    if (lane.kind == LaneKind::kPhysicsOnly && lane.capacity_ah <= 0.0) {
+      throw std::invalid_argument(
+          "RolloutEngine: physics-only lane needs capacity_ah > 0");
+    }
+  }
+
+  const bool clamp = config_.clamp_soc;
+  pool_.parallel_for(
+      lanes.size(),
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        ShardScratch& s = scratch_[shard];
+        const std::size_t count = end - begin;
+
+        // Seed: one batched Branch-1 estimate over the shard's lanes —
+        // the only time voltage is consumed (Fig. 2 discipline).
+        s.input.resize(count, 3);
+        for (std::size_t i = 0; i < count; ++i) {
+          const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+          s.input(i, 0) = sched.voltage0;
+          s.input(i, 1) = sched.current0;
+          s.input(i, 2) = sched.temp0;
+        }
+        const nn::Matrix& est = net_->estimate_batch(s.input, s.ws);
+        s.soc.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+          const double seed = clamp ? util::clamp01(est(i, 0)) : est(i, 0);
+          s.soc[i] = seed;
+          core::Rollout& r = out[begin + i];
+          r.times_s.assign(sched.times_s.begin(), sched.times_s.end());
+          r.truth.assign(sched.truth.begin(), sched.truth.end());
+          r.soc.clear();
+          r.soc.reserve(sched.times_s.size());
+          r.soc.push_back(seed);
+        }
+
+        // Lockstep steps. A lane is active while its schedule still has a
+        // window at `step`; retired lanes drop out of the gather without
+        // moving shard boundaries.
+        s.gather.resize(count);
+        for (std::size_t step = 0;; ++step) {
+          std::size_t active = 0;   // gathered NN rows this step
+          bool any_alive = false;
+          for (std::size_t i = 0; i < count; ++i) {
+            const RolloutLane& lane = lanes[begin + i];
+            if (step >= lane.schedule->num_steps()) continue;
+            any_alive = true;
+            if (lane.kind == LaneKind::kCascade) s.gather[active++] = i;
+          }
+          if (!any_alive) break;
+
+          if (active >= nn::kColumnsMinBatch) {
+            // Gather straight into the feature-major panel: batch is the
+            // unit-stride axis, no transpose round-trip per step.
+            s.input.resize(4, active);
+            for (std::size_t g = 0; g < active; ++g) {
+              const std::size_t i = s.gather[g];
+              const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+              s.input(0, g) = s.soc[i];
+              s.input(1, g) = sched.workload(step, 0);
+              s.input(2, g) = sched.workload(step, 1);
+              s.input(3, g) = sched.workload(step, 2);
+            }
+            const nn::Matrix& pred =
+                net_->predict_batch_columns(s.input, s.ws);
+            for (std::size_t g = 0; g < active; ++g) {
+              const std::size_t i = s.gather[g];
+              const double soc =
+                  clamp ? util::clamp01(pred(0, g)) : pred(0, g);
+              s.soc[i] = soc;
+              out[begin + i].soc.push_back(soc);
+            }
+          } else if (active > 0) {
+            // Thin tail (most lanes retired): row-major staging keeps the
+            // small-batch kernels fast; both layouts agree bitwise.
+            s.input.resize(active, 4);
+            for (std::size_t g = 0; g < active; ++g) {
+              const std::size_t i = s.gather[g];
+              const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+              s.input(g, 0) = s.soc[i];
+              s.input(g, 1) = sched.workload(step, 0);
+              s.input(g, 2) = sched.workload(step, 1);
+              s.input(g, 3) = sched.workload(step, 2);
+            }
+            const nn::Matrix& pred = net_->predict_batch(s.input, s.ws);
+            for (std::size_t g = 0; g < active; ++g) {
+              const std::size_t i = s.gather[g];
+              const double soc =
+                  clamp ? util::clamp01(pred(g, 0)) : pred(g, 0);
+              s.soc[i] = soc;
+              out[begin + i].soc.push_back(soc);
+            }
+          }
+
+          // Physics-only lanes advance with Eq. 1 in the same pass.
+          for (std::size_t i = 0; i < count; ++i) {
+            const RolloutLane& lane = lanes[begin + i];
+            if (lane.kind != LaneKind::kPhysicsOnly) continue;
+            const data::WorkloadSchedule& sched = *lane.schedule;
+            if (step >= sched.num_steps()) continue;
+            const double raw = battery::coulomb_predict(
+                s.soc[i], sched.workload(step, 0), sched.workload(step, 2),
+                lane.capacity_ah);
+            const double soc = clamp ? util::clamp01(raw) : raw;
+            s.soc[i] = soc;
+            out[begin + i].soc.push_back(soc);
+          }
+        }
+      });
+}
+
+}  // namespace socpinn::serve

@@ -1,0 +1,109 @@
+#pragma once
+/// \file rollout_engine.hpp
+/// Batched multi-trace autoregressive rollout — the paper's Fig. 5
+/// experiment (voltage consumed once, Branch 2 advances the SoC per
+/// planning window) turned into a fleet-scale workload.
+///
+/// One engine rolls N traces ("lanes") in lockstep: every lane's per-window
+/// workload is extracted up front into a data::WorkloadSchedule, all lanes
+/// of a shard are seeded with one batched Branch-1 estimate, and each step
+/// advances every still-active lane of the shard with one batched Branch-2
+/// forward (feature-major once the active batch reaches the panel
+/// threshold). Lanes are sharded contiguously across the existing
+/// ThreadPool with a per-shard InferenceWorkspace, so the shared
+/// TwoBranchNet is only ever read.
+///
+/// Ragged fleets (traces of different lengths) are handled with an
+/// active-lane mask: a lane retires the step its schedule runs out, the
+/// remaining lanes of the shard are gathered into a denser batch, and shard
+/// boundaries never reshuffle — so results are bitwise identical for any
+/// thread count, and a batch-of-1 run reproduces the per-window scalar walk
+/// exactly under the same clamp setting (core::rollout_cascade /
+/// rollout_physics_only are wrappers over this engine; with
+/// clamp_soc = false the cascade reproduces the pre-refactor unclamped
+/// walk bitwise — see tests/serve/test_rollout_engine.cpp).
+///
+/// Physics-only lanes (Eq. 1 instead of Branch 2) ride in the same pass as
+/// NN lanes, so the Fig. 5 baseline comparison costs one run.
+
+#include <span>
+#include <vector>
+
+#include "core/predictor.hpp"
+#include "core/two_branch_net.hpp"
+#include "data/windowing.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace socpinn::serve {
+
+/// How one lane advances its SoC per planning window.
+enum class LaneKind {
+  kCascade,      ///< Branch 2, the paper's learned predictor
+  kPhysicsOnly,  ///< Eq. 1 Coulomb counting (the Fig. 5 Physics-Only line)
+};
+
+/// One rollout lane: a trace's extracted schedule plus the advancement
+/// rule. The schedule must outlive the run call.
+struct RolloutLane {
+  const data::WorkloadSchedule* schedule = nullptr;
+  LaneKind kind = LaneKind::kCascade;
+  double capacity_ah = 0.0;  ///< rated capacity; required for kPhysicsOnly
+};
+
+struct RolloutConfig {
+  std::size_t threads = 0;  ///< worker threads; 0 = hardware_concurrency
+  /// Clamp every stored SoC — the Branch-1 seed and each per-window
+  /// prediction — into [0, 1], as real BMS logic would. This is the single
+  /// clamping knob of every rollout path: core::rollout_cascade,
+  /// core::rollout_physics_only and FleetEngine route through it.
+  /// Default: on.
+  bool clamp_soc = true;
+};
+
+class RolloutEngine {
+ public:
+  /// \param net trained model shared by every lane; the engine keeps a
+  ///        reference and never mutates it — it must outlive the engine.
+  explicit RolloutEngine(const core::TwoBranchNet& net,
+                         RolloutConfig config = {});
+
+  /// Rolls every lane to the end of its schedule in one lockstep pass.
+  /// Returns one trajectory per lane, in lane order.
+  [[nodiscard]] std::vector<core::Rollout> run(
+      std::span<const RolloutLane> lanes);
+
+  /// All-cascade convenience: one NN lane per schedule.
+  [[nodiscard]] std::vector<core::Rollout> run(
+      std::span<const data::WorkloadSchedule> schedules);
+
+  /// Allocation-free variant: writes into caller-owned trajectories
+  /// (`out.size() == lanes.size()`), reusing their vector capacity. After
+  /// one warm-up run over a fleet, repeat runs perform zero heap
+  /// allocations (tests/serve/test_alloc_free.cpp enforces this).
+  void run_into(std::span<const RolloutLane> lanes,
+                std::span<core::Rollout> out);
+
+  /// Batch-of-1 convenience backing the legacy core:: wrappers.
+  [[nodiscard]] core::Rollout run_single(
+      const data::WorkloadSchedule& schedule,
+      LaneKind kind = LaneKind::kCascade, double capacity_ah = 0.0);
+
+  [[nodiscard]] std::size_t num_threads() const { return pool_.size(); }
+  [[nodiscard]] const RolloutConfig& config() const { return config_; }
+
+ private:
+  /// Per-shard scratch: workspace, gather staging, and per-lane SoC state.
+  struct ShardScratch {
+    core::InferenceWorkspace ws;
+    nn::Matrix input;                ///< gathered raw rows of active lanes
+    std::vector<double> soc;         ///< current SoC per local lane
+    std::vector<std::size_t> gather; ///< local lane index per gathered row
+  };
+
+  const core::TwoBranchNet* net_;
+  RolloutConfig config_;
+  ThreadPool pool_;
+  std::vector<ShardScratch> scratch_;  ///< one per pool thread
+};
+
+}  // namespace socpinn::serve

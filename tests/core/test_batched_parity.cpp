@@ -55,6 +55,32 @@ TEST(BatchedParity, PredictBatchMatchesScalarLoop) {
   }
 }
 
+TEST(BatchedParity, PredictBatchColumnsMatchesRowMajorBitwise) {
+  // The feature-major seam of the per-step rollout/serving hot loops:
+  // staging the batch transposed must not change a single ulp, at panel
+  // sizes on both sides of the Mlp dispatch threshold.
+  TwoBranchNet net = make_fitted_net(7);
+  util::Rng rng(19);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{5}, std::size_t{31}, std::size_t{32},
+        std::size_t{257}}) {
+    const nn::Matrix inputs = random_branch2(n, rng);
+    nn::Matrix columns(4, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) columns(c, r) = inputs(r, c);
+    }
+    InferenceWorkspace row_ws;
+    const nn::Matrix& rows_out = net.predict_batch(inputs, row_ws);
+    InferenceWorkspace col_ws;
+    const nn::Matrix& cols_out = net.predict_batch_columns(columns, col_ws);
+    ASSERT_EQ(cols_out.rows(), 1u);
+    ASSERT_EQ(cols_out.cols(), n);
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_EQ(cols_out(0, r), rows_out(r, 0)) << "n " << n << " row " << r;
+    }
+  }
+}
+
 TEST(BatchedParity, CascadeBatchMatchesScalarCascade) {
   TwoBranchNet net = make_fitted_net(7);
   util::Rng rng(17);

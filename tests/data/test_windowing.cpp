@@ -132,5 +132,78 @@ TEST(HorizonEval, SkipsTracesShorterThanHorizon) {
   EXPECT_EQ(eval.size(), 15u);  // only the long trace contributes
 }
 
+TEST(WorkloadSchedule, ExtractsSeedWindowsAndTruth) {
+  const Trace trace = pattern_trace(11, 1.0);
+  const WorkloadSchedule schedule = build_workload_schedule(trace, 2.0);
+
+  EXPECT_DOUBLE_EQ(schedule.voltage0, trace[0].voltage);
+  EXPECT_DOUBLE_EQ(schedule.current0, trace[0].current);
+  EXPECT_DOUBLE_EQ(schedule.temp0, trace[0].temp_c);
+  EXPECT_DOUBLE_EQ(schedule.horizon_s, 2.0);
+
+  // 11 samples at k = 2: windows start at t = 0, 2, 4, 6, 8 -> 5 steps.
+  ASSERT_EQ(schedule.num_steps(), 5u);
+  ASSERT_EQ(schedule.times_s.size(), 6u);
+  ASSERT_EQ(schedule.truth.size(), 6u);
+  EXPECT_DOUBLE_EQ(schedule.times_s[0], trace[0].time_s);
+  EXPECT_DOUBLE_EQ(schedule.truth[0], trace[0].soc);
+  for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+    const std::size_t t = 2 * w;
+    // Window (t, t+2]: samples t+1 and t+2, excluding the current one.
+    EXPECT_DOUBLE_EQ(schedule.workload(w, 0),
+                     0.5 * (trace[t + 1].current + trace[t + 2].current));
+    EXPECT_DOUBLE_EQ(schedule.workload(w, 1),
+                     0.5 * (trace[t + 1].temp_c + trace[t + 2].temp_c));
+    EXPECT_DOUBLE_EQ(schedule.workload(w, 2), 2.0);
+    EXPECT_DOUBLE_EQ(schedule.times_s[w + 1], trace[t + 2].time_s);
+    EXPECT_DOUBLE_EQ(schedule.truth[w + 1], trace[t + 2].soc);
+  }
+}
+
+TEST(WorkloadSchedule, ShortTraceYieldsZeroSteps) {
+  // A trace shorter than one horizon still seeds (the legacy rollout
+  // returned the seed point alone) but plans no windows.
+  const Trace trace = pattern_trace(3, 1.0);
+  const WorkloadSchedule schedule = build_workload_schedule(trace, 5.0);
+  EXPECT_EQ(schedule.num_steps(), 0u);
+  ASSERT_EQ(schedule.times_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.truth[0], trace[0].soc);
+}
+
+TEST(WorkloadSchedule, ValidatesInputs) {
+  const Trace trace = pattern_trace(10, 1.0);
+  EXPECT_THROW((void)build_workload_schedule(trace, 2.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_workload_schedule(trace, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_workload_schedule(pattern_trace(1, 1.0), 1.0),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSchedule, FleetBuilderKeepsTraceOrder) {
+  const std::vector<Trace> traces{pattern_trace(9, 1.0),
+                                  pattern_trace(15, 1.0)};
+  const std::vector<WorkloadSchedule> schedules =
+      build_workload_schedules(std::span<const Trace>(traces), 2.0);
+  ASSERT_EQ(schedules.size(), 2u);
+  EXPECT_EQ(schedules[0].num_steps(), 4u);
+  EXPECT_EQ(schedules[1].num_steps(), 7u);
+  EXPECT_DOUBLE_EQ(schedules[1].voltage0, traces[1][0].voltage);
+}
+
+TEST(WorkloadSchedule, MatchesBranch2TrainingWindows) {
+  // The schedule's windows are the same math as the Branch-2 training data
+  // at stride k, so rollouts line up with what the model was trained on.
+  const Trace trace = pattern_trace(21, 1.0);
+  const WorkloadSchedule schedule = build_workload_schedule(trace, 4.0);
+  const SupervisedData b2 = build_branch2_data(trace, 4.0, 4);
+  ASSERT_EQ(schedule.num_steps(), b2.size());
+  for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+    EXPECT_DOUBLE_EQ(schedule.workload(w, 0), b2.x(w, 1));
+    EXPECT_DOUBLE_EQ(schedule.workload(w, 1), b2.x(w, 2));
+    EXPECT_DOUBLE_EQ(schedule.truth[w + 1], b2.y(w, 0));
+  }
+}
+
 }  // namespace
 }  // namespace socpinn::data

@@ -13,6 +13,7 @@
 
 #include "core/two_branch_net.hpp"
 #include "serve/fleet_engine.hpp"
+#include "serve/rollout_engine.hpp"
 #include "support/fitted_net.hpp"
 #include "util/rng.hpp"
 
@@ -102,6 +103,51 @@ TEST(AllocFree, FleetTickSteadyStateAllocatesNothing) {
   for (int tick = 0; tick < 25; ++tick) engine.step(workload);
   EXPECT_EQ(allocs(), before) << "fleet tick allocated in steady state";
   EXPECT_EQ(engine.ticks(), 26u);
+}
+
+TEST(AllocFree, FleetRunStagesOnceAndAllocatesNothing) {
+  // run() stages the shared workload row once per shard; after the warm-up
+  // call, whole run() invocations must be allocation-free.
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  FleetConfig config;
+  config.threads = 2;
+  FleetEngine engine(net, 777, config);
+  const std::vector<double> start(777, 0.8);
+  engine.set_soc(start);
+  engine.run(-2.0, 25.0, 60.0, 2);  // warm-up sizes every shard's scratch
+
+  const std::size_t before = allocs();
+  engine.run(-2.0, 25.0, 60.0, 10);
+  EXPECT_EQ(allocs(), before) << "FleetEngine::run allocated in steady state";
+  EXPECT_EQ(engine.ticks(), 12u);
+}
+
+TEST(AllocFree, RolloutStepsSteadyStateAllocateNothing) {
+  // The tentpole property of the batched rollout engine: after one warm-up
+  // run over a ragged fleet, repeat runs — every lockstep step, including
+  // lane retirement — perform zero heap allocations.
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  const std::vector<data::Trace> fleet = testing::synthetic_fleet(48, 33);
+  const std::vector<data::WorkloadSchedule> schedules =
+      data::build_workload_schedules(fleet, 30.0);
+  std::vector<RolloutLane> lanes(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lanes[i].schedule = &schedules[i];
+    if (i % 4 == 3) {  // physics lanes share the pass and must stay free too
+      lanes[i].kind = LaneKind::kPhysicsOnly;
+      lanes[i].capacity_ah = 3.0;
+    }
+  }
+
+  RolloutConfig config;
+  config.threads = 2;
+  RolloutEngine engine(net, config);
+  std::vector<core::Rollout> out(lanes.size());
+  engine.run_into(lanes, out);  // warm-up run sizes every buffer
+
+  const std::size_t before = allocs();
+  for (int rep = 0; rep < 3; ++rep) engine.run_into(lanes, out);
+  EXPECT_EQ(allocs(), before) << "rollout steps allocated in steady state";
 }
 
 }  // namespace

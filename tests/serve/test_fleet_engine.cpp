@@ -105,6 +105,66 @@ TEST(FleetEngine, ValidatesShapes) {
   EXPECT_THROW(engine.set_soc(too_small), std::invalid_argument);
 }
 
+TEST(FleetEngine, RunMatchesExplicitSteps) {
+  // run() stages the shared row once and then rewrites only the SoC
+  // column; it must be bitwise identical to building the full workload
+  // matrix and calling step() per tick.
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const std::size_t cells = 203;
+  FleetConfig config;
+  config.threads = 3;
+
+  FleetEngine staged(net, cells, config);
+  FleetEngine stepped(net, cells, config);
+  std::vector<double> start(cells);
+  util::Rng rng(5);
+  for (auto& s : start) s = rng.uniform(0.1, 0.95);
+  staged.set_soc(start);
+  stepped.set_soc(start);
+
+  staged.run(-2.5, 22.0, 45.0, 4);
+  nn::Matrix workload(cells, 3);
+  for (std::size_t i = 0; i < cells; ++i) {
+    workload(i, 0) = -2.5;
+    workload(i, 1) = 22.0;
+    workload(i, 2) = 45.0;
+  }
+  for (int t = 0; t < 4; ++t) stepped.step(workload);
+
+  EXPECT_EQ(staged.ticks(), stepped.ticks());
+  for (std::size_t i = 0; i < cells; ++i) {
+    EXPECT_EQ(staged.soc()[i], stepped.soc()[i]) << "cell " << i;
+  }
+}
+
+TEST(FleetEngine, ScheduleRunAppliesEveryWindow) {
+  // The schedule-driven seam shared with Fig. 5 evaluation: tick w applies
+  // schedule row w to every cell, equivalent to a RolloutEngine lane
+  // seeded with the same SoC.
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const data::Trace trace = testing::synthetic_trace(61, 77);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 60.0);
+  ASSERT_GT(schedule.num_steps(), 3u);
+
+  FleetConfig config;
+  config.threads = 2;
+  FleetEngine engine(net, 12, config);
+  const std::vector<double> start(12, 0.9);
+  engine.set_soc(start);
+  engine.run(schedule);
+  EXPECT_EQ(engine.ticks(), schedule.num_steps());
+
+  core::InferenceWorkspace ws;
+  double expect = 0.9;
+  for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+    expect = util::clamp01(
+        net.predict_soc(expect, schedule.workload(w, 0),
+                        schedule.workload(w, 1), schedule.workload(w, 2), ws));
+  }
+  for (const double soc : engine.soc()) EXPECT_EQ(soc, expect);
+}
+
 TEST(FleetEngine, ClampCanBeDisabled) {
   const core::TwoBranchNet net = testing::make_fitted_net(9);
   FleetConfig config;

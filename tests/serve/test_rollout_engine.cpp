@@ -1,0 +1,308 @@
+/// The tentpole contract of the batched rollout engine:
+///
+///  * batch-of-1 output is bitwise identical to the legacy scalar walk
+///    (and therefore to core::rollout_cascade / rollout_physics_only,
+///    which are wrappers over the engine) — checked both against a
+///    hand-written scalar reference and on LG-like / Sandia-like test
+///    traces;
+///  * results are invariant to thread count on ragged fleets (lanes
+///    retire without reshuffling shard boundaries);
+///  * physics-only lanes ride in the same pass as NN lanes.
+
+#include "serve/rollout_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "battery/coulomb.hpp"
+#include "core/predictor.hpp"
+#include "data/lg.hpp"
+#include "data/sandia.hpp"
+#include "support/fitted_net.hpp"
+#include "util/math.hpp"
+
+namespace socpinn::serve {
+namespace {
+
+/// The legacy per-trace walk (pre-refactor rollout_cascade shape) with the
+/// engine's default clamping: scalar batch-of-1 forwards, one step per
+/// window.
+core::Rollout scalar_reference(const core::TwoBranchNet& net,
+                               const data::WorkloadSchedule& schedule,
+                               bool clamp) {
+  core::InferenceWorkspace ws;
+  core::Rollout r;
+  r.times_s = schedule.times_s;
+  r.truth = schedule.truth;
+  double soc = net.estimate_soc(schedule.voltage0, schedule.current0,
+                                schedule.temp0, ws);
+  if (clamp) soc = util::clamp01(soc);
+  r.soc.push_back(soc);
+  for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+    soc = net.predict_soc(soc, schedule.workload(w, 0),
+                          schedule.workload(w, 1), schedule.workload(w, 2),
+                          ws);
+    if (clamp) soc = util::clamp01(soc);
+    r.soc.push_back(soc);
+  }
+  return r;
+}
+
+/// The literal pre-refactor rollout_physics_only walk: clamped Branch-1
+/// seed, one clamped Eq. 1 step per window.
+core::Rollout physics_reference(const core::TwoBranchNet& net,
+                                const data::WorkloadSchedule& schedule,
+                                double capacity_ah) {
+  core::InferenceWorkspace ws;
+  core::Rollout r;
+  r.times_s = schedule.times_s;
+  r.truth = schedule.truth;
+  double soc = util::clamp01(net.estimate_soc(
+      schedule.voltage0, schedule.current0, schedule.temp0, ws));
+  r.soc.push_back(soc);
+  for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+    soc = battery::coulomb_predict_clamped(soc, schedule.workload(w, 0),
+                                           schedule.workload(w, 2),
+                                           capacity_ah);
+    r.soc.push_back(soc);
+  }
+  return r;
+}
+
+void expect_bitwise_equal(const core::Rollout& a, const core::Rollout& b,
+                          const char* what) {
+  ASSERT_EQ(a.soc.size(), b.soc.size()) << what;
+  ASSERT_EQ(a.times_s.size(), b.times_s.size()) << what;
+  for (std::size_t i = 0; i < a.soc.size(); ++i) {
+    // Bitwise identity, not approximate: batching and sharding must not
+    // change a single ulp.
+    EXPECT_EQ(a.soc[i], b.soc[i]) << what << " step " << i;
+    EXPECT_EQ(a.times_s[i], b.times_s[i]) << what << " time " << i;
+    EXPECT_EQ(a.truth[i], b.truth[i]) << what << " truth " << i;
+  }
+}
+
+TEST(RolloutEngine, BatchOfOneMatchesScalarReference) {
+  const core::TwoBranchNet net = testing::make_fitted_net(17);
+  const data::Trace trace = testing::synthetic_trace(120, 5);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 60.0);
+
+  RolloutEngine engine(net, {.threads = 1});
+  const core::Rollout batched = engine.run_single(schedule);
+  const core::Rollout reference = scalar_reference(net, schedule, true);
+  expect_bitwise_equal(batched, reference, "batch-of-1");
+}
+
+TEST(RolloutEngine, BatchedLanesMatchScalarReferenceLaneByLane) {
+  const core::TwoBranchNet net = testing::make_fitted_net(17);
+  const std::vector<data::Trace> fleet = testing::synthetic_fleet(67, 11);
+  const std::vector<data::WorkloadSchedule> schedules =
+      data::build_workload_schedules(fleet, 30.0);
+
+  RolloutEngine engine(net, {.threads = 3});
+  const std::vector<core::Rollout> rollouts = engine.run(schedules);
+  ASSERT_EQ(rollouts.size(), schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    const core::Rollout reference = scalar_reference(net, schedules[i], true);
+    expect_bitwise_equal(rollouts[i], reference, "lane");
+  }
+}
+
+TEST(RolloutEngine, MatchesLegacyWrappersOnLgTestTraces) {
+  const core::TwoBranchNet net = testing::make_fitted_net(23);
+  const data::LgDataset dataset = data::generate_lg(data::LgConfig{});
+
+  std::vector<data::WorkloadSchedule> schedules;
+  std::vector<core::Rollout> wrappers;
+  for (const auto& run : dataset.test_runs) {
+    schedules.push_back(data::build_workload_schedule(run.trace, 30.0));
+    wrappers.push_back(core::rollout_cascade(net, run.trace, 30.0));
+  }
+  RolloutEngine engine(net, {.threads = 2});
+  const std::vector<core::Rollout> batched = engine.run(schedules);
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    const char* cycle = dataset.test_runs[i].cycle_name.c_str();
+    // Non-circular: the hand-written scalar walk is the ground truth; the
+    // wrapper comparison then pins the public API to the same numbers.
+    expect_bitwise_equal(batched[i], scalar_reference(net, schedules[i], true),
+                         cycle);
+    expect_bitwise_equal(batched[i], wrappers[i], cycle);
+  }
+
+  // The literal pre-refactor rollout_cascade semantics (no clamping
+  // anywhere) are preserved behind the knob: clamp_soc = false reproduces
+  // the unclamped legacy walk bitwise on every LG test trace.
+  RolloutEngine raw(net, {.threads = 2, .clamp_soc = false});
+  const std::vector<core::Rollout> unclamped = raw.run(schedules);
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    expect_bitwise_equal(unclamped[i],
+                         scalar_reference(net, schedules[i], false),
+                         dataset.test_runs[i].cycle_name.c_str());
+  }
+}
+
+TEST(RolloutEngine, MatchesLegacyWrappersOnSandiaTestTraces) {
+  const core::TwoBranchNet net = testing::make_fitted_net(29);
+  data::SandiaConfig config;
+  config.chemistries = {battery::Chemistry::kNmc};
+  config.ambient_temps_c = {25.0};
+  const data::SandiaDataset dataset = data::generate_sandia(config);
+
+  std::vector<data::WorkloadSchedule> schedules;
+  std::vector<RolloutLane> lanes;
+  std::vector<core::Rollout> legacy;
+  schedules.reserve(2 * dataset.test_runs.size());
+  for (const auto& run : dataset.test_runs) {
+    schedules.push_back(data::build_workload_schedule(run.trace, 240.0));
+    legacy.push_back(core::rollout_cascade(net, run.trace, 240.0));
+    schedules.push_back(data::build_workload_schedule(run.trace, 240.0));
+    legacy.push_back(core::rollout_physics_only(net, run.trace, 240.0, 3.0));
+  }
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    RolloutLane lane;
+    lane.schedule = &schedules[i];
+    if (i % 2 == 1) {
+      lane.kind = LaneKind::kPhysicsOnly;
+      lane.capacity_ah = 3.0;
+    }
+    lanes.push_back(lane);
+  }
+  RolloutEngine engine(net, {.threads = 2});
+  const std::vector<core::Rollout> batched = engine.run(lanes);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    expect_bitwise_equal(batched[i], legacy[i],
+                         i % 2 == 0 ? "cascade" : "physics");
+    // Non-circular ground truth: physics lanes must equal the literal
+    // pre-refactor clamped Eq. 1 walk (unchanged semantics), cascade lanes
+    // the scalar walk under the engine's default clamping.
+    expect_bitwise_equal(
+        batched[i],
+        i % 2 == 0 ? scalar_reference(net, schedules[i], true)
+                   : physics_reference(net, schedules[i], 3.0),
+        i % 2 == 0 ? "cascade reference" : "physics reference");
+  }
+}
+
+TEST(RolloutEngine, ResultsInvariantToThreadCountOnRaggedFleet) {
+  const core::TwoBranchNet net = testing::make_fitted_net(31);
+  const std::vector<data::Trace> fleet = testing::synthetic_fleet(53, 41);
+  const std::vector<data::WorkloadSchedule> schedules =
+      data::build_workload_schedules(fleet, 30.0);
+
+  RolloutEngine single(net, {.threads = 1});
+  const std::vector<core::Rollout> base = single.run(schedules);
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{4}, std::size_t{7}}) {
+    RolloutEngine engine(net, {.threads = threads});
+    const std::vector<core::Rollout> multi = engine.run(schedules);
+    ASSERT_EQ(multi.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      expect_bitwise_equal(multi[i], base[i], "thread invariance");
+    }
+  }
+}
+
+TEST(RolloutEngine, PhysicsLanesRideTheSamePass) {
+  const core::TwoBranchNet net = testing::make_fitted_net(37);
+  const data::Trace trace = testing::synthetic_trace(90, 3);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+
+  const std::vector<RolloutLane> lanes = {
+      {&schedule, LaneKind::kCascade, 0.0},
+      {&schedule, LaneKind::kPhysicsOnly, 3.0},
+  };
+  RolloutEngine engine(net, {.threads = 2});
+  const std::vector<core::Rollout> both = engine.run(lanes);
+  ASSERT_EQ(both.size(), 2u);
+
+  // NN lane equals the NN wrapper, physics lane equals the physics wrapper.
+  expect_bitwise_equal(both[0], core::rollout_cascade(net, trace, 30.0),
+                       "cascade lane");
+  expect_bitwise_equal(both[1],
+                       core::rollout_physics_only(net, trace, 30.0, 3.0),
+                       "physics lane");
+
+  // And the physics lane really is Eq. 1: recompute one step by hand.
+  ASSERT_GE(both[1].soc.size(), 2u);
+  EXPECT_EQ(both[1].soc[1],
+            battery::coulomb_predict_clamped(both[1].soc[0],
+                                             schedule.workload(0, 0),
+                                             schedule.workload(0, 2), 3.0));
+}
+
+TEST(RolloutEngine, ClampKnobIsHonored) {
+  const core::TwoBranchNet net = testing::make_fitted_net(43);
+  const data::Trace trace = testing::synthetic_trace(80, 9);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+
+  RolloutEngine clamped(net, {.threads = 1, .clamp_soc = true});
+  for (const double s : clamped.run_single(schedule).soc) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+
+  RolloutEngine raw(net, {.threads = 1, .clamp_soc = false});
+  const core::Rollout unclamped = raw.run_single(schedule);
+  expect_bitwise_equal(unclamped, scalar_reference(net, schedule, false),
+                       "unclamped");
+  // The untrained net wanders out of [0, 1] — the knob must matter.
+  bool out_of_range = false;
+  for (const double s : unclamped.soc) {
+    if (s < 0.0 || s > 1.0) out_of_range = true;
+  }
+  EXPECT_TRUE(out_of_range)
+      << "fixture never left [0, 1]; clamp test is vacuous";
+}
+
+TEST(RolloutEngine, RunIntoReusesCallerBuffers) {
+  const core::TwoBranchNet net = testing::make_fitted_net(47);
+  const std::vector<data::Trace> fleet = testing::synthetic_fleet(9, 19);
+  const std::vector<data::WorkloadSchedule> schedules =
+      data::build_workload_schedules(fleet, 30.0);
+  std::vector<RolloutLane> lanes(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lanes[i].schedule = &schedules[i];
+  }
+
+  RolloutEngine engine(net, {.threads = 2});
+  std::vector<core::Rollout> out(lanes.size());
+  engine.run_into(lanes, out);
+  const std::vector<core::Rollout> expected = engine.run(lanes);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    expect_bitwise_equal(out[i], expected[i], "first run_into");
+  }
+  // Second run into the same buffers must refill, not append.
+  engine.run_into(lanes, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    expect_bitwise_equal(out[i], expected[i], "second run_into");
+  }
+}
+
+TEST(RolloutEngine, ValidatesLanes) {
+  const core::TwoBranchNet net = testing::make_fitted_net(53);
+  const data::Trace trace = testing::synthetic_trace(40, 1);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+  RolloutEngine engine(net, {.threads = 1});
+
+  const std::vector<RolloutLane> null_lane = {{nullptr}};
+  EXPECT_THROW((void)engine.run(null_lane), std::invalid_argument);
+
+  const std::vector<RolloutLane> bad_capacity = {
+      {&schedule, LaneKind::kPhysicsOnly, 0.0}};
+  EXPECT_THROW((void)engine.run(bad_capacity), std::invalid_argument);
+
+  std::vector<core::Rollout> too_small(0);
+  const std::vector<RolloutLane> one = {{&schedule}};
+  EXPECT_THROW(engine.run_into(one, too_small), std::invalid_argument);
+
+  // Empty fleets are a no-op, not an error.
+  EXPECT_TRUE(engine.run(std::span<const RolloutLane>{}).empty());
+}
+
+}  // namespace
+}  // namespace socpinn::serve

@@ -1,9 +1,13 @@
 #pragma once
 /// Shared fixtures for the inference-path test suites: a TwoBranchNet with
 /// deterministic weights and hand-set scaler moments (no training needed),
-/// plus random raw-input generators matching each branch's column order.
+/// random raw-input generators matching each branch's column order, and a
+/// synthetic discharge-trace factory for rollout/fleet tests.
+
+#include <cmath>
 
 #include "core/two_branch_net.hpp"
+#include "data/trace.hpp"
 #include "util/rng.hpp"
 
 namespace socpinn::testing {
@@ -50,6 +54,41 @@ inline nn::Matrix random_workload(std::size_t n, util::Rng& rng) {
     m(r, 2) = rng.uniform(10.0, 600.0);
   }
   return m;
+}
+
+/// Uniformly sampled (30 s) synthetic discharge trace of `n` samples.
+/// Values are plausible but not physically consistent — rollout numerics
+/// do not care, and no simulator keeps these tests fast.
+inline data::Trace synthetic_trace(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Trace trace;
+  trace.reserve(n);
+  double soc = rng.uniform(0.85, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    data::TracePoint p;
+    p.time_s = 30.0 * static_cast<double>(i);
+    p.current = -2.0 + 1.2 * std::sin(0.13 * static_cast<double>(i)) +
+                rng.uniform(-0.2, 0.2);
+    p.temp_c = 25.0 + 4.0 * std::sin(0.02 * static_cast<double>(i));
+    p.voltage = 3.0 + 1.2 * soc + rng.uniform(-0.01, 0.01);
+    p.soc = soc;
+    trace.push_back(p);
+    soc = std::max(0.0, soc - 0.9 / static_cast<double>(n));
+  }
+  return trace;
+}
+
+/// Ragged fleet of synthetic traces: lengths cycle through a small set so
+/// lanes retire at different steps.
+inline std::vector<data::Trace> synthetic_fleet(std::size_t lanes,
+                                                std::uint64_t seed) {
+  std::vector<data::Trace> fleet;
+  fleet.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const std::size_t n = 40 + 17 * (i % 5);
+    fleet.push_back(synthetic_trace(n, seed + i));
+  }
+  return fleet;
 }
 
 }  // namespace socpinn::testing

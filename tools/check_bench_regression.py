@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail the build when a benchmark JSON regresses against committed
+thresholds.
+
+Usage: check_bench_regression.py <thresholds.json> <dir-with-BENCH-jsons>
+
+The thresholds file maps each benchmark JSON filename to metric bounds:
+
+    {
+      "BENCH_inference.json": {
+        "speedup_batched_vs_legacy_loop": {"min": 1.5},
+        "steady_state_allocs_per_batched_forward": {"max": 0.01}
+      },
+      ...
+    }
+
+Every listed file must exist and every listed metric must satisfy its
+bounds; a missing file, missing metric, or violated bound is a hard
+failure. Bounds are deliberately conservative relative to developer
+machines — CI runners are small and noisy — but strict enough to catch a
+broken batched path (speedup collapsing to ~1x) or an allocation sneaking
+back into a steady-state loop.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    thresholds_path = Path(sys.argv[1])
+    bench_dir = Path(sys.argv[2])
+    thresholds = json.loads(thresholds_path.read_text())
+
+    failures = []
+    for filename, metrics in thresholds.items():
+        if filename.startswith("_"):  # comment keys
+            continue
+        path = bench_dir / filename
+        if not path.is_file():
+            failures.append(f"{filename}: missing (expected in {bench_dir})")
+            continue
+        data = json.loads(path.read_text())
+        for metric, bounds in metrics.items():
+            if metric not in data:
+                failures.append(f"{filename}: metric '{metric}' missing")
+                continue
+            value = data[metric]
+            lo = bounds.get("min")
+            hi = bounds.get("max")
+            ok = (lo is None or value >= lo) and (hi is None or value <= hi)
+            bound_str = " ".join(
+                s for s in (f">= {lo}" if lo is not None else "",
+                            f"<= {hi}" if hi is not None else "") if s)
+            line = f"{filename}: {metric} = {value} (required {bound_str})"
+            if ok:
+                print(f"PASS {line}")
+            else:
+                failures.append(line)
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("\nall benchmark thresholds satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
