@@ -7,11 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "battery/coulomb.hpp"
 #include "bench_support.hpp"
+#include "core/net_snapshot.hpp"
 #include "nn/lstm.hpp"
 #include "util/timer.hpp"
 
@@ -19,6 +21,28 @@ namespace {
 
 using namespace socpinn;
 using benchsupport::shared_net;
+
+/// Raw Branch-2 inputs staged as the serve engines stage them: a 4 x batch
+/// feature-major panel (f64 Matrix and its f32 image).
+struct PanelFixture {
+  nn::Matrix cols;        ///< 4 x batch, f64
+  nn::MatrixT<float> f32; ///< 4 x batch, converted once
+};
+
+PanelFixture branch2_panel(std::size_t batch, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const nn::Matrix rows = socpinn::testing::random_branch2(batch, rng);
+  PanelFixture fx;
+  fx.cols = nn::Matrix(4, batch);
+  fx.f32.resize(4, batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      fx.cols(c, r) = rows(r, c);
+      fx.f32(c, r) = static_cast<float>(rows(r, c));
+    }
+  }
+  return fx;
+}
 
 void BM_Branch1Estimate(benchmark::State& state) {
   core::TwoBranchNet& net = shared_net();
@@ -107,6 +131,37 @@ void BM_CascadePerSampleLoop(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_CascadePerSampleLoop)->Arg(256);
+
+void BM_PredictPanelF64(benchmark::State& state) {
+  // The serve seam at f64: one Branch-2 feature-major panel forward, the
+  // per-step hot path of RolloutEngine/FleetEngine.
+  core::TwoBranchNet& net = shared_net();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const PanelFixture fx = branch2_panel(batch, 7);
+  core::InferenceWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict_batch_columns(fx.cols, ws)(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PredictPanelF64)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PredictPanelF32(benchmark::State& state) {
+  // The same panel through the f32 snapshot: twice the SIMD lanes per
+  // register at identical layout.
+  core::TwoBranchNet& net = shared_net();
+  const core::TwoBranchSnapshotF32 snapshot(net);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const PanelFixture fx = branch2_panel(batch, 7);
+  core::InferenceWorkspaceT<float> ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.predict_columns(fx.f32, ws)(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PredictPanelF32)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_CoulombPredict(benchmark::State& state) {
   // The Physics-Only step, for scale: Eq. 1 is three flops.
@@ -202,6 +257,47 @@ void emit_bench_json(const char* path, const int kReps) {
   }
   const double legacy_ns = legacy_timer.seconds() * 1e9 / (samples / 10.0);
 
+  // f32 serve backend vs the f64 panel at the serve seam, batch 64 and
+  // 256 — the ROADMAP's "2x SIMD width" claim, measured. Both paths run
+  // the identical feature-major Branch-2 forward (standardize + 4 panels).
+  const core::TwoBranchSnapshotF32 snapshot(net);
+  core::InferenceWorkspaceT<float> ws32;
+  double panel_ns[2][2] = {};   // [batch index][0 = f64, 1 = f32]
+  const std::size_t panel_batches[2] = {64, 256};
+  const int panel_reps = kReps * 4;
+  for (int bi = 0; bi < 2; ++bi) {
+    const std::size_t batch = panel_batches[bi];
+    const PanelFixture fx = branch2_panel(batch, 11);
+    for (int i = 0; i < 10; ++i) {  // warm-up both workspaces
+      acc += net.predict_batch_columns(fx.cols, ws)(0, 0);
+      acc += static_cast<double>(snapshot.predict_columns(fx.f32, ws32)(0, 0));
+    }
+    util::WallTimer f64_timer;
+    for (int i = 0; i < panel_reps; ++i) {
+      acc += net.predict_batch_columns(fx.cols, ws)(0, 0);
+    }
+    panel_ns[bi][0] =
+        f64_timer.seconds() * 1e9 / (static_cast<double>(batch) * panel_reps);
+    util::WallTimer f32_timer;
+    for (int i = 0; i < panel_reps; ++i) {
+      acc += static_cast<double>(snapshot.predict_columns(fx.f32, ws32)(0, 0));
+    }
+    panel_ns[bi][1] =
+        f32_timer.seconds() * 1e9 / (static_cast<double>(batch) * panel_reps);
+  }
+  // Accuracy of the reduced-precision panel against f64 on one batch.
+  double f32_max_abs_diff = 0.0;
+  {
+    const PanelFixture fx = branch2_panel(256, 11);
+    const nn::Matrix& ref = net.predict_batch_columns(fx.cols, ws);
+    const nn::MatrixT<float>& got = snapshot.predict_columns(fx.f32, ws32);
+    for (std::size_t j = 0; j < ref.cols(); ++j) {
+      const double diff =
+          std::fabs(ref(0, j) - static_cast<double>(got(0, j)));
+      if (diff > f32_max_abs_diff) f32_max_abs_diff = diff;
+    }
+  }
+
   const nn::ModelCost cost = net.cost();
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
@@ -226,6 +322,20 @@ void emit_bench_json(const char* path, const int kReps) {
                legacy_ns / batched_ns);
   std::fprintf(out, "  \"steady_state_allocs_per_batched_forward\": %.3f,\n",
                static_cast<double>(batched_allocs) / kReps);
+  std::fprintf(out, "  \"f64_panel_ns_per_sample_b64\": %.2f,\n",
+               panel_ns[0][0]);
+  std::fprintf(out, "  \"f32_panel_ns_per_sample_b64\": %.2f,\n",
+               panel_ns[0][1]);
+  std::fprintf(out, "  \"speedup_f32_vs_f64_panel_b64\": %.2f,\n",
+               panel_ns[0][0] / panel_ns[0][1]);
+  std::fprintf(out, "  \"f64_panel_ns_per_sample_b256\": %.2f,\n",
+               panel_ns[1][0]);
+  std::fprintf(out, "  \"f32_panel_ns_per_sample_b256\": %.2f,\n",
+               panel_ns[1][1]);
+  std::fprintf(out, "  \"speedup_f32_vs_f64_panel_b256\": %.2f,\n",
+               panel_ns[1][0] / panel_ns[1][1]);
+  std::fprintf(out, "  \"f32_vs_f64_max_abs_diff\": %.3e,\n",
+               f32_max_abs_diff);
   std::fprintf(out, "  \"checksum\": %.6f\n", acc);
   std::fprintf(out, "}\n");
   std::fclose(out);
@@ -236,6 +346,14 @@ void emit_bench_json(const char* path, const int kReps) {
       batched_ns, scalar_ns, scalar_ns / batched_ns, legacy_ns,
       legacy_ns / batched_ns,
       static_cast<double>(batched_allocs) / kReps);
+  std::printf(
+      "--- f32 serve backend (Branch-2 panel) ---\n"
+      "batch 64:  f64 %.1f ns/sample, f32 %.1f ns/sample (%.2fx)\n"
+      "batch 256: f64 %.1f ns/sample, f32 %.1f ns/sample (%.2fx), "
+      "max |f32 - f64| = %.2e\n",
+      panel_ns[0][0], panel_ns[0][1], panel_ns[0][0] / panel_ns[0][1],
+      panel_ns[1][0], panel_ns[1][1], panel_ns[1][0] / panel_ns[1][1],
+      f32_max_abs_diff);
   std::printf("wrote %s\n", path);
 }
 
@@ -247,9 +365,12 @@ int main(int argc, char** argv) {
   std::vector<char*> argv_rest;
   const bool smoke = benchsupport::strip_smoke_flag(argc, argv, argv_rest);
   report_cost_model();
-  // Smoke mode still executes the scalar cascade and one batched body.
+  // Smoke mode still executes the scalar cascade, one batched body, and
+  // both precisions of the serve panel.
   benchsupport::run_benchmarks(argc, argv_rest, smoke,
-                               "BM_FullCascade|BM_CascadeBatched/256$");
+                               "BM_FullCascade|BM_CascadeBatched/256$|"
+                               "BM_PredictPanelF64/256$|"
+                               "BM_PredictPanelF32/256$");
   emit_bench_json("BENCH_inference.json", smoke ? 200 : 2000);
   return 0;
 }

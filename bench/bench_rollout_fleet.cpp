@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -94,6 +95,35 @@ BENCHMARK(BM_RolloutFleetEngine)
     ->ArgsProduct({{64, 256}, {1, 0}})  // 0 = hardware threads
     ->Unit(benchmark::kMillisecond);
 
+void BM_RolloutFleetEngineF32(benchmark::State& state) {
+  // The same ragged fleet through the f32 serve backend: per-step panels
+  // at half the scalar width, trajectories still f64.
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const std::vector<data::WorkloadSchedule> schedules =
+      ragged_schedules(lanes);
+  serve::RolloutConfig config;
+  config.threads = static_cast<std::size_t>(state.range(1));
+  config.precision = core::Precision::kFloat32;
+  serve::RolloutEngine engine(shared_net(), config);
+  std::vector<core::Rollout> out(schedules.size());
+  std::vector<serve::RolloutLane> lane_specs(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lane_specs[i].schedule = &schedules[i];
+  }
+  engine.run_into(lane_specs, out);  // warm every buffer
+  for (auto _ : state) {
+    engine.run_into(lane_specs, out);
+    benchmark::DoNotOptimize(out[0].soc.back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_steps(schedules)));
+  state.counters["lanes"] = static_cast<double>(lanes);
+  state.counters["threads"] = static_cast<double>(engine.num_threads());
+}
+BENCHMARK(BM_RolloutFleetEngineF32)
+    ->ArgsProduct({{64, 256}, {1, 0}})  // 0 = hardware threads
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RolloutScalarLoop(benchmark::State& state) {
   const auto lanes = static_cast<std::size_t>(state.range(0));
   const std::vector<data::WorkloadSchedule> schedules =
@@ -137,6 +167,30 @@ void emit_bench_json(const char* path, int reps) {
   for (int i = 0; i < reps; ++i) acc += scalar_walk_fleet(net, schedules, ws);
   const double scalar_ms = scalar_timer.millis() / reps;
 
+  // The f32 serve backend over the same fleet: same gather/scatter, panels
+  // at half the scalar width. The speedup is threshold-checked; the
+  // max |f32 - f64| across trajectories is informational only — this
+  // fixture's UNTRAINED net amplifies the per-forward ~4e-6 float error
+  // through ~100 open-loop autoregressive steps, which says nothing about
+  // the forward kernels (the committed 1e-4 contract lives in
+  // tests/serve/test_precision.cpp on the paper's LG/Sandia traces and in
+  // BENCH_inference.json's single-forward bound).
+  serve::RolloutConfig f32_config;
+  f32_config.precision = core::Precision::kFloat32;
+  serve::RolloutEngine engine_f32(net, f32_config);
+  std::vector<core::Rollout> out_f32(schedules.size());
+  engine_f32.run_into(lanes, out_f32);  // warm-up
+  util::WallTimer f32_timer;
+  for (int i = 0; i < reps; ++i) engine_f32.run_into(lanes, out_f32);
+  const double f32_ms = f32_timer.millis() / reps;
+  double f32_max_abs_diff = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t s = 0; s < out[i].soc.size(); ++s) {
+      const double diff = std::fabs(out[i].soc[s] - out_f32[i].soc[s]);
+      if (diff > f32_max_abs_diff) f32_max_abs_diff = diff;
+    }
+  }
+
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
     std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
@@ -155,15 +209,22 @@ void emit_bench_json(const char* path, int reps) {
                scalar_ms / batched_ms);
   std::fprintf(file, "  \"steady_state_allocs_per_run\": %.3f,\n",
                static_cast<double>(batched_allocs) / reps);
+  std::fprintf(file, "  \"f32_ms_per_fleet\": %.3f,\n", f32_ms);
+  std::fprintf(file, "  \"speedup_f32_vs_f64_rollout\": %.2f,\n",
+               batched_ms / f32_ms);
+  std::fprintf(file, "  \"f32_max_abs_soc_diff\": %.3e,\n",
+               f32_max_abs_diff);
   std::fprintf(file, "  \"checksum\": %.6f\n", acc);
   std::fprintf(file, "}\n");
   std::fclose(file);
   std::printf(
       "--- fleet rollout (%zu ragged lanes, %zu steps) ---\n"
       "batched %.2f ms/fleet, scalar %.2f ms/fleet -> %.1fx, "
-      "%.3f allocs per steady-state run\n",
+      "%.3f allocs per steady-state run\n"
+      "f32 backend %.2f ms/fleet (%.2fx vs f64), max |f32 - f64| = %.2e\n",
       kLanes, steps, batched_ms, scalar_ms, scalar_ms / batched_ms,
-      static_cast<double>(batched_allocs) / reps);
+      static_cast<double>(batched_allocs) / reps, f32_ms,
+      batched_ms / f32_ms, f32_max_abs_diff);
   std::printf("wrote %s\n", path);
 }
 
@@ -172,9 +233,11 @@ void emit_bench_json(const char* path, int reps) {
 int main(int argc, char** argv) {
   std::vector<char*> argv_rest;
   const bool smoke = benchsupport::strip_smoke_flag(argc, argv, argv_rest);
-  // Smoke mode still executes one engine + one scalar benchmark body.
+  // Smoke mode still executes one engine body per precision + the scalar
+  // loop.
   benchsupport::run_benchmarks(argc, argv_rest, smoke,
                                "BM_RolloutFleetEngine/64/1$|"
+                               "BM_RolloutFleetEngineF32/64/1$|"
                                "BM_RolloutScalarLoop/64$");
   emit_bench_json("BENCH_rollout.json", smoke ? 25 : 50);
   return 0;

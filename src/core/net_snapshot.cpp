@@ -1,0 +1,8 @@
+#include "core/net_snapshot.hpp"
+
+namespace socpinn::core {
+
+template class TwoBranchSnapshotT<float>;
+template class TwoBranchSnapshotT<double>;
+
+}  // namespace socpinn::core

@@ -101,6 +101,8 @@ class TwoBranchNet {
 
   [[nodiscard]] nn::Mlp& branch1() { return branch1_; }
   [[nodiscard]] nn::Mlp& branch2() { return branch2_; }
+  [[nodiscard]] const nn::Mlp& branch1() const { return branch1_; }
+  [[nodiscard]] const nn::Mlp& branch2() const { return branch2_; }
   [[nodiscard]] nn::StandardScaler& scaler1() { return scaler1_; }
   [[nodiscard]] nn::StandardScaler& scaler2() { return scaler2_; }
   [[nodiscard]] const nn::StandardScaler& scaler1() const { return scaler1_; }

@@ -1,5 +1,6 @@
 #include "data/windowing.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,12 +9,29 @@ namespace socpinn::data {
 namespace {
 
 /// Number of samples covered by `horizon_s` at the trace's rate; throws if
-/// the horizon is not an integer multiple of the period.
+/// the horizon is not a positive integer multiple of the period.
 std::size_t horizon_samples(const Trace& trace, double horizon_s) {
+  // Validate BEFORE the integer cast: a negative or non-finite horizon
+  // must never reach llround/size_t, where it would wrap into a huge
+  // "valid" sample count (NaN in particular used to sail through the old
+  // absolute-tolerance check, because every NaN comparison is false).
+  if (!std::isfinite(horizon_s) || horizon_s <= 0.0) {
+    throw std::invalid_argument(
+        "windowing: horizon must be a positive finite number of seconds");
+  }
   const double period = trace.sample_period_s();
   const double ratio = horizon_s / period;
   const auto k = static_cast<std::size_t>(std::llround(ratio));
-  if (k == 0 || std::fabs(ratio - static_cast<double>(k)) > 1e-6) {
+  // Relative tolerance: an absolute one (the old 1e-6) wrongly rejects
+  // long horizons on finely sampled traces, where a huge ratio cannot be
+  // represented that tightly (ulp(8.6e10) alone is ~1.6e-5). The factor
+  // only needs to cover double rounding (~2e-16 relative per operation);
+  // 1e-12 leaves a 1000x margin while keeping the multiple-of-period
+  // check meaningful up to ratios of ~5e11 — a looser factor like 1e-9
+  // would silently accept horizons off by half a period once the ratio
+  // reaches ~5e8.
+  const double tol = 1e-12 * std::max(1.0, ratio);
+  if (k == 0 || std::fabs(ratio - static_cast<double>(k)) > tol) {
     throw std::invalid_argument(
         "windowing: horizon must be a positive integer multiple of the "
         "sampling period");

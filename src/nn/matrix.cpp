@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/panel_kernels.hpp"
+
 namespace socpinn::nn {
 
 namespace {
@@ -212,71 +214,6 @@ void transpose_into(const Matrix& src, Matrix& dst) {
   }
 }
 
-namespace {
-
-/// Register-blocked tile of the feature-major forward: kOut output features
-/// x kBatch batch columns accumulate entirely in registers, with one
-/// activation-row load shared by all kOut FMA chains per k step. The tile
-/// shape (4 x 32 doubles = 16 512-bit accumulators) is chosen for the
-/// AVX-512/AVX2 register file; per element the order stays bias-then-
-/// ascending-k.
-template <int kOut, int kBatch>
-inline void dense_columns_tile(const double* __restrict a,
-                               const double* __restrict w,
-                               const double* __restrict bias,
-                               double* __restrict out, std::size_t in_f,
-                               std::size_t out_f, std::size_t batch,
-                               std::size_t of, std::size_t jt) {
-  double acc[kOut][kBatch];
-  for (int r = 0; r < kOut; ++r) {
-    const double b0 = bias[of + r];
-    for (int j = 0; j < kBatch; ++j) acc[r][j] = b0;
-  }
-  for (std::size_t k = 0; k < in_f; ++k) {
-    const double* __restrict a_row = a + k * batch + jt;
-    for (int r = 0; r < kOut; ++r) {
-      const double wk = w[k * out_f + of + r];
-      for (int j = 0; j < kBatch; ++j) acc[r][j] += wk * a_row[j];
-    }
-  }
-  for (int r = 0; r < kOut; ++r) {
-    double* __restrict o = out + (of + r) * batch + jt;
-    for (int j = 0; j < kBatch; ++j) o[j] = acc[r][j];
-  }
-}
-
-__attribute__((noinline, noclone)) void dense_columns_kernel(
-    const double* __restrict a, const double* __restrict w,
-    const double* __restrict bias, double* __restrict out, std::size_t in_f,
-    std::size_t out_f, std::size_t batch) {
-  constexpr int kOut = 4;
-  constexpr int kBatch = 32;
-  std::size_t jt = 0;
-  for (; jt + kBatch <= batch; jt += kBatch) {
-    std::size_t of = 0;
-    for (; of + kOut <= out_f; of += kOut) {
-      dense_columns_tile<kOut, kBatch>(a, w, bias, out, in_f, out_f, batch,
-                                       of, jt);
-    }
-    for (; of < out_f; ++of) {
-      dense_columns_tile<1, kBatch>(a, w, bias, out, in_f, out_f, batch, of,
-                                    jt);
-    }
-  }
-  // Remainder columns, one at a time (at most kBatch - 1 of them).
-  for (; jt < batch; ++jt) {
-    for (std::size_t of = 0; of < out_f; ++of) {
-      double acc = bias[of];
-      for (std::size_t k = 0; k < in_f; ++k) {
-        acc += w[k * out_f + of] * a[k * batch + jt];
-      }
-      out[of * batch + jt] = acc;
-    }
-  }
-}
-
-}  // namespace
-
 void dense_forward_columns(const Matrix& activations, const Matrix& weights,
                            const Matrix& bias_row, Matrix& out) {
   if (activations.rows() != weights.rows()) {
@@ -291,9 +228,14 @@ void dense_forward_columns(const Matrix& activations, const Matrix& weights,
         "dense_forward_columns: out must not alias an input");
   }
   out.resize(weights.cols(), activations.cols());
-  dense_columns_kernel(activations.data().data(), weights.data().data(),
-                       bias_row.data().data(), out.data().data(),
-                       weights.rows(), weights.cols(), activations.cols());
+  // The scalar-templated kernel at T = double is the exact kernel that
+  // lived here (same tiles, same accumulation order): f64 bitwise
+  // unchanged, while the float instantiation backs the serve-side
+  // reduced-precision backend.
+  detail::dense_columns_kernel<double>(
+      activations.data().data(), weights.data().data(),
+      bias_row.data().data(), out.data().data(), weights.rows(),
+      weights.cols(), activations.cols());
 }
 
 Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {

@@ -1,0 +1,189 @@
+#include "nn/panel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/dense.hpp"
+#include "nn/mlp.hpp"
+#include "nn/panel_kernels.hpp"
+
+namespace socpinn::nn {
+
+namespace {
+
+/// Elementwise activation at scalar type T — the same formulas as
+/// activation.cpp's double path, evaluated natively at T so the float
+/// backend never round-trips through double.
+template <typename T>
+void activate_columns(ActivationKind kind, const MatrixT<T>& in,
+                      MatrixT<T>& out) {
+  out.resize(in.rows(), in.cols());
+  const auto src = in.data();
+  const auto dst = out.data();
+  switch (kind) {
+    case ActivationKind::kRelu:
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = src[i] > T(0) ? src[i] : T(0);
+      }
+      return;
+    case ActivationKind::kLeakyRelu:
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = src[i] > T(0) ? src[i] : T(0.01) * src[i];
+      }
+      return;
+    case ActivationKind::kTanh:
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = std::tanh(src[i]);
+      }
+      return;
+    case ActivationKind::kSigmoid:
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = T(1) / (T(1) + std::exp(-src[i]));
+      }
+      return;
+    case ActivationKind::kIdentity:
+      for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+      return;
+  }
+  throw std::logic_error("activate_columns: unknown activation kind");
+}
+
+}  // namespace
+
+template <typename T>
+void dense_forward_columns(const MatrixT<T>& activations,
+                           const MatrixT<T>& weights,
+                           const MatrixT<T>& bias_row, MatrixT<T>& out) {
+  if (activations.rows() != weights.rows()) {
+    throw std::invalid_argument(
+        "dense_forward_columns<T>: feature dimension mismatch");
+  }
+  if (bias_row.rows() != 1 || bias_row.cols() != weights.cols()) {
+    throw std::invalid_argument(
+        "dense_forward_columns<T>: bias shape mismatch");
+  }
+  if (&out == &activations || &out == &weights || &out == &bias_row) {
+    throw std::invalid_argument(
+        "dense_forward_columns<T>: out must not alias an input");
+  }
+  out.resize(weights.cols(), activations.cols());
+  detail::dense_columns_kernel<T>(
+      activations.data().data(), weights.data().data(),
+      bias_row.data().data(), out.data().data(), weights.rows(),
+      weights.cols(), activations.cols());
+}
+
+template <typename T>
+ScalerStatsT<T> ScalerStatsT<T>::from(const StandardScaler& scaler) {
+  if (!scaler.fitted()) {
+    throw std::logic_error("ScalerStatsT::from: scaler not fitted");
+  }
+  ScalerStatsT stats;
+  stats.means.reserve(scaler.num_features());
+  stats.stds.reserve(scaler.num_features());
+  for (const double m : scaler.means()) stats.means.push_back(static_cast<T>(m));
+  for (const double s : scaler.stds()) stats.stds.push_back(static_cast<T>(s));
+  return stats;
+}
+
+template <typename T>
+void ScalerStatsT<T>::transform_columns_into(const MatrixT<T>& x,
+                                             MatrixT<T>& out) const {
+  if (means.empty()) {
+    throw std::logic_error("ScalerStatsT: empty stats");
+  }
+  if (x.rows() != means.size()) {
+    throw std::invalid_argument("ScalerStatsT::transform_columns_into: "
+                                "feature rows");
+  }
+  out.resize(x.rows(), x.cols());
+  for (std::size_t f = 0; f < x.rows(); ++f) {
+    const T mean = means[f];
+    const T std = stds[f];
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out(f, j) = (x(f, j) - mean) / std;
+    }
+  }
+}
+
+template <typename T>
+MlpSnapshotT<T> MlpSnapshotT<T>::from(const Mlp& mlp) {
+  MlpSnapshotT snapshot;
+  snapshot.steps_.reserve(mlp.num_layers());
+  for (std::size_t i = 0; i < mlp.num_layers(); ++i) {
+    const Layer& layer = mlp.layer(i);
+    Step step;
+    if (const auto* dense = dynamic_cast<const Dense*>(&layer)) {
+      step.is_dense = true;
+      const Matrix& w = dense->weights();
+      const Matrix& b = dense->bias();
+      step.w.resize(w.rows(), w.cols());
+      for (std::size_t e = 0; e < w.size(); ++e) {
+        step.w.data()[e] = static_cast<T>(w.data()[e]);
+      }
+      step.b.resize(1, b.cols());
+      for (std::size_t e = 0; e < b.size(); ++e) {
+        step.b.data()[e] = static_cast<T>(b.data()[e]);
+      }
+    } else if (const auto* act = dynamic_cast<const Activation*>(&layer)) {
+      step.act = act->kind();
+    } else {
+      throw std::invalid_argument("MlpSnapshotT::from: unsupported layer '" +
+                                  layer.name() + "'");
+    }
+    snapshot.steps_.push_back(std::move(step));
+  }
+  return snapshot;
+}
+
+template <typename T>
+const MatrixT<T>& MlpSnapshotT<T>::infer_columns(
+    const MatrixT<T>& input_columns, ForwardWorkspaceT<T>& ws) const {
+  const std::size_t n = steps_.size();
+  ws.ensure(n + 1);  // buffer n backs the layerless copy
+  if (n == 0) {
+    MatrixT<T>& out = ws.buffer(n);
+    out.resize(input_columns.rows(), input_columns.cols());
+    const auto src = input_columns.data();
+    const auto dst = out.data();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    return out;
+  }
+  const MatrixT<T>* x = &input_columns;
+  for (std::size_t i = 0; i < n; ++i) {
+    MatrixT<T>& out = ws.buffer(i);
+    const Step& step = steps_[i];
+    if (step.is_dense) {
+      if (x->rows() != step.w.rows()) {
+        throw std::invalid_argument(
+            "MlpSnapshotT::infer_columns: input features " +
+            std::to_string(x->rows()) + " != " +
+            std::to_string(step.w.rows()));
+      }
+      dense_forward_columns(*x, step.w, step.b, out);
+    } else {
+      activate_columns(step.act, *x, out);
+    }
+    x = &out;
+  }
+  return *x;
+}
+
+// The two supported serve precisions. The double instantiation exists to
+// pin the template to the nn::Matrix reference path bitwise (and for
+// float<->double conversion round-trip tests); float is the deployed
+// reduced-precision backend.
+template void dense_forward_columns<float>(const MatrixT<float>&,
+                                           const MatrixT<float>&,
+                                           const MatrixT<float>&,
+                                           MatrixT<float>&);
+template void dense_forward_columns<double>(const MatrixT<double>&,
+                                            const MatrixT<double>&,
+                                            const MatrixT<double>&,
+                                            MatrixT<double>&);
+template struct ScalerStatsT<float>;
+template struct ScalerStatsT<double>;
+template class MlpSnapshotT<float>;
+template class MlpSnapshotT<double>;
+
+}  // namespace socpinn::nn

@@ -1,0 +1,99 @@
+#pragma once
+/// \file panel_kernels.hpp
+/// Scalar-templated feature-major dense kernel shared by the f64 serving
+/// path (nn::dense_forward_columns over nn::Matrix) and the reduced-
+/// precision serve backend (nn::MatrixT<float>). The template is the single
+/// source of truth for the panel arithmetic: instantiated at double it is
+/// the exact kernel that lived in matrix.cpp (same tile shapes, same
+/// bias-then-ascending-k accumulation order, so the f64 results are bitwise
+/// unchanged), instantiated at float the same tiles pack twice the SIMD
+/// lanes per register.
+
+#include <cstddef>
+
+namespace socpinn::nn::detail {
+
+/// Register-blocked tile of the feature-major forward: kOut output features
+/// x kBatch batch columns accumulate entirely in registers, with one
+/// activation-row load shared by all kOut FMA chains per k step. The double
+/// tile shape (4 x 32 = 16 512-bit accumulators) is chosen for the
+/// AVX-512/AVX2 register file; float tiles double kBatch to fill the same
+/// register bytes. Per element the order stays bias-then-ascending-k.
+template <typename T, int kOut, int kBatch>
+inline void dense_columns_tile(const T* __restrict a, const T* __restrict w,
+                               const T* __restrict bias, T* __restrict out,
+                               std::size_t in_f, std::size_t out_f,
+                               std::size_t batch, std::size_t of,
+                               std::size_t jt) {
+  T acc[kOut][kBatch];
+  for (int r = 0; r < kOut; ++r) {
+    const T b0 = bias[of + r];
+    for (int j = 0; j < kBatch; ++j) acc[r][j] = b0;
+  }
+  for (std::size_t k = 0; k < in_f; ++k) {
+    const T* __restrict a_row = a + k * batch + jt;
+    for (int r = 0; r < kOut; ++r) {
+      const T wk = w[k * out_f + of + r];
+      for (int j = 0; j < kBatch; ++j) acc[r][j] += wk * a_row[j];
+    }
+  }
+  for (int r = 0; r < kOut; ++r) {
+    T* __restrict o = out + (of + r) * batch + jt;
+    for (int j = 0; j < kBatch; ++j) o[j] = acc[r][j];
+  }
+}
+
+/// out = W^T * activations + bias over raw feature-major panels:
+/// `a` is (in_f x batch) row-major (batch unit-stride), `w` (in_f x out_f)
+/// row-major, `bias` out_f, `out` (out_f x batch). `noclone` keeps GCC from
+/// constant-propagating the tiny layer widths into specialized clones
+/// (whose interleaving vectorization is dramatically slower for these
+/// shapes than the plain saxpy form).
+template <typename T>
+__attribute__((noinline, noclone)) void dense_columns_kernel(
+    const T* __restrict a, const T* __restrict w, const T* __restrict bias,
+    T* __restrict out, std::size_t in_f, std::size_t out_f,
+    std::size_t batch) {
+  constexpr int kOut = 4;
+  constexpr int kBatch = static_cast<int>(32 * sizeof(double) / sizeof(T));
+  std::size_t jt = 0;
+  for (; jt + kBatch <= batch; jt += kBatch) {
+    std::size_t of = 0;
+    for (; of + kOut <= out_f; of += kOut) {
+      dense_columns_tile<T, kOut, kBatch>(a, w, bias, out, in_f, out_f,
+                                          batch, of, jt);
+    }
+    for (; of < out_f; ++of) {
+      dense_columns_tile<T, 1, kBatch>(a, w, bias, out, in_f, out_f, batch,
+                                       of, jt);
+    }
+  }
+  if constexpr (sizeof(T) < sizeof(double)) {
+    // Narrow scalars widen the main tile; a half-width pass keeps batches
+    // between the two tile sizes (e.g. 32..63 floats) vectorized instead of
+    // falling straight to the scalar remainder.
+    for (; jt + kBatch / 2 <= batch; jt += kBatch / 2) {
+      std::size_t of = 0;
+      for (; of + kOut <= out_f; of += kOut) {
+        dense_columns_tile<T, kOut, kBatch / 2>(a, w, bias, out, in_f, out_f,
+                                                batch, of, jt);
+      }
+      for (; of < out_f; ++of) {
+        dense_columns_tile<T, 1, kBatch / 2>(a, w, bias, out, in_f, out_f,
+                                             batch, of, jt);
+      }
+    }
+  }
+  // Remainder columns, one at a time.
+  for (; jt < batch; ++jt) {
+    for (std::size_t of = 0; of < out_f; ++of) {
+      T acc = bias[of];
+      for (std::size_t k = 0; k < in_f; ++k) {
+        acc += w[k * out_f + of] * a[k * batch + jt];
+      }
+      out[of * batch + jt] = acc;
+    }
+  }
+}
+
+}  // namespace socpinn::nn::detail

@@ -1,5 +1,6 @@
 #include "serve/fleet_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/math.hpp"
@@ -16,6 +17,11 @@ FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
   if (num_cells == 0) {
     throw std::invalid_argument("FleetEngine: empty fleet");
   }
+  if (config_.precision == core::Precision::kFloat32) {
+    // Weights and scaler stats are converted exactly once, at load; every
+    // tick serves the immutable snapshot.
+    snapshot32_ = std::make_unique<const core::TwoBranchSnapshotF32>(net);
+  }
 }
 
 void FleetEngine::init_from_sensors(const nn::Matrix& sensors_raw) {
@@ -23,10 +29,32 @@ void FleetEngine::init_from_sensors(const nn::Matrix& sensors_raw) {
     throw std::invalid_argument(
         "FleetEngine::init_from_sensors: need num_cells x 3 sensors");
   }
+  const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
+        if (f32) {
+          // Padded up to the 32-wide vectorized float tile (zero columns,
+          // outputs discarded): per-column results are independent, so
+          // padding changes nothing but speed on thin shards.
+          const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
+          scratch.input_f32.resize(3, padded);
+          for (std::size_t i = 0; i < count; ++i) {
+            for (std::size_t c = 0; c < 3; ++c) {
+              scratch.input_f32(c, i) =
+                  static_cast<float>(sensors_raw(begin + i, c));
+            }
+          }
+          nn::zero_pad_columns(scratch.input_f32, count);
+          const nn::MatrixF32& est = snapshot32_->estimate_columns(
+              scratch.input_f32, scratch.ws_f32);
+          for (std::size_t i = 0; i < count; ++i) {
+            const double raw = static_cast<double>(est(0, i));
+            soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
+          }
+          return;
+        }
         scratch.input.resize(count, 3);
         for (std::size_t i = 0; i < count; ++i) {
           for (std::size_t c = 0; c < 3; ++c) {
@@ -46,11 +74,24 @@ void FleetEngine::set_soc(std::span<const double> soc) {
   if (soc.size() != num_cells()) {
     throw std::invalid_argument("FleetEngine::set_soc: size mismatch");
   }
-  for (std::size_t i = 0; i < soc.size(); ++i) soc_[i] = soc[i];
+  // Direct seeding honors the same clamping knob as every other
+  // seeding/serving path (init_from_sensors, step, tick).
+  for (std::size_t i = 0; i < soc.size(); ++i) {
+    soc_[i] = config_.clamp_soc ? util::clamp01(soc[i]) : soc[i];
+  }
 }
 
 void FleetEngine::forward_shard(ShardScratch& scratch, std::size_t begin,
                                 std::size_t count) {
+  if (config_.precision == core::Precision::kFloat32) {
+    const nn::MatrixF32& pred =
+        snapshot32_->predict_columns(scratch.input_f32, scratch.ws_f32);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double raw = static_cast<double>(pred(0, i));
+      soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
+    }
+    return;
+  }
   const bool columns = count >= nn::kColumnsMinBatch;
   const nn::Matrix& pred =
       columns ? net_->predict_batch_columns(scratch.input, scratch.ws)
@@ -66,14 +107,32 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
     throw std::invalid_argument(
         "FleetEngine::step: need num_cells x 3 workload");
   }
+  const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
-        // Stage feature-major (batch as the unit-stride axis, no transpose
-        // round-trip) for big shards, row-major below the panel threshold
-        // where the small-batch kernels win; both layouts agree bitwise.
-        if (count >= nn::kColumnsMinBatch) {
+        if (f32) {
+          // Feature-major at every shard size (no bitwise row-major
+          // contract to preserve at reduced precision), padded up to the
+          // 32-wide vectorized float tile on thin shards.
+          const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
+          scratch.input_f32.resize(4, padded);
+          for (std::size_t i = 0; i < count; ++i) {
+            scratch.input_f32(0, i) = static_cast<float>(soc_[begin + i]);
+            scratch.input_f32(1, i) =
+                static_cast<float>(workload_raw(begin + i, 0));
+            scratch.input_f32(2, i) =
+                static_cast<float>(workload_raw(begin + i, 1));
+            scratch.input_f32(3, i) =
+                static_cast<float>(workload_raw(begin + i, 2));
+          }
+          nn::zero_pad_columns(scratch.input_f32, count);
+        } else if (count >= nn::kColumnsMinBatch) {
+          // Stage feature-major (batch as the unit-stride axis, no
+          // transpose round-trip) for big shards, row-major below the
+          // panel threshold where the small-batch kernels win; both
+          // layouts agree bitwise.
           scratch.input.resize(4, count);
           for (std::size_t i = 0; i < count; ++i) {
             scratch.input(0, i) = soc_[begin + i];
@@ -96,10 +155,30 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
 }
 
 void FleetEngine::tick_shared(const double* row3) {
+  const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
+        if (f32) {
+          if (row3 != nullptr) {
+            // Pad columns are staged to zero once (SoC row included) and
+            // never rewritten by the per-tick SoC refresh below.
+            const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
+            scratch.input_f32.resize(4, padded);
+            for (std::size_t i = 0; i < count; ++i) {
+              scratch.input_f32(1, i) = static_cast<float>(row3[0]);
+              scratch.input_f32(2, i) = static_cast<float>(row3[1]);
+              scratch.input_f32(3, i) = static_cast<float>(row3[2]);
+            }
+            nn::zero_pad_columns(scratch.input_f32, count);
+          }
+          for (std::size_t i = 0; i < count; ++i) {
+            scratch.input_f32(0, i) = static_cast<float>(soc_[begin + i]);
+          }
+          forward_shard(scratch, begin, count);
+          return;
+        }
         const bool columns = count >= nn::kColumnsMinBatch;
         if (row3 != nullptr) {
           if (columns) {

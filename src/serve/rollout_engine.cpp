@@ -1,5 +1,6 @@
 #include "serve/rollout_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "battery/coulomb.hpp"
@@ -12,7 +13,13 @@ RolloutEngine::RolloutEngine(const core::TwoBranchNet& net,
     : net_(&net),
       config_(config),
       pool_(config.threads),
-      scratch_(pool_.size()) {}
+      scratch_(pool_.size()) {
+  if (config_.precision == core::Precision::kFloat32) {
+    // Weights and scaler stats are converted exactly once, at load; every
+    // run serves the immutable snapshot.
+    snapshot32_ = std::make_unique<const core::TwoBranchSnapshotF32>(net);
+  }
+}
 
 std::vector<core::Rollout> RolloutEngine::run(
     std::span<const RolloutLane> lanes) {
@@ -55,109 +62,217 @@ void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
     }
   }
 
-  const bool clamp = config_.clamp_soc;
+  const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       lanes.size(),
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
-        ShardScratch& s = scratch_[shard];
-        const std::size_t count = end - begin;
-
-        // Seed: one batched Branch-1 estimate over the shard's lanes —
-        // the only time voltage is consumed (Fig. 2 discipline).
-        s.input.resize(count, 3);
-        for (std::size_t i = 0; i < count; ++i) {
-          const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
-          s.input(i, 0) = sched.voltage0;
-          s.input(i, 1) = sched.current0;
-          s.input(i, 2) = sched.temp0;
-        }
-        const nn::Matrix& est = net_->estimate_batch(s.input, s.ws);
-        s.soc.resize(count);
-        for (std::size_t i = 0; i < count; ++i) {
-          const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
-          const double seed = clamp ? util::clamp01(est(i, 0)) : est(i, 0);
-          s.soc[i] = seed;
-          core::Rollout& r = out[begin + i];
-          r.times_s.assign(sched.times_s.begin(), sched.times_s.end());
-          r.truth.assign(sched.truth.begin(), sched.truth.end());
-          r.soc.clear();
-          r.soc.reserve(sched.times_s.size());
-          r.soc.push_back(seed);
-        }
-
-        // Lockstep steps. A lane is active while its schedule still has a
-        // window at `step`; retired lanes drop out of the gather without
-        // moving shard boundaries.
-        s.gather.resize(count);
-        for (std::size_t step = 0;; ++step) {
-          std::size_t active = 0;   // gathered NN rows this step
-          bool any_alive = false;
-          for (std::size_t i = 0; i < count; ++i) {
-            const RolloutLane& lane = lanes[begin + i];
-            if (step >= lane.schedule->num_steps()) continue;
-            any_alive = true;
-            if (lane.kind == LaneKind::kCascade) s.gather[active++] = i;
-          }
-          if (!any_alive) break;
-
-          if (active >= nn::kColumnsMinBatch) {
-            // Gather straight into the feature-major panel: batch is the
-            // unit-stride axis, no transpose round-trip per step.
-            s.input.resize(4, active);
-            for (std::size_t g = 0; g < active; ++g) {
-              const std::size_t i = s.gather[g];
-              const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
-              s.input(0, g) = s.soc[i];
-              s.input(1, g) = sched.workload(step, 0);
-              s.input(2, g) = sched.workload(step, 1);
-              s.input(3, g) = sched.workload(step, 2);
-            }
-            const nn::Matrix& pred =
-                net_->predict_batch_columns(s.input, s.ws);
-            for (std::size_t g = 0; g < active; ++g) {
-              const std::size_t i = s.gather[g];
-              const double soc =
-                  clamp ? util::clamp01(pred(0, g)) : pred(0, g);
-              s.soc[i] = soc;
-              out[begin + i].soc.push_back(soc);
-            }
-          } else if (active > 0) {
-            // Thin tail (most lanes retired): row-major staging keeps the
-            // small-batch kernels fast; both layouts agree bitwise.
-            s.input.resize(active, 4);
-            for (std::size_t g = 0; g < active; ++g) {
-              const std::size_t i = s.gather[g];
-              const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
-              s.input(g, 0) = s.soc[i];
-              s.input(g, 1) = sched.workload(step, 0);
-              s.input(g, 2) = sched.workload(step, 1);
-              s.input(g, 3) = sched.workload(step, 2);
-            }
-            const nn::Matrix& pred = net_->predict_batch(s.input, s.ws);
-            for (std::size_t g = 0; g < active; ++g) {
-              const std::size_t i = s.gather[g];
-              const double soc =
-                  clamp ? util::clamp01(pred(g, 0)) : pred(g, 0);
-              s.soc[i] = soc;
-              out[begin + i].soc.push_back(soc);
-            }
-          }
-
-          // Physics-only lanes advance with Eq. 1 in the same pass.
-          for (std::size_t i = 0; i < count; ++i) {
-            const RolloutLane& lane = lanes[begin + i];
-            if (lane.kind != LaneKind::kPhysicsOnly) continue;
-            const data::WorkloadSchedule& sched = *lane.schedule;
-            if (step >= sched.num_steps()) continue;
-            const double raw = battery::coulomb_predict(
-                s.soc[i], sched.workload(step, 0), sched.workload(step, 2),
-                lane.capacity_ah);
-            const double soc = clamp ? util::clamp01(raw) : raw;
-            s.soc[i] = soc;
-            out[begin + i].soc.push_back(soc);
-          }
+        if (f32) {
+          roll_shard_f32(lanes, out, shard, begin, end);
+        } else {
+          roll_shard(lanes, out, shard, begin, end);
         }
       });
+}
+
+void RolloutEngine::roll_shard(std::span<const RolloutLane> lanes,
+                               std::span<core::Rollout> out, std::size_t shard,
+                               std::size_t begin, std::size_t end) {
+  const bool clamp = config_.clamp_soc;
+  ShardScratch& s = scratch_[shard];
+  const std::size_t count = end - begin;
+
+  // Seed: one batched Branch-1 estimate over the shard's lanes —
+  // the only time voltage is consumed (Fig. 2 discipline).
+  s.input.resize(count, 3);
+  for (std::size_t i = 0; i < count; ++i) {
+    const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+    s.input(i, 0) = sched.voltage0;
+    s.input(i, 1) = sched.current0;
+    s.input(i, 2) = sched.temp0;
+  }
+  const nn::Matrix& est = net_->estimate_batch(s.input, s.ws);
+  s.soc.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+    const double seed = clamp ? util::clamp01(est(i, 0)) : est(i, 0);
+    s.soc[i] = seed;
+    core::Rollout& r = out[begin + i];
+    r.times_s.assign(sched.times_s.begin(), sched.times_s.end());
+    r.truth.assign(sched.truth.begin(), sched.truth.end());
+    r.soc.clear();
+    r.soc.reserve(sched.times_s.size());
+    r.soc.push_back(seed);
+  }
+
+  // Lockstep steps. A lane is active while its schedule still has a
+  // window at `step`; retired lanes drop out of the gather without
+  // moving shard boundaries.
+  s.gather.resize(count);
+  for (std::size_t step = 0;; ++step) {
+    std::size_t active = 0;   // gathered NN rows this step
+    bool any_alive = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      const RolloutLane& lane = lanes[begin + i];
+      if (step >= lane.schedule->num_steps()) continue;
+      any_alive = true;
+      if (lane.kind == LaneKind::kCascade) s.gather[active++] = i;
+    }
+    if (!any_alive) break;
+
+    if (active >= nn::kColumnsMinBatch) {
+      // Gather straight into the feature-major panel: batch is the
+      // unit-stride axis, no transpose round-trip per step.
+      s.input.resize(4, active);
+      for (std::size_t g = 0; g < active; ++g) {
+        const std::size_t i = s.gather[g];
+        const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+        s.input(0, g) = s.soc[i];
+        s.input(1, g) = sched.workload(step, 0);
+        s.input(2, g) = sched.workload(step, 1);
+        s.input(3, g) = sched.workload(step, 2);
+      }
+      const nn::Matrix& pred =
+          net_->predict_batch_columns(s.input, s.ws);
+      for (std::size_t g = 0; g < active; ++g) {
+        const std::size_t i = s.gather[g];
+        const double soc =
+            clamp ? util::clamp01(pred(0, g)) : pred(0, g);
+        s.soc[i] = soc;
+        out[begin + i].soc.push_back(soc);
+      }
+    } else if (active > 0) {
+      // Thin tail (most lanes retired): row-major staging keeps the
+      // small-batch kernels fast; both layouts agree bitwise.
+      s.input.resize(active, 4);
+      for (std::size_t g = 0; g < active; ++g) {
+        const std::size_t i = s.gather[g];
+        const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+        s.input(g, 0) = s.soc[i];
+        s.input(g, 1) = sched.workload(step, 0);
+        s.input(g, 2) = sched.workload(step, 1);
+        s.input(g, 3) = sched.workload(step, 2);
+      }
+      const nn::Matrix& pred = net_->predict_batch(s.input, s.ws);
+      for (std::size_t g = 0; g < active; ++g) {
+        const std::size_t i = s.gather[g];
+        const double soc =
+            clamp ? util::clamp01(pred(g, 0)) : pred(g, 0);
+        s.soc[i] = soc;
+        out[begin + i].soc.push_back(soc);
+      }
+    }
+
+    // Physics-only lanes advance with Eq. 1 in the same pass.
+    for (std::size_t i = 0; i < count; ++i) {
+      const RolloutLane& lane = lanes[begin + i];
+      if (lane.kind != LaneKind::kPhysicsOnly) continue;
+      const data::WorkloadSchedule& sched = *lane.schedule;
+      if (step >= sched.num_steps()) continue;
+      const double raw = battery::coulomb_predict(
+          s.soc[i], sched.workload(step, 0), sched.workload(step, 2),
+          lane.capacity_ah);
+      const double soc = clamp ? util::clamp01(raw) : raw;
+      s.soc[i] = soc;
+      out[begin + i].soc.push_back(soc);
+    }
+  }
+}
+
+void RolloutEngine::roll_shard_f32(std::span<const RolloutLane> lanes,
+                                   std::span<core::Rollout> out,
+                                   std::size_t shard, std::size_t begin,
+                                   std::size_t end) {
+  // The f32 twin of roll_shard: identical gather/scatter structure, but
+  // every NN forward goes through the snapshot's feature-major panels at
+  // any active size — at reduced precision there is no bitwise row-major
+  // contract to preserve, so the small-batch dispatch disappears. Lane SoC
+  // state and trajectories stay f64 (they are API surface); only the
+  // panel arithmetic narrows.
+  const bool clamp = config_.clamp_soc;
+  const core::TwoBranchSnapshotF32& snap = *snapshot32_;
+  ShardScratch& s = scratch_[shard];
+  const std::size_t count = end - begin;
+
+  // Seed: one batched Branch-1 estimate, staged as a 3 x count panel
+  // (padded up to the vectorized float tile like every f32 panel here).
+  const std::size_t seed_padded = std::max(count, nn::kColumnsMinBatch);
+  s.input_f32.resize(3, seed_padded);
+  for (std::size_t i = 0; i < count; ++i) {
+    const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+    s.input_f32(0, i) = static_cast<float>(sched.voltage0);
+    s.input_f32(1, i) = static_cast<float>(sched.current0);
+    s.input_f32(2, i) = static_cast<float>(sched.temp0);
+  }
+  nn::zero_pad_columns(s.input_f32, count);
+  const nn::MatrixF32& est = snap.estimate_columns(s.input_f32, s.ws_f32);
+  s.soc.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+    const double raw = static_cast<double>(est(0, i));
+    const double seed = clamp ? util::clamp01(raw) : raw;
+    s.soc[i] = seed;
+    core::Rollout& r = out[begin + i];
+    r.times_s.assign(sched.times_s.begin(), sched.times_s.end());
+    r.truth.assign(sched.truth.begin(), sched.truth.end());
+    r.soc.clear();
+    r.soc.reserve(sched.times_s.size());
+    r.soc.push_back(seed);
+  }
+
+  s.gather.resize(count);
+  for (std::size_t step = 0;; ++step) {
+    std::size_t active = 0;
+    bool any_alive = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      const RolloutLane& lane = lanes[begin + i];
+      if (step >= lane.schedule->num_steps()) continue;
+      any_alive = true;
+      if (lane.kind == LaneKind::kCascade) s.gather[active++] = i;
+    }
+    if (!any_alive) break;
+
+    if (active > 0) {
+      // Thin batches are padded up to the 32-wide vectorized float tile
+      // (zero columns, outputs discarded): per-column panel results are
+      // independent, so padding changes nothing but speed — without it a
+      // ragged tail would crawl through the kernel's scalar remainder.
+      const std::size_t padded = std::max(active, nn::kColumnsMinBatch);
+      s.input_f32.resize(4, padded);
+      for (std::size_t g = 0; g < active; ++g) {
+        const std::size_t i = s.gather[g];
+        const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
+        s.input_f32(0, g) = static_cast<float>(s.soc[i]);
+        s.input_f32(1, g) = static_cast<float>(sched.workload(step, 0));
+        s.input_f32(2, g) = static_cast<float>(sched.workload(step, 1));
+        s.input_f32(3, g) = static_cast<float>(sched.workload(step, 2));
+      }
+      nn::zero_pad_columns(s.input_f32, active);
+      const nn::MatrixF32& pred = snap.predict_columns(s.input_f32, s.ws_f32);
+      for (std::size_t g = 0; g < active; ++g) {
+        const std::size_t i = s.gather[g];
+        const double raw = static_cast<double>(pred(0, g));
+        const double soc = clamp ? util::clamp01(raw) : raw;
+        s.soc[i] = soc;
+        out[begin + i].soc.push_back(soc);
+      }
+    }
+
+    // Physics-only lanes advance with Eq. 1 in f64, same as roll_shard:
+    // three flops gain nothing from narrowing and keep both precisions'
+    // physics baselines identical.
+    for (std::size_t i = 0; i < count; ++i) {
+      const RolloutLane& lane = lanes[begin + i];
+      if (lane.kind != LaneKind::kPhysicsOnly) continue;
+      const data::WorkloadSchedule& sched = *lane.schedule;
+      if (step >= sched.num_steps()) continue;
+      const double raw = battery::coulomb_predict(
+          s.soc[i], sched.workload(step, 0), sched.workload(step, 2),
+          lane.capacity_ah);
+      const double soc = clamp ? util::clamp01(raw) : raw;
+      s.soc[i] = soc;
+      out[begin + i].soc.push_back(soc);
+    }
+  }
 }
 
 }  // namespace socpinn::serve

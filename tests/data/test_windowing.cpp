@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace socpinn::data {
 namespace {
 
@@ -73,6 +76,71 @@ TEST(Branch2Data, HorizonMustBeMultipleOfPeriod) {
   EXPECT_THROW((void)build_branch2_data(trace, 130.0),
                std::invalid_argument);
   EXPECT_THROW((void)build_branch2_data(trace, 0.0), std::invalid_argument);
+}
+
+TEST(Branch2Data, RejectsNegativeAndNonFiniteHorizons) {
+  // Regression: a negative horizon used to reach the size_t cast, where it
+  // wrapped into a huge candidate sample count, and a NaN horizon sailed
+  // through the old tolerance check entirely (every NaN comparison is
+  // false), yielding a bogus ~2^63-sample "valid" horizon. Both must be
+  // rejected before any integer conversion.
+  const Trace trace = pattern_trace(10, 1.0);
+  EXPECT_THROW((void)build_branch2_data(trace, -2.0), std::invalid_argument);
+  EXPECT_THROW((void)build_branch2_data(trace, -0.5), std::invalid_argument);
+  EXPECT_THROW(
+      (void)build_branch2_data(trace,
+                               std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)build_branch2_data(trace,
+                               std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+  EXPECT_THROW((void)build_workload_schedule(trace, -3.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)build_workload_schedule(
+          trace, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)build_horizon_eval(trace,
+                               -std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+TEST(Branch2Data, AcceptsLongHorizonsOnFinelySampledTraces) {
+  // Regression for the old ABSOLUTE 1e-6 tolerance: at 100 kHz sampling a
+  // ~10-year horizon gives ratio ~3.15e10, whose nearest double is ~4e-6
+  // away from the integer (ulp alone is ~4e-6 there) — a perfectly valid
+  // horizon that the absolute check wrongly rejected. The relative
+  // tolerance accepts it (and the schedule simply has zero whole windows
+  // on this short trace).
+  const double period = 1e-5;
+  const double horizon_s = 315360.0;  // 31536000000 * period
+  const Trace trace = pattern_trace(4, period);
+  ASSERT_GT(std::fabs(horizon_s / period -
+                      static_cast<double>(std::llround(horizon_s / period))),
+            1e-6)
+      << "fixture no longer exercises the absolute-tolerance failure";
+  const WorkloadSchedule schedule =
+      build_workload_schedule(trace, horizon_s);
+  EXPECT_EQ(schedule.num_steps(), 0u);
+  EXPECT_DOUBLE_EQ(schedule.horizon_s, horizon_s);
+}
+
+TEST(Branch2Data, StillRejectsGenuineNonMultiples) {
+  // The relative tolerance must not loosen the small-ratio cases: 2.5x
+  // and 0.5x periods stay rejected.
+  const Trace trace = pattern_trace(10, 1.0);
+  EXPECT_THROW((void)build_branch2_data(trace, 2.5), std::invalid_argument);
+  EXPECT_THROW((void)build_branch2_data(trace, 0.5), std::invalid_argument);
+
+  // And it must stay meaningful at huge ratios: a horizon off by 0.4
+  // periods at ratio ~1e9 is a genuine non-multiple, not rounding noise
+  // (a tolerance factor of 1e-9 would have silently accepted it — the
+  // vacuity threshold is where tol reaches half a period).
+  const Trace fine = pattern_trace(4, 1e-5);
+  EXPECT_THROW((void)build_workload_schedule(fine, 10000.000004),
+               std::invalid_argument);
 }
 
 TEST(Branch2Data, TooShortTracesThrow) {

@@ -76,6 +76,48 @@ TEST(StandardScaler, ConstantZeroColumnUsesUnitScale) {
   EXPECT_DOUBLE_EQ(scaler.stds()[0], 1.0);
 }
 
+TEST(StandardScaler, NearConstantColumnTriggersFallback) {
+  // The fallback branch keys on std < 1e-12, not on exact equality: a
+  // column whose jitter is below that threshold must also take the
+  // magnitude fallback instead of dividing by a denormal-scale std.
+  Matrix x(4, 1);
+  x(0, 0) = 50.0;
+  x(1, 0) = 50.0 + 1e-14;
+  x(2, 0) = 50.0;
+  x(3, 0) = 50.0 - 1e-14;
+  StandardScaler scaler;
+  scaler.fit(x);
+  EXPECT_DOUBLE_EQ(scaler.stds()[0], 50.0);
+}
+
+TEST(StandardScaler, NegativeConstantColumnScalesByMagnitude) {
+  // |mean| matters, not mean: a constant negative column (e.g. a fixed
+  // discharge current) scales by its magnitude.
+  Matrix x(8, 1, -120.0);
+  StandardScaler scaler;
+  scaler.fit(x);
+  EXPECT_DOUBLE_EQ(scaler.stds()[0], 120.0);
+  Matrix probe(1, 1, 0.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(probe)(0, 0), 1.0);
+}
+
+TEST(StandardScaler, SubUnitConstantColumnUsesUnitScale) {
+  // Constant columns with magnitude below 1 use the unit floor, so tiny
+  // constants do not blow up standardized deviations.
+  Matrix x(6, 1, 0.25);
+  StandardScaler scaler;
+  scaler.fit(x);
+  EXPECT_DOUBLE_EQ(scaler.stds()[0], 1.0);
+  // All transform layouts route through the same fallback moments.
+  Matrix rowm(1, 1, 1.25);
+  Matrix out;
+  scaler.transform_into(rowm, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+  Matrix cols(1, 1, 1.25);
+  scaler.transform_columns_into(cols, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+}
+
 TEST(StandardScaler, UnfittedThrows) {
   const StandardScaler scaler;
   EXPECT_FALSE(scaler.fitted());

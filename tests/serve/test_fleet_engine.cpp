@@ -165,6 +165,56 @@ TEST(FleetEngine, ScheduleRunAppliesEveryWindow) {
   for (const double soc : engine.soc()) EXPECT_EQ(soc, expect);
 }
 
+TEST(FleetEngine, SetSocHonorsClampKnobLikeInitFromSensors) {
+  // Regression: set_soc used to ignore clamp_soc, so the two seeding paths
+  // disagreed — init_from_sensors clamped while direct seeding stored
+  // arbitrary values. The documented contract is ONE clamping knob on
+  // every seeding/serving path.
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const std::vector<double> wild = {1.7, -0.3, 0.5, 2e6};
+
+  FleetEngine clamped(net, 4, {.threads = 1});
+  clamped.set_soc(wild);
+  EXPECT_DOUBLE_EQ(clamped.soc()[0], 1.0);
+  EXPECT_DOUBLE_EQ(clamped.soc()[1], 0.0);
+  EXPECT_DOUBLE_EQ(clamped.soc()[2], 0.5);
+  EXPECT_DOUBLE_EQ(clamped.soc()[3], 1.0);
+
+  FleetEngine raw(net, 4, {.threads = 1, .clamp_soc = false});
+  raw.set_soc(wild);
+  for (std::size_t i = 0; i < wild.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw.soc()[i], wild[i]) << "cell " << i;
+  }
+
+  // And the other seeding path agrees: a Branch-1 estimate outside [0, 1]
+  // is clamped under the same knob. The fitted fixture wanders out of
+  // range on extreme sensor inputs, which is what makes this comparison
+  // non-vacuous.
+  nn::Matrix sensors(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    sensors(r, 0) = 10.0;   // far outside the scaler's training range
+    sensors(r, 1) = -50.0;
+    sensors(r, 2) = 90.0;
+  }
+  FleetEngine est_clamped(net, 4, {.threads = 1});
+  FleetEngine est_raw(net, 4, {.threads = 1, .clamp_soc = false});
+  est_clamped.init_from_sensors(sensors);
+  est_raw.init_from_sensors(sensors);
+  bool estimate_left_range = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(est_clamped.soc()[i], 0.0);
+    EXPECT_LE(est_clamped.soc()[i], 1.0);
+    if (est_raw.soc()[i] < 0.0 || est_raw.soc()[i] > 1.0) {
+      estimate_left_range = true;
+    }
+    EXPECT_DOUBLE_EQ(est_clamped.soc()[i],
+                     util::clamp01(est_raw.soc()[i]))
+        << "cell " << i;
+  }
+  EXPECT_TRUE(estimate_left_range)
+      << "fixture estimate never left [0, 1]; clamp comparison is vacuous";
+}
+
 TEST(FleetEngine, ClampCanBeDisabled) {
   const core::TwoBranchNet net = testing::make_fitted_net(9);
   FleetConfig config;

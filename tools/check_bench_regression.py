@@ -16,10 +16,14 @@ The thresholds file maps each benchmark JSON filename to metric bounds:
 
 Every listed file must exist and every listed metric must satisfy its
 bounds; a missing file, missing metric, or violated bound is a hard
-failure. Bounds are deliberately conservative relative to developer
-machines — CI runners are small and noisy — but strict enough to catch a
-broken batched path (speedup collapsing to ~1x) or an allocation sneaking
-back into a steady-state loop.
+failure. Coverage is also enforced in the OTHER direction: every
+BENCH_*.json emitted into the bench dir must have a thresholds entry, so a
+renamed or newly added benchmark cannot silently escape regression
+checking (previously a rename left the new file unchecked forever).
+Bounds are deliberately conservative relative to developer machines — CI
+runners are small and noisy — but strict enough to catch a broken batched
+path (speedup collapsing to ~1x) or an allocation sneaking back into a
+steady-state loop.
 """
 
 import json
@@ -60,6 +64,18 @@ def main() -> int:
                 print(f"PASS {line}")
             else:
                 failures.append(line)
+
+    # Reverse coverage: every emitted benchmark JSON must be listed in the
+    # thresholds file. Without this, renaming a benchmark (or adding a new
+    # one) silently passes — the old name fails loudly above, but nothing
+    # would ever look at the new file, and its thresholds would rot.
+    known = {name for name in thresholds if not name.startswith("_")}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name not in known:
+            failures.append(
+                f"{path.name}: present but not listed in {thresholds_path}"
+                " — add thresholds for it; if the benchmark was renamed or"
+                " removed, delete this stale file from the build dir")
 
     if failures:
         print()
