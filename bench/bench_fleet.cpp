@@ -7,8 +7,11 @@
 ///
 /// Writes BENCH_fleet.json (same flat schema family as
 /// BENCH_inference.json): tick latency, cells/second, the batched-tick
-/// speedup over a per-cell scalar loop, and the steady-state allocation
-/// count — threshold-checked in CI via tools/check_bench_regression.py.
+/// speedup over a per-cell scalar loop, the steady-state allocation
+/// count, and the live-ingest section — mailbox publish throughput plus
+/// the cost of a tick that drains a streaming fleet (10% of cells
+/// reporting fresh sensors and workload overrides per tick) — all
+/// threshold-checked in CI via tools/check_bench_regression.py.
 ///
 /// Options: --smoke (tiny reps for CI smoke runs; skips the Google
 /// Benchmark sweep and only emits the JSON), plus the usual
@@ -16,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -111,6 +115,41 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
   }
   const double scalar_ms = scalar_timer.millis() / scalar_reps;
 
+  // --- Live ingest: mailbox publish rate and drain-tick overhead. ---
+  // Publish throughput first: one producer hammering the wait-free
+  // seqlock publish path (the cost a telemetry thread pays per message).
+  const int publish_reps = std::max(reps * 200, 100000);
+  util::WallTimer publish_timer;
+  for (int i = 0; i < publish_reps; ++i) {
+    engine.mailbox().publish_sensors(static_cast<std::size_t>(i) % cells,
+                                     {3.9, -1.5, 25.0});
+  }
+  const double publish_msgs_per_sec =
+      publish_reps / (publish_timer.millis() * 1e-3);
+
+  // Warm the drain staging at full width (every cell pending at once),
+  // then measure the streaming steady state: 10% of the fleet reports in
+  // per tick — fresh sensors (a batched Branch-1 re-seed rides the tick)
+  // and a workload override each.
+  for (std::size_t c = 0; c < cells; ++c) {
+    engine.mailbox().publish_sensors(c, {3.9, -1.5, 25.0});
+    engine.mailbox().publish_workload(c, {-2.0, 25.0, 60.0});
+  }
+  engine.step(workload);
+  const std::size_t ingest_allocs_before = benchsupport::alloc_count();
+  util::WallTimer ingest_timer;
+  for (int i = 0; i < reps; ++i) {
+    for (std::size_t c = static_cast<std::size_t>(i) % 10; c < cells;
+         c += 10) {
+      engine.mailbox().publish_sensors(c, {3.85, -1.2, 24.0});
+      engine.mailbox().publish_workload(c, {-1.8, 23.0, 55.0});
+    }
+    engine.step(workload);
+  }
+  const double ingest_tick_ms = ingest_timer.millis() / reps;
+  const std::size_t ingest_allocs =
+      benchsupport::alloc_count() - ingest_allocs_before;
+
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
     std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
@@ -128,6 +167,13 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
                scalar_ms / tick_ms);
   std::fprintf(file, "  \"steady_state_allocs_per_tick\": %.3f,\n",
                static_cast<double>(tick_allocs) / reps);
+  std::fprintf(file, "  \"mailbox_publish_msgs_per_sec\": %.0f,\n",
+               publish_msgs_per_sec);
+  std::fprintf(file, "  \"ingest_tick_ms\": %.3f,\n", ingest_tick_ms);
+  std::fprintf(file, "  \"ingest_overhead_ratio\": %.2f,\n",
+               ingest_tick_ms / tick_ms);
+  std::fprintf(file, "  \"steady_state_allocs_per_ingest_tick\": %.3f,\n",
+               static_cast<double>(ingest_allocs) / reps);
   std::fprintf(file, "  \"checksum\": %.6f\n", acc);
   std::fprintf(file, "}\n");
   std::fclose(file);
@@ -138,6 +184,12 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
       cells, engine.num_threads(), tick_ms,
       static_cast<double>(cells) / (tick_ms * 1e3), scalar_ms,
       scalar_ms / tick_ms, static_cast<double>(tick_allocs) / reps);
+  std::printf(
+      "--- live ingest ---\n"
+      "publish %.1f M msgs/s; streaming tick (10%% of cells reporting) "
+      "%.3f ms (%.2fx plain tick), %.3f allocs per ingest tick\n",
+      publish_msgs_per_sec * 1e-6, ingest_tick_ms, ingest_tick_ms / tick_ms,
+      static_cast<double>(ingest_allocs) / reps);
   std::printf("wrote %s\n", path);
 }
 

@@ -13,6 +13,11 @@
 /// tracks it within ~1e-5 SoC on the paper's traces (far below the ~1-2%
 /// RMSE signal), at roughly twice the panel throughput.
 
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
 #include "core/two_branch_net.hpp"
 #include "nn/panel.hpp"
 
@@ -81,5 +86,100 @@ extern template class TwoBranchSnapshotT<float>;
 extern template class TwoBranchSnapshotT<double>;
 
 using TwoBranchSnapshotF32 = TwoBranchSnapshotT<float>;
+
+/// Single source of truth for the f32 backend's precondition: the
+/// reduced-precision snapshot converts scaler moments at construction, so
+/// the net must be trained (fitted scalers) by then. Throws
+/// std::invalid_argument with `knob` naming the configuration knob the
+/// caller should look at — the engines pass their own config field so the
+/// error reads as "FleetConfig::precision ..." at engine construction.
+inline void require_trained_for_f32(const TwoBranchNet& net,
+                                    const char* knob) {
+  if (!net.scaler1().fitted() || !net.scaler2().fitted()) {
+    throw std::invalid_argument(
+        std::string(knob) +
+        " = Precision::kFloat32 requires a trained net (fitted scalers); "
+        "fit or load a trained model first");
+  }
+}
+
+/// Immutable serving model: the unit of RCU-style hot-swap. One snapshot
+/// owns everything a tick needs — a deep f64 copy of the trained net (the
+/// default serve path, bitwise identical to serving the source net
+/// directly) and, under Precision::kFloat32, the f32 twin converted once
+/// at construction. The serve engines hold snapshots behind an atomic
+/// std::shared_ptr: swap_model() builds a new snapshot off the hot path
+/// and publishes it between ticks, in-flight shards finish on the old one
+/// (kept alive by the tick's reference), and the caller's net can be
+/// retrained or freed the moment the constructor returns.
+class TwoBranchSnapshot {
+ public:
+  /// Deep-copies `net` (and converts the f32 twin when `precision` is
+  /// kFloat32 — which requires a trained net with fitted scalers; throws
+  /// std::invalid_argument naming the requirement otherwise). All the
+  /// conversion cost lands here, never on the tick path.
+  TwoBranchSnapshot(const TwoBranchNet& net, Precision precision)
+      : precision_(precision), net_(net) {
+    if (precision_ == Precision::kFloat32) {
+      require_trained_for_f32(net, "TwoBranchSnapshot: precision");
+      f32_ = std::make_unique<const TwoBranchSnapshotF32>(net);
+    }
+  }
+
+  [[nodiscard]] Precision precision() const { return precision_; }
+
+  /// The f64 model (always present). Const inference with caller-owned
+  /// workspaces is thread-safe; the copy is never mutated.
+  [[nodiscard]] const TwoBranchNet& net() const { return net_; }
+
+  /// The f32 twin; only valid when precision() == kFloat32.
+  [[nodiscard]] const TwoBranchSnapshotF32& f32() const { return *f32_; }
+
+ private:
+  Precision precision_;
+  TwoBranchNet net_;
+  std::unique_ptr<const TwoBranchSnapshotF32> f32_;
+};
+
+/// Atomically swappable owner of the current serving snapshot — the RCU
+/// publication point of the serve engines. load() hands out a shared_ptr
+/// copy (a tick/run holds it for its whole duration, so a swapped-out
+/// model stays alive until the last in-flight user drops it); store()
+/// publishes a new snapshot for the NEXT load. Internally a mutex guards
+/// only the pointer copy/swap — never inference, never conversion — so
+/// the critical section is a few instructions per tick, amortized over a
+/// whole sharded batch. (std::atomic<std::shared_ptr> is the same thing
+/// as a library spinlock, but current libstdc++ lacks the TSan annotations
+/// for it; an explicit mutex keeps the whole serve layer provable by the
+/// thread sanitizer, which this repo runs in CI.)
+class SnapshotHandle {
+ public:
+  explicit SnapshotHandle(std::shared_ptr<const TwoBranchSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  [[nodiscard]] std::shared_ptr<const TwoBranchSnapshot> load() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return snapshot_;
+  }
+
+  void store(std::shared_ptr<const TwoBranchSnapshot> next) {
+    // Swap inside the lock, release the old reference outside it: if this
+    // was the last reference to the replaced model, its destructor must
+    // not run in the critical section.
+    std::shared_ptr<const TwoBranchSnapshot> old;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      old = std::move(snapshot_);
+      snapshot_ = std::move(next);
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const TwoBranchSnapshot> snapshot_;
+};
 
 }  // namespace socpinn::core

@@ -7,20 +7,90 @@
 
 namespace socpinn::serve {
 
-FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
-                         FleetConfig config)
-    : net_(&net),
-      config_(config),
-      pool_(config.threads),
-      scratch_(pool_.size()),
-      soc_(num_cells, 0.0) {
+FleetConfig FleetEngine::validated(const core::TwoBranchNet& net,
+                                   std::size_t num_cells, FleetConfig config) {
+  // Runs before the thread pool spawns workers and before any per-cell
+  // state allocates: a bad argument must not cost thread creation.
   if (num_cells == 0) {
     throw std::invalid_argument("FleetEngine: empty fleet");
   }
+  if (config.precision == core::Precision::kFloat32) {
+    core::require_trained_for_f32(net, "FleetEngine: FleetConfig::precision");
+  }
+  return config;
+}
+
+FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
+                         FleetConfig config)
+    : config_(validated(net, num_cells, config)),
+      // Weights (and scaler stats, under kFloat32) are copied/converted
+      // exactly once, off the hot path; every tick serves the immutable
+      // snapshot published here or by a later swap_model().
+      model_(std::make_shared<const core::TwoBranchSnapshot>(
+          net, config.precision)),
+      pool_(config.threads),
+      scratch_(pool_.size()),
+      soc_(num_cells, 0.0),
+      mailbox_(num_cells),
+      override_(num_cells),
+      override_active_(num_cells, 0) {}
+
+void FleetEngine::swap_model(const core::TwoBranchNet& net) {
+  swap_model(std::make_shared<const core::TwoBranchSnapshot>(
+      net, config_.precision));
+}
+
+void FleetEngine::swap_model(
+    std::shared_ptr<const core::TwoBranchSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("FleetEngine::swap_model: null snapshot");
+  }
+  if (snapshot->precision() != config_.precision) {
+    throw std::invalid_argument(
+        "FleetEngine::swap_model: snapshot precision does not match "
+        "FleetConfig::precision");
+  }
+  model_.store(std::move(snapshot));
+}
+
+void FleetEngine::reanchor_batch(ShardScratch& scratch,
+                                 const core::TwoBranchSnapshot& model) {
+  const std::size_t count = scratch.pending.size();
+  if (count == 0) return;
+  const bool clamp = config_.clamp_soc;
   if (config_.precision == core::Precision::kFloat32) {
-    // Weights and scaler stats are converted exactly once, at load; every
-    // tick serves the immutable snapshot.
-    snapshot32_ = std::make_unique<const core::TwoBranchSnapshotF32>(net);
+    // Padded up to the 32-wide vectorized float tile (zero columns,
+    // outputs discarded): per-column results are independent, so padding
+    // changes nothing but speed on thin batches.
+    const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
+    scratch.sensor_input_f32.resize(3, padded);
+    for (std::size_t i = 0; i < count; ++i) {
+      scratch.sensor_input_f32(0, i) =
+          static_cast<float>(scratch.reports[i].voltage);
+      scratch.sensor_input_f32(1, i) =
+          static_cast<float>(scratch.reports[i].current);
+      scratch.sensor_input_f32(2, i) =
+          static_cast<float>(scratch.reports[i].temp_c);
+    }
+    nn::zero_pad_columns(scratch.sensor_input_f32, count);
+    const nn::MatrixF32& est = model.f32().estimate_columns(
+        scratch.sensor_input_f32, scratch.ws_f32);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double raw = static_cast<double>(est(0, i));
+      soc_[scratch.pending[i]] = clamp ? util::clamp01(raw) : raw;
+    }
+    return;
+  }
+  scratch.sensor_input.resize(count, 3);
+  for (std::size_t i = 0; i < count; ++i) {
+    scratch.sensor_input(i, 0) = scratch.reports[i].voltage;
+    scratch.sensor_input(i, 1) = scratch.reports[i].current;
+    scratch.sensor_input(i, 2) = scratch.reports[i].temp_c;
+  }
+  const nn::Matrix& est =
+      model.net().estimate_batch(scratch.sensor_input, scratch.ws);
+  for (std::size_t i = 0; i < count; ++i) {
+    soc_[scratch.pending[i]] = clamp ? util::clamp01(est(i, 0)) : est(i, 0);
   }
 }
 
@@ -29,45 +99,70 @@ void FleetEngine::init_from_sensors(const nn::Matrix& sensors_raw) {
     throw std::invalid_argument(
         "FleetEngine::init_from_sensors: need num_cells x 3 sensors");
   }
-  const bool f32 = config_.precision == core::Precision::kFloat32;
+  const std::shared_ptr<const core::TwoBranchSnapshot> model =
+      model_.load();
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardScratch& scratch = scratch_[shard];
-        const std::size_t count = end - begin;
-        if (f32) {
-          // Padded up to the 32-wide vectorized float tile (zero columns,
-          // outputs discarded): per-column results are independent, so
-          // padding changes nothing but speed on thin shards.
-          const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
-          scratch.input_f32.resize(3, padded);
-          for (std::size_t i = 0; i < count; ++i) {
-            for (std::size_t c = 0; c < 3; ++c) {
-              scratch.input_f32(c, i) =
-                  static_cast<float>(sensors_raw(begin + i, c));
-            }
-          }
-          nn::zero_pad_columns(scratch.input_f32, count);
-          const nn::MatrixF32& est = snapshot32_->estimate_columns(
-              scratch.input_f32, scratch.ws_f32);
-          for (std::size_t i = 0; i < count; ++i) {
-            const double raw = static_cast<double>(est(0, i));
-            soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
-          }
-          return;
+        scratch.pending.clear();
+        scratch.reports.clear();
+        for (std::size_t cell = begin; cell < end; ++cell) {
+          scratch.pending.push_back(cell);
+          scratch.reports.push_back({sensors_raw(cell, 0),
+                                     sensors_raw(cell, 1),
+                                     sensors_raw(cell, 2)});
         }
-        scratch.input.resize(count, 3);
-        for (std::size_t i = 0; i < count; ++i) {
-          for (std::size_t c = 0; c < 3; ++c) {
-            scratch.input(i, c) = sensors_raw(begin + i, c);
-          }
-        }
-        const nn::Matrix& est =
-            net_->estimate_batch(scratch.input, scratch.ws);
-        for (std::size_t i = 0; i < count; ++i) {
-          soc_[begin + i] =
-              config_.clamp_soc ? util::clamp01(est(i, 0)) : est(i, 0);
-        }
+        reanchor_batch(scratch, *model);
       });
+}
+
+void FleetEngine::reseed_from_sensors(std::span<const std::size_t> cells,
+                                      const nn::Matrix& sensors_raw) {
+  if (sensors_raw.rows() != cells.size() || sensors_raw.cols() != 3) {
+    throw std::invalid_argument(
+        "FleetEngine::reseed_from_sensors: need cells.size() x 3 sensors");
+  }
+  for (const std::size_t cell : cells) {
+    if (cell >= num_cells()) {
+      throw std::invalid_argument(
+          "FleetEngine::reseed_from_sensors: cell index out of range");
+    }
+  }
+  if (cells.empty()) return;
+  const std::shared_ptr<const core::TwoBranchSnapshot> model =
+      model_.load();
+  // One batched estimate on the calling thread, through the same
+  // reanchor_batch body a mailbox drain runs — which, with per-row
+  // independence, is the whole bitwise drain-equivalence argument.
+  ShardScratch& scratch = scratch_[0];
+  scratch.pending.assign(cells.begin(), cells.end());
+  scratch.reports.clear();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    scratch.reports.push_back(
+        {sensors_raw(i, 0), sensors_raw(i, 1), sensors_raw(i, 2)});
+  }
+  reanchor_batch(scratch, *model);
+}
+
+void FleetEngine::clear_workload_override(std::size_t cell) {
+  if (cell >= num_cells()) {
+    throw std::invalid_argument(
+        "FleetEngine::clear_workload_override: cell index out of range");
+  }
+  override_active_[cell] = 0;
+}
+
+void FleetEngine::clear_workload_overrides() {
+  std::fill(override_active_.begin(), override_active_.end(),
+            std::uint8_t{0});
+}
+
+bool FleetEngine::has_workload_override(std::size_t cell) const {
+  if (cell >= num_cells()) {
+    throw std::invalid_argument(
+        "FleetEngine::has_workload_override: cell index out of range");
+  }
+  return override_active_[cell] != 0;
 }
 
 void FleetEngine::set_soc(std::span<const double> soc) {
@@ -81,11 +176,63 @@ void FleetEngine::set_soc(std::span<const double> soc) {
   }
 }
 
-void FleetEngine::forward_shard(ShardScratch& scratch, std::size_t begin,
-                                std::size_t count) {
+void FleetEngine::drain_shard(ShardScratch& scratch,
+                              const core::TwoBranchSnapshot& model,
+                              std::size_t begin, std::size_t end) {
+  // Workload overrides first: they replace the staged Branch-2 row of this
+  // very tick (sticky until a newer override supersedes them).
+  WorkloadOverride forecast;
+  for (std::size_t cell = begin; cell < end; ++cell) {
+    if (mailbox_.consume_workload(cell, forecast)) {
+      override_[cell] = forecast;
+      override_active_[cell] = 1;
+    }
+  }
+  // Sensor reports: gather the pending cells, then one batched Branch-1
+  // re-seed for exactly those cells — the streaming re-anchor. The drained
+  // SoC feeds this same tick's Branch-2 input.
+  scratch.pending.clear();
+  scratch.reports.clear();
+  SensorReport report;
+  for (std::size_t cell = begin; cell < end; ++cell) {
+    if (mailbox_.consume_sensors(cell, report)) {
+      scratch.pending.push_back(cell);
+      scratch.reports.push_back(report);
+    }
+  }
+  reanchor_batch(scratch, model);
+}
+
+void FleetEngine::apply_overrides(ShardScratch& scratch, bool f32,
+                                  bool columns, std::size_t begin,
+                                  std::size_t count) {
+  // Runs after any staging, before every forward: overrides must survive
+  // both per-tick restaging (step) and the persisted run() fast path.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (override_active_[begin + i] == 0) continue;
+    const WorkloadOverride& o = override_[begin + i];
+    if (f32) {
+      scratch.input_f32(1, i) = static_cast<float>(o.avg_current);
+      scratch.input_f32(2, i) = static_cast<float>(o.avg_temp_c);
+      scratch.input_f32(3, i) = static_cast<float>(o.horizon_s);
+    } else if (columns) {
+      scratch.input(1, i) = o.avg_current;
+      scratch.input(2, i) = o.avg_temp_c;
+      scratch.input(3, i) = o.horizon_s;
+    } else {
+      scratch.input(i, 1) = o.avg_current;
+      scratch.input(i, 2) = o.avg_temp_c;
+      scratch.input(i, 3) = o.horizon_s;
+    }
+  }
+}
+
+void FleetEngine::forward_shard(ShardScratch& scratch,
+                                const core::TwoBranchSnapshot& model,
+                                std::size_t begin, std::size_t count) {
   if (config_.precision == core::Precision::kFloat32) {
     const nn::MatrixF32& pred =
-        snapshot32_->predict_columns(scratch.input_f32, scratch.ws_f32);
+        model.f32().predict_columns(scratch.input_f32, scratch.ws_f32);
     for (std::size_t i = 0; i < count; ++i) {
       const double raw = static_cast<double>(pred(0, i));
       soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
@@ -94,8 +241,9 @@ void FleetEngine::forward_shard(ShardScratch& scratch, std::size_t begin,
   }
   const bool columns = count >= nn::kColumnsMinBatch;
   const nn::Matrix& pred =
-      columns ? net_->predict_batch_columns(scratch.input, scratch.ws)
-              : net_->predict_batch(scratch.input, scratch.ws);
+      columns
+          ? model.net().predict_batch_columns(scratch.input, scratch.ws)
+          : model.net().predict_batch(scratch.input, scratch.ws);
   for (std::size_t i = 0; i < count; ++i) {
     const double raw = columns ? pred(0, i) : pred(i, 0);
     soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
@@ -107,11 +255,16 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
     throw std::invalid_argument(
         "FleetEngine::step: need num_cells x 3 workload");
   }
+  // One acquire per tick: every shard of this tick serves the same
+  // snapshot, and a concurrent swap_model lands on the next tick whole.
+  const std::shared_ptr<const core::TwoBranchSnapshot> model =
+      model_.load();
   const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
+        drain_shard(scratch, *model, begin, end);
         if (f32) {
           // Feature-major at every shard size (no bitwise row-major
           // contract to preserve at reduced precision), padded up to the
@@ -149,17 +302,26 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
             scratch.input(i, 3) = workload_raw(begin + i, 2);
           }
         }
-        forward_shard(scratch, begin, count);
+        apply_overrides(scratch, f32, count >= nn::kColumnsMinBatch, begin,
+                        count);
+        forward_shard(scratch, *model, begin, count);
       });
   ++ticks_;
 }
 
 void FleetEngine::tick_shared(const double* row3) {
+  const std::shared_ptr<const core::TwoBranchSnapshot> model =
+      model_.load();
   const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
+        // Drain before staging: a drained sensor report must seed this
+        // tick's Branch-2 SoC input, and a drained override must replace
+        // this tick's workload row.
+        drain_shard(scratch, *model, begin, end);
+        const bool columns = count >= nn::kColumnsMinBatch;
         if (f32) {
           if (row3 != nullptr) {
             // Pad columns are staged to zero once (SoC row included) and
@@ -176,10 +338,10 @@ void FleetEngine::tick_shared(const double* row3) {
           for (std::size_t i = 0; i < count; ++i) {
             scratch.input_f32(0, i) = static_cast<float>(soc_[begin + i]);
           }
-          forward_shard(scratch, begin, count);
+          apply_overrides(scratch, true, columns, begin, count);
+          forward_shard(scratch, *model, begin, count);
           return;
         }
-        const bool columns = count >= nn::kColumnsMinBatch;
         if (row3 != nullptr) {
           if (columns) {
             scratch.input.resize(4, count);
@@ -201,7 +363,8 @@ void FleetEngine::tick_shared(const double* row3) {
           (columns ? scratch.input(0, i) : scratch.input(i, 0)) =
               soc_[begin + i];
         }
-        forward_shard(scratch, begin, count);
+        apply_overrides(scratch, false, columns, begin, count);
+        forward_shard(scratch, *model, begin, count);
       });
   ++ticks_;
 }

@@ -10,12 +10,41 @@
 /// estimate, voltage consumed exactly once as in the paper's Fig. 2
 /// rollout), then the server advances each cell's SoC per planning tick
 /// from its expected workload (Branch 2). Work is sharded across a thread
-/// pool; each shard runs on its own InferenceWorkspace, so the shared
-/// TwoBranchNet is only ever read. Shard boundaries depend on nothing but
-/// (num_cells, num_threads), and every batched row is computed
-/// independently, so fleet results are bitwise identical for any thread
-/// count. After one warm-up tick per shard the engine performs zero heap
-/// allocations per tick.
+/// pool; each shard runs on its own InferenceWorkspace against an
+/// immutable model snapshot, so shared state is only ever read. Shard
+/// boundaries depend on nothing but (num_cells, num_threads), and every
+/// batched row is computed independently, so fleet results are bitwise
+/// identical for any thread count. After one warm-up tick per shard the
+/// engine performs zero heap allocations per tick.
+///
+/// Live serving (async ingest + hot-swap):
+///
+///   * The engine owns a lock-free per-cell Mailbox (see mailbox.hpp).
+///     Producers publish sensor reports and workload overrides at any
+///     time without stalling the shard loop; each tick drains the mailbox
+///     at the top of the existing shard loop — every shard consumes
+///     exactly its own contiguous cell range. A pending sensor report
+///     triggers one batched Branch-1 re-seed for exactly the pending
+///     cells of the shard (the streaming re-anchor; voltage consumed once
+///     per report); a workload override replaces that cell's staged
+///     Branch-2 row from this tick on, sticky until superseded by a newer
+///     override (it takes precedence over rows passed to step()/run()).
+///     Because drained messages are applied per cell and every batched
+///     row is computed independently, a tick after a drain is bitwise
+///     identical to the equivalent synchronous sequence —
+///     reseed_from_sensors() for the drained reports, then step() with
+///     the overridden workload rows — at any thread count. A publish that
+///     races a tick's drain is never torn: it is either applied by that
+///     tick or, at the latest, by the next one.
+///   * The model is held as an atomically swappable shared_ptr to an
+///     immutable core::TwoBranchSnapshot (RCU-style). swap_model()
+///     converts/copies once off the hot path and publishes between ticks:
+///     every tick acquires the pointer exactly once at its top, so all
+///     shards of a tick serve the same model, in-flight ticks finish on
+///     the snapshot they started with (kept alive by that reference), and
+///     no tick is ever dropped or torn. The engine copies the net at
+///     construction, so the caller's net may be retrained or freed
+///     immediately.
 
 #include <cstdint>
 #include <memory>
@@ -25,36 +54,54 @@
 #include "core/net_snapshot.hpp"
 #include "core/two_branch_net.hpp"
 #include "data/windowing.hpp"
+#include "serve/mailbox.hpp"
 #include "serve/thread_pool.hpp"
 
 namespace socpinn::serve {
 
 struct FleetConfig {
   std::size_t threads = 0;  ///< worker threads; 0 = hardware_concurrency
-  /// Clamp every stored SoC into [0, 1] — Branch-1 estimates, per-tick
-  /// predictions, and directly seeded state (set_soc) alike. Same knob and
-  /// same default (on) as RolloutConfig::clamp_soc — every seeding/serving
-  /// path clamps unless explicitly disabled.
+  /// Clamp every stored SoC into [0, 1] — Branch-1 estimates (connect-time
+  /// and mailbox re-seeds alike), per-tick predictions, and directly
+  /// seeded state (set_soc). Same knob and same default (on) as
+  /// RolloutConfig::clamp_soc — every seeding/serving path clamps unless
+  /// explicitly disabled.
   bool clamp_soc = true;
   /// Scalar type of the batched forwards. kFloat64 (default) is the
   /// original path, bitwise unchanged; kFloat32 serves an f32 snapshot of
-  /// the net (converted once at engine construction) through feature-major
-  /// panels at every shard size — ~2x SIMD width per tick, SoC within
-  /// ~1e-5 of f64 per tick. Requires a trained net (fitted scalers) at
-  /// engine construction.
+  /// the net (converted once per snapshot, at construction or swap_model)
+  /// through feature-major panels at every shard size — ~2x SIMD width per
+  /// tick, SoC within ~1e-5 of f64 per tick. Requires a trained net
+  /// (fitted scalers); constructing with an untrained net throws
+  /// std::invalid_argument naming this knob.
   core::Precision precision = core::Precision::kFloat64;
 };
 
 class FleetEngine {
  public:
-  /// \param net trained model shared by every cell; the engine keeps a
-  ///        reference and never mutates it — it must outlive the engine.
+  /// Snapshots `net` once (deep copy; under kFloat32 also the converted
+  /// f32 twin) — the caller's net does NOT need to outlive the engine and
+  /// may keep training. Arguments are validated before any worker thread
+  /// spawns or state allocates.
   FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
               FleetConfig config = {});
 
   /// Batched Branch-1 estimate across the fleet: row i of `sensors_raw`
-  /// (num_cells x 3: V, I, T) initializes cell i's SoC.
+  /// (num_cells x 3: V, I, T) initializes cell i's SoC. Connect-time path;
+  /// does not drain the mailbox.
   void init_from_sensors(const nn::Matrix& sensors_raw);
+
+  /// Synchronous streaming re-anchor: one batched Branch-1 estimate over
+  /// `sensors_raw` (cells.size() x 3: V, I, T) re-seeds exactly the listed
+  /// cells — the synchronous equivalent of publishing those reports to the
+  /// mailbox and letting the next tick drain them (bitwise identical, by
+  /// per-row independence of the batched estimate). Honors clamp_soc.
+  /// Like every tick-path method, it must NOT be called concurrently with
+  /// ticks (it shares shard state); the mailbox is the concurrent route —
+  /// only mailbox() publishes and swap_model() are safe from other
+  /// threads while the engine ticks.
+  void reseed_from_sensors(std::span<const std::size_t> cells,
+                           const nn::Matrix& sensors_raw);
 
   /// Directly seeds the per-cell SoC state (size num_cells). Honors the
   /// clamp_soc knob exactly like init_from_sensors: out-of-range values
@@ -64,12 +111,15 @@ class FleetEngine {
   /// Advances every cell by one tick: row i of `workload_raw`
   /// (num_cells x 3: avg current, avg temp, horizon_s) describes cell i's
   /// expected workload, and Branch 2 maps [SoC_i, workload_i] -> SoC_i'.
+  /// Drains the mailbox first; cells with an active workload override use
+  /// the override instead of their row.
   void step(const nn::Matrix& workload_raw);
 
   /// Convenience: `ticks` steps under one shared workload row
   /// (avg current, avg temp, horizon_s) applied to every cell. The shared
   /// row is staged into each shard's scratch once, before the tick loop;
-  /// only the SoC column is rewritten per tick.
+  /// only the SoC column is rewritten per tick. Each tick still drains
+  /// the mailbox (overrides replace the staged row for their cells).
   void run(double avg_current, double avg_temp_c, double horizon_s,
            std::size_t ticks);
 
@@ -78,6 +128,42 @@ class FleetEngine {
   /// row w to every cell. This is the seam serving shares with the Fig. 5
   /// evaluation (see serve::RolloutEngine for per-lane schedules).
   void run(const data::WorkloadSchedule& schedule);
+
+  /// RCU-style model hot-swap: snapshots `net` on the calling thread (the
+  /// expensive part — deep copy, f32 conversion under kFloat32) and
+  /// atomically publishes it. Ticks already in flight finish on the old
+  /// snapshot; the next tick serves the new one. Safe to call from any
+  /// thread, concurrently with ticks.
+  void swap_model(const core::TwoBranchNet& net);
+
+  /// Hot-swap to a pre-built snapshot (shareable across engines, so a
+  /// fleet of engines converts a retrained model once). The snapshot's
+  /// precision must match FleetConfig::precision.
+  void swap_model(std::shared_ptr<const core::TwoBranchSnapshot> snapshot);
+
+  /// The currently published model snapshot.
+  [[nodiscard]] std::shared_ptr<const core::TwoBranchSnapshot> model() const {
+    return model_.load();
+  }
+
+  /// The engine's ingest mailbox. Producers publish per-cell sensor
+  /// reports / workload overrides from any thread (one producer per cell);
+  /// the engine drains it at the top of every tick.
+  [[nodiscard]] Mailbox& mailbox() { return mailbox_; }
+  [[nodiscard]] const Mailbox& mailbox() const { return mailbox_; }
+
+  /// Deactivates `cell`'s sticky workload override: from the next tick on
+  /// the cell follows the rows passed to step()/run() again (until a new
+  /// override is drained). Synchronous, like reseed_from_sensors — must
+  /// not be called concurrently with ticks. Note a message already
+  /// published but not yet drained will re-activate on the next tick.
+  void clear_workload_override(std::size_t cell);
+
+  /// Deactivates every cell's workload override. Same contract.
+  void clear_workload_overrides();
+
+  /// Whether `cell` currently has an active (drained) workload override.
+  [[nodiscard]] bool has_workload_override(std::size_t cell) const;
 
   [[nodiscard]] std::span<const double> soc() const { return soc_; }
   [[nodiscard]] std::size_t num_cells() const { return soc_.size(); }
@@ -92,7 +178,19 @@ class FleetEngine {
     nn::Matrix input;
     core::InferenceWorkspaceT<float> ws_f32;
     nn::MatrixT<float> input_f32;  ///< staged feature-major f32 panel
+    // Mailbox-drain staging, separate from `input` so a re-seed never
+    // clobbers the persisted run() workload rows.
+    std::vector<std::size_t> pending;   ///< cells with a fresh sensor report
+    std::vector<SensorReport> reports;  ///< their drained payloads
+    nn::Matrix sensor_input;            ///< staged Branch-1 re-seed batch
+    nn::MatrixT<float> sensor_input_f32;
   };
+
+  /// Throws on invalid arguments (empty fleet; kFloat32 with an untrained
+  /// net). Runs in the first member's initializer, before the thread pool
+  /// spawns workers or any state allocates.
+  static FleetConfig validated(const core::TwoBranchNet& net,
+                               std::size_t num_cells, FleetConfig config);
 
   /// One tick against per-shard staged Branch-2 inputs. When `row3` is
   /// non-null its [avg I, avg T, N] values are staged into the workload
@@ -100,23 +198,52 @@ class FleetEngine {
   /// (the run() fast path — only the SoC slot is rewritten).
   void tick_shared(const double* row3);
 
+  /// Drains this shard's cell range of the mailbox: consumes workload
+  /// overrides into the per-cell override table, then re-seeds every cell
+  /// with a pending sensor report via one batched Branch-1 estimate.
+  /// Allocation-free once the drain staging is warm.
+  void drain_shard(ShardScratch& scratch, const core::TwoBranchSnapshot& model,
+                   std::size_t begin, std::size_t end);
+
+  /// One batched Branch-1 re-anchor: estimates `scratch.reports` and
+  /// writes the clamped results to soc_[scratch.pending[i]]. The single
+  /// body behind init_from_sensors, reseed_from_sensors, and the mailbox
+  /// drain — the documented bitwise equivalence of those three paths IS
+  /// this sharing (plus per-row independence of the batched estimate).
+  void reanchor_batch(ShardScratch& scratch,
+                      const core::TwoBranchSnapshot& model);
+
+  /// Rewrites the staged workload slots of every override-active cell in
+  /// [begin, begin+count) — after any staging, before the forward, every
+  /// tick, so overrides survive both restaging and the run() fast path.
+  void apply_overrides(ShardScratch& scratch, bool f32, bool columns,
+                       std::size_t begin, std::size_t count);
+
   /// Shared per-shard forward + clamped write-back used by step() and
   /// tick_shared(). At f64, `scratch.input` must hold the shard's staged
   /// raw Branch-2 inputs: feature-major (4 x count) for shards at or above
   /// the panel threshold, row-major (count x 4) below it — the same
   /// dispatch both stagers apply. At f32, `scratch.input_f32` holds a
   /// feature-major 4 x count panel at every shard size.
-  void forward_shard(ShardScratch& scratch, std::size_t begin,
+  void forward_shard(ShardScratch& scratch,
+                     const core::TwoBranchSnapshot& model, std::size_t begin,
                      std::size_t count);
 
-  const core::TwoBranchNet* net_;
-  FleetConfig config_;
+  FleetConfig config_;  ///< initialized via validated(): throws first
+  /// RCU publication point: ticks acquire exactly once at their top,
+  /// swap_model stores. Snapshots are immutable; old ones die when the
+  /// last in-flight tick drops its reference.
+  core::SnapshotHandle model_;
   ThreadPool pool_;
   std::vector<ShardScratch> scratch_;  ///< one per pool thread
   std::vector<double> soc_;
+  Mailbox mailbox_;
+  /// Sticky per-cell workload overrides consumed from the mailbox. Each
+  /// entry is only ever touched by the shard owning the cell (plain bytes,
+  /// not bit-packed, so neighboring cells on a shard boundary never race).
+  std::vector<WorkloadOverride> override_;
+  std::vector<std::uint8_t> override_active_;
   std::uint64_t ticks_ = 0;
-  /// Built once at construction under Precision::kFloat32; never mutated.
-  std::unique_ptr<const core::TwoBranchSnapshotF32> snapshot32_;
 };
 
 }  // namespace socpinn::serve

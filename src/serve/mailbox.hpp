@@ -1,0 +1,212 @@
+#pragma once
+/// \file mailbox.hpp
+/// Lock-free per-cell ingest mailbox for live fleet serving.
+///
+/// The deployment loop the paper pitches — a BMS backend that keeps
+/// estimating SoC while sensors stream in — needs a seam between
+/// asynchronous producers (per-cell telemetry feeds, workload planners)
+/// and the synchronous sharded tick of FleetEngine. The mailbox is that
+/// seam: one cache-line-aligned slot pair per cell, each slot a
+/// single-writer seqlock over a 3-double payload.
+///
+///   * publish_* is wait-free and allocation-free: two counter stores and
+///     three relaxed payload stores. Producers never block the shard loop
+///     and never wait for a tick. One producer per cell (the cell's own
+///     telemetry stream — SPSC, the contract the seqlock needs); distinct
+///     cells are fully independent.
+///   * consume_* is wait-free for the single consumer (the engine's
+///     per-shard drain at the top of each tick): a publish that races the
+///     read is simply left for the next tick instead of spinning, so the
+///     drain cost is bounded regardless of producer pressure.
+///   * Latest-wins: slots hold one message; a publish before the next
+///     drain supersedes the previous one, which is exactly the semantics
+///     a fresh sensor report or a revised workload forecast wants.
+///   * No torn reads, ever: the seqlock sequence check rejects any read
+///     that overlapped a publish (payload fields are relaxed atomics, so
+///     the protocol is also data-race-free under TSan, not just on x86).
+///
+/// FleetEngine drains its mailbox inside the existing shard loop — each
+/// shard consumes exactly its own contiguous cell range, so the drain
+/// inherits the engine's thread-count-invariance and zero-allocation
+/// contracts (see fleet_engine.hpp for the equivalence guarantee).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace socpinn::serve {
+
+/// One raw BMS report: the Branch-1 input triple. Consuming it re-anchors
+/// the cell with a fresh estimate (voltage consumed once per report, the
+/// paper's Fig. 2 discipline applied per re-anchor).
+struct SensorReport {
+  double voltage = 0.0;
+  double current = 0.0;
+  double temp_c = 0.0;
+};
+
+/// One revised workload forecast: the Branch-2 row tail. Consuming it
+/// replaces the cell's staged workload until a newer override arrives.
+struct WorkloadOverride {
+  double avg_current = 0.0;
+  double avg_temp_c = 0.0;
+  double horizon_s = 0.0;
+};
+
+namespace detail {
+
+/// Single-writer seqlock over three doubles. Writer protocol: bump the
+/// sequence to odd (write in progress), release-fence, store the payload,
+/// release-store the even sequence. Reader protocol: acquire-load the
+/// sequence, reject odd, read the payload, acquire-fence, re-load the
+/// sequence and reject a change. The payload fields are relaxed atomics —
+/// semantically plain doubles, but race-free by construction so the
+/// protocol is portable C++ (and TSan-clean) instead of x86 folklore.
+class SeqlockSlot3 {
+ public:
+  /// Wait-free single-writer publish.
+  void publish(double a, double b, double c) {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    a_.store(a, std::memory_order_relaxed);
+    b_.store(b, std::memory_order_relaxed);
+    c_.store(c, std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  /// Wait-free single-consumer read: returns true (and advances `cursor`)
+  /// only for a publish newer than `cursor` that was read coherently. A
+  /// racing publish returns false — the message is picked up on the next
+  /// call instead of spinning under producer pressure.
+  bool consume(std::uint64_t& cursor, double out[3]) const {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 == cursor || (s1 & 1u) != 0) return false;
+    out[0] = a_.load(std::memory_order_relaxed);
+    out[1] = b_.load(std::memory_order_relaxed);
+    out[2] = c_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) != s1) return false;
+    cursor = s1;
+    return true;
+  }
+
+  /// Whether a publish newer than `cursor` is (or is about to be) visible.
+  [[nodiscard]] bool pending(std::uint64_t cursor) const {
+    return seq_.load(std::memory_order_relaxed) != cursor;
+  }
+
+ private:
+  /// 64-bit on purpose: at 2 counts per publish a 32-bit sequence would
+  /// wrap the consumer cursor after 2^31 publishes between drains (~8 s of
+  /// one producer at the measured publish rate), making the newest message
+  /// invisible; 64 bits cannot wrap in a deployment lifetime, and the
+  /// alignas(64) padding of CellSlots absorbs the extra bytes for free.
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<double> a_{0.0};
+  std::atomic<double> b_{0.0};
+  std::atomic<double> c_{0.0};
+};
+
+}  // namespace detail
+
+/// Per-cell ingest mailbox: a sensor slot and a workload slot per cell.
+/// Producer side (publish_*) is safe from any thread as long as each cell
+/// has one producer; consumer side (consume_*) is owned by one logical
+/// consumer — inside FleetEngine that is the shard owning the cell, and
+/// successive ticks are ordered by the pool's own synchronization.
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t num_cells) : cells_(num_cells) {
+    if (num_cells == 0) {
+      throw std::invalid_argument("Mailbox: need at least one cell");
+    }
+  }
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+
+  /// Publishes a fresh BMS report for `cell` (wait-free; latest wins).
+  void publish_sensors(std::size_t cell, const SensorReport& report) {
+    slots_checked(cell).sensors.publish(report.voltage, report.current,
+                                        report.temp_c);
+  }
+
+  /// Publishes a revised workload forecast for `cell` (wait-free).
+  void publish_workload(std::size_t cell, const WorkloadOverride& forecast) {
+    slots_checked(cell).workload.publish(forecast.avg_current,
+                                         forecast.avg_temp_c,
+                                         forecast.horizon_s);
+  }
+
+  /// Consumes the newest unseen sensor report for `cell`, if any.
+  /// Consumer-side: one logical consumer per cell (inside FleetEngine,
+  /// the shard owning the cell).
+  bool consume_sensors(std::size_t cell, SensorReport& out) {
+    CellSlots& slots = slots_checked(cell);
+    double v[3];
+    std::uint64_t cursor = slots.sensor_cursor.load(std::memory_order_relaxed);
+    if (!slots.sensors.consume(cursor, v)) return false;
+    slots.sensor_cursor.store(cursor, std::memory_order_relaxed);
+    out = {v[0], v[1], v[2]};
+    return true;
+  }
+
+  /// Consumes the newest unseen workload override for `cell`, if any.
+  /// Same consumer-side contract as consume_sensors.
+  bool consume_workload(std::size_t cell, WorkloadOverride& out) {
+    CellSlots& slots = slots_checked(cell);
+    double v[3];
+    std::uint64_t cursor =
+        slots.workload_cursor.load(std::memory_order_relaxed);
+    if (!slots.workload.consume(cursor, v)) return false;
+    slots.workload_cursor.store(cursor, std::memory_order_relaxed);
+    out = {v[0], v[1], v[2]};
+    return true;
+  }
+
+  /// Whether `cell` has an unconsumed (or in-flight) message of either
+  /// kind — a cheap heuristic pre-check callable from ANY thread
+  /// (producers may poll their backlog); consume_* stays the source of
+  /// truth, and a racing drain may make the answer stale by one message.
+  [[nodiscard]] bool pending(std::size_t cell) const {
+    const CellSlots& slots = slots_checked(cell);
+    return slots.sensors.pending(
+               slots.sensor_cursor.load(std::memory_order_relaxed)) ||
+           slots.workload.pending(
+               slots.workload_cursor.load(std::memory_order_relaxed));
+  }
+
+ private:
+  /// Both slots plus the consumer cursors, cache-line-aligned so two
+  /// cells' producers never contend on one line. The cursors are
+  /// consumer-owned (only consume_* writes them — inside the engine,
+  /// always the shard that owns the cell, successive ticks ordered by the
+  /// pool's mutex) but stored as relaxed atomics so the any-thread
+  /// pending() pre-check reads them race-free.
+  struct alignas(64) CellSlots {
+    detail::SeqlockSlot3 sensors;
+    detail::SeqlockSlot3 workload;
+    std::atomic<std::uint64_t> sensor_cursor{0};
+    std::atomic<std::uint64_t> workload_cursor{0};
+  };
+
+  /// Every public entry point bounds-checks: an off-by-one from a
+  /// producer thread must throw like the engines' own argument checks do,
+  /// not scribble over adjacent heap memory. One predictable compare per
+  /// call — noise next to the slot's cache-line traffic.
+  CellSlots& slots_checked(std::size_t cell) {
+    if (cell >= cells_.size()) {
+      throw std::out_of_range("Mailbox: cell index out of range");
+    }
+    return cells_[cell];
+  }
+  const CellSlots& slots_checked(std::size_t cell) const {
+    return const_cast<Mailbox*>(this)->slots_checked(cell);
+  }
+
+  std::vector<CellSlots> cells_;
+};
+
+}  // namespace socpinn::serve

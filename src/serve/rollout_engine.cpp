@@ -8,17 +8,44 @@
 
 namespace socpinn::serve {
 
+RolloutConfig RolloutEngine::validated(const core::TwoBranchNet& net,
+                                       RolloutConfig config) {
+  // Runs before the thread pool spawns workers: a bad argument must not
+  // cost thread creation.
+  if (config.precision == core::Precision::kFloat32) {
+    core::require_trained_for_f32(net,
+                                  "RolloutEngine: RolloutConfig::precision");
+  }
+  return config;
+}
+
 RolloutEngine::RolloutEngine(const core::TwoBranchNet& net,
                              RolloutConfig config)
-    : net_(&net),
-      config_(config),
+    : config_(validated(net, config)),
+      // Weights (and scaler stats, under kFloat32) are copied/converted
+      // exactly once, off the hot path; every run serves the immutable
+      // snapshot published here or by a later swap_model().
+      model_(std::make_shared<const core::TwoBranchSnapshot>(
+          net, config.precision)),
       pool_(config.threads),
-      scratch_(pool_.size()) {
-  if (config_.precision == core::Precision::kFloat32) {
-    // Weights and scaler stats are converted exactly once, at load; every
-    // run serves the immutable snapshot.
-    snapshot32_ = std::make_unique<const core::TwoBranchSnapshotF32>(net);
+      scratch_(pool_.size()) {}
+
+void RolloutEngine::swap_model(const core::TwoBranchNet& net) {
+  swap_model(std::make_shared<const core::TwoBranchSnapshot>(
+      net, config_.precision));
+}
+
+void RolloutEngine::swap_model(
+    std::shared_ptr<const core::TwoBranchSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("RolloutEngine::swap_model: null snapshot");
   }
+  if (snapshot->precision() != config_.precision) {
+    throw std::invalid_argument(
+        "RolloutEngine::swap_model: snapshot precision does not match "
+        "RolloutConfig::precision");
+  }
+  model_.store(std::move(snapshot));
 }
 
 std::vector<core::Rollout> RolloutEngine::run(
@@ -62,21 +89,27 @@ void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
     }
   }
 
+  // One acquire per run: every shard and step of this run serves the same
+  // snapshot, and a concurrent swap_model lands on the next run whole.
+  const std::shared_ptr<const core::TwoBranchSnapshot> model =
+      model_.load();
   const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       lanes.size(),
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
         if (f32) {
-          roll_shard_f32(lanes, out, shard, begin, end);
+          roll_shard_f32(*model, lanes, out, shard, begin, end);
         } else {
-          roll_shard(lanes, out, shard, begin, end);
+          roll_shard(*model, lanes, out, shard, begin, end);
         }
       });
 }
 
-void RolloutEngine::roll_shard(std::span<const RolloutLane> lanes,
+void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
+                               std::span<const RolloutLane> lanes,
                                std::span<core::Rollout> out, std::size_t shard,
                                std::size_t begin, std::size_t end) {
+  const core::TwoBranchNet& net = model.net();
   const bool clamp = config_.clamp_soc;
   ShardScratch& s = scratch_[shard];
   const std::size_t count = end - begin;
@@ -90,7 +123,7 @@ void RolloutEngine::roll_shard(std::span<const RolloutLane> lanes,
     s.input(i, 1) = sched.current0;
     s.input(i, 2) = sched.temp0;
   }
-  const nn::Matrix& est = net_->estimate_batch(s.input, s.ws);
+  const nn::Matrix& est = net.estimate_batch(s.input, s.ws);
   s.soc.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
@@ -132,7 +165,7 @@ void RolloutEngine::roll_shard(std::span<const RolloutLane> lanes,
         s.input(3, g) = sched.workload(step, 2);
       }
       const nn::Matrix& pred =
-          net_->predict_batch_columns(s.input, s.ws);
+          net.predict_batch_columns(s.input, s.ws);
       for (std::size_t g = 0; g < active; ++g) {
         const std::size_t i = s.gather[g];
         const double soc =
@@ -152,7 +185,7 @@ void RolloutEngine::roll_shard(std::span<const RolloutLane> lanes,
         s.input(g, 2) = sched.workload(step, 1);
         s.input(g, 3) = sched.workload(step, 2);
       }
-      const nn::Matrix& pred = net_->predict_batch(s.input, s.ws);
+      const nn::Matrix& pred = net.predict_batch(s.input, s.ws);
       for (std::size_t g = 0; g < active; ++g) {
         const std::size_t i = s.gather[g];
         const double soc =
@@ -178,7 +211,8 @@ void RolloutEngine::roll_shard(std::span<const RolloutLane> lanes,
   }
 }
 
-void RolloutEngine::roll_shard_f32(std::span<const RolloutLane> lanes,
+void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
+                                   std::span<const RolloutLane> lanes,
                                    std::span<core::Rollout> out,
                                    std::size_t shard, std::size_t begin,
                                    std::size_t end) {
@@ -189,7 +223,7 @@ void RolloutEngine::roll_shard_f32(std::span<const RolloutLane> lanes,
   // state and trajectories stay f64 (they are API surface); only the
   // panel arithmetic narrows.
   const bool clamp = config_.clamp_soc;
-  const core::TwoBranchSnapshotF32& snap = *snapshot32_;
+  const core::TwoBranchSnapshotF32& snap = model.f32();
   ShardScratch& s = scratch_[shard];
   const std::size_t count = end - begin;
 

@@ -67,16 +67,36 @@ struct RolloutConfig {
   /// per-step panels, SoC within ~1e-5 of the f64 path on the paper's
   /// traces (tests pin 1e-4). Physics-only lanes always advance in f64
   /// (Eq. 1 is three flops; there is nothing to vectorize). Requires a
-  /// trained net (fitted scalers) at engine construction.
+  /// trained net (fitted scalers); constructing with an untrained net
+  /// throws std::invalid_argument naming this knob.
   core::Precision precision = core::Precision::kFloat64;
 };
 
 class RolloutEngine {
  public:
-  /// \param net trained model shared by every lane; the engine keeps a
-  ///        reference and never mutates it — it must outlive the engine.
+  /// Snapshots `net` once (deep copy; under kFloat32 also the converted
+  /// f32 twin) — the caller's net does NOT need to outlive the engine and
+  /// may keep training. Arguments are validated before the thread pool
+  /// spawns workers.
   explicit RolloutEngine(const core::TwoBranchNet& net,
                          RolloutConfig config = {});
+
+  /// RCU-style model hot-swap: snapshots `net` on the calling thread and
+  /// atomically publishes it. A run_into already in flight finishes on the
+  /// old snapshot (a run acquires the model exactly once, at its top, so
+  /// every shard and step of one run serves the same model); the next run
+  /// serves the new one. Safe to call from any thread, concurrently with
+  /// runs.
+  void swap_model(const core::TwoBranchNet& net);
+
+  /// Hot-swap to a pre-built snapshot (shareable across engines). The
+  /// snapshot's precision must match RolloutConfig::precision.
+  void swap_model(std::shared_ptr<const core::TwoBranchSnapshot> snapshot);
+
+  /// The currently published model snapshot.
+  [[nodiscard]] std::shared_ptr<const core::TwoBranchSnapshot> model() const {
+    return model_.load();
+  }
 
   /// Rolls every lane to the end of its schedule in one lockstep pass.
   /// Returns one trajectory per lane, in lane order.
@@ -114,21 +134,29 @@ class RolloutEngine {
     nn::MatrixT<float> input_f32;    ///< gathered feature-major f32 panel
   };
 
+  /// Throws on invalid arguments (kFloat32 with an untrained net). Runs in
+  /// the first member's initializer, before the thread pool spawns.
+  static RolloutConfig validated(const core::TwoBranchNet& net,
+                                 RolloutConfig config);
+
   /// One shard of run_into at f64 (the original, bitwise-frozen body) or
   /// via the f32 snapshot (feature-major panels at every active size).
-  void roll_shard(std::span<const RolloutLane> lanes,
+  void roll_shard(const core::TwoBranchSnapshot& model,
+                  std::span<const RolloutLane> lanes,
                   std::span<core::Rollout> out, std::size_t shard,
                   std::size_t begin, std::size_t end);
-  void roll_shard_f32(std::span<const RolloutLane> lanes,
+  void roll_shard_f32(const core::TwoBranchSnapshot& model,
+                      std::span<const RolloutLane> lanes,
                       std::span<core::Rollout> out, std::size_t shard,
                       std::size_t begin, std::size_t end);
 
-  const core::TwoBranchNet* net_;
-  RolloutConfig config_;
+  RolloutConfig config_;  ///< initialized via validated(): throws first
+  /// RCU publication point: each run acquires exactly once at its top,
+  /// swap_model stores. Snapshots are immutable; old ones die when the
+  /// last in-flight run drops its reference.
+  core::SnapshotHandle model_;
   ThreadPool pool_;
   std::vector<ShardScratch> scratch_;  ///< one per pool thread
-  /// Built once at construction under Precision::kFloat32; never mutated.
-  std::unique_ptr<const core::TwoBranchSnapshotF32> snapshot32_;
 };
 
 }  // namespace socpinn::serve

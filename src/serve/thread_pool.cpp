@@ -10,16 +10,6 @@ std::size_t resolve_threads(std::size_t requested) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-/// Contiguous shard `shard` of [0, n) split `shards` ways.
-struct Range {
-  std::size_t begin;
-  std::size_t end;
-};
-
-Range shard_range(std::size_t n, std::size_t shard, std::size_t shards) {
-  return {n * shard / shards, n * (shard + 1) / shards};
-}
-
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -40,9 +30,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
+  // Empty dispatch: no shard would see a non-empty range, so skip the
+  // generation bump and the notify_all broadcast entirely — waking every
+  // worker to compute an empty range was pure wasted latency.
+  if (n == 0) return;
   const std::size_t shards = size();
   if (shards == 1) {
-    if (n != 0) job(ctx, 0, 0, n);
+    job(ctx, 0, 0, n);
     return;
   }
   {
@@ -55,7 +49,7 @@ void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
   }
   cv_work_.notify_all();
 
-  const Range own = shard_range(n, 0, shards);
+  const ShardRange own = shard_range(n, 0, shards);
   if (own.begin != own.end) job(ctx, 0, own.begin, own.end);
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -81,7 +75,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       ctx = job_ctx_;
       n = job_n_;
     }
-    const Range range = shard_range(n, worker_index, size());
+    const ShardRange range = shard_range(n, worker_index, size());
     if (range.begin != range.end) job(ctx, worker_index, range.begin, range.end);
     {
       std::unique_lock<std::mutex> lock(mu_);

@@ -20,6 +20,38 @@
 
 namespace socpinn::serve {
 
+/// Contiguous shard of [0, n): the boundary contract every serve engine
+/// (and a future multi-process split) shares.
+struct ShardRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+/// Shard `shard` of [0, n) split `shards` ways — exactly
+/// [floor(n*shard/shards), floor(n*(shard+1)/shards)), the boundaries the
+/// pool has always used, but computed without the n*(shard+1) product that
+/// wraps std::size_t for n > SIZE_MAX/shards (a fleet-sized n on a wide
+/// pool would silently hand shards inverted ranges). The product runs
+/// through a 128-bit intermediate where available; the divide-first
+/// fallback (n = q*shards + r, so floor(n*s/shards) = q*s + floor(r*s/
+/// shards)) produces identical boundaries and only needs r*s < SIZE_MAX,
+/// i.e. shards below ~2^32 — far beyond any real pool.
+[[nodiscard]] inline ShardRange shard_range(std::size_t n, std::size_t shard,
+                                            std::size_t shards) {
+#ifdef __SIZEOF_INT128__
+  using Wide = unsigned __int128;
+  return {static_cast<std::size_t>(Wide(n) * shard / shards),
+          static_cast<std::size_t>(Wide(n) * (shard + 1) / shards)};
+#else
+  const std::size_t q = n / shards;
+  const std::size_t r = n % shards;
+  const auto bound = [q, r, shards](std::size_t s) {
+    return q * s + r * s / shards;
+  };
+  return {bound(shard), bound(shard + 1)};
+#endif
+}
+
 class ThreadPool {
  public:
   /// A shard job: fn(ctx, shard, begin, end) over the half-open range

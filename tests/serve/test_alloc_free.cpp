@@ -122,6 +122,47 @@ TEST(AllocFree, FleetRunStagesOnceAndAllocatesNothing) {
   EXPECT_EQ(engine.ticks(), 12u);
 }
 
+TEST(AllocFree, MailboxDrainAndPostSwapTicksAllocateNothing) {
+  // The live-serving extension of the fleet contract: ticks that drain
+  // mailbox publishes (workload overrides AND batched Branch-1 re-seeds)
+  // stay allocation-free once the drain staging is warm, and ticks served
+  // by a hot-swapped snapshot stay free too (the swap itself allocates —
+  // off the hot path, by design).
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  const std::size_t cells = 500;
+  util::Rng rng(9);
+  nn::Matrix sensors(cells, 3);
+  nn::Matrix workload(cells, 3);
+  for (auto& v : sensors.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : workload.data()) v = rng.uniform(-1.0, 1.0);
+
+  FleetConfig config;
+  config.threads = 2;
+  FleetEngine engine(net, cells, config);
+  engine.init_from_sensors(sensors);
+  // Warm-up: every cell pending at once sizes the drain staging at the
+  // full shard width; smaller drains below reuse that capacity.
+  for (std::size_t c = 0; c < cells; ++c) {
+    engine.mailbox().publish_sensors(c, {3.9, -1.5, 25.0});
+    engine.mailbox().publish_workload(c, {-2.0, 25.0, 60.0});
+  }
+  engine.step(workload);
+  engine.swap_model(net);  // allocates here, not in the ticks below
+
+  const std::size_t before = allocs();
+  for (int tick = 0; tick < 25; ++tick) {
+    // A rotating subset keeps every tick's drain non-trivial: publishes
+    // are themselves allocation-free, and so is consuming them.
+    for (std::size_t c = tick % 5; c < cells; c += 5) {
+      engine.mailbox().publish_sensors(c, {3.8, -1.0, 24.0});
+      engine.mailbox().publish_workload(c, {-1.5, 22.0, 45.0});
+    }
+    engine.step(workload);
+  }
+  EXPECT_EQ(allocs(), before) << "mailbox drain allocated in steady state";
+  EXPECT_EQ(engine.ticks(), 26u);
+}
+
 TEST(AllocFree, RolloutStepsSteadyStateAllocateNothing) {
   // The tentpole property of the batched rollout engine: after one warm-up
   // run over a ragged fleet, repeat runs — every lockstep step, including

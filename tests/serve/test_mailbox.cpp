@@ -1,0 +1,190 @@
+/// The mailbox contract (see serve/mailbox.hpp): wait-free per-cell
+/// publish/consume, latest-wins, and — the property everything else hangs
+/// off — no torn reads: a consumed payload is always exactly one published
+/// triple, never a mix of two publishes, no matter how hard producers
+/// hammer the slot while the consumer reads. The stress tests tag every
+/// publish with an arithmetic relation between the three payload fields so
+/// a torn read is detectable from the payload alone.
+
+#include "serve/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace socpinn::serve {
+namespace {
+
+TEST(Mailbox, RejectsEmpty) {
+  EXPECT_THROW(Mailbox(0), std::invalid_argument);
+}
+
+TEST(Mailbox, BoundsChecksEveryEntryPoint) {
+  // An off-by-one from a producer thread must throw, not scribble over
+  // adjacent heap memory.
+  Mailbox box(4);
+  SensorReport r;
+  WorkloadOverride w;
+  EXPECT_THROW(box.publish_sensors(4, {0, 0, 0}), std::out_of_range);
+  EXPECT_THROW(box.publish_workload(4, {0, 0, 0}), std::out_of_range);
+  EXPECT_THROW(box.consume_sensors(4, r), std::out_of_range);
+  EXPECT_THROW(box.consume_workload(4, w), std::out_of_range);
+  EXPECT_THROW((void)box.pending(4), std::out_of_range);
+}
+
+TEST(Mailbox, ConsumeSeesEachPublishOnce) {
+  Mailbox box(4);
+  SensorReport r;
+  WorkloadOverride w;
+  EXPECT_FALSE(box.consume_sensors(2, r));
+  EXPECT_FALSE(box.consume_workload(2, w));
+  EXPECT_FALSE(box.pending(2));
+
+  box.publish_sensors(2, {3.9, -1.25, 24.5});
+  EXPECT_TRUE(box.pending(2));
+  ASSERT_TRUE(box.consume_sensors(2, r));
+  EXPECT_EQ(r.voltage, 3.9);
+  EXPECT_EQ(r.current, -1.25);
+  EXPECT_EQ(r.temp_c, 24.5);
+  // One publish, one consume: the same message is never delivered twice.
+  EXPECT_FALSE(box.consume_sensors(2, r));
+  EXPECT_FALSE(box.pending(2));
+
+  box.publish_workload(2, {-2.0, 30.0, 120.0});
+  ASSERT_TRUE(box.consume_workload(2, w));
+  EXPECT_EQ(w.avg_current, -2.0);
+  EXPECT_EQ(w.avg_temp_c, 30.0);
+  EXPECT_EQ(w.horizon_s, 120.0);
+  EXPECT_FALSE(box.consume_workload(2, w));
+}
+
+TEST(Mailbox, LatestPublishWins) {
+  Mailbox box(1);
+  for (int k = 0; k < 5; ++k) {
+    box.publish_sensors(0, {static_cast<double>(k), 0.0, 0.0});
+  }
+  SensorReport r;
+  ASSERT_TRUE(box.consume_sensors(0, r));
+  EXPECT_EQ(r.voltage, 4.0);  // only the newest message survives
+  EXPECT_FALSE(box.consume_sensors(0, r));
+}
+
+TEST(Mailbox, CellsAreIndependent) {
+  Mailbox box(3);
+  box.publish_sensors(0, {1.0, 0.0, 0.0});
+  box.publish_workload(2, {9.0, 0.0, 0.0});
+  SensorReport r;
+  WorkloadOverride w;
+  EXPECT_FALSE(box.consume_sensors(1, r));
+  EXPECT_FALSE(box.consume_workload(0, w));
+  EXPECT_TRUE(box.consume_sensors(0, r));
+  EXPECT_TRUE(box.consume_workload(2, w));
+  EXPECT_EQ(w.avg_current, 9.0);
+}
+
+TEST(Mailbox, SensorAndWorkloadSlotsDoNotAlias) {
+  Mailbox box(1);
+  box.publish_sensors(0, {1.0, 2.0, 3.0});
+  box.publish_workload(0, {4.0, 5.0, 6.0});
+  SensorReport r;
+  WorkloadOverride w;
+  ASSERT_TRUE(box.consume_sensors(0, r));
+  ASSERT_TRUE(box.consume_workload(0, w));
+  EXPECT_EQ(r.voltage, 1.0);
+  EXPECT_EQ(w.avg_current, 4.0);
+}
+
+/// The headline concurrency property. Each producer owns a disjoint cell
+/// range (the mailbox's SPSC-per-cell contract) and publishes sequences
+/// where the payload triple of publish k is (k, 2k + cell, 3k - cell).
+/// The consumer hammers consume_* concurrently; every triple it sees must
+/// satisfy that relation exactly — a read mixing two publishes cannot.
+TEST(MailboxStress, ConcurrentPublishesAreNeverTorn) {
+  const std::size_t cells = 64;
+  const std::size_t producers = 4;
+  const int publishes_per_cell = 2000;
+  Mailbox box(cells);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::size_t begin = cells * p / producers;
+      const std::size_t end = cells * (p + 1) / producers;
+      for (int k = 0; k < publishes_per_cell; ++k) {
+        for (std::size_t cell = begin; cell < end; ++cell) {
+          const double kd = static_cast<double>(k);
+          const double cd = static_cast<double>(cell);
+          box.publish_sensors(cell, {kd, 2.0 * kd + cd, 3.0 * kd - cd});
+          box.publish_workload(cell, {kd, 2.0 * kd + cd, 3.0 * kd - cd});
+        }
+      }
+    });
+  }
+
+  // Consume until every cell has surfaced its final sensor publish; the
+  // final message can never be lost (it stays pending until consumed), so
+  // this terminates once the producers do.
+  std::vector<double> last_sensor_k(cells, -1.0);
+  std::vector<double> last_workload_k(cells, -1.0);
+  std::size_t consumed = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      SensorReport r;
+      if (box.consume_sensors(cell, r)) {
+        ++consumed;
+        const double cd = static_cast<double>(cell);
+        ASSERT_EQ(r.current, 2.0 * r.voltage + cd)
+            << "torn sensor read at cell " << cell;
+        ASSERT_EQ(r.temp_c, 3.0 * r.voltage - cd)
+            << "torn sensor read at cell " << cell;
+        ASSERT_GT(r.voltage, last_sensor_k[cell])
+            << "stale or reordered sensor delivery at cell " << cell;
+        last_sensor_k[cell] = r.voltage;
+      }
+      WorkloadOverride w;
+      if (box.consume_workload(cell, w)) {
+        ++consumed;
+        const double cd = static_cast<double>(cell);
+        ASSERT_EQ(w.avg_temp_c, 2.0 * w.avg_current + cd)
+            << "torn workload read at cell " << cell;
+        ASSERT_EQ(w.horizon_s, 3.0 * w.avg_current - cd)
+            << "torn workload read at cell " << cell;
+        ASSERT_GT(w.avg_current, last_workload_k[cell])
+            << "stale or reordered workload delivery at cell " << cell;
+        last_workload_k[cell] = w.avg_current;
+      }
+    }
+    if (consumed >= 2 * cells &&
+        std::all_of(last_sensor_k.begin(), last_sensor_k.end(),
+                    [&](double k) {
+                      return k == publishes_per_cell - 1;
+                    })) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  // After producers finish, one more drain pass must surface the final
+  // publish of every cell (nothing is ever lost past the last tick).
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    SensorReport r;
+    if (box.consume_sensors(cell, r)) last_sensor_k[cell] = r.voltage;
+    EXPECT_EQ(last_sensor_k[cell],
+              static_cast<double>(publishes_per_cell - 1))
+        << "cell " << cell << " never surfaced its final sensor report";
+    WorkloadOverride w;
+    if (box.consume_workload(cell, w)) last_workload_k[cell] = w.avg_current;
+    EXPECT_EQ(last_workload_k[cell],
+              static_cast<double>(publishes_per_cell - 1))
+        << "cell " << cell << " never surfaced its final workload override";
+  }
+}
+
+}  // namespace
+}  // namespace socpinn::serve

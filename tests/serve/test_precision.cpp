@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "core/net_snapshot.hpp"
@@ -83,12 +84,46 @@ TEST(SnapshotParity, RequiresFittedScalers) {
   const core::TwoBranchNet unfitted({}, 5);  // scalers never fitted
   EXPECT_THROW(core::TwoBranchSnapshotF32 snapshot(unfitted),
                std::logic_error);
-  RolloutConfig config;
-  config.precision = core::Precision::kFloat32;
-  EXPECT_THROW(RolloutEngine(unfitted, config), std::logic_error);
-  FleetConfig fleet_config;
-  fleet_config.precision = core::Precision::kFloat32;
-  EXPECT_THROW(FleetEngine(unfitted, 4, fleet_config), std::logic_error);
+  EXPECT_THROW(core::TwoBranchSnapshot(unfitted, core::Precision::kFloat32),
+               std::invalid_argument);
+  // f64 snapshots of an untrained net are fine (nothing to convert);
+  // inference will still demand fitted scalers, but construction is lazy.
+  EXPECT_NO_THROW(core::TwoBranchSnapshot(unfitted,
+                                          core::Precision::kFloat64));
+}
+
+TEST(SnapshotParity, UntrainedF32EngineFailsAtConstructionNamingTheKnob) {
+  // Regression contract: requesting the f32 backend with an untrained net
+  // must fail at engine construction with std::invalid_argument naming
+  // the precision knob — not wherever TwoBranchSnapshotF32 happened to
+  // blow up first (a logic_error from deep inside the scaler conversion).
+  const core::TwoBranchNet unfitted({}, 5);
+
+  try {
+    RolloutConfig config;
+    config.precision = core::Precision::kFloat32;
+    RolloutEngine engine(unfitted, config);
+    FAIL() << "RolloutEngine accepted an untrained net at kFloat32";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("RolloutConfig::precision"),
+              std::string::npos)
+        << "message does not name the knob: " << e.what();
+  }
+
+  try {
+    FleetConfig config;
+    config.precision = core::Precision::kFloat32;
+    FleetEngine engine(unfitted, 4, config);
+    FAIL() << "FleetEngine accepted an untrained net at kFloat32";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("FleetConfig::precision"),
+              std::string::npos)
+        << "message does not name the knob: " << e.what();
+  }
+
+  // The f64 default keeps accepting untrained nets (construction does not
+  // run inference), so training-loop tooling can build engines eagerly.
+  EXPECT_NO_THROW(FleetEngine(unfitted, 4, FleetConfig{.threads = 1}));
 }
 
 TEST(RolloutPrecision, F32TracksF64OnLgTestTraces) {

@@ -3,11 +3,53 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <vector>
 
 namespace socpinn::serve {
 namespace {
+
+TEST(ShardRange, KeepsTheHistoricalFloorBoundaries) {
+  // Same boundaries as the original n*shard/shards formula: 103 split 4
+  // ways is 25/26/26/26 with floor rounding, i.e. 0,25,51,77,103.
+  const std::size_t expect[5] = {0, 25, 51, 77, 103};
+  for (std::size_t s = 0; s < 4; ++s) {
+    const ShardRange r = shard_range(103, s, 4);
+    EXPECT_EQ(r.begin, expect[s]) << "shard " << s;
+    EXPECT_EQ(r.end, expect[s + 1]) << "shard " << s;
+  }
+}
+
+TEST(ShardRange, SurvivesSizesNearSizeMax) {
+  // Regression: the old formula computed n * (shard + 1), which wraps
+  // std::size_t for n > SIZE_MAX / shards and handed shards inverted
+  // (begin > end) ranges. The rewrite must keep every shard well-formed,
+  // contiguous, and exactly covering [0, n) at any magnitude.
+  const std::size_t huge[] = {
+      std::numeric_limits<std::size_t>::max(),
+      std::numeric_limits<std::size_t>::max() - 5,
+      std::numeric_limits<std::size_t>::max() / 2 + 3,
+  };
+  for (const std::size_t n : huge) {
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{7},
+                                     std::size_t{64}}) {
+      std::size_t expect_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const ShardRange r = shard_range(n, s, shards);
+        ASSERT_EQ(r.begin, expect_begin) << "n " << n << " shard " << s;
+        ASSERT_LE(r.begin, r.end) << "n " << n << " shard " << s;
+        // Every shard gets within one element of n/shards — the wrapped
+        // formula instead produced wild range sizes.
+        ASSERT_LE(r.end - r.begin, n / shards + 1)
+            << "n " << n << " shard " << s;
+        expect_begin = r.end;
+      }
+      ASSERT_EQ(expect_begin, n) << "n " << n << " shards " << shards;
+    }
+  }
+}
 
 TEST(ThreadPool, SizeAccountsForCallerThread) {
   EXPECT_EQ(ThreadPool(1).size(), 1u);
