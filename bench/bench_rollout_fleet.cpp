@@ -2,7 +2,9 @@
 /// Fleet-scale autoregressive rollout throughput: serve::RolloutEngine
 /// advancing a ragged fleet of synthetic discharge traces in lockstep
 /// (batched Branch-2 per step, lanes sharded across threads, retired lanes
-/// masked out) versus the legacy one-trace-at-a-time scalar walk.
+/// masked out) versus the legacy one-trace-at-a-time scalar walk, plus the
+/// closed-loop flavor (every lane re-anchoring on a periodic sensor plan)
+/// whose overhead over open-loop is threshold-checked.
 ///
 /// Writes BENCH_rollout.json (same flat schema family as
 /// BENCH_inference.json) with the measured speedup and the steady-state
@@ -32,15 +34,40 @@ using benchsupport::synthetic_trace;
 
 /// Ragged fleet: drive-cycle-length traces whose lengths cycle through a
 /// small set, so lanes retire at different lockstep steps.
-std::vector<data::WorkloadSchedule> ragged_schedules(std::size_t lanes) {
-  std::vector<data::WorkloadSchedule> schedules;
-  schedules.reserve(lanes);
+std::vector<data::Trace> ragged_traces(std::size_t lanes) {
+  std::vector<data::Trace> traces;
+  traces.reserve(lanes);
   for (std::size_t i = 0; i < lanes; ++i) {
     const std::size_t n = 160 + 60 * (i % 5);
-    schedules.push_back(
-        data::build_workload_schedule(synthetic_trace(n, 100 + i), 60.0));
+    traces.push_back(synthetic_trace(n, 100 + i));
+  }
+  return traces;
+}
+
+std::vector<data::WorkloadSchedule> ragged_schedules(
+    const std::vector<data::Trace>& traces) {
+  std::vector<data::WorkloadSchedule> schedules;
+  schedules.reserve(traces.size());
+  for (const data::Trace& trace : traces) {
+    schedules.push_back(data::build_workload_schedule(trace, 60.0));
   }
   return schedules;
+}
+
+std::vector<data::WorkloadSchedule> ragged_schedules(std::size_t lanes) {
+  return ragged_schedules(ragged_traces(lanes));
+}
+
+/// One periodic re-anchor plan per lane (every `every_steps` windows) —
+/// the closed-loop fleet over the same traces.
+std::vector<data::ReanchorPlan> ragged_plans(
+    const std::vector<data::Trace>& traces, std::size_t every_steps) {
+  std::vector<data::ReanchorPlan> plans;
+  plans.reserve(traces.size());
+  for (const data::Trace& trace : traces) {
+    plans.push_back(data::build_reanchor_plan(trace, 60.0, every_steps));
+  }
+  return plans;
 }
 
 std::size_t total_steps(const std::vector<data::WorkloadSchedule>& s) {
@@ -124,6 +151,38 @@ BENCHMARK(BM_RolloutFleetEngineF32)
     ->ArgsProduct({{64, 256}, {1, 0}})  // 0 = hardware threads
     ->Unit(benchmark::kMillisecond);
 
+void BM_RolloutFleetClosedLoop(benchmark::State& state) {
+  // The same ragged fleet with every lane re-anchoring every 8 windows:
+  // one extra batched Branch-1 panel per shard per firing step.
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const std::vector<data::Trace> traces = ragged_traces(lanes);
+  const std::vector<data::WorkloadSchedule> schedules =
+      ragged_schedules(traces);
+  const std::vector<data::ReanchorPlan> plans = ragged_plans(traces, 8);
+  serve::RolloutConfig config;
+  config.threads = threads;
+  serve::RolloutEngine engine(shared_net(), config);
+  std::vector<core::Rollout> out(schedules.size());
+  std::vector<serve::RolloutLane> lane_specs(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lane_specs[i].schedule = &schedules[i];
+    lane_specs[i].reanchor = &plans[i];
+  }
+  engine.run_into(lane_specs, out);  // warm every buffer
+  for (auto _ : state) {
+    engine.run_into(lane_specs, out);
+    benchmark::DoNotOptimize(out[0].soc.back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_steps(schedules)));
+  state.counters["lanes"] = static_cast<double>(lanes);
+  state.counters["threads"] = static_cast<double>(engine.num_threads());
+}
+BENCHMARK(BM_RolloutFleetClosedLoop)
+    ->ArgsProduct({{64, 256}, {1, 0}})  // 0 = hardware threads
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RolloutScalarLoop(benchmark::State& state) {
   const auto lanes = static_cast<std::size_t>(state.range(0));
   const std::vector<data::WorkloadSchedule> schedules =
@@ -143,8 +202,9 @@ BENCHMARK(BM_RolloutScalarLoop)->Arg(64)->Unit(benchmark::kMillisecond);
 void emit_bench_json(const char* path, int reps) {
   const core::TwoBranchNet& net = shared_net();
   constexpr std::size_t kLanes = 64;
+  const std::vector<data::Trace> traces = ragged_traces(kLanes);
   const std::vector<data::WorkloadSchedule> schedules =
-      ragged_schedules(kLanes);
+      ragged_schedules(traces);
   const std::size_t steps = total_steps(schedules);
 
   serve::RolloutEngine engine(net, {});
@@ -191,6 +251,30 @@ void emit_bench_json(const char* path, int reps) {
     }
   }
 
+  // Closed-loop section: the same f64 fleet with every lane re-anchoring
+  // every 8 windows (a BMS reporting in ~12% of ticks). The overhead ratio
+  // vs the open-loop run is threshold-checked — each re-anchor step costs
+  // one extra batched Branch-1 panel, so a healthy engine stays well under
+  // 2x — and so is the steady-state allocation count of re-anchor runs.
+  constexpr std::size_t kReanchorEvery = 8;
+  const std::vector<data::ReanchorPlan> plans =
+      ragged_plans(traces, kReanchorEvery);
+  std::size_t reanchor_count = 0;
+  for (const auto& plan : plans) reanchor_count += plan.size();
+  std::vector<serve::RolloutLane> closed_lanes(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    closed_lanes[i].schedule = &schedules[i];
+    closed_lanes[i].reanchor = &plans[i];
+  }
+  std::vector<core::Rollout> out_closed(schedules.size());
+  engine.run_into(closed_lanes, out_closed);  // warm-up
+  const std::size_t closed_allocs_before = benchsupport::alloc_count();
+  util::WallTimer closed_timer;
+  for (int i = 0; i < reps; ++i) engine.run_into(closed_lanes, out_closed);
+  const double closed_ms = closed_timer.millis() / reps;
+  const std::size_t closed_allocs =
+      benchsupport::alloc_count() - closed_allocs_before;
+
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
     std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
@@ -214,6 +298,13 @@ void emit_bench_json(const char* path, int reps) {
                batched_ms / f32_ms);
   std::fprintf(file, "  \"f32_max_abs_soc_diff\": %.3e,\n",
                f32_max_abs_diff);
+  std::fprintf(file, "  \"reanchor_every_steps\": %zu,\n", kReanchorEvery);
+  std::fprintf(file, "  \"reanchor_count\": %zu,\n", reanchor_count);
+  std::fprintf(file, "  \"closed_loop_ms_per_fleet\": %.3f,\n", closed_ms);
+  std::fprintf(file, "  \"reanchor_overhead_vs_open_loop\": %.3f,\n",
+               closed_ms / batched_ms);
+  std::fprintf(file, "  \"steady_state_allocs_per_closed_loop_run\": %.3f,\n",
+               static_cast<double>(closed_allocs) / reps);
   std::fprintf(file, "  \"checksum\": %.6f\n", acc);
   std::fprintf(file, "}\n");
   std::fclose(file);
@@ -221,10 +312,14 @@ void emit_bench_json(const char* path, int reps) {
       "--- fleet rollout (%zu ragged lanes, %zu steps) ---\n"
       "batched %.2f ms/fleet, scalar %.2f ms/fleet -> %.1fx, "
       "%.3f allocs per steady-state run\n"
-      "f32 backend %.2f ms/fleet (%.2fx vs f64), max |f32 - f64| = %.2e\n",
+      "f32 backend %.2f ms/fleet (%.2fx vs f64), max |f32 - f64| = %.2e\n"
+      "closed loop (re-anchor every %zu windows, %zu re-anchors) "
+      "%.2f ms/fleet -> %.2fx open-loop, %.3f allocs per run\n",
       kLanes, steps, batched_ms, scalar_ms, scalar_ms / batched_ms,
       static_cast<double>(batched_allocs) / reps, f32_ms,
-      batched_ms / f32_ms, f32_max_abs_diff);
+      batched_ms / f32_ms, f32_max_abs_diff, kReanchorEvery, reanchor_count,
+      closed_ms, closed_ms / batched_ms,
+      static_cast<double>(closed_allocs) / reps);
   std::printf("wrote %s\n", path);
 }
 
@@ -238,6 +333,7 @@ int main(int argc, char** argv) {
   benchsupport::run_benchmarks(argc, argv_rest, smoke,
                                "BM_RolloutFleetEngine/64/1$|"
                                "BM_RolloutFleetEngineF32/64/1$|"
+                               "BM_RolloutFleetClosedLoop/64/1$|"
                                "BM_RolloutScalarLoop/64$");
   emit_bench_json("BENCH_rollout.json", smoke ? 25 : 50);
   return 0;

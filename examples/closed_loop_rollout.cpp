@@ -1,0 +1,140 @@
+/// \file closed_loop_rollout.cpp
+/// Open-loop drift vs periodic re-anchoring — the paper's Fig. 5 turned
+/// into the closed-loop comparison it gestures at. Fig. 5 consumes
+/// voltage exactly once, at the first timestamp: past that point the
+/// cascade is an open-loop simulator and its error compounds per step.
+/// But the paper's own pitch is an embedded BMS whose sensors keep
+/// reporting — so what does each extra voltage reading buy?
+///
+///   1. train a PINN-30s on LG-like mixed cycles,
+///   2. for every pure test cycle, build THREE lanes over the same
+///      data::WorkloadSchedule: open-loop (Fig. 5 as published), and two
+///      closed-loop lanes whose data::ReanchorPlan consumes the trace's
+///      recorded (V, I, T) every ~20 min and every ~5 min (a BMS
+///      reporting sparsely vs frequently),
+///   3. roll ALL lanes in one serve::RolloutEngine pass (open-loop and
+///      closed-loop lanes mix freely in one lockstep walk),
+///   4. compare trajectory-mean and final |SoC error| per flavor.
+///
+/// Run: ./closed_loop_rollout [epochs]  (add --smoke for a tiny CI run)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/lg.hpp"
+#include "data/preprocess.hpp"
+#include "example_support.hpp"
+#include "serve/rollout_engine.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+using namespace socpinn;
+
+namespace {
+
+double mean_abs_error(const core::Rollout& r) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r.soc.size(); ++i) {
+    acc += std::fabs(r.soc[i] - r.truth[i]);
+  }
+  return acc / static_cast<double>(r.soc.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
+  const std::size_t epochs =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (smoke ? 8 : 200);
+  if (epochs == 0) {
+    std::fprintf(stderr,
+                 "usage: closed_loop_rollout [epochs > 0] [--smoke]\n");
+    return 1;
+  }
+
+  // 1. Train on the LG-like mixed cycles (1 s cadence, 30 s smoothing).
+  data::LgConfig data_config;
+  data_config.sample_period_s = 1.0;
+  const data::LgDataset dataset = data::generate_lg(data_config);
+
+  core::ExperimentSetup setup;
+  for (const auto& run : dataset.train_runs) {
+    setup.train_traces.push_back(data::smooth_trace(run.trace, 30.0));
+  }
+  setup.native_horizon_s = 30.0;
+  setup.capacity_ah =
+      battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
+  setup.train.epochs = epochs;
+  setup.branch1_stride = smoke ? 200 : 10;
+  setup.branch2_stride = smoke ? 200 : 10;
+
+  std::printf("training PINN-30s (%zu epochs) on %zu mixed cycles...\n",
+              epochs, setup.train_traces.size());
+  const core::TrainedModel model = core::train_two_branch(
+      setup, {"PINN-30s", core::VariantKind::kPinn, {30.0}}, 1);
+
+  // 2. Three lanes per test cycle over ONE schedule: open loop, sparse
+  //    re-anchors (~20 min), frequent re-anchors (~5 min). The plans play
+  //    back the trace's own recorded sensor rows — exactly what a live
+  //    BMS would have reported at those timestamps.
+  const std::size_t kSparseEvery = 40;   // 40 x 30 s = 20 min
+  const std::size_t kFrequentEvery = 10; // 10 x 30 s = 5 min
+  const std::vector<std::string> cycles = {"UDDS", "HWFET", "LA92", "US06"};
+  std::vector<data::WorkloadSchedule> schedules;
+  std::vector<data::ReanchorPlan> sparse, frequent;
+  for (const auto& cycle : cycles) {
+    const data::Trace trace =
+        data::smooth_trace(dataset.test_run(cycle).trace, 30.0);
+    schedules.push_back(data::build_workload_schedule(trace, 30.0));
+    sparse.push_back(data::build_reanchor_plan(trace, 30.0, kSparseEvery));
+    frequent.push_back(
+        data::build_reanchor_plan(trace, 30.0, kFrequentEvery));
+  }
+  std::vector<serve::RolloutLane> lanes;
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lanes.push_back({&schedules[i], serve::LaneKind::kCascade, 0.0, nullptr});
+    lanes.push_back(
+        {&schedules[i], serve::LaneKind::kCascade, 0.0, &sparse[i]});
+    lanes.push_back(
+        {&schedules[i], serve::LaneKind::kCascade, 0.0, &frequent[i]});
+  }
+
+  // 3. One lockstep pass for all flavors.
+  serve::RolloutEngine engine(model.net, {});
+  util::WallTimer timer;
+  const std::vector<core::Rollout> rollouts = engine.run(lanes);
+  const double ms = timer.millis();
+
+  // 4. Drift vs re-anchor comparison, per cycle and averaged.
+  std::printf(
+      "\none batched pass (%zu lanes, %zu threads): %.1f ms\n"
+      "%-8s %28s %28s %28s\n%-8s %14s %13s %14s %13s %14s %13s\n",
+      lanes.size(), engine.num_threads(), ms, "", "open loop",
+      "re-anchor 20 min", "re-anchor 5 min", "cycle", "mean|err|",
+      "final|err|", "mean|err|", "final|err|", "mean|err|", "final|err|");
+  double mean_err[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    const core::Rollout* flavors[3] = {&rollouts[3 * i], &rollouts[3 * i + 1],
+                                       &rollouts[3 * i + 2]};
+    std::printf("%-8s", cycles[i].c_str());
+    for (int f = 0; f < 3; ++f) {
+      const double mean = mean_abs_error(*flavors[f]);
+      mean_err[f] += mean / static_cast<double>(schedules.size());
+      std::printf(" %14.4f %13.4f", mean, flavors[f]->final_abs_error());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nfleet mean |SoC error|: open loop %.4f, 20-min re-anchor %.4f, "
+      "5-min re-anchor %.4f\n"
+      "(each recorded sensor row consumed mid-rollout resets accumulated "
+      "drift — the closed-loop estimator the paper's open-loop Fig. 5 "
+      "implies a BMS would actually run)\n",
+      mean_err[0], mean_err[1], mean_err[2]);
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "core/experiment.hpp"
 #include "data/lg.hpp"
 #include "data/preprocess.hpp"
+#include "example_support.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 
@@ -50,8 +51,9 @@ void print_chart(const core::Rollout& rollout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
 
   // Dataset: 7 mixed training cycles + pure-cycle test discharges.
   const data::LgDataset dataset = data::generate_lg(data::LgConfig{});
@@ -63,7 +65,7 @@ int main() {
   setup.native_horizon_s = 30.0;
   setup.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
-  setup.train.epochs = 200;
+  setup.train.epochs = smoke ? 8 : 200;
   setup.branch1_stride = 100;
   setup.branch2_stride = 100;
 

@@ -12,13 +12,15 @@
 #include "core/experiment.hpp"
 #include "core/model_io.hpp"
 #include "data/sandia.hpp"
+#include "example_support.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 using namespace socpinn;
 
-int main() {
+int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
 
   data::SandiaConfig data_config;
   data_config.chemistries = {battery::Chemistry::kNmc};
@@ -29,7 +31,7 @@ int main() {
   setup.native_horizon_s = 120.0;
   setup.capacity_ah =
       battery::cell_params(battery::Chemistry::kNmc).capacity_ah;
-  setup.train.epochs = 120;
+  setup.train.epochs = smoke ? 10 : 120;
 
   std::printf("training PINN-All for export...\n");
   core::TrainedModel model = core::train_two_branch(

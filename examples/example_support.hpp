@@ -1,0 +1,29 @@
+#pragma once
+/// \file example_support.hpp
+/// Shared helper for the example binaries: the `--smoke` flag CI passes to
+/// run every example end to end with tiny workloads (a few seconds each,
+/// tiny epoch counts) so example code cannot bit-rot — the same idea as
+/// the bench binaries' --smoke mode. The flag is stripped from argv, so
+/// positional-argument parsing in the examples is unaffected.
+
+#include <cstring>
+
+namespace socpinn::examples {
+
+/// Removes every "--smoke" from argv (updating argc) and reports whether
+/// one was present.
+inline bool strip_smoke_flag(int& argc, char** argv) {
+  bool smoke = false;
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return smoke;
+}
+
+}  // namespace socpinn::examples

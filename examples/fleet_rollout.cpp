@@ -21,6 +21,7 @@
 #include "core/experiment.hpp"
 #include "data/lg.hpp"
 #include "data/preprocess.hpp"
+#include "example_support.hpp"
 #include "serve/rollout_engine.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -29,10 +30,11 @@ using namespace socpinn;
 
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
   const std::size_t segments =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (smoke ? 2 : 16);
   const std::size_t epochs =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200;
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : (smoke ? 8 : 200);
   if (segments == 0 || epochs == 0) {
     std::fprintf(stderr, "usage: fleet_rollout [segments > 0] [epochs > 0]\n");
     return 1;

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "example_support.hpp"
 #include "serve/fleet_engine.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -24,10 +25,11 @@
 using namespace socpinn;
 
 int main(int argc, char** argv) {
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
   const std::size_t cells = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                     : 50000;
+                                     : (smoke ? 2000 : 50000);
   const std::size_t ticks = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                     : 20;
+                                     : (smoke ? 3 : 20);
   if (cells == 0 || ticks == 0) {
     std::fprintf(stderr, "usage: fleet_serving [num_cells > 0] [ticks > 0]\n");
     return 1;

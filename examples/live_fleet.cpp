@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "example_support.hpp"
 #include "serve/fleet_engine.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -42,10 +43,11 @@ core::TwoBranchNet make_serving_net(std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
   const std::size_t cells = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                     : 50000;
+                                     : (smoke ? 2000 : 50000);
   const std::size_t ticks = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                     : 40;
+                                     : (smoke ? 6 : 40);
   if (cells == 0 || ticks == 0) {
     std::fprintf(stderr, "usage: live_fleet [num_cells > 0] [ticks > 0]\n");
     return 1;

@@ -18,6 +18,7 @@
 #include "core/experiment.hpp"
 #include "data/lg.hpp"
 #include "data/preprocess.hpp"
+#include "example_support.hpp"
 #include "util/log.hpp"
 #include "util/math.hpp"
 
@@ -70,8 +71,9 @@ Mission make_mission(const std::string& name, double cruise_a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
   constexpr double kReserveSoc = 0.15;  // mission abort threshold
 
   // Train one PINN-All model on the LG-like mixed cycles: the physics loss
@@ -85,7 +87,7 @@ int main() {
   setup.native_horizon_s = 30.0;
   setup.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
-  setup.train.epochs = 200;
+  setup.train.epochs = smoke ? 8 : 200;
   setup.branch1_stride = 100;
   setup.branch2_stride = 100;
 

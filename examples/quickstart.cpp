@@ -14,13 +14,15 @@
 #include "core/experiment.hpp"
 #include "core/model_io.hpp"
 #include "data/sandia.hpp"
+#include "example_support.hpp"
 #include "nn/metrics.hpp"
 #include "util/log.hpp"
 
 using namespace socpinn;
 
-int main() {
+int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
+  const bool smoke = examples::strip_smoke_flag(argc, argv);
 
   // 1. Simulate: one NMC 18650 cycled at three ambients. Training cycles
   //    discharge at 1C; held-out cycles at 2C and 3C (the paper's split).
@@ -39,7 +41,7 @@ int main() {
   setup.native_horizon_s = 120.0;
   setup.capacity_ah =
       battery::cell_params(battery::Chemistry::kNmc).capacity_ah;
-  setup.train.epochs = 150;
+  setup.train.epochs = smoke ? 10 : 150;
 
   const core::VariantSpec pinn_all{
       "PINN-All", core::VariantKind::kPinn, {120.0, 240.0, 360.0}};

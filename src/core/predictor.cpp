@@ -57,7 +57,11 @@ HorizonPrediction predict_physics_only(const TwoBranchNet& net,
 }
 
 double Rollout::final_abs_error() const {
-  if (soc.empty()) throw std::logic_error("Rollout: empty trajectory");
+  // Both vectors, not just soc: a Rollout with predictions but no ground
+  // truth used to dereference truth.back() on an empty vector (UB).
+  if (soc.empty() || truth.empty()) {
+    throw std::logic_error("Rollout::final_abs_error: empty trajectory");
+  }
   return std::fabs(soc.back() - truth.back());
 }
 
@@ -76,6 +80,15 @@ Rollout rollout_physics_only(const TwoBranchNet& net, const data::Trace& trace,
   serve::RolloutEngine engine(net, {.threads = 1});
   return engine.run_single(schedule, serve::LaneKind::kPhysicsOnly,
                            capacity_ah);
+}
+
+Rollout rollout_closed_loop(const TwoBranchNet& net, const data::Trace& trace,
+                            double horizon_s,
+                            const data::ReanchorPlan& plan) {
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, horizon_s);
+  serve::RolloutEngine engine(net, {.threads = 1});
+  return engine.run_single(schedule, serve::LaneKind::kCascade, 0.0, &plan);
 }
 
 }  // namespace socpinn::core

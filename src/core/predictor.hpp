@@ -37,7 +37,10 @@ struct Rollout {
   std::vector<double> soc;      ///< predicted SoC at those timestamps
   std::vector<double> truth;    ///< ground-truth SoC at those timestamps
 
-  /// |predicted - true| at the end of the trajectory.
+  /// |predicted - true| at the end of the trajectory. Throws
+  /// std::logic_error when either `soc` or `truth` is empty (a
+  /// default-constructed or partially filled Rollout) instead of
+  /// dereferencing back() of an empty vector.
   [[nodiscard]] double final_abs_error() const;
 };
 
@@ -62,5 +65,19 @@ struct Rollout {
                                            const data::Trace& trace,
                                            double horizon_s,
                                            double capacity_ah);
+
+/// Closed-loop rollout: rollout_cascade plus scheduled mid-rollout
+/// Branch-1 re-anchors — at each of `plan`'s step indices the lane
+/// consumes the plan's [V, I, T] row as a fresh Branch-1 estimate that
+/// replaces the trajectory point at that timestamp and seeds the next
+/// window (the streaming estimator the paper's open-loop Fig. 5 gestures
+/// at; see data::build_reanchor_plan for extracting a periodic plan from
+/// a recorded trace). Batch-of-1 wrapper over serve::RolloutEngine, same
+/// default clamping as rollout_cascade. An empty plan reproduces
+/// rollout_cascade exactly.
+[[nodiscard]] Rollout rollout_closed_loop(const TwoBranchNet& net,
+                                          const data::Trace& trace,
+                                          double horizon_s,
+                                          const data::ReanchorPlan& plan);
 
 }  // namespace socpinn::core

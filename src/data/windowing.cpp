@@ -171,6 +171,35 @@ WorkloadSchedule build_workload_schedule(const Trace& trace,
   return schedule;
 }
 
+ReanchorPlan build_reanchor_plan(const Trace& trace, double horizon_s,
+                                 std::size_t every_steps) {
+  if (every_steps == 0) {
+    throw std::invalid_argument("build_reanchor_plan: every_steps must be >= 1");
+  }
+  if (trace.size() < 2) {
+    throw std::invalid_argument("build_reanchor_plan: trace too short");
+  }
+  const std::size_t k = horizon_samples(trace, horizon_s);
+
+  // Same step count as build_workload_schedule on the same trace/horizon,
+  // so the plan lines up with the schedule it will be paired with.
+  std::size_t num_steps = 0;
+  for (std::size_t t = 0; t + k < trace.size(); t += k) ++num_steps;
+
+  ReanchorPlan plan;
+  for (std::size_t w = every_steps; w < num_steps; w += every_steps) {
+    plan.steps.push_back(w);
+  }
+  plan.sensors = nn::Matrix(plan.steps.size(), 3);
+  for (std::size_t j = 0; j < plan.steps.size(); ++j) {
+    const TracePoint& p = trace[plan.steps[j] * k];
+    plan.sensors(j, 0) = p.voltage;
+    plan.sensors(j, 1) = p.current;
+    plan.sensors(j, 2) = p.temp_c;
+  }
+  return plan;
+}
+
 std::vector<WorkloadSchedule> build_workload_schedules(
     std::span<const Trace> traces, double horizon_s) {
   std::vector<WorkloadSchedule> schedules;

@@ -88,6 +88,36 @@ struct WorkloadSchedule {
 [[nodiscard]] std::vector<WorkloadSchedule> build_workload_schedules(
     std::span<const Trace> traces, double horizon_s);
 
+/// Scheduled mid-rollout sensor corrections for one rollout lane: the
+/// closed-loop counterpart of WorkloadSchedule. Entry j says "at step
+/// index steps[j] — i.e. at timestamp times_s[steps[j]], before window
+/// steps[j] advances — the lane's BMS reports sensors row j ([V, I, T])",
+/// and serve::RolloutEngine consumes it as one batched Branch-1 re-anchor
+/// (voltage consumed once per report, the paper's Fig. 2 discipline
+/// applied per correction). Step indices must be strictly increasing and
+/// smaller than the lane schedule's num_steps(); every sensor value must
+/// be finite — the engine validates both at run entry. An empty plan is an
+/// open-loop lane. The plan must outlive the run call, like the schedule.
+struct ReanchorPlan {
+  std::vector<std::size_t> steps;  ///< strictly increasing step indices
+  nn::Matrix sensors;              ///< steps.size() x 3: [V, I, T] per entry
+
+  [[nodiscard]] std::size_t size() const { return steps.size(); }
+};
+
+/// Extracts a periodic re-anchor plan from a recorded trace at `horizon_s`
+/// (same validation as build_workload_schedule): one sensor row every
+/// `every_steps` planning windows (>= 1; throws otherwise), i.e. at step
+/// indices every_steps, 2*every_steps, ... below the schedule's step
+/// count. Step 0 is omitted on purpose — the seed already consumes the
+/// t0 sensors. The sensor rows are the trace's recorded (V, I, T) at the
+/// matching timestamps, so a lane re-anchored with this plan plays back
+/// exactly what a live BMS reporting every `every_steps` windows would
+/// have fed the estimator.
+[[nodiscard]] ReanchorPlan build_reanchor_plan(const Trace& trace,
+                                               double horizon_s,
+                                               std::size_t every_steps);
+
 /// Convenience overloads for a single trace.
 [[nodiscard]] SupervisedData build_branch1_data(const Trace& trace,
                                                 std::size_t stride = 1);

@@ -2,10 +2,30 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "util/math.hpp"
 
 namespace socpinn::serve {
+
+namespace {
+
+/// Synchronous side of the serve::is_finite policy: sensor matrices passed
+/// to init_from_sensors / reseed_from_sensors are rejected whole, before
+/// any state changes, with an error naming the offending row.
+void require_finite_sensor_rows(const nn::Matrix& sensors_raw,
+                                const char* who) {
+  for (std::size_t r = 0; r < sensors_raw.rows(); ++r) {
+    if (!is_finite(SensorReport{sensors_raw(r, 0), sensors_raw(r, 1),
+                                sensors_raw(r, 2)})) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": non-finite sensor row " +
+                                  std::to_string(r));
+    }
+  }
+}
+
+}  // namespace
 
 FleetConfig FleetEngine::validated(const core::TwoBranchNet& net,
                                    std::size_t num_cells, FleetConfig config) {
@@ -99,6 +119,7 @@ void FleetEngine::init_from_sensors(const nn::Matrix& sensors_raw) {
     throw std::invalid_argument(
         "FleetEngine::init_from_sensors: need num_cells x 3 sensors");
   }
+  require_finite_sensor_rows(sensors_raw, "FleetEngine::init_from_sensors");
   const std::shared_ptr<const core::TwoBranchSnapshot> model =
       model_.load();
   pool_.parallel_for(
@@ -128,6 +149,7 @@ void FleetEngine::reseed_from_sensors(std::span<const std::size_t> cells,
           "FleetEngine::reseed_from_sensors: cell index out of range");
     }
   }
+  require_finite_sensor_rows(sensors_raw, "FleetEngine::reseed_from_sensors");
   if (cells.empty()) return;
   const std::shared_ptr<const core::TwoBranchSnapshot> model =
       model_.load();
@@ -184,18 +206,30 @@ void FleetEngine::drain_shard(ShardScratch& scratch,
   WorkloadOverride forecast;
   for (std::size_t cell = begin; cell < end; ++cell) {
     if (mailbox_.consume_workload(cell, forecast)) {
+      // Skip-and-count (serve::is_finite policy): a NaN/Inf forecast would
+      // stick in the override table and poison every tick until superseded.
+      if (!is_finite(forecast)) {
+        dropped_workload_overrides_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       override_[cell] = forecast;
       override_active_[cell] = 1;
     }
   }
   // Sensor reports: gather the pending cells, then one batched Branch-1
   // re-seed for exactly those cells — the streaming re-anchor. The drained
-  // SoC feeds this same tick's Branch-2 input.
+  // SoC feeds this same tick's Branch-2 input. Non-finite reports are
+  // skipped and counted (the drain cannot throw mid-tick); the cell keeps
+  // its current SoC until the next valid report.
   scratch.pending.clear();
   scratch.reports.clear();
   SensorReport report;
   for (std::size_t cell = begin; cell < end; ++cell) {
     if (mailbox_.consume_sensors(cell, report)) {
+      if (!is_finite(report)) {
+        dropped_sensor_reports_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       scratch.pending.push_back(cell);
       scratch.reports.push_back(report);
     }

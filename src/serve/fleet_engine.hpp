@@ -35,7 +35,11 @@
 ///     reseed_from_sensors() for the drained reports, then step() with
 ///     the overridden workload rows — at any thread count. A publish that
 ///     races a tick's drain is never torn: it is either applied by that
-///     tick or, at the latest, by the next one.
+///     tick or, at the latest, by the next one. Messages with a
+///     non-finite field are skipped and counted (dropped_sensor_reports /
+///     dropped_workload_overrides — serve::is_finite in mailbox.hpp is
+///     the policy, shared with the synchronous reseed and the
+///     RolloutEngine re-anchor plans).
 ///   * The model is held as an atomically swappable shared_ptr to an
 ///     immutable core::TwoBranchSnapshot (RCU-style). swap_model()
 ///     converts/copies once off the hot path and publishes between ticks:
@@ -46,6 +50,7 @@
 ///     construction, so the caller's net may be retrained or freed
 ///     immediately.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -88,7 +93,9 @@ class FleetEngine {
 
   /// Batched Branch-1 estimate across the fleet: row i of `sensors_raw`
   /// (num_cells x 3: V, I, T) initializes cell i's SoC. Connect-time path;
-  /// does not drain the mailbox.
+  /// does not drain the mailbox. Rejects non-finite sensor rows with
+  /// std::invalid_argument naming the cell, before any state changes (the
+  /// synchronous side of the serve::is_finite policy).
   void init_from_sensors(const nn::Matrix& sensors_raw);
 
   /// Synchronous streaming re-anchor: one batched Branch-1 estimate over
@@ -96,6 +103,10 @@ class FleetEngine {
   /// cells — the synchronous equivalent of publishing those reports to the
   /// mailbox and letting the next tick drain them (bitwise identical, by
   /// per-row independence of the batched estimate). Honors clamp_soc.
+  /// Non-finite sensor rows are rejected like init_from_sensors; the
+  /// mailbox drain instead skips and counts them (dropped_sensor_reports),
+  /// so valid messages behave identically on both routes and invalid ones
+  /// can never poison a cell's SoC.
   /// Like every tick-path method, it must NOT be called concurrently with
   /// ticks (it shares shard state); the mailbox is the concurrent route —
   /// only mailbox() publishes and swap_model() are safe from other
@@ -164,6 +175,19 @@ class FleetEngine {
 
   /// Whether `cell` currently has an active (drained) workload override.
   [[nodiscard]] bool has_workload_override(std::size_t cell) const;
+
+  /// Messages a mailbox drain skipped because a field was non-finite (the
+  /// asynchronous side of the serve::is_finite policy — the drain cannot
+  /// throw mid-tick, so invalid messages are dropped and counted instead
+  /// of poisoning the cell's SoC / staged workload; latest-wins means the
+  /// next valid publish simply supersedes). Monotonic over the engine's
+  /// lifetime; readable from any thread.
+  [[nodiscard]] std::uint64_t dropped_sensor_reports() const {
+    return dropped_sensor_reports_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_workload_overrides() const {
+    return dropped_workload_overrides_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::span<const double> soc() const { return soc_; }
   [[nodiscard]] std::size_t num_cells() const { return soc_.size(); }
@@ -243,6 +267,11 @@ class FleetEngine {
   /// not bit-packed, so neighboring cells on a shard boundary never race).
   std::vector<WorkloadOverride> override_;
   std::vector<std::uint8_t> override_active_;
+  /// Non-finite messages skipped by drains. Atomic because drains run on
+  /// shard threads (relaxed is enough: they are statistics, not
+  /// synchronization).
+  std::atomic<std::uint64_t> dropped_sensor_reports_{0};
+  std::atomic<std::uint64_t> dropped_workload_overrides_{0};
   std::uint64_t ticks_ = 0;
 };
 

@@ -31,6 +31,7 @@
 /// contracts (see fleet_engine.hpp for the equivalence guarantee).
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -54,6 +55,28 @@ struct WorkloadOverride {
   double avg_temp_c = 0.0;
   double horizon_s = 0.0;
 };
+
+/// The shared message-validity policy of every re-anchor/override path: a
+/// message is valid iff every field is finite. A NaN or Inf sensor value
+/// would poison the cell's SoC until the next valid report (the Branch-1
+/// estimate of a non-finite input is garbage, and clamping cannot save a
+/// NaN). Synchronous entry points (FleetEngine::init_from_sensors /
+/// reseed_from_sensors, RolloutEngine's re-anchor plan validation) REJECT
+/// invalid rows with std::invalid_argument before touching any state; the
+/// asynchronous mailbox drain cannot throw mid-tick, so it SKIPS invalid
+/// messages and counts them (FleetEngine::dropped_sensor_reports /
+/// dropped_workload_overrides) — latest-wins semantics mean the next valid
+/// message simply supersedes, nothing is retried.
+[[nodiscard]] inline bool is_finite(const SensorReport& report) {
+  return std::isfinite(report.voltage) && std::isfinite(report.current) &&
+         std::isfinite(report.temp_c);
+}
+
+[[nodiscard]] inline bool is_finite(const WorkloadOverride& forecast) {
+  return std::isfinite(forecast.avg_current) &&
+         std::isfinite(forecast.avg_temp_c) &&
+         std::isfinite(forecast.horizon_s);
+}
 
 namespace detail {
 

@@ -1,12 +1,56 @@
 #include "serve/rollout_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "battery/coulomb.hpp"
+#include "serve/mailbox.hpp"
 #include "util/math.hpp"
 
 namespace socpinn::serve {
+
+namespace {
+
+/// Lane-indexed argument error: a fleet run can hold thousands of lanes,
+/// so "which lane" is the difference between a fixable report and a shrug.
+[[noreturn]] void throw_lane_error(std::size_t lane, const std::string& what) {
+  throw std::invalid_argument("RolloutEngine: lane " + std::to_string(lane) +
+                              ": " + what);
+}
+
+/// Validates one lane's closed-loop plan against its schedule: shapes
+/// agree, step indices strictly increasing and within the schedule, sensor
+/// rows finite (the shared serve::is_finite policy — a NaN voltage would
+/// poison the lane's SoC from the re-anchor on).
+void validate_plan(std::size_t lane_index, const RolloutLane& lane) {
+  const data::ReanchorPlan& plan = *lane.reanchor;
+  if (plan.steps.empty()) return;  // empty plan == open-loop lane
+  if (plan.sensors.rows() != plan.steps.size() || plan.sensors.cols() != 3) {
+    throw_lane_error(lane_index,
+                     "re-anchor plan needs steps.size() x 3 sensors");
+  }
+  const std::size_t num_steps = lane.schedule->num_steps();
+  for (std::size_t j = 0; j < plan.steps.size(); ++j) {
+    if (j > 0 && plan.steps[j] <= plan.steps[j - 1]) {
+      throw_lane_error(lane_index,
+                       "re-anchor plan steps must be strictly increasing");
+    }
+    if (plan.steps[j] >= num_steps) {
+      throw_lane_error(lane_index,
+                       "re-anchor plan step beyond the lane's schedule");
+    }
+    if (!is_finite(SensorReport{plan.sensors(j, 0), plan.sensors(j, 1),
+                                plan.sensors(j, 2)})) {
+      throw_lane_error(lane_index,
+                       "re-anchor plan sensor row " + std::to_string(j) +
+                           " is not finite");
+    }
+  }
+}
+
+}  // namespace
 
 RolloutConfig RolloutEngine::validated(const core::TwoBranchNet& net,
                                        RolloutConfig config) {
@@ -65,8 +109,9 @@ std::vector<core::Rollout> RolloutEngine::run(
 }
 
 core::Rollout RolloutEngine::run_single(const data::WorkloadSchedule& schedule,
-                                        LaneKind kind, double capacity_ah) {
-  const RolloutLane lane{&schedule, kind, capacity_ah};
+                                        LaneKind kind, double capacity_ah,
+                                        const data::ReanchorPlan* reanchor) {
+  const RolloutLane lane{&schedule, kind, capacity_ah, reanchor};
   core::Rollout out;
   run_into({&lane, 1}, {&out, 1});
   return out;
@@ -79,13 +124,20 @@ void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
   }
   if (lanes.empty()) return;
   // Validate up front: shard jobs must not throw.
-  for (const RolloutLane& lane : lanes) {
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const RolloutLane& lane = lanes[i];
     if (lane.schedule == nullptr) {
-      throw std::invalid_argument("RolloutEngine: lane without a schedule");
+      throw_lane_error(i, "lane without a schedule");
     }
-    if (lane.kind == LaneKind::kPhysicsOnly && lane.capacity_ah <= 0.0) {
-      throw std::invalid_argument(
-          "RolloutEngine: physics-only lane needs capacity_ah > 0");
+    // Finite AND positive: NaN slips through a plain `<= 0` comparison
+    // (every NaN compare is false) and ±Inf passes it too — either would
+    // silently divide Eq. 1 into garbage for the whole trajectory.
+    if (lane.kind == LaneKind::kPhysicsOnly &&
+        !(std::isfinite(lane.capacity_ah) && lane.capacity_ah > 0.0)) {
+      throw_lane_error(i, "physics-only lane needs finite capacity_ah > 0");
+    }
+    if (lane.reanchor != nullptr) {
+      validate_plan(i, lane);
     }
   }
 
@@ -103,6 +155,28 @@ void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
           roll_shard(*model, lanes, out, shard, begin, end);
         }
       });
+}
+
+std::size_t RolloutEngine::gather_reanchors(ShardScratch& s,
+                                            std::span<const RolloutLane> lanes,
+                                            std::size_t begin,
+                                            std::size_t count,
+                                            std::size_t step) {
+  s.pending.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const RolloutLane& lane = lanes[begin + i];
+    if (lane.reanchor == nullptr) continue;
+    std::size_t& pos = s.plan_pos[i];
+    // Plan steps are validated strictly increasing and < num_steps(), so
+    // the cursor never has to skip: every planned step is visited while
+    // the lane is still alive.
+    if (pos < lane.reanchor->steps.size() &&
+        lane.reanchor->steps[pos] == step) {
+      s.pending.push_back(i);
+      ++pos;
+    }
+  }
+  return s.pending.size();
 }
 
 void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
@@ -141,6 +215,7 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
   // window at `step`; retired lanes drop out of the gather without
   // moving shard boundaries.
   s.gather.resize(count);
+  s.plan_pos.assign(count, 0);
   for (std::size_t step = 0;; ++step) {
     std::size_t active = 0;   // gathered NN rows this step
     bool any_alive = false;
@@ -151,6 +226,32 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
       if (lane.kind == LaneKind::kCascade) s.gather[active++] = i;
     }
     if (!any_alive) break;
+
+    // Closed-loop lanes first: one batched Branch-1 re-anchor for exactly
+    // the lanes whose plan fires at this step (the FleetEngine::drain_shard
+    // shape). The fresh estimate replaces the trajectory point at this
+    // timestamp and feeds this same step's Branch-2 / Eq. 1 input. A plan
+    // step is < num_steps, so every firing lane is still alive and its
+    // trajectory's last entry is the point at times_s[step].
+    if (gather_reanchors(s, lanes, begin, count, step) > 0) {
+      const std::size_t n = s.pending.size();
+      s.sensor_input.resize(n, 3);
+      for (std::size_t g = 0; g < n; ++g) {
+        const std::size_t i = s.pending[g];
+        const data::ReanchorPlan& plan = *lanes[begin + i].reanchor;
+        const std::size_t row = s.plan_pos[i] - 1;
+        s.sensor_input(g, 0) = plan.sensors(row, 0);
+        s.sensor_input(g, 1) = plan.sensors(row, 1);
+        s.sensor_input(g, 2) = plan.sensors(row, 2);
+      }
+      const nn::Matrix& fresh = net.estimate_batch(s.sensor_input, s.ws);
+      for (std::size_t g = 0; g < n; ++g) {
+        const std::size_t i = s.pending[g];
+        const double soc = clamp ? util::clamp01(fresh(g, 0)) : fresh(g, 0);
+        s.soc[i] = soc;
+        out[begin + i].soc.back() = soc;
+      }
+    }
 
     if (active >= nn::kColumnsMinBatch) {
       // Gather straight into the feature-major panel: batch is the
@@ -254,6 +355,7 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
   }
 
   s.gather.resize(count);
+  s.plan_pos.assign(count, 0);
   for (std::size_t step = 0;; ++step) {
     std::size_t active = 0;
     bool any_alive = false;
@@ -264,6 +366,34 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
       if (lane.kind == LaneKind::kCascade) s.gather[active++] = i;
     }
     if (!any_alive) break;
+
+    // Closed-loop re-anchors, f32 flavor: same firing scan, but the
+    // batched Branch-1 estimate goes through the snapshot's feature-major
+    // panel, padded to the float tile like every f32 panel here. Lane SoC
+    // and the trajectory stay f64 (API surface), as in the step below.
+    if (gather_reanchors(s, lanes, begin, count, step) > 0) {
+      const std::size_t n = s.pending.size();
+      const std::size_t padded = std::max(n, nn::kColumnsMinBatch);
+      s.sensor_input_f32.resize(3, padded);
+      for (std::size_t g = 0; g < n; ++g) {
+        const std::size_t i = s.pending[g];
+        const data::ReanchorPlan& plan = *lanes[begin + i].reanchor;
+        const std::size_t row = s.plan_pos[i] - 1;
+        s.sensor_input_f32(0, g) = static_cast<float>(plan.sensors(row, 0));
+        s.sensor_input_f32(1, g) = static_cast<float>(plan.sensors(row, 1));
+        s.sensor_input_f32(2, g) = static_cast<float>(plan.sensors(row, 2));
+      }
+      nn::zero_pad_columns(s.sensor_input_f32, n);
+      const nn::MatrixF32& fresh =
+          snap.estimate_columns(s.sensor_input_f32, s.ws_f32);
+      for (std::size_t g = 0; g < n; ++g) {
+        const std::size_t i = s.pending[g];
+        const double raw = static_cast<double>(fresh(0, g));
+        const double soc = clamp ? util::clamp01(raw) : raw;
+        s.soc[i] = soc;
+        out[begin + i].soc.back() = soc;
+      }
+    }
 
     if (active > 0) {
       // Thin batches are padded up to the 32-wide vectorized float tile

@@ -25,6 +25,20 @@
 ///
 /// Physics-only lanes (Eq. 1 instead of Branch 2) ride in the same pass as
 /// NN lanes, so the Fig. 5 baseline comparison costs one run.
+///
+/// Closed-loop lanes (mid-rollout streaming re-anchor): the paper's Fig. 5
+/// consumes voltage exactly once, at seed time — an open-loop simulator.
+/// A real BMS keeps reporting, and a lane with a data::ReanchorPlan plays
+/// that back: at each scheduled step index the lane consumes its next
+/// [V, I, T] sensor row as a fresh Branch-1 estimate that replaces the
+/// trajectory point at that timestamp and feeds the same step's Branch-2
+/// (or Eq. 1) input. Re-anchors are batched per shard per step — one
+/// Branch-1 forward for exactly the lanes whose plan fires, the
+/// FleetEngine::drain_shard shape carried into the lockstep walk — so a
+/// re-anchored lane is bitwise identical to the synchronous sequence of
+/// open-loop segments glued by explicit Branch-1 re-seeds, at any thread
+/// count, and re-anchor steps stay allocation-free once warm. Open-loop,
+/// closed-loop, and physics-only lanes mix freely in one pass.
 
 #include <memory>
 #include <span>
@@ -45,11 +59,20 @@ enum class LaneKind {
 };
 
 /// One rollout lane: a trace's extracted schedule plus the advancement
-/// rule. The schedule must outlive the run call.
+/// rule. The schedule (and the plan, when set) must outlive the run call.
 struct RolloutLane {
   const data::WorkloadSchedule* schedule = nullptr;
   LaneKind kind = LaneKind::kCascade;
-  double capacity_ah = 0.0;  ///< rated capacity; required for kPhysicsOnly
+  /// Rated capacity; required finite and > 0 for kPhysicsOnly (validated
+  /// at run entry with an error naming the lane index — a NaN or Inf here
+  /// would silently turn Eq. 1 into garbage).
+  double capacity_ah = 0.0;
+  /// Optional closed-loop plan: scheduled Branch-1 re-anchors consumed
+  /// mid-rollout (see the file comment). nullptr (default) or an empty
+  /// plan is an open-loop lane. Validated at run entry: step indices
+  /// strictly increasing and < schedule->num_steps(), sensor rows finite
+  /// (serve::is_finite policy), errors name the lane index.
+  const data::ReanchorPlan* reanchor = nullptr;
 };
 
 struct RolloutConfig {
@@ -114,10 +137,13 @@ class RolloutEngine {
   void run_into(std::span<const RolloutLane> lanes,
                 std::span<core::Rollout> out);
 
-  /// Batch-of-1 convenience backing the legacy core:: wrappers.
+  /// Batch-of-1 convenience backing the legacy core:: wrappers. Pass a
+  /// plan for a closed-loop single-trace rollout (core::rollout_closed_loop
+  /// routes through this).
   [[nodiscard]] core::Rollout run_single(
       const data::WorkloadSchedule& schedule,
-      LaneKind kind = LaneKind::kCascade, double capacity_ah = 0.0);
+      LaneKind kind = LaneKind::kCascade, double capacity_ah = 0.0,
+      const data::ReanchorPlan* reanchor = nullptr);
 
   [[nodiscard]] std::size_t num_threads() const { return pool_.size(); }
   [[nodiscard]] const RolloutConfig& config() const { return config_; }
@@ -132,12 +158,29 @@ class RolloutEngine {
     std::vector<std::size_t> gather; ///< local lane index per gathered row
     core::InferenceWorkspaceT<float> ws_f32;
     nn::MatrixT<float> input_f32;    ///< gathered feature-major f32 panel
+    // Re-anchor staging, separate from `input` so a closed-loop Branch-1
+    // batch never clobbers the step's Branch-2 gather (mirrors
+    // FleetEngine::ShardScratch's drain staging).
+    std::vector<std::size_t> plan_pos;  ///< next plan entry per local lane
+    std::vector<std::size_t> pending;   ///< local lanes re-anchoring now
+    nn::Matrix sensor_input;            ///< staged Branch-1 re-anchor batch
+    nn::MatrixT<float> sensor_input_f32;
   };
 
   /// Throws on invalid arguments (kFloat32 with an untrained net). Runs in
   /// the first member's initializer, before the thread pool spawns.
   static RolloutConfig validated(const core::TwoBranchNet& net,
                                  RolloutConfig config);
+
+  /// Scans the shard's closed-loop lanes for plans firing at `step`,
+  /// gathering the local lane indices into s.pending and advancing the
+  /// per-lane plan cursors. Returns the pending count. Shared by both
+  /// precision bodies; the batched Branch-1 estimate + scatter that
+  /// follows is per-precision.
+  static std::size_t gather_reanchors(ShardScratch& s,
+                                      std::span<const RolloutLane> lanes,
+                                      std::size_t begin, std::size_t count,
+                                      std::size_t step);
 
   /// One shard of run_into at f64 (the original, bitwise-frozen body) or
   /// via the f32 snapshot (feature-major panels at every active size).

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "battery/coulomb.hpp"
@@ -135,11 +136,40 @@ TEST(Predictor, EmptyEvalThrows) {
                std::invalid_argument);
 }
 
+TEST_F(PredictorTest, ClosedLoopRolloutReanchorsMidTrajectory) {
+  // Before the first re-anchor the closed-loop rollout IS the open-loop
+  // one; at every re-anchor step it consumes the trace's recorded sensors
+  // as a fresh Branch-1 estimate (recompute one by hand to pin it).
+  const data::Trace& trace = (*traces_)[0];
+  const Rollout open = rollout_cascade(*net_, trace, 120.0);
+  const data::ReanchorPlan plan =
+      data::build_reanchor_plan(trace, 120.0, 4);
+  ASSERT_GE(plan.size(), 1u);
+  const Rollout closed = rollout_closed_loop(*net_, trace, 120.0, plan);
+
+  ASSERT_EQ(closed.soc.size(), open.soc.size());
+  for (std::size_t s = 0; s < plan.steps[0]; ++s) {
+    EXPECT_EQ(closed.soc[s], open.soc[s]) << "pre-re-anchor step " << s;
+  }
+  InferenceWorkspace ws;
+  const double reanchored = std::clamp(
+      net_->estimate_soc(plan.sensors(0, 0), plan.sensors(0, 1),
+                         plan.sensors(0, 2), ws),
+      0.0, 1.0);
+  EXPECT_EQ(closed.soc[plan.steps[0]], reanchored);
+}
+
 TEST(Rollout, FinalAbsErrorRequiresData) {
   Rollout rollout;
   EXPECT_THROW((void)rollout.final_abs_error(), std::logic_error);
+  // Predictions without ground truth (or vice versa) used to dereference
+  // back() of the empty vector — UB, not an error. Both sides must throw.
   rollout.soc = {0.5};
+  EXPECT_THROW((void)rollout.final_abs_error(), std::logic_error);
+  rollout.soc.clear();
   rollout.truth = {0.4};
+  EXPECT_THROW((void)rollout.final_abs_error(), std::logic_error);
+  rollout.soc = {0.5};
   EXPECT_NEAR(rollout.final_abs_error(), 0.1, 1e-12);
 }
 

@@ -259,6 +259,46 @@ TEST(WorkloadSchedule, FleetBuilderKeepsTraceOrder) {
   EXPECT_DOUBLE_EQ(schedules[1].voltage0, traces[1][0].voltage);
 }
 
+TEST(ReanchorPlan, ExtractsPeriodicSensorRowsAlignedToTheSchedule) {
+  const Trace trace = pattern_trace(21, 2.0);  // 10 windows at 4 s horizon
+  const WorkloadSchedule schedule = build_workload_schedule(trace, 4.0);
+  ASSERT_EQ(schedule.num_steps(), 10u);
+
+  const ReanchorPlan plan = build_reanchor_plan(trace, 4.0, 3);
+  // Steps 3, 6, 9 — step 0 is the seed and is omitted on purpose.
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.steps[0], 3u);
+  EXPECT_EQ(plan.steps[1], 6u);
+  EXPECT_EQ(plan.steps[2], 9u);
+  ASSERT_EQ(plan.sensors.rows(), 3u);
+  ASSERT_EQ(plan.sensors.cols(), 3u);
+  // Row j is the trace's recorded (V, I, T) at sample steps[j] * k — the
+  // timestamp the re-anchor fires at (times_s[steps[j]]).
+  for (std::size_t j = 0; j < plan.size(); ++j) {
+    const TracePoint& p = trace[plan.steps[j] * 2];
+    EXPECT_DOUBLE_EQ(plan.sensors(j, 0), p.voltage);
+    EXPECT_DOUBLE_EQ(plan.sensors(j, 1), p.current);
+    EXPECT_DOUBLE_EQ(plan.sensors(j, 2), p.temp_c);
+  }
+
+  // A period beyond the schedule is a valid, empty (open-loop) plan.
+  EXPECT_EQ(build_reanchor_plan(trace, 4.0, 10).size(), 0u);
+}
+
+TEST(ReanchorPlan, ValidatesInputs) {
+  const Trace trace = pattern_trace(21, 2.0);
+  EXPECT_THROW((void)build_reanchor_plan(trace, 4.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_reanchor_plan(trace, 3.0, 2),
+               std::invalid_argument);  // not a multiple of the period
+  EXPECT_THROW((void)build_reanchor_plan(pattern_trace(1, 2.0), 4.0, 2),
+               std::invalid_argument);  // trace too short
+  EXPECT_THROW(
+      (void)build_reanchor_plan(
+          trace, std::numeric_limits<double>::quiet_NaN(), 2),
+      std::invalid_argument);
+}
+
 TEST(WorkloadSchedule, MatchesBranch2TrainingWindows) {
   // The schedule's windows are the same math as the Branch-2 training data
   // at stride k, so rollouts line up with what the model was trained on.

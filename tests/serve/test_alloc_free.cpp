@@ -166,11 +166,17 @@ TEST(AllocFree, MailboxDrainAndPostSwapTicksAllocateNothing) {
 TEST(AllocFree, RolloutStepsSteadyStateAllocateNothing) {
   // The tentpole property of the batched rollout engine: after one warm-up
   // run over a ragged fleet, repeat runs — every lockstep step, including
-  // lane retirement — perform zero heap allocations.
+  // lane retirement and closed-loop re-anchor steps — perform zero heap
+  // allocations.
   const core::TwoBranchNet net = testing::make_fitted_net(21);
   const std::vector<data::Trace> fleet = testing::synthetic_fleet(48, 33);
   const std::vector<data::WorkloadSchedule> schedules =
       data::build_workload_schedules(fleet, 30.0);
+  std::vector<data::ReanchorPlan> plans;
+  plans.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    plans.push_back(data::build_reanchor_plan(fleet[i], 30.0, 3 + i % 3));
+  }
   std::vector<RolloutLane> lanes(schedules.size());
   for (std::size_t i = 0; i < schedules.size(); ++i) {
     lanes[i].schedule = &schedules[i];
@@ -178,6 +184,9 @@ TEST(AllocFree, RolloutStepsSteadyStateAllocateNothing) {
       lanes[i].kind = LaneKind::kPhysicsOnly;
       lanes[i].capacity_ah = 3.0;
     }
+    // Closed-loop lanes re-anchor mid-run; the batched Branch-1 staging
+    // must reuse its warm capacity like every other per-step buffer.
+    if (i % 2 == 0) lanes[i].reanchor = &plans[i];
   }
 
   RolloutConfig config;

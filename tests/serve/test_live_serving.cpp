@@ -20,6 +20,8 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -149,6 +151,87 @@ TEST(LiveServing, ReseedValidatesArguments) {
   const std::vector<std::size_t> out_of_range = {1, 8};
   EXPECT_THROW(engine.reseed_from_sensors(out_of_range, nn::Matrix(2, 3)),
                std::invalid_argument);
+}
+
+TEST(LiveServing, NonFiniteMailboxMessagesAreSkippedAndCounted) {
+  // The asynchronous side of the serve::is_finite policy: a NaN/Inf field
+  // must not poison the cell's SoC (sensor report) or stick in the
+  // override table (workload forecast). The drain cannot throw mid-tick,
+  // so it drops the message and counts it; the next valid publish simply
+  // supersedes (latest-wins).
+  const core::TwoBranchNet net = testing::make_fitted_net(11);
+  const std::size_t cells = 37;
+  util::Rng rng(17);
+  const nn::Matrix sensors0 = random_sensors(cells, rng);
+  const nn::Matrix workload = random_workload(cells, rng);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  FleetEngine engine(net, cells, {.threads = 2});
+  FleetEngine reference(net, cells, {.threads = 2});
+  engine.init_from_sensors(sensors0);
+  reference.init_from_sensors(sensors0);
+
+  engine.mailbox().publish_sensors(3, {nan, -1.0, 25.0});
+  engine.mailbox().publish_sensors(5, {3.9, inf, 25.0});
+  engine.mailbox().publish_workload(7, {-2.0, nan, 60.0});
+  engine.step(workload);
+  reference.step(workload);
+
+  // Skipped messages leave the tick bitwise identical to no publish at
+  // all, and the counters say what was dropped.
+  for (std::size_t c = 0; c < cells; ++c) {
+    ASSERT_EQ(engine.soc()[c], reference.soc()[c]) << "cell " << c;
+  }
+  EXPECT_EQ(engine.dropped_sensor_reports(), 2u);
+  EXPECT_EQ(engine.dropped_workload_overrides(), 1u);
+  EXPECT_FALSE(engine.has_workload_override(7));
+
+  // A later valid report recovers the cell — nothing was latched.
+  engine.mailbox().publish_sensors(3, {3.9, -1.0, 25.0});
+  reference.mailbox().publish_sensors(3, {3.9, -1.0, 25.0});
+  engine.step(workload);
+  reference.step(workload);
+  for (std::size_t c = 0; c < cells; ++c) {
+    ASSERT_EQ(engine.soc()[c], reference.soc()[c]) << "cell " << c;
+  }
+  EXPECT_EQ(engine.dropped_sensor_reports(), 2u);
+}
+
+TEST(LiveServing, SynchronousReseedRejectsNonFiniteSensors) {
+  // The synchronous side of the same policy: init_from_sensors and
+  // reseed_from_sensors throw before touching any state, naming the row.
+  const core::TwoBranchNet net = testing::make_fitted_net(13);
+  const std::size_t cells = 9;
+  util::Rng rng(19);
+  const nn::Matrix sensors0 = random_sensors(cells, rng);
+  FleetEngine engine(net, cells, {.threads = 1});
+  engine.init_from_sensors(sensors0);
+  const std::vector<double> before(engine.soc().begin(), engine.soc().end());
+
+  nn::Matrix bad = sensors0;
+  bad(4, 2) = std::numeric_limits<double>::quiet_NaN();
+  try {
+    engine.init_from_sensors(bad);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("row 4"), std::string::npos)
+        << e.what();
+  }
+
+  nn::Matrix one(1, 3);
+  one(0, 0) = std::numeric_limits<double>::infinity();
+  one(0, 1) = -1.0;
+  one(0, 2) = 25.0;
+  const std::vector<std::size_t> target = {2};
+  EXPECT_THROW(engine.reseed_from_sensors(target, one),
+               std::invalid_argument);
+
+  // Rejected synchronously means rejected wholly: no cell was reseeded.
+  for (std::size_t c = 0; c < cells; ++c) {
+    EXPECT_EQ(engine.soc()[c], before[c]) << "cell " << c;
+  }
+  EXPECT_EQ(engine.dropped_sensor_reports(), 0u);
 }
 
 TEST(LiveServing, WorkloadOverrideIsStickyAcrossRunFastPath) {

@@ -25,6 +25,7 @@
 #include "serve/fleet_engine.hpp"
 #include "serve/rollout_engine.hpp"
 #include "support/fitted_net.hpp"
+#include "support/rollout_reference.hpp"
 #include "util/rng.hpp"
 
 namespace socpinn::serve {
@@ -209,6 +210,104 @@ TEST(RolloutPrecision, F32ResultsInvariantToThreadCount) {
             << "lane " << i << " step " << s << " threads " << threads;
       }
     }
+  }
+}
+
+TEST(RolloutPrecision, ClosedLoopF32MatchesGluedSegmentsAndTracksF64) {
+  // The closed-loop contract survives precision reduction: a re-anchored
+  // f32 lane is bitwise the glued sequence of open-loop f32 segments
+  // restarted at each re-anchor (the engine's own open-loop path on the
+  // sliced trace supplies the segments), and the whole closed-loop f32
+  // trajectory tracks f64 within the backend's committed 1e-4 — with
+  // margin, since re-anchors reset accumulated float drift.
+  const core::TwoBranchNet net = testing::make_fitted_net(47);
+  const data::Trace trace = testing::synthetic_trace(140, 13);
+  const double horizon_s = 60.0;
+  const std::size_t k = 2;  // 60 s horizon on the 30 s synthetic cadence
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, horizon_s);
+  const data::ReanchorPlan plan =
+      data::build_reanchor_plan(trace, horizon_s, 25);
+  ASSERT_GE(plan.size(), 2u);
+
+  RolloutEngine f32(net, {.threads = 1,
+                          .precision = core::Precision::kFloat32});
+  const core::Rollout closed =
+      f32.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+
+  const std::vector<double> glued = testing::glued_open_loop_soc(
+      f32, trace, horizon_s, k, schedule, plan);
+  ASSERT_EQ(glued.size(), closed.soc.size());
+  for (std::size_t s = 0; s < glued.size(); ++s) {
+    EXPECT_EQ(closed.soc[s], glued[s]) << "f32 glued step " << s;
+  }
+
+  RolloutEngine f64(net, {.threads = 1});
+  expect_soc_close(closed,
+                   f64.run_single(schedule, LaneKind::kCascade, 0.0, &plan),
+                   1e-4, "closed-loop f32 vs f64");
+}
+
+TEST(RolloutPrecision, ClosedLoopF32InvariantToThreadCount) {
+  const core::TwoBranchNet net = testing::make_fitted_net(53);
+  const std::vector<data::Trace> fleet = testing::synthetic_fleet(37, 61);
+  const std::vector<data::WorkloadSchedule> schedules =
+      data::build_workload_schedules(fleet, 30.0);
+  std::vector<data::ReanchorPlan> plans;
+  plans.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    plans.push_back(data::build_reanchor_plan(fleet[i], 30.0, 4 + i % 3));
+  }
+  std::vector<RolloutLane> lanes(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lanes[i].schedule = &schedules[i];
+    if (i % 2 == 0) lanes[i].reanchor = &plans[i];
+    if (i % 5 == 3) {
+      lanes[i].kind = LaneKind::kPhysicsOnly;
+      lanes[i].capacity_ah = 3.0;
+    }
+  }
+
+  RolloutEngine single(net, {.threads = 1,
+                             .precision = core::Precision::kFloat32});
+  const std::vector<core::Rollout> base = single.run(lanes);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    RolloutEngine engine(net, {.threads = threads,
+                               .precision = core::Precision::kFloat32});
+    const std::vector<core::Rollout> multi = engine.run(lanes);
+    ASSERT_EQ(multi.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(multi[i].soc.size(), base[i].soc.size());
+      for (std::size_t s = 0; s < base[i].soc.size(); ++s) {
+        EXPECT_EQ(multi[i].soc[s], base[i].soc[s])
+            << "lane " << i << " step " << s << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(RolloutPrecision, ReanchorPlanAtStepZeroReproducesPlainSeedAtF32) {
+  // Same padded Branch-1 panel for the seed and a step-0 re-anchor fed
+  // the identical row: per-column independence makes them bitwise equal.
+  const core::TwoBranchNet net = testing::make_fitted_net(59);
+  const data::Trace trace = testing::synthetic_trace(90, 21);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+  data::ReanchorPlan plan;
+  plan.steps = {0};
+  plan.sensors = nn::Matrix(1, 3);
+  plan.sensors(0, 0) = schedule.voltage0;
+  plan.sensors(0, 1) = schedule.current0;
+  plan.sensors(0, 2) = schedule.temp0;
+
+  RolloutEngine engine(net, {.threads = 1,
+                             .precision = core::Precision::kFloat32});
+  const core::Rollout closed =
+      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+  const core::Rollout open = engine.run_single(schedule);
+  ASSERT_EQ(closed.soc.size(), open.soc.size());
+  for (std::size_t s = 0; s < open.soc.size(); ++s) {
+    EXPECT_EQ(closed.soc[s], open.soc[s]) << "step " << s;
   }
 }
 

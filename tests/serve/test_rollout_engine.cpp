@@ -7,12 +7,18 @@
 ///    traces;
 ///  * results are invariant to thread count on ragged fleets (lanes
 ///    retire without reshuffling shard boundaries);
-///  * physics-only lanes ride in the same pass as NN lanes.
+///  * physics-only lanes ride in the same pass as NN lanes;
+///  * closed-loop lanes (scheduled mid-rollout Branch-1 re-anchors) are
+///    bitwise the synchronous sequence of open-loop segments glued by
+///    explicit re-seeds, mix freely with open-loop and physics lanes, and
+///    their plans are validated at run entry with errors naming the lane.
 
 #include "serve/rollout_engine.hpp"
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "battery/coulomb.hpp"
@@ -20,6 +26,7 @@
 #include "data/lg.hpp"
 #include "data/sandia.hpp"
 #include "support/fitted_net.hpp"
+#include "support/rollout_reference.hpp"
 #include "util/math.hpp"
 
 namespace socpinn::serve {
@@ -279,6 +286,259 @@ TEST(RolloutEngine, RunIntoReusesCallerBuffers) {
   engine.run_into(lanes, out);
   for (std::size_t i = 0; i < out.size(); ++i) {
     expect_bitwise_equal(out[i], expected[i], "second run_into");
+  }
+}
+
+/// Scalar closed-loop reference: the open-loop scalar walk with explicit
+/// Branch-1 re-seeds at the plan's step indices — the "synchronous
+/// sequence of open-loop segments glued by explicit re-seeds" the batched
+/// engine must reproduce bitwise. Handles both advancement rules.
+core::Rollout closed_loop_reference(const core::TwoBranchNet& net,
+                                    const data::WorkloadSchedule& schedule,
+                                    const data::ReanchorPlan& plan,
+                                    LaneKind kind, double capacity_ah) {
+  core::InferenceWorkspace ws;
+  core::Rollout r;
+  r.times_s = schedule.times_s;
+  r.truth = schedule.truth;
+  double soc = util::clamp01(net.estimate_soc(
+      schedule.voltage0, schedule.current0, schedule.temp0, ws));
+  r.soc.push_back(soc);
+  std::size_t pos = 0;
+  for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
+    if (pos < plan.steps.size() && plan.steps[pos] == w) {
+      soc = util::clamp01(net.estimate_soc(plan.sensors(pos, 0),
+                                           plan.sensors(pos, 1),
+                                           plan.sensors(pos, 2), ws));
+      r.soc.back() = soc;
+      ++pos;
+    }
+    soc = kind == LaneKind::kCascade
+              ? util::clamp01(net.predict_soc(soc, schedule.workload(w, 0),
+                                              schedule.workload(w, 1),
+                                              schedule.workload(w, 2), ws))
+              : battery::coulomb_predict_clamped(soc, schedule.workload(w, 0),
+                                                 schedule.workload(w, 2),
+                                                 capacity_ah);
+    r.soc.push_back(soc);
+  }
+  return r;
+}
+
+TEST(RolloutEngine, ClosedLoopLaneMatchesScalarReseedReference) {
+  const core::TwoBranchNet net = testing::make_fitted_net(59);
+  const data::Trace trace = testing::synthetic_trace(130, 7);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 60.0);
+  const data::ReanchorPlan plan = data::build_reanchor_plan(trace, 60.0, 5);
+  ASSERT_GE(plan.size(), 2u) << "fixture too short to re-anchor twice";
+
+  RolloutEngine engine(net, {.threads = 1});
+  const core::Rollout batched =
+      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+  expect_bitwise_equal(
+      batched,
+      closed_loop_reference(net, schedule, plan, LaneKind::kCascade, 0.0),
+      "closed-loop batch-of-1");
+
+  // Physics-only closed loop: Coulomb counting with periodic measurement
+  // correction — Eq. 1 between re-anchors, Branch 1 at them.
+  const core::Rollout physics =
+      engine.run_single(schedule, LaneKind::kPhysicsOnly, 3.0, &plan);
+  expect_bitwise_equal(
+      physics,
+      closed_loop_reference(net, schedule, plan, LaneKind::kPhysicsOnly, 3.0),
+      "closed-loop physics batch-of-1");
+}
+
+TEST(RolloutEngine, ClosedLoopMatchesGluedOpenLoopSegments) {
+  // The tentpole equivalence in its segment form: a lane re-anchored at
+  // steps s_1 < s_2 < ... must equal the concatenation of open-loop
+  // rollouts restarted from the trace at each s_j — the engine's own
+  // open-loop path on trace.slice(s_j * k, end) supplies each segment, so
+  // the test holds bitwise for any advancement the engine supports.
+  const core::TwoBranchNet net = testing::make_fitted_net(61);
+  const data::Trace trace = testing::synthetic_trace(140, 13);
+  const double horizon_s = 60.0;
+  const std::size_t k = 2;  // 60 s horizon on the 30 s synthetic cadence
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, horizon_s);
+  const data::ReanchorPlan plan =
+      data::build_reanchor_plan(trace, horizon_s, 25);
+  ASSERT_GE(plan.size(), 2u);
+
+  RolloutEngine engine(net, {.threads = 1});
+  const core::Rollout closed =
+      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+
+  const std::vector<double> glued = testing::glued_open_loop_soc(
+      engine, trace, horizon_s, k, schedule, plan);
+  ASSERT_EQ(glued.size(), closed.soc.size());
+  for (std::size_t s = 0; s < glued.size(); ++s) {
+    EXPECT_EQ(closed.soc[s], glued[s]) << "glued step " << s;
+  }
+}
+
+TEST(RolloutEngine, ReanchorPlanAtStepZeroReproducesPlainSeed) {
+  // A plan firing at step 0 with the schedule's own t0 sensors must be a
+  // no-op: the re-anchor batch re-estimates the seed row, and per-row
+  // independence of the batched estimate makes it bitwise the plain seed.
+  const core::TwoBranchNet net = testing::make_fitted_net(67);
+  const data::Trace trace = testing::synthetic_trace(90, 21);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+  data::ReanchorPlan plan;
+  plan.steps = {0};
+  plan.sensors = nn::Matrix(1, 3);
+  plan.sensors(0, 0) = schedule.voltage0;
+  plan.sensors(0, 1) = schedule.current0;
+  plan.sensors(0, 2) = schedule.temp0;
+
+  RolloutEngine engine(net, {.threads = 1});
+  expect_bitwise_equal(
+      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan),
+      engine.run_single(schedule), "step-0 re-anchor");
+}
+
+TEST(RolloutEngine, MixedOpenClosedPhysicsFleetInvariantToThreadCount) {
+  // One pass mixing open-loop NN, closed-loop NN, physics-only, and
+  // closed-loop physics lanes over a ragged fleet: every lane bitwise
+  // matches its scalar reference, at 1, 2, and 8 threads.
+  const core::TwoBranchNet net = testing::make_fitted_net(71);
+  const std::vector<data::Trace> fleet = testing::synthetic_fleet(41, 77);
+  const std::vector<data::WorkloadSchedule> schedules =
+      data::build_workload_schedules(fleet, 30.0);
+  std::vector<data::ReanchorPlan> plans;
+  plans.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    plans.push_back(data::build_reanchor_plan(fleet[i], 30.0, 3 + i % 4));
+  }
+
+  std::vector<RolloutLane> lanes(schedules.size());
+  std::vector<core::Rollout> reference(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    lanes[i].schedule = &schedules[i];
+    if (i % 3 == 1) {
+      lanes[i].kind = LaneKind::kPhysicsOnly;
+      lanes[i].capacity_ah = 3.0;
+    }
+    if (i % 2 == 0) lanes[i].reanchor = &plans[i];  // mixed open/closed
+    reference[i] = closed_loop_reference(
+        net, schedules[i],
+        lanes[i].reanchor != nullptr ? plans[i] : data::ReanchorPlan{},
+        lanes[i].kind, lanes[i].capacity_ah);
+  }
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    RolloutEngine engine(net, {.threads = threads});
+    const std::vector<core::Rollout> batched = engine.run(lanes);
+    ASSERT_EQ(batched.size(), reference.size());
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      expect_bitwise_equal(batched[i], reference[i], "mixed fleet lane");
+    }
+  }
+}
+
+TEST(RolloutEngine, ClosedLoopWrapperMatchesEngine) {
+  const core::TwoBranchNet net = testing::make_fitted_net(73);
+  const data::Trace trace = testing::synthetic_trace(100, 3);
+  const data::ReanchorPlan plan = data::build_reanchor_plan(trace, 30.0, 8);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+
+  RolloutEngine engine(net, {.threads = 1});
+  expect_bitwise_equal(
+      core::rollout_closed_loop(net, trace, 30.0, plan),
+      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan),
+      "closed-loop wrapper");
+
+  // An empty plan is an open-loop lane: the wrapper degenerates to
+  // rollout_cascade.
+  const data::ReanchorPlan empty;
+  expect_bitwise_equal(core::rollout_closed_loop(net, trace, 30.0, empty),
+                       core::rollout_cascade(net, trace, 30.0),
+                       "empty-plan wrapper");
+}
+
+TEST(RolloutEngine, ValidatesReanchorPlansNamingTheLane) {
+  const core::TwoBranchNet net = testing::make_fitted_net(79);
+  const data::Trace trace = testing::synthetic_trace(50, 5);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+  RolloutEngine engine(net, {.threads = 1});
+  const data::WorkloadSchedule ok_schedule = schedule;
+
+  const auto expect_lane_error = [&](const data::ReanchorPlan& plan,
+                                     const char* what) {
+    // Lane 0 is fine; the broken plan rides on lane 1 and the error must
+    // say so.
+    const std::vector<RolloutLane> lanes = {
+        {&ok_schedule, LaneKind::kCascade, 0.0, nullptr},
+        {&schedule, LaneKind::kCascade, 0.0, &plan},
+    };
+    try {
+      (void)engine.run(lanes);
+      FAIL() << what << ": expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("lane 1"), std::string::npos)
+          << what << ": error must name the lane: " << e.what();
+    }
+  };
+
+  data::ReanchorPlan unsorted;
+  unsorted.steps = {5, 3};
+  unsorted.sensors = nn::Matrix(2, 3, 3.7);
+  expect_lane_error(unsorted, "unsorted steps");
+
+  data::ReanchorPlan beyond;
+  beyond.steps = {schedule.num_steps()};
+  beyond.sensors = nn::Matrix(1, 3, 3.7);
+  expect_lane_error(beyond, "step beyond schedule");
+
+  data::ReanchorPlan misshapen;
+  misshapen.steps = {1, 2};
+  misshapen.sensors = nn::Matrix(1, 3, 3.7);
+  expect_lane_error(misshapen, "shape mismatch");
+
+  data::ReanchorPlan nan_row;
+  nan_row.steps = {1};
+  nan_row.sensors = nn::Matrix(1, 3, 3.7);
+  nan_row.sensors(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  expect_lane_error(nan_row, "NaN sensor");
+
+  data::ReanchorPlan inf_row;
+  inf_row.steps = {1};
+  inf_row.sensors = nn::Matrix(1, 3, 3.7);
+  inf_row.sensors(0, 2) = std::numeric_limits<double>::infinity();
+  expect_lane_error(inf_row, "Inf sensor");
+}
+
+TEST(RolloutEngine, RejectsNonFinitePhysicsCapacityNamingTheLane) {
+  // NaN slips through a plain `<= 0` check (every NaN comparison is
+  // false) and ±Inf passes it too; either used to divide Eq. 1 into
+  // garbage silently.
+  const core::TwoBranchNet net = testing::make_fitted_net(83);
+  const data::Trace trace = testing::synthetic_trace(40, 9);
+  const data::WorkloadSchedule schedule =
+      data::build_workload_schedule(trace, 30.0);
+  RolloutEngine engine(net, {.threads = 1});
+
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(), 0.0,
+                           -3.0}) {
+    const std::vector<RolloutLane> lanes = {
+        {&schedule, LaneKind::kCascade, 0.0, nullptr},
+        {&schedule, LaneKind::kPhysicsOnly, bad, nullptr},
+    };
+    try {
+      (void)engine.run(lanes);
+      FAIL() << "capacity " << bad << ": expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("lane 1"), std::string::npos)
+          << e.what();
+    }
   }
 }
 

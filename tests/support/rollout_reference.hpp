@@ -1,0 +1,49 @@
+#pragma once
+/// Shared closed-loop reference construction for the rollout test suites:
+/// the glued-open-loop-segments reconstruction both the f64 parity tests
+/// (tests/serve/test_rollout_engine.cpp) and the f32 precision tests
+/// (tests/serve/test_precision.cpp) compare against. One definition so the
+/// glue semantics — re-anchor fires BEFORE window steps[j] advances, the
+/// fresh estimate replaces the trajectory point at that timestamp — can
+/// never drift between the two suites.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/trace.hpp"
+#include "data/windowing.hpp"
+#include "serve/rollout_engine.hpp"
+
+namespace socpinn::testing {
+
+/// Reconstructs the closed-loop SoC trajectory of `trace` at `horizon_s`
+/// as the synchronous sequence of OPEN-LOOP segments glued at the plan's
+/// step indices: segment j restarts the engine's open-loop rollout from
+/// trace sample steps[j] * samples_per_step (whose recorded sensors are
+/// the plan's row j, so the segment seed IS the re-anchor estimate) and
+/// contributes the points up to the next re-anchor. The engine's own
+/// open-loop path supplies each segment, so the reconstruction is valid
+/// for any precision the engine supports, and a re-anchored lane must
+/// match it bitwise.
+inline std::vector<double> glued_open_loop_soc(
+    serve::RolloutEngine& engine, const data::Trace& trace, double horizon_s,
+    std::size_t samples_per_step, const data::WorkloadSchedule& schedule,
+    const data::ReanchorPlan& plan) {
+  std::vector<double> glued;
+  std::size_t from_step = 0;
+  for (std::size_t j = 0; j <= plan.steps.size(); ++j) {
+    const data::WorkloadSchedule segment = data::build_workload_schedule(
+        trace.slice(from_step * samples_per_step, trace.size()), horizon_s);
+    const core::Rollout open = engine.run_single(segment);
+    const std::size_t until_step =
+        j < plan.steps.size() ? plan.steps[j] : schedule.num_steps() + 1;
+    for (std::size_t s = 0;
+         from_step + s < until_step && s < open.soc.size(); ++s) {
+      glued.push_back(open.soc[s]);
+    }
+    from_step = until_step;
+  }
+  return glued;
+}
+
+}  // namespace socpinn::testing
