@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   serve::FleetEngine engine(net, cells, {});
   std::printf("fleet of %zu cells on %zu threads (%u hardware)\n", cells,
               engine.num_threads(), std::thread::hardware_concurrency());
+  std::printf("panel kernels: %s (override with SOCPINN_FORCE_ISA)\n",
+              engine.simd_isa());
 
   // 1. Connect: every cell reports one sensor reading.
   util::Rng rng(42);

@@ -3,7 +3,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "nn/panel_kernels.hpp"
+#include "nn/panel_dispatch.hpp"
 
 namespace socpinn::nn {
 
@@ -22,7 +22,9 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
+    // Copied, not moved: the default-allocated vector cannot donate its
+    // buffer to the 64-byte-aligned storage. Construction-time only.
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
   if (data_.size() != rows * cols) {
     throw std::invalid_argument("Matrix: data size != rows*cols");
   }
@@ -228,14 +230,14 @@ void dense_forward_columns(const Matrix& activations, const Matrix& weights,
         "dense_forward_columns: out must not alias an input");
   }
   out.resize(weights.cols(), activations.cols());
-  // The scalar-templated kernel at T = double is the exact kernel that
-  // lived here (same tiles, same accumulation order): f64 bitwise
-  // unchanged, while the float instantiation backs the serve-side
-  // reduced-precision backend.
-  detail::dense_columns_kernel<double>(
-      activations.data().data(), weights.data().data(),
-      bias_row.data().data(), out.data().data(), weights.rows(),
-      weights.cols(), activations.cols());
+  // Runtime-ISA dispatch (nn/panel_dispatch.hpp): the resolved kernel —
+  // explicit AVX-512/AVX2/NEON or the scalar template — is bitwise
+  // identical to the scalar reference at f64, so dispatch changes
+  // throughput, never results.
+  simd::dense_columns<double>(activations.data().data(),
+                              weights.data().data(), bias_row.data().data(),
+                              out.data().data(), weights.rows(),
+                              weights.cols(), activations.cols());
 }
 
 Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {

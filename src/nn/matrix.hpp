@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "nn/aligned.hpp"
+
 namespace socpinn::nn {
 
 class Matrix {
@@ -89,7 +91,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  /// 64-byte-aligned (see aligned.hpp): every panel base pointer sits on a
+  /// cache-line / AVX-512-register boundary for the SIMD kernels.
+  AlignedVector<double> data_;
 };
 
 /// C = A * B. Throws on inner-dimension mismatch.

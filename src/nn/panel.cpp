@@ -5,7 +5,7 @@
 
 #include "nn/dense.hpp"
 #include "nn/mlp.hpp"
-#include "nn/panel_kernels.hpp"
+#include "nn/panel_dispatch.hpp"
 
 namespace socpinn::nn {
 
@@ -67,10 +67,12 @@ void dense_forward_columns(const MatrixT<T>& activations,
         "dense_forward_columns<T>: out must not alias an input");
   }
   out.resize(weights.cols(), activations.cols());
-  detail::dense_columns_kernel<T>(
-      activations.data().data(), weights.data().data(),
-      bias_row.data().data(), out.data().data(), weights.rows(),
-      weights.cols(), activations.cols());
+  // Same runtime-ISA dispatch as the nn::Matrix overload; the templated
+  // serve path and the f64 reference path always agree on the kernel.
+  simd::dense_columns<T>(activations.data().data(), weights.data().data(),
+                         bias_row.data().data(), out.data().data(),
+                         weights.rows(), weights.cols(),
+                         activations.cols());
 }
 
 template <typename T>

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nn/activation.hpp"
+#include "nn/aligned.hpp"
 #include "nn/matrix.hpp"
 #include "nn/scaler.hpp"
 
@@ -67,7 +68,8 @@ class MatrixT {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<T> data_;
+  /// 64-byte-aligned like nn::Matrix (see aligned.hpp).
+  AlignedVector<T> data_;
 };
 
 /// Feature-major dense forward over MatrixT panels: `activations` is

@@ -1,0 +1,187 @@
+#include "nn/panel_dispatch.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace socpinn::nn::detail {
+
+// Per-ISA kernel entry points. The scalar pair always exists
+// (panel_kernels_scalar.cpp); the others are compiled into the binary iff
+// the matching SOCPINN_ENABLE_* definition was set by CMake for this
+// architecture, and must only be CALLED after a runtime CPU check.
+void dense_columns_scalar_f32(const float*, const float*, const float*,
+                              float*, std::size_t, std::size_t, std::size_t);
+void dense_columns_scalar_f64(const double*, const double*, const double*,
+                              double*, std::size_t, std::size_t, std::size_t);
+#if defined(SOCPINN_ENABLE_AVX2)
+void dense_columns_avx2_f32(const float*, const float*, const float*, float*,
+                            std::size_t, std::size_t, std::size_t);
+void dense_columns_avx2_f64(const double*, const double*, const double*,
+                            double*, std::size_t, std::size_t, std::size_t);
+#endif
+#if defined(SOCPINN_ENABLE_AVX512)
+void dense_columns_avx512_f32(const float*, const float*, const float*,
+                              float*, std::size_t, std::size_t, std::size_t);
+void dense_columns_avx512_f64(const double*, const double*, const double*,
+                              double*, std::size_t, std::size_t, std::size_t);
+#endif
+#if defined(SOCPINN_ENABLE_NEON)
+void dense_columns_neon_f32(const float*, const float*, const float*, float*,
+                            std::size_t, std::size_t, std::size_t);
+void dense_columns_neon_f64(const double*, const double*, const double*,
+                            double*, std::size_t, std::size_t, std::size_t);
+#endif
+
+}  // namespace socpinn::nn::detail
+
+namespace socpinn::nn::simd {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+    case Isa::kNeon: return "neon";
+  }
+  throw std::invalid_argument("isa_name: unknown Isa value");
+}
+
+Isa parse_isa(const char* name) {
+  const std::string s(name == nullptr ? "" : name);
+  if (s == "scalar") return Isa::kScalar;
+  if (s == "avx2") return Isa::kAvx2;
+  if (s == "avx512") return Isa::kAvx512;
+  if (s == "neon") return Isa::kNeon;
+  throw std::invalid_argument(
+      "SOCPINN_FORCE_ISA: unknown ISA '" + s +
+      "' (expected scalar, avx2, avx512, or neon)");
+}
+
+bool isa_compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(SOCPINN_ENABLE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(SOCPINN_ENABLE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(SOCPINN_ENABLE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool isa_supported(Isa isa) {
+  if (!isa_compiled(isa)) return false;
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      // __builtin_cpu_supports folds in the OS XSAVE state for AVX.
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+      // NEON kernels are only compiled on aarch64, where AdvSIMD is part
+      // of the base architecture — compiled implies executable.
+      return true;
+  }
+  return false;
+}
+
+Isa resolve_isa(const char* force) {
+  if (force != nullptr && force[0] != '\0') {
+    const Isa isa = parse_isa(force);
+    if (!isa_supported(isa)) {
+      throw std::invalid_argument(
+          std::string("SOCPINN_FORCE_ISA=") + force + ": " +
+          (isa_compiled(isa)
+               ? "the host CPU cannot execute this ISA"
+               : "this binary was built without these kernels"));
+    }
+    return isa;
+  }
+  if (isa_supported(Isa::kAvx512)) return Isa::kAvx512;
+  if (isa_supported(Isa::kAvx2)) return Isa::kAvx2;
+  if (isa_supported(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+Isa active_isa() {
+  static const Isa isa = resolve_isa(std::getenv("SOCPINN_FORCE_ISA"));
+  return isa;
+}
+
+const PanelKernels& panel_kernels(Isa isa) {
+  static constexpr PanelKernels kScalarKernels = {
+      &detail::dense_columns_scalar_f32, &detail::dense_columns_scalar_f64};
+#if defined(SOCPINN_ENABLE_AVX2)
+  static constexpr PanelKernels kAvx2Kernels = {
+      &detail::dense_columns_avx2_f32, &detail::dense_columns_avx2_f64};
+#endif
+#if defined(SOCPINN_ENABLE_AVX512)
+  static constexpr PanelKernels kAvx512Kernels = {
+      &detail::dense_columns_avx512_f32, &detail::dense_columns_avx512_f64};
+#endif
+#if defined(SOCPINN_ENABLE_NEON)
+  static constexpr PanelKernels kNeonKernels = {
+      &detail::dense_columns_neon_f32, &detail::dense_columns_neon_f64};
+#endif
+  if (!isa_supported(isa)) {
+    throw std::invalid_argument(std::string("panel_kernels: ISA '") +
+                                isa_name(isa) +
+                                "' is not supported on this binary/host");
+  }
+  switch (isa) {
+    case Isa::kScalar:
+      return kScalarKernels;
+    case Isa::kAvx2:
+#if defined(SOCPINN_ENABLE_AVX2)
+      return kAvx2Kernels;
+#else
+      break;
+#endif
+    case Isa::kAvx512:
+#if defined(SOCPINN_ENABLE_AVX512)
+      return kAvx512Kernels;
+#else
+      break;
+#endif
+    case Isa::kNeon:
+#if defined(SOCPINN_ENABLE_NEON)
+      return kNeonKernels;
+#else
+      break;
+#endif
+  }
+  // Unreachable: isa_supported(isa) implies the matching table exists.
+  throw std::logic_error("panel_kernels: supported ISA without a table");
+}
+
+const PanelKernels& active_panel_kernels() {
+  static const PanelKernels& kernels = panel_kernels(active_isa());
+  return kernels;
+}
+
+}  // namespace socpinn::nn::simd

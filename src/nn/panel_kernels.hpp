@@ -1,13 +1,16 @@
 #pragma once
 /// \file panel_kernels.hpp
-/// Scalar-templated feature-major dense kernel shared by the f64 serving
-/// path (nn::dense_forward_columns over nn::Matrix) and the reduced-
-/// precision serve backend (nn::MatrixT<float>). The template is the single
-/// source of truth for the panel arithmetic: instantiated at double it is
-/// the exact kernel that lived in matrix.cpp (same tile shapes, same
-/// bias-then-ascending-k accumulation order, so the f64 results are bitwise
-/// unchanged), instantiated at float the same tiles pack twice the SIMD
-/// lanes per register.
+/// Scalar-templated feature-major dense kernel — the portable fallback and
+/// the parity REFERENCE of the runtime-ISA dispatch (nn/panel_dispatch.hpp)
+/// behind the f64 serving path (nn::dense_forward_columns over nn::Matrix)
+/// and the reduced-precision serve backend (nn::MatrixT<float>). The
+/// template defines the panel arithmetic: per element, bias first then
+/// ascending-k unfused multiply-adds (the library compiles with
+/// -ffp-contract=off), and every explicit SIMD instantiation
+/// (panel_kernels_simd.hpp) reproduces exactly that sequence lane-by-lane
+/// — bitwise at f64 on every host. Instantiated at double it is the exact
+/// kernel that lived in matrix.cpp (same tile shapes, same accumulation
+/// order); at float the same tiles pack twice the SIMD lanes per register.
 
 #include <cstddef>
 

@@ -1,0 +1,31 @@
+/// \file panel_kernels_avx2.cpp
+/// AVX2 instantiation of the vectorized panel kernel. This TU (and only
+/// this TU) is compiled with -mavx2 on x86 — the rest of the library stays
+/// at the build's baseline ISA — so the functions here must only be
+/// reached through the runtime dispatcher after a cpuid check
+/// (nn/panel_dispatch.cpp). Guarded by SOCPINN_ENABLE_AVX2 so the file is
+/// an empty TU on other architectures.
+
+#if defined(SOCPINN_ENABLE_AVX2)
+
+#include "nn/panel_kernels_simd.hpp"
+
+namespace socpinn::nn::detail {
+
+void dense_columns_avx2_f32(const float* a, const float* w, const float* bias,
+                            float* out, std::size_t in_f, std::size_t out_f,
+                            std::size_t batch) {
+  dense_columns_kernel_vec<simd::Vec<float, 8>>(a, w, bias, out, in_f, out_f,
+                                                batch);
+}
+
+void dense_columns_avx2_f64(const double* a, const double* w,
+                            const double* bias, double* out, std::size_t in_f,
+                            std::size_t out_f, std::size_t batch) {
+  dense_columns_kernel_vec<simd::Vec<double, 4>>(a, w, bias, out, in_f,
+                                                 out_f, batch);
+}
+
+}  // namespace socpinn::nn::detail
+
+#endif  // SOCPINN_ENABLE_AVX2

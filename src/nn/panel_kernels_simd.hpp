@@ -1,0 +1,107 @@
+#pragma once
+/// \file panel_kernels_simd.hpp
+/// The explicitly vectorized feature-major dense kernel, written once over
+/// the simd::Vec lane abstraction and instantiated per ISA by the
+/// panel_kernels_<isa>.cpp translation units (each compiled with that
+/// ISA's flags). Vectorization is VERTICAL across batch columns — batch is
+/// the unit-stride axis of the feature-major layout and every column is an
+/// independent accumulator chain — so each output element still computes
+/// bias first, then ascending-k unfused multiply-adds, in exactly the
+/// scalar template's order. Column tiling therefore never changes a single
+/// element's rounding sequence: the f64 instantiations are bitwise
+/// identical to detail::dense_columns_kernel<double> at EVERY batch size
+/// (main tile, single-vector pass, scalar remainder alike), and the f32
+/// ones to its float instantiation. tests/nn/test_simd_dispatch.cpp sweeps
+/// batches 1..130 to pin this.
+
+#include <cstddef>
+
+#include "nn/simd.hpp"
+
+namespace socpinn::nn::detail {
+
+/// Register tile: kOut output features x kVecs vectors of V::kWidth batch
+/// columns, accumulated entirely in registers with one shared activation
+/// load per (k, vector) and one weight broadcast per (k, row) — the
+/// explicit image of the scalar template's dense_columns_tile.
+template <typename V, int kOut, int kVecs>
+inline void dense_columns_tile_vec(
+    const typename V::Scalar* __restrict a,
+    const typename V::Scalar* __restrict w,
+    const typename V::Scalar* __restrict bias,
+    typename V::Scalar* __restrict out, std::size_t in_f, std::size_t out_f,
+    std::size_t batch, std::size_t of, std::size_t jt) {
+  constexpr int kW = V::kWidth;
+  V acc[kOut][kVecs];
+  for (int r = 0; r < kOut; ++r) {
+    const V b0 = V::broadcast(bias[of + r]);
+    for (int c = 0; c < kVecs; ++c) acc[r][c] = b0;
+  }
+  for (std::size_t k = 0; k < in_f; ++k) {
+    const typename V::Scalar* __restrict a_row = a + k * batch + jt;
+    V av[kVecs];
+    for (int c = 0; c < kVecs; ++c) av[c] = V::load(a_row + c * kW);
+    for (int r = 0; r < kOut; ++r) {
+      const V wk = V::broadcast(w[k * out_f + of + r]);
+      for (int c = 0; c < kVecs; ++c) acc[r][c] = mul_add(wk, av[c], acc[r][c]);
+    }
+  }
+  for (int r = 0; r < kOut; ++r) {
+    typename V::Scalar* __restrict o = out + (of + r) * batch + jt;
+    for (int c = 0; c < kVecs; ++c) acc[r][c].store(o + c * kW);
+  }
+}
+
+/// out = W^T * activations + bias over raw feature-major panels — same
+/// signature and semantics as the scalar dense_columns_kernel, vectorized
+/// at V. Batch decomposition: full kVecs*W tiles, then single-vector
+/// columns, then a scalar remainder identical to the scalar template's.
+template <typename V>
+void dense_columns_kernel_vec(const typename V::Scalar* __restrict a,
+                              const typename V::Scalar* __restrict w,
+                              const typename V::Scalar* __restrict bias,
+                              typename V::Scalar* __restrict out,
+                              std::size_t in_f, std::size_t out_f,
+                              std::size_t batch) {
+  using T = typename V::Scalar;
+  constexpr int kW = V::kWidth;
+  constexpr int kOut = 4;
+  constexpr int kVecs = V::kTileVecs;
+  std::size_t jt = 0;
+  for (; jt + kVecs * kW <= batch; jt += kVecs * kW) {
+    std::size_t of = 0;
+    for (; of + kOut <= out_f; of += kOut) {
+      dense_columns_tile_vec<V, kOut, kVecs>(a, w, bias, out, in_f, out_f,
+                                             batch, of, jt);
+    }
+    for (; of < out_f; ++of) {
+      dense_columns_tile_vec<V, 1, kVecs>(a, w, bias, out, in_f, out_f,
+                                          batch, of, jt);
+    }
+  }
+  // Single-vector pass keeps batches between one vector and a full tile
+  // vectorized (the analogue of the scalar template's half-width pass).
+  for (; jt + kW <= batch; jt += kW) {
+    std::size_t of = 0;
+    for (; of + kOut <= out_f; of += kOut) {
+      dense_columns_tile_vec<V, kOut, 1>(a, w, bias, out, in_f, out_f, batch,
+                                         of, jt);
+    }
+    for (; of < out_f; ++of) {
+      dense_columns_tile_vec<V, 1, 1>(a, w, bias, out, in_f, out_f, batch,
+                                      of, jt);
+    }
+  }
+  // Remainder columns, one at a time — the scalar template's exact tail.
+  for (; jt < batch; ++jt) {
+    for (std::size_t of = 0; of < out_f; ++of) {
+      T acc = bias[of];
+      for (std::size_t k = 0; k < in_f; ++k) {
+        acc += w[k * out_f + of] * a[k * batch + jt];
+      }
+      out[of * batch + jt] = acc;
+    }
+  }
+}
+
+}  // namespace socpinn::nn::detail

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/panel_dispatch.hpp"
 #include "util/math.hpp"
 
 namespace socpinn::serve {
@@ -37,7 +38,15 @@ FleetConfig FleetEngine::validated(const core::TwoBranchNet& net,
   if (config.precision == core::Precision::kFloat32) {
     core::require_trained_for_f32(net, "FleetEngine: FleetConfig::precision");
   }
+  // Force the panel-kernel ISA resolution now: a bad SOCPINN_FORCE_ISA
+  // value throws std::invalid_argument here, on the caller's thread,
+  // instead of from the first tick's forward inside a pool worker.
+  (void)nn::simd::active_isa();
   return config;
+}
+
+const char* FleetEngine::simd_isa() const {
+  return nn::simd::isa_name(nn::simd::active_isa());
 }
 
 FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,

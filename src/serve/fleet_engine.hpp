@@ -194,6 +194,14 @@ class FleetEngine {
   [[nodiscard]] std::size_t num_threads() const { return pool_.size(); }
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
 
+  /// The panel-kernel ISA every forward of this process dispatches to
+  /// ("scalar", "avx2", "avx512", or "neon" — nn/panel_dispatch.hpp:
+  /// detection order AVX-512 > AVX2 > NEON > scalar, overridable via
+  /// SOCPINN_FORCE_ISA). Dispatch never changes results — every ISA's f64
+  /// kernel is bitwise identical to the scalar reference — so this is a
+  /// reporting surface for dashboards and bench logs, not a knob.
+  [[nodiscard]] const char* simd_isa() const;
+
  private:
   /// Per-shard scratch: workspace plus the staged raw input rows. The f32
   /// members are touched only under Precision::kFloat32.

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "battery/coulomb.hpp"
+#include "nn/panel_dispatch.hpp"
 #include "serve/mailbox.hpp"
 #include "util/math.hpp"
 
@@ -60,7 +61,15 @@ RolloutConfig RolloutEngine::validated(const core::TwoBranchNet& net,
     core::require_trained_for_f32(net,
                                   "RolloutEngine: RolloutConfig::precision");
   }
+  // Force the panel-kernel ISA resolution now: a bad SOCPINN_FORCE_ISA
+  // value throws std::invalid_argument here, on the caller's thread,
+  // instead of from the first run's forward inside a pool worker.
+  (void)nn::simd::active_isa();
   return config;
+}
+
+const char* RolloutEngine::simd_isa() const {
+  return nn::simd::isa_name(nn::simd::active_isa());
 }
 
 RolloutEngine::RolloutEngine(const core::TwoBranchNet& net,

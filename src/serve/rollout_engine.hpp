@@ -137,6 +137,10 @@ class RolloutEngine {
   void run_into(std::span<const RolloutLane> lanes,
                 std::span<core::Rollout> out);
 
+  /// The panel-kernel ISA every forward of this process dispatches to —
+  /// same reporting surface as FleetEngine::simd_isa().
+  [[nodiscard]] const char* simd_isa() const;
+
   /// Batch-of-1 convenience backing the legacy core:: wrappers. Pass a
   /// plan for a closed-loop single-trace rollout (core::rollout_closed_loop
   /// routes through this).

@@ -1,0 +1,284 @@
+/// Pins the runtime-ISA panel dispatch (nn/panel_dispatch.hpp): the
+/// resolution policy (detection order, SOCPINN_FORCE_ISA spelling, loud
+/// failure on unknown/unsupported overrides), the parity contract — every
+/// explicit SIMD kernel bitwise identical to the scalar reference at f64
+/// and within 1 ulp at f32, across an exhaustive batch sweep covering every
+/// tile/remainder decomposition — and the 64-byte alignment contract of the
+/// panel carriers (nn/aligned.hpp).
+///
+/// These tests exercise every kernel the BINARY carries that the HOST can
+/// execute, independent of which one SOCPINN_FORCE_ISA pins for the serve
+/// path — so a forced-scalar CI job still sweeps the AVX2 kernels.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/aligned.hpp"
+#include "nn/matrix.hpp"
+#include "nn/panel.hpp"
+#include "nn/panel_dispatch.hpp"
+#include "util/rng.hpp"
+
+namespace socpinn::nn {
+namespace {
+
+using simd::Isa;
+
+std::vector<Isa> all_isas() {
+  std::vector<Isa> isas;
+  for (int i = 0; i < simd::kNumIsas; ++i) isas.push_back(static_cast<Isa>(i));
+  return isas;
+}
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> isas;
+  for (Isa isa : all_isas()) {
+    if (simd::isa_supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+TEST(SimdDispatch, IsaNameParseRoundTrip) {
+  for (Isa isa : all_isas()) {
+    const char* name = simd::isa_name(isa);
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(simd::parse_isa(name), isa) << name;
+  }
+  EXPECT_THROW((void)simd::parse_isa("sse2"), std::invalid_argument);
+  EXPECT_THROW((void)simd::parse_isa("AVX2"), std::invalid_argument)
+      << "names are the exact SOCPINN_FORCE_ISA spelling, lowercase";
+}
+
+TEST(SimdDispatch, ScalarIsAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(simd::isa_compiled(Isa::kScalar));
+  EXPECT_TRUE(simd::isa_supported(Isa::kScalar));
+}
+
+TEST(SimdDispatch, SupportedImpliesCompiled) {
+  for (Isa isa : all_isas()) {
+    if (simd::isa_supported(isa)) EXPECT_TRUE(simd::isa_compiled(isa));
+  }
+}
+
+TEST(SimdDispatch, ActiveIsaIsSupported) {
+  // Holds whatever SOCPINN_FORCE_ISA the ctest invocation pinned: a forced
+  // ISA that resolved at all is by contract a supported one.
+  EXPECT_TRUE(simd::isa_supported(simd::active_isa()));
+}
+
+TEST(SimdDispatch, ResolveIsaAutoPicksTheDetectionOrderWinner) {
+  // nullptr and "" both mean auto-detect; the winner is the first supported
+  // entry of the documented order AVX-512 > AVX2 > NEON > scalar.
+  Isa best = Isa::kScalar;
+  for (Isa candidate : {Isa::kAvx512, Isa::kAvx2, Isa::kNeon}) {
+    if (simd::isa_supported(candidate)) {
+      best = candidate;
+      break;
+    }
+  }
+  EXPECT_EQ(simd::resolve_isa(nullptr), best);
+  EXPECT_EQ(simd::resolve_isa(""), best);
+}
+
+TEST(SimdDispatch, ResolveIsaHonorsForceAndThrowsLoudly) {
+  EXPECT_EQ(simd::resolve_isa("scalar"), Isa::kScalar);
+  for (Isa isa : all_isas()) {
+    const char* name = simd::isa_name(isa);
+    if (simd::isa_supported(isa)) {
+      EXPECT_EQ(simd::resolve_isa(name), isa) << name;
+    } else {
+      // e.g. "neon" on x86, or "avx512" on an older CPU: forcing an ISA
+      // this binary/host cannot run must throw, never silently fall back —
+      // a forced-ISA CI job passing on the wrong kernel checks nothing.
+      EXPECT_THROW((void)simd::resolve_isa(name), std::invalid_argument)
+          << name;
+    }
+  }
+  EXPECT_THROW((void)simd::resolve_isa("fastest"), std::invalid_argument);
+}
+
+TEST(SimdDispatch, PanelKernelsTableMatchesSupport) {
+  for (Isa isa : all_isas()) {
+    if (simd::isa_supported(isa)) {
+      const simd::PanelKernels& k = simd::panel_kernels(isa);
+      EXPECT_NE(k.f32, nullptr) << simd::isa_name(isa);
+      EXPECT_NE(k.f64, nullptr) << simd::isa_name(isa);
+    } else {
+      EXPECT_THROW((void)simd::panel_kernels(isa), std::invalid_argument)
+          << simd::isa_name(isa);
+    }
+  }
+  EXPECT_EQ(simd::active_panel_kernels().f64,
+            simd::panel_kernels(simd::active_isa()).f64);
+}
+
+/// ulp distance between two floats of the same sign regime; 0 for bitwise
+/// equality. Large sentinel when signs differ (never expected here).
+std::uint32_t ulp_diff(float a, float b) {
+  std::int32_t ia = 0, ib = 0;
+  std::memcpy(&ia, &a, sizeof(a));
+  std::memcpy(&ib, &b, sizeof(b));
+  if ((ia < 0) != (ib < 0)) {
+    return a == b ? 0u : 0x7fffffffu;  // +0 vs -0 counts as equal
+  }
+  const std::int64_t d = static_cast<std::int64_t>(ia) - ib;
+  return static_cast<std::uint32_t>(d < 0 ? -d : d);
+}
+
+/// The parity sweep: every supported ISA against the scalar reference over
+/// batches 1..130 — crossing every tile boundary of every kernel (scalar
+/// f64 tiles at 32 columns, f32 at 64/32; AVX-512 tiles at 32/64; AVX2 at
+/// 8/16 per vector with 2-vector tiles; NEON at 2/4 with 4-vector tiles)
+/// plus the single-vector pass and the scalar remainder, and out_f values
+/// hitting the 4-row tile, its remainder rows, and out_f == 1.
+TEST(SimdDispatch, ExhaustiveSweepMatchesScalarReference) {
+  constexpr std::size_t kMaxBatch = 130;
+  constexpr std::size_t kMaxInF = 16;
+  constexpr std::size_t kMaxOutF = 32;
+  const std::size_t in_fs[] = {3, 16};
+  const std::size_t out_fs[] = {1, 7, 16, 32};
+
+  const std::vector<Isa> isas = supported_isas();
+  ASSERT_GE(isas.size(), 1u);
+  const simd::PanelKernels& scalar = simd::panel_kernels(Isa::kScalar);
+
+  util::Rng rng(99);
+  AlignedVector<double> a64(kMaxInF * kMaxBatch), w64(kMaxInF * kMaxOutF),
+      b64(kMaxOutF), ref64(kMaxOutF * kMaxBatch), out64(kMaxOutF * kMaxBatch);
+  AlignedVector<float> a32(a64.size()), w32(w64.size()), b32(b64.size()),
+      ref32(ref64.size()), out32(out64.size());
+
+  for (const std::size_t in_f : in_fs) {
+    for (const std::size_t out_f : out_fs) {
+      for (std::size_t i = 0; i < in_f * out_f; ++i) {
+        w64[i] = rng.uniform(-1.0, 1.0);
+        w32[i] = static_cast<float>(w64[i]);
+      }
+      for (std::size_t i = 0; i < out_f; ++i) {
+        b64[i] = rng.uniform(-1.0, 1.0);
+        b32[i] = static_cast<float>(b64[i]);
+      }
+      for (std::size_t batch = 1; batch <= kMaxBatch; ++batch) {
+        for (std::size_t i = 0; i < in_f * batch; ++i) {
+          a64[i] = rng.uniform(-1.0, 1.0);
+          a32[i] = static_cast<float>(a64[i]);
+        }
+        scalar.f64(a64.data(), w64.data(), b64.data(), ref64.data(), in_f,
+                   out_f, batch);
+        scalar.f32(a32.data(), w32.data(), b32.data(), ref32.data(), in_f,
+                   out_f, batch);
+        for (Isa isa : isas) {
+          const simd::PanelKernels& k = simd::panel_kernels(isa);
+          // Poison the outputs: an element the kernel forgot to write
+          // (e.g. a broken remainder loop) must mismatch, not luckily
+          // retain a stale correct value.
+          for (std::size_t i = 0; i < out_f * batch; ++i) {
+            out64[i] = -777.0;
+            out32[i] = -777.0f;
+          }
+          k.f64(a64.data(), w64.data(), b64.data(), out64.data(), in_f,
+                out_f, batch);
+          ASSERT_EQ(std::memcmp(out64.data(), ref64.data(),
+                                out_f * batch * sizeof(double)),
+                    0)
+              << "f64 not bitwise-identical to scalar: isa="
+              << simd::isa_name(isa) << " in_f=" << in_f << " out_f=" << out_f
+              << " batch=" << batch;
+          k.f32(a32.data(), w32.data(), b32.data(), out32.data(), in_f,
+                out_f, batch);
+          for (std::size_t i = 0; i < out_f * batch; ++i) {
+            ASSERT_LE(ulp_diff(out32[i], ref32[i]), 1u)
+                << "f32 beyond 1 ulp of scalar: isa=" << simd::isa_name(isa)
+                << " in_f=" << in_f << " out_f=" << out_f
+                << " batch=" << batch << " elem=" << i << " got=" << out32[i]
+                << " want=" << ref32[i];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// dense_forward_columns (both Matrix and MatrixT carriers) routes through
+/// the dispatcher; whatever ISA is active, the result must equal the scalar
+/// kernel bitwise at f64 — the carrier-level restatement of the sweep.
+TEST(SimdDispatch, DenseForwardColumnsMatchesScalarKernel) {
+  util::Rng rng(7);
+  const std::size_t in_f = 4, out_f = 16, batch = 97;
+  Matrix act(in_f, batch), w(in_f, out_f), bias(1, out_f), out;
+  for (auto& v : act.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : w.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : bias.data()) v = rng.uniform(-1.0, 1.0);
+
+  dense_forward_columns(act, w, bias, out);
+
+  std::vector<double> ref(out_f * batch);
+  simd::panel_kernels(Isa::kScalar)
+      .f64(act.data().data(), w.data().data(), bias.data().data(), ref.data(),
+           in_f, out_f, batch);
+  ASSERT_EQ(out.rows(), out_f);
+  ASSERT_EQ(out.cols(), batch);
+  EXPECT_EQ(std::memcmp(out.data().data(), ref.data(),
+                        ref.size() * sizeof(double)),
+            0);
+}
+
+TEST(PanelAlignment, MatrixStorageIs64ByteAligned) {
+  static_assert(kPanelAlignment == 64);
+  for (const std::size_t cols : {1u, 3u, 17u, 64u, 130u, 1000u}) {
+    Matrix m(4, cols);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data().data()) %
+                  kPanelAlignment,
+              0u)
+        << cols;
+    MatrixT<float> mf(4, cols);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mf.data().data()) %
+                  kPanelAlignment,
+              0u)
+        << cols;
+    MatrixT<double> md(4, cols);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(md.data().data()) %
+                  kPanelAlignment,
+              0u)
+        << cols;
+  }
+}
+
+TEST(PanelAlignment, ResizeAndWorkspaceBuffersStayAligned) {
+  // Growth forces reallocation; the new block must come from the aligned
+  // allocator again — this is what lets kernels assume the panel BASE is
+  // 64-byte aligned forever (row starts still depend on batch).
+  MatrixT<float> m;
+  for (const std::size_t cols : {5u, 33u, 129u, 1024u}) {
+    m.resize(16, cols);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data().data()) %
+                  kPanelAlignment,
+              0u)
+        << cols;
+  }
+  ForwardWorkspaceT<double> ws;
+  ws.buffer(2).resize(16, 130);
+  for (std::size_t i = 0; i < ws.num_buffers(); ++i) {
+    ws.buffer(i).resize(8, 64);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.buffer(i).data().data()) %
+                  kPanelAlignment,
+              0u)
+        << i;
+  }
+  AlignedVector<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(1.0);
+    if ((i & (i - 1)) == 0) {  // around growth points
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kPanelAlignment,
+                0u)
+          << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace socpinn::nn

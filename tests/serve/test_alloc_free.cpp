@@ -34,6 +34,30 @@ void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
+// Over-aligned overloads: nn::AlignedAllocator routes every panel and
+// workspace buffer through operator new(size, align_val_t); those must hit
+// the same counter or the alloc-free contract would silently exclude the
+// very buffers the inference path touches.
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size == 0 ? 1 : size) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace socpinn::serve {
 namespace {
 

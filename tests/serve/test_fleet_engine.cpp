@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 #include <vector>
 
+#include "nn/panel_dispatch.hpp"
+#include "serve/rollout_engine.hpp"
 #include "support/fitted_net.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -45,6 +48,20 @@ TEST(FleetEngine, ResultsInvariantToThreadCount) {
       EXPECT_EQ(multi[i], single[i]) << "cell " << i << " threads " << threads;
     }
   }
+}
+
+TEST(FleetEngine, SimdIsaReportsTheProcessWideDispatch) {
+  // The engines' config surface mirrors the dispatcher: whichever ISA this
+  // process resolved (auto-detected or SOCPINN_FORCE_ISA-pinned, so this
+  // holds in the forced-ISA CI jobs too), both engines report it.
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const char* expected = nn::simd::isa_name(nn::simd::active_isa());
+
+  FleetEngine fleet(net, 8, {});
+  EXPECT_STREQ(fleet.simd_isa(), expected);
+
+  RolloutEngine rollout(net, {});
+  EXPECT_STREQ(rollout.simd_isa(), expected);
 }
 
 TEST(FleetEngine, MatchesScalarCascadePerCell) {
