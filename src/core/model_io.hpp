@@ -3,19 +3,35 @@
 /// Persistence of a trained TwoBranchNet: both branch MLPs plus both input
 /// scalers in one text artifact, so a trained model can be deployed to (or
 /// reloaded by) a BMS-side inference process.
+///
+/// The stream overloads are the transport-agnostic core: a file is one
+/// destination, the multi-process serving split another — the sharded
+/// fleet parent serializes a model ONCE into a versioned shared-memory
+/// region and every worker process deserializes it at its next tick
+/// boundary (serve/shm_transport.hpp). Doubles are written with 17
+/// significant digits, which round-trips every finite IEEE-754 double
+/// bitwise — the property the cross-process bitwise-parity contract rests
+/// on (pinned by tests/core/test_model_io.cpp).
 
+#include <iosfwd>
 #include <string>
 
 #include "core/two_branch_net.hpp"
 
 namespace socpinn::core {
 
-/// Saves the full model. Both scalers must be fitted (i.e. the model must
-/// be trained); throws std::runtime_error otherwise or on I/O failure.
-void save_model(const std::string& path, TwoBranchNet& net);
+/// Writes the full model (both scalers, then both branch MLPs) to the
+/// stream. Both scalers must be fitted (i.e. the model must be trained);
+/// throws std::runtime_error otherwise or on stream failure.
+void save_model(std::ostream& out, const TwoBranchNet& net);
 
-/// Loads a model written by save_model. The returned network uses the
-/// default TwoBranchConfig metadata but the exact persisted weights.
+/// Reads a model written by save_model. The returned network uses the
+/// default TwoBranchConfig metadata but the exact persisted weights —
+/// bitwise, including through the text round-trip.
+[[nodiscard]] TwoBranchNet load_model(std::istream& in);
+
+/// File-path conveniences over the stream overloads.
+void save_model(const std::string& path, const TwoBranchNet& net);
 [[nodiscard]] TwoBranchNet load_model(const std::string& path);
 
 /// Emits a C header with the model weights as float32 arrays plus a

@@ -49,6 +49,16 @@ const char* FleetEngine::simd_isa() const {
   return nn::simd::isa_name(nn::simd::active_isa());
 }
 
+Mailbox FleetEngine::make_mailbox(const FleetConfig& config,
+                                  std::size_t num_cells) {
+  // External slots (the shm transport's mapped segment) are attached
+  // as-is — never reset, so messages published before the engine existed
+  // are drained by the first tick instead of being lost.
+  return config.external_mailbox_slots != nullptr
+             ? Mailbox(config.external_mailbox_slots, num_cells)
+             : Mailbox(num_cells);
+}
+
 FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
                          FleetConfig config)
     : config_(validated(net, num_cells, config)),
@@ -60,7 +70,7 @@ FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
       pool_(config.threads),
       scratch_(pool_.size()),
       soc_(num_cells, 0.0),
-      mailbox_(num_cells),
+      mailbox_(make_mailbox(config, num_cells)),
       override_(num_cells),
       override_active_(num_cells, 0) {}
 

@@ -36,10 +36,9 @@
 ///     the overridden workload rows — at any thread count. A publish that
 ///     races a tick's drain is never torn: it is either applied by that
 ///     tick or, at the latest, by the next one. Messages with a
-///     non-finite field are skipped and counted (dropped_sensor_reports /
-///     dropped_workload_overrides — serve::is_finite in mailbox.hpp is
-///     the policy, shared with the synchronous reseed and the
-///     RolloutEngine re-anchor plans).
+///     non-finite field are skipped and counted (ingest_stats() —
+///     serve::is_finite in mailbox.hpp is the policy, shared with the
+///     synchronous reseed and the RolloutEngine re-anchor plans).
 ///   * The model is held as an atomically swappable shared_ptr to an
 ///     immutable core::TwoBranchSnapshot (RCU-style). swap_model()
 ///     converts/copies once off the hot path and publishes between ticks:
@@ -80,6 +79,16 @@ struct FleetConfig {
   /// (fitted scalers); constructing with an untrained net throws
   /// std::invalid_argument naming this knob.
   core::Precision precision = core::Precision::kFloat64;
+  /// External mailbox slot storage, or nullptr (default) to let the
+  /// engine allocate its own. The multi-process transport points this at
+  /// `num_cells` MailboxSlots inside a mapped POSIX shm segment so
+  /// telemetry producers in OTHER processes publish straight into the
+  /// slots this engine's shard loop drains — same seqlock, same
+  /// skip-and-count policy, zero copies at the boundary. The storage must
+  /// be zero-initialized at creation (the engine does not reset it, so
+  /// publishes that land before construction are drained, not lost) and
+  /// must outlive the engine.
+  MailboxSlot* external_mailbox_slots = nullptr;
 };
 
 class FleetEngine {
@@ -104,7 +113,7 @@ class FleetEngine {
   /// mailbox and letting the next tick drain them (bitwise identical, by
   /// per-row independence of the batched estimate). Honors clamp_soc.
   /// Non-finite sensor rows are rejected like init_from_sensors; the
-  /// mailbox drain instead skips and counts them (dropped_sensor_reports),
+  /// mailbox drain instead skips and counts them (ingest_stats()),
   /// so valid messages behave identically on both routes and invalid ones
   /// can never poison a cell's SoC.
   /// Like every tick-path method, it must NOT be called concurrently with
@@ -180,13 +189,21 @@ class FleetEngine {
   /// asynchronous side of the serve::is_finite policy — the drain cannot
   /// throw mid-tick, so invalid messages are dropped and counted instead
   /// of poisoning the cell's SoC / staged workload; latest-wins means the
-  /// next valid publish simply supersedes). Monotonic over the engine's
-  /// lifetime; readable from any thread.
-  [[nodiscard]] std::uint64_t dropped_sensor_reports() const {
-    return dropped_sensor_reports_.load(std::memory_order_relaxed);
+  /// next valid publish simply supersedes). Returned as one copyable
+  /// IngestStats so a sharded parent can aggregate per-worker counters
+  /// across processes with operator+=. Monotonic since construction or
+  /// the last reset_ingest_stats(); readable from any thread.
+  [[nodiscard]] IngestStats ingest_stats() const {
+    return {dropped_sensor_reports_.load(std::memory_order_relaxed),
+            dropped_workload_overrides_.load(std::memory_order_relaxed)};
   }
-  [[nodiscard]] std::uint64_t dropped_workload_overrides() const {
-    return dropped_workload_overrides_.load(std::memory_order_relaxed);
+
+  /// Zeroes the drop counters (e.g. between soak windows). Like every
+  /// tick-path mutation, not to be called concurrently with ticks — a
+  /// racing drain's increment could be lost.
+  void reset_ingest_stats() {
+    dropped_sensor_reports_.store(0, std::memory_order_relaxed);
+    dropped_workload_overrides_.store(0, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::span<const double> soc() const { return soc_; }
@@ -260,6 +277,11 @@ class FleetEngine {
   void forward_shard(ShardScratch& scratch,
                      const core::TwoBranchSnapshot& model, std::size_t begin,
                      std::size_t count);
+
+  /// Owning mailbox or a view over FleetConfig::external_mailbox_slots,
+  /// depending on the config.
+  static Mailbox make_mailbox(const FleetConfig& config,
+                              std::size_t num_cells);
 
   FleetConfig config_;  ///< initialized via validated(): throws first
   /// RCU publication point: ticks acquire exactly once at their top,

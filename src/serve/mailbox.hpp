@@ -22,8 +22,21 @@
 ///     drain supersedes the previous one, which is exactly the semantics
 ///     a fresh sensor report or a revised workload forecast wants.
 ///   * No torn reads, ever: the seqlock sequence check rejects any read
-///     that overlapped a publish (payload fields are relaxed atomics, so
-///     the protocol is also data-race-free under TSan, not just on x86).
+///     that overlapped a publish (payload fields are accessed through
+///     relaxed std::atomic_ref, so the protocol is also data-race-free
+///     under TSan, not just on x86).
+///
+/// Shared-memory transport: MailboxSlot is a trivially-copyable,
+/// 64-byte-aligned plain struct — no std::atomic members, no vtable, no
+/// pointers — whose atomicity lives entirely in the std::atomic_ref
+/// accessors. All-zero bytes are its valid empty state. That is exactly
+/// what lets the multi-process split (serve/shm_transport.hpp) place the
+/// slot array in a POSIX shm segment: a producer in the parent process
+/// publishes through the same seqlock code into the same bytes a worker
+/// process drains, and ftruncate's zero-fill IS initialization. The
+/// static_asserts below pin the layout contract; std::atomic_ref being
+/// always lock-free for 8-byte scalars on every supported target makes
+/// the protocol address-free, i.e. valid across address spaces.
 ///
 /// FleetEngine drains its mailbox inside the existing shard loop — each
 /// shard consumes exactly its own contiguous cell range, so the drain
@@ -35,6 +48,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace socpinn::serve {
@@ -64,9 +78,11 @@ struct WorkloadOverride {
 /// reseed_from_sensors, RolloutEngine's re-anchor plan validation) REJECT
 /// invalid rows with std::invalid_argument before touching any state; the
 /// asynchronous mailbox drain cannot throw mid-tick, so it SKIPS invalid
-/// messages and counts them (FleetEngine::dropped_sensor_reports /
-/// dropped_workload_overrides) — latest-wins semantics mean the next valid
-/// message simply supersedes, nothing is retried.
+/// messages and counts them (FleetEngine::ingest_stats) — latest-wins
+/// semantics mean the next valid message simply supersedes, nothing is
+/// retried. The policy holds at every ingress edge, including the
+/// cross-process one: a message published through shm is validated by the
+/// draining worker exactly like a local publish.
 [[nodiscard]] inline bool is_finite(const SensorReport& report) {
   return std::isfinite(report.voltage) && std::isfinite(report.current) &&
          std::isfinite(report.temp_c);
@@ -78,26 +94,51 @@ struct WorkloadOverride {
          std::isfinite(forecast.horizon_s);
 }
 
+/// Non-finite messages a drain skipped, per kind — the aggregation unit of
+/// the skip-and-count side of serve::is_finite. Plain copyable counters so
+/// a sharded parent can sum per-worker stats across process boundaries
+/// (each worker exports its own through the shm transport) and reset its
+/// aggregate between soak windows.
+struct IngestStats {
+  std::uint64_t dropped_sensor_reports = 0;
+  std::uint64_t dropped_workload_overrides = 0;
+
+  void reset() { *this = IngestStats{}; }
+
+  IngestStats& operator+=(const IngestStats& other) {
+    dropped_sensor_reports += other.dropped_sensor_reports;
+    dropped_workload_overrides += other.dropped_workload_overrides;
+    return *this;
+  }
+
+  friend bool operator==(const IngestStats&, const IngestStats&) = default;
+};
+
 namespace detail {
 
 /// Single-writer seqlock over three doubles. Writer protocol: bump the
 /// sequence to odd (write in progress), release-fence, store the payload,
 /// release-store the even sequence. Reader protocol: acquire-load the
 /// sequence, reject odd, read the payload, acquire-fence, re-load the
-/// sequence and reject a change. The payload fields are relaxed atomics —
-/// semantically plain doubles, but race-free by construction so the
-/// protocol is portable C++ (and TSan-clean) instead of x86 folklore.
-class SeqlockSlot3 {
- public:
+/// sequence and reject a change.
+///
+/// The members are PLAIN scalars; every access goes through a relaxed
+/// std::atomic_ref — semantically identical to the std::atomic members
+/// this slot used to hold (race-free by construction, TSan-clean, portable
+/// C++ instead of x86 folklore), but the struct itself stays trivially
+/// copyable and all-zero-initializable, which is what lets a slot live
+/// in-place inside a shared-memory segment mapped by several processes.
+struct SeqlockSlot3 {
   /// Wait-free single-writer publish.
   void publish(double a, double b, double c) {
-    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
-    seq_.store(s + 1, std::memory_order_relaxed);
+    const std::atomic_ref<std::uint64_t> seq(seq_);
+    const std::uint64_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
-    a_.store(a, std::memory_order_relaxed);
-    b_.store(b, std::memory_order_relaxed);
-    c_.store(c, std::memory_order_relaxed);
-    seq_.store(s + 2, std::memory_order_release);
+    std::atomic_ref<double>(a_).store(a, std::memory_order_relaxed);
+    std::atomic_ref<double>(b_).store(b, std::memory_order_relaxed);
+    std::atomic_ref<double>(c_).store(c, std::memory_order_relaxed);
+    seq.store(s + 2, std::memory_order_release);
   }
 
   /// Wait-free single-consumer read: returns true (and advances `cursor`)
@@ -105,50 +146,103 @@ class SeqlockSlot3 {
   /// racing publish returns false — the message is picked up on the next
   /// call instead of spinning under producer pressure.
   bool consume(std::uint64_t& cursor, double out[3]) const {
-    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    // atomic_ref requires a non-const referent until C++26; the slot's
+    // logical constness is preserved (loads only).
+    auto* self = const_cast<SeqlockSlot3*>(this);
+    const std::atomic_ref<std::uint64_t> seq(self->seq_);
+    const std::uint64_t s1 = seq.load(std::memory_order_acquire);
     if (s1 == cursor || (s1 & 1u) != 0) return false;
-    out[0] = a_.load(std::memory_order_relaxed);
-    out[1] = b_.load(std::memory_order_relaxed);
-    out[2] = c_.load(std::memory_order_relaxed);
+    out[0] = std::atomic_ref<double>(self->a_).load(std::memory_order_relaxed);
+    out[1] = std::atomic_ref<double>(self->b_).load(std::memory_order_relaxed);
+    out[2] = std::atomic_ref<double>(self->c_).load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (seq_.load(std::memory_order_relaxed) != s1) return false;
+    if (seq.load(std::memory_order_relaxed) != s1) return false;
     cursor = s1;
     return true;
   }
 
   /// Whether a publish newer than `cursor` is (or is about to be) visible.
   [[nodiscard]] bool pending(std::uint64_t cursor) const {
-    return seq_.load(std::memory_order_relaxed) != cursor;
+    auto* self = const_cast<SeqlockSlot3*>(this);
+    return std::atomic_ref<std::uint64_t>(self->seq_)
+               .load(std::memory_order_relaxed) != cursor;
   }
 
- private:
   /// 64-bit on purpose: at 2 counts per publish a 32-bit sequence would
   /// wrap the consumer cursor after 2^31 publishes between drains (~8 s of
   /// one producer at the measured publish rate), making the newest message
   /// invisible; 64 bits cannot wrap in a deployment lifetime, and the
-  /// alignas(64) padding of CellSlots absorbs the extra bytes for free.
-  std::atomic<std::uint64_t> seq_{0};
-  std::atomic<double> a_{0.0};
-  std::atomic<double> b_{0.0};
-  std::atomic<double> c_{0.0};
+  /// alignas(64) padding of MailboxSlot absorbs the extra bytes for free.
+  std::uint64_t seq_ = 0;
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double c_ = 0.0;
 };
 
 }  // namespace detail
+
+/// Both slots plus the consumer cursors of one cell, cache-line-aligned so
+/// two cells' producers never contend on one line. The cursors are
+/// consumer-owned (only consume_* writes them — inside the engine, always
+/// the shard that owns the cell, successive ticks ordered by the pool's
+/// mutex) but accessed through relaxed atomic_ref so the any-thread
+/// pending() pre-check reads them race-free.
+///
+/// This is the unit of the shared-memory transport's slot array: the
+/// static_asserts below are the layout contract serve/shm_transport.hpp
+/// relies on to place `num_cells` of these in-place in a mapped segment.
+struct alignas(64) MailboxSlot {
+  detail::SeqlockSlot3 sensors;
+  detail::SeqlockSlot3 workload;
+  std::uint64_t sensor_cursor = 0;
+  std::uint64_t workload_cursor = 0;
+};
+
+// The shm contract: plain bytes (memcpy-able, no construction needed
+// beyond zero-fill), one cache line of alignment, two lines of size, and
+// lock-free 8-byte atomics (lock-free atomic_ref operations are
+// address-free, so the seqlock works across address spaces).
+static_assert(std::is_trivially_copyable_v<MailboxSlot>,
+              "MailboxSlot must be placeable in shared memory as raw bytes");
+static_assert(alignof(MailboxSlot) == 64 && sizeof(MailboxSlot) == 128,
+              "MailboxSlot layout is a cross-process ABI: fixed size and "
+              "cache-line alignment");
+static_assert(std::atomic_ref<std::uint64_t>::is_always_lock_free &&
+                  std::atomic_ref<double>::is_always_lock_free,
+              "the mailbox seqlock requires lock-free (address-free) 8-byte "
+              "atomics to work across processes");
 
 /// Per-cell ingest mailbox: a sensor slot and a workload slot per cell.
 /// Producer side (publish_*) is safe from any thread as long as each cell
 /// has one producer; consumer side (consume_*) is owned by one logical
 /// consumer — inside FleetEngine that is the shard owning the cell, and
 /// successive ticks are ordered by the pool's own synchronization.
+///
+/// Storage comes in two flavors behind one API:
+///   * Owning (the single-process default): the mailbox allocates and
+///     zero-initializes its own slot array.
+///   * View (the multi-process transport): the mailbox wraps an external
+///     MailboxSlot array — e.g. mapped shared memory — without touching
+///     its contents, so publishes that landed before attachment are
+///     drained, not dropped. The caller guarantees the storage is
+///     zero-initialized at segment creation (ftruncate zero-fill counts)
+///     and outlives the mailbox.
 class Mailbox {
  public:
-  explicit Mailbox(std::size_t num_cells) : cells_(num_cells) {
-    if (num_cells == 0) {
-      throw std::invalid_argument("Mailbox: need at least one cell");
+  explicit Mailbox(std::size_t num_cells)
+      : owned_(check_cells(num_cells)),
+        slots_(owned_.data()),
+        num_cells_(num_cells) {}
+
+  /// Non-owning view over `slots[0, num_cells)` (shared-memory mode).
+  Mailbox(MailboxSlot* slots, std::size_t num_cells)
+      : slots_(slots), num_cells_(check_cells(num_cells)) {
+    if (slots == nullptr) {
+      throw std::invalid_argument("Mailbox: null external slot array");
     }
   }
 
-  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+  [[nodiscard]] std::size_t num_cells() const { return num_cells_; }
 
   /// Publishes a fresh BMS report for `cell` (wait-free; latest wins).
   void publish_sensors(std::size_t cell, const SensorReport& report) {
@@ -167,11 +261,12 @@ class Mailbox {
   /// Consumer-side: one logical consumer per cell (inside FleetEngine,
   /// the shard owning the cell).
   bool consume_sensors(std::size_t cell, SensorReport& out) {
-    CellSlots& slots = slots_checked(cell);
+    MailboxSlot& slot = slots_checked(cell);
     double v[3];
-    std::uint64_t cursor = slots.sensor_cursor.load(std::memory_order_relaxed);
-    if (!slots.sensors.consume(cursor, v)) return false;
-    slots.sensor_cursor.store(cursor, std::memory_order_relaxed);
+    const std::atomic_ref<std::uint64_t> cursor_ref(slot.sensor_cursor);
+    std::uint64_t cursor = cursor_ref.load(std::memory_order_relaxed);
+    if (!slot.sensors.consume(cursor, v)) return false;
+    cursor_ref.store(cursor, std::memory_order_relaxed);
     out = {v[0], v[1], v[2]};
     return true;
   }
@@ -179,12 +274,12 @@ class Mailbox {
   /// Consumes the newest unseen workload override for `cell`, if any.
   /// Same consumer-side contract as consume_sensors.
   bool consume_workload(std::size_t cell, WorkloadOverride& out) {
-    CellSlots& slots = slots_checked(cell);
+    MailboxSlot& slot = slots_checked(cell);
     double v[3];
-    std::uint64_t cursor =
-        slots.workload_cursor.load(std::memory_order_relaxed);
-    if (!slots.workload.consume(cursor, v)) return false;
-    slots.workload_cursor.store(cursor, std::memory_order_relaxed);
+    const std::atomic_ref<std::uint64_t> cursor_ref(slot.workload_cursor);
+    std::uint64_t cursor = cursor_ref.load(std::memory_order_relaxed);
+    if (!slot.workload.consume(cursor, v)) return false;
+    cursor_ref.store(cursor, std::memory_order_relaxed);
     out = {v[0], v[1], v[2]};
     return true;
   }
@@ -194,42 +289,41 @@ class Mailbox {
   /// (producers may poll their backlog); consume_* stays the source of
   /// truth, and a racing drain may make the answer stale by one message.
   [[nodiscard]] bool pending(std::size_t cell) const {
-    const CellSlots& slots = slots_checked(cell);
-    return slots.sensors.pending(
-               slots.sensor_cursor.load(std::memory_order_relaxed)) ||
-           slots.workload.pending(
-               slots.workload_cursor.load(std::memory_order_relaxed));
+    MailboxSlot& slot = slots_checked(cell);
+    return slot.sensors.pending(
+               std::atomic_ref<std::uint64_t>(slot.sensor_cursor)
+                   .load(std::memory_order_relaxed)) ||
+           slot.workload.pending(
+               std::atomic_ref<std::uint64_t>(slot.workload_cursor)
+                   .load(std::memory_order_relaxed));
   }
 
  private:
-  /// Both slots plus the consumer cursors, cache-line-aligned so two
-  /// cells' producers never contend on one line. The cursors are
-  /// consumer-owned (only consume_* writes them — inside the engine,
-  /// always the shard that owns the cell, successive ticks ordered by the
-  /// pool's mutex) but stored as relaxed atomics so the any-thread
-  /// pending() pre-check reads them race-free.
-  struct alignas(64) CellSlots {
-    detail::SeqlockSlot3 sensors;
-    detail::SeqlockSlot3 workload;
-    std::atomic<std::uint64_t> sensor_cursor{0};
-    std::atomic<std::uint64_t> workload_cursor{0};
-  };
+  static std::size_t check_cells(std::size_t num_cells) {
+    if (num_cells == 0) {
+      throw std::invalid_argument("Mailbox: need at least one cell");
+    }
+    return num_cells;
+  }
 
   /// Every public entry point bounds-checks: an off-by-one from a
   /// producer thread must throw like the engines' own argument checks do,
-  /// not scribble over adjacent heap memory. One predictable compare per
-  /// call — noise next to the slot's cache-line traffic.
-  CellSlots& slots_checked(std::size_t cell) {
-    if (cell >= cells_.size()) {
+  /// not scribble over adjacent memory (heap or mapped segment alike).
+  /// One predictable compare per call — noise next to the slot's
+  /// cache-line traffic.
+  MailboxSlot& slots_checked(std::size_t cell) const {
+    if (cell >= num_cells_) {
       throw std::out_of_range("Mailbox: cell index out of range");
     }
-    return cells_[cell];
-  }
-  const CellSlots& slots_checked(std::size_t cell) const {
-    return const_cast<Mailbox*>(this)->slots_checked(cell);
+    return slots_[cell];
   }
 
-  std::vector<CellSlots> cells_;
+  /// Backing storage in owning mode; empty when viewing external slots.
+  /// std::vector value-initializes, which for this trivially-copyable
+  /// slot type is exactly the all-zero empty state.
+  std::vector<MailboxSlot> owned_;
+  MailboxSlot* slots_;
+  std::size_t num_cells_;
 };
 
 }  // namespace socpinn::serve

@@ -1,0 +1,159 @@
+#include "serve/shard_worker.hpp"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/model_io.hpp"
+#include "serve/fleet_engine.hpp"
+
+namespace socpinn::serve {
+
+namespace {
+
+/// One spin-wait beat. The parent and its workers share cores (possibly
+/// ONE core in CI containers), so the wait loops sleep instead of
+/// busy-spinning: command granularity is a whole batched tick over
+/// thousands of cells, which dwarfs a 100us nap.
+void nap() {
+  timespec ts{0, 100'000};
+  ::nanosleep(&ts, nullptr);
+}
+
+void copy_error(WorkerHeader& h, const char* what) {
+  std::strncpy(h.error_msg, what, sizeof(h.error_msg) - 1);
+  h.error_msg[sizeof(h.error_msg) - 1] = '\0';
+}
+
+}  // namespace
+
+void shard_worker_main(const ShardWorkerContext& ctx) {
+  const pid_t parent = ::getppid();
+  WorkerHeader& h = *ctx.header;
+  const std::size_t n = ctx.num_cells;
+
+  // --- setup: adopt the initial model, build the engine over the shard ---
+  std::optional<FleetEngine> engine;
+  std::optional<nn::Matrix> staged;  ///< reused num_cells x 3 input batch
+  std::string blob;
+  std::uint64_t model_version = 0;
+  std::string fatal;
+  try {
+    // The parent publishes version 1 before forking, so this returns at
+    // once; the loop only guards a pathological scheduling of the fork.
+    while ((model_version = ctx.model->read_if_newer(0, blob)) == 0) nap();
+    std::istringstream in(blob);
+    const core::TwoBranchNet net = core::load_model(in);
+    FleetConfig cfg;
+    cfg.threads = ctx.threads;
+    cfg.clamp_soc = ctx.clamp_soc;
+    cfg.precision = ctx.precision;
+    cfg.external_mailbox_slots = ctx.mailbox_slots;
+    engine.emplace(net, n, cfg);
+    staged.emplace(n, 3);
+  } catch (const std::exception& e) {
+    // Not fatal to the PROTOCOL: keep servicing commands, answering each
+    // with this error, so the parent gets a diagnosis instead of a hang.
+    fatal = e.what();
+  }
+
+  // --- command loop ---
+  std::uint64_t acked =
+      std::atomic_ref<std::uint64_t>(h.ack_seq).load(std::memory_order_relaxed);
+  for (;;) {
+    const std::atomic_ref<std::uint64_t> cmd_seq(h.cmd_seq);
+    std::uint64_t seq;
+    std::size_t beats = 0;
+    while ((seq = cmd_seq.load(std::memory_order_acquire)) == acked) {
+      // Orphan check: if the parent died we were reparented — nothing
+      // will ever command or reap us, so leave instead of leaking.
+      if (++beats % 64 == 0 && ::getppid() != parent) ::_exit(2);
+      nap();
+    }
+    const auto cmd = static_cast<WorkerCommand>(h.cmd);
+    if (cmd == WorkerCommand::kStop) {
+      h.status = 0;
+      std::atomic_ref<std::uint64_t>(h.ack_seq).store(
+          seq, std::memory_order_release);
+      ::_exit(0);
+    }
+
+    h.status = 0;
+    std::atomic_ref<std::uint64_t>(h.allocs_last_command)
+        .store(0, std::memory_order_relaxed);
+    try {
+      if (!fatal.empty()) throw std::runtime_error(fatal);
+
+      // Adopt the newest model BEFORE the command body: a version
+      // published between commands is served by exactly this command —
+      // the deterministic cross-process half of the engines' RCU
+      // hot-swap story (the engine-internal swap keeps its own
+      // no-torn-tick guarantee below this).
+      const std::uint64_t v = ctx.model->read_if_newer(model_version, blob);
+      if (v != model_version) {
+        std::istringstream in(blob);
+        engine->swap_model(core::load_model(in));
+        model_version = v;
+      }
+
+      const std::size_t before =
+          ctx.alloc_counter != nullptr ? ctx.alloc_counter() : 0;
+      switch (cmd) {
+        case WorkerCommand::kInitFromSensors:
+          std::memcpy(staged->data().data(), ctx.input,
+                      n * 3 * sizeof(double));
+          engine->init_from_sensors(*staged);
+          break;
+        case WorkerCommand::kSetSoc:
+          engine->set_soc(std::span<const double>(ctx.soc, n));
+          break;
+        case WorkerCommand::kStep:
+          std::memcpy(staged->data().data(), ctx.input,
+                      n * 3 * sizeof(double));
+          engine->step(*staged);
+          break;
+        case WorkerCommand::kRun:
+          engine->run(h.param0, h.param1, h.param2, h.ticks);
+          break;
+        default:
+          throw std::runtime_error("shard_worker: unknown command");
+      }
+      std::memcpy(ctx.soc, engine->soc().data(), n * sizeof(double));
+      // The export fields are parent-readable at ANY time (ingest_stats
+      // aggregation between commands), not just after the ack — relaxed
+      // atomic_ref stores keep those reads race-free.
+      if (ctx.alloc_counter != nullptr) {
+        std::atomic_ref<std::uint64_t>(h.allocs_last_command)
+            .store(ctx.alloc_counter() - before, std::memory_order_relaxed);
+      }
+      const IngestStats stats = engine->ingest_stats();
+      std::atomic_ref<std::uint64_t>(h.dropped_sensor_reports)
+          .store(stats.dropped_sensor_reports, std::memory_order_relaxed);
+      std::atomic_ref<std::uint64_t>(h.dropped_workload_overrides)
+          .store(stats.dropped_workload_overrides, std::memory_order_relaxed);
+      std::atomic_ref<std::uint64_t>(h.engine_ticks)
+          .store(engine->ticks(), std::memory_order_relaxed);
+      std::atomic_ref<std::uint64_t>(h.model_version_adopted)
+          .store(model_version, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      h.status = 1;
+      copy_error(h, e.what());
+    } catch (...) {
+      h.status = 1;
+      copy_error(h, "shard_worker: unknown exception");
+    }
+
+    // Everything above is ordered before the parent's acquire of ack_seq.
+    std::atomic_ref<std::uint64_t>(h.ack_seq).store(seq,
+                                                    std::memory_order_release);
+    acked = seq;
+  }
+}
+
+}  // namespace socpinn::serve

@@ -1,0 +1,308 @@
+#include "serve/sharded_fleet.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/model_io.hpp"
+#include "serve/shard_worker.hpp"
+
+namespace socpinn::serve {
+
+namespace {
+
+/// Same beat as the worker side: sleep, don't burn the (possibly single)
+/// shared core under the worker that is doing the actual tick.
+void nap() {
+  timespec ts{0, 100'000};
+  ::nanosleep(&ts, nullptr);
+}
+
+/// The transport ships the model as core::save_model text, which needs a
+/// trained net (fitted scalers) regardless of precision — checked here so
+/// the error names the actual requirement instead of save_model's generic
+/// one.
+std::string serialize_model(const core::TwoBranchNet& net, const char* who) {
+  if (!net.scaler1().fitted() || !net.scaler2().fitted()) {
+    throw std::invalid_argument(
+        std::string(who) +
+        ": the multi-process transport serializes the model, which requires "
+        "a trained net (fitted scalers)");
+  }
+  std::ostringstream out;
+  core::save_model(out, net);
+  return out.str();
+}
+
+std::string checked_blob(const core::TwoBranchNet& net, std::size_t num_cells) {
+  if (num_cells == 0) {
+    throw std::invalid_argument("ShardedFleet: empty fleet");
+  }
+  return serialize_model(net, "ShardedFleet");
+}
+
+ModelRegion make_model_region(const std::string& blob) {
+  // Headroom over the construction-time size: the architecture is fixed,
+  // so later hot-swapped models serialize to near-identical sizes; the
+  // slack absorbs digit-count jitter of the text format.
+  ModelRegion region(blob.size() + blob.size() / 2 + 4096);
+  region.publish(blob);
+  return region;
+}
+
+}  // namespace
+
+ShardedFleet::ShardedFleet(const core::TwoBranchNet& net,
+                           std::size_t num_cells, ShardedFleetConfig config)
+    : model_region_(make_model_region(checked_blob(net, num_cells))),
+      shards_(partition_fleet(num_cells, config.workers)),
+      soc_(num_cells, 0.0) {
+  workers_.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    const WorkerSegmentLayout layout{shard.size()};
+    ShmSegment segment(layout.total_size());
+    WorkerHeader* header = segment.at<WorkerHeader>(layout.header_offset());
+    MailboxSlot* slots = segment.at<MailboxSlot>(layout.mailbox_offset());
+    double* soc = segment.at<double>(layout.soc_offset());
+    double* input = segment.at<double>(layout.input_offset());
+    workers_.push_back(Worker{shard, std::move(segment), header, slots, soc,
+                              input, Mailbox(slots, shard.size())});
+  }
+
+  // Fork only after EVERY segment and the published model exist: children
+  // inherit complete mappings and need nothing from the parent afterwards
+  // except commands. This parent owns no threads, so fork-without-exec is
+  // safe here; callers that do run threads get children whose only live
+  // code path is shard_worker_main over the inherited mappings.
+  for (Worker& w : workers_) {
+    ShardWorkerContext ctx;
+    ctx.header = w.header;
+    ctx.mailbox_slots = w.slots;
+    ctx.soc = w.soc;
+    ctx.input = w.input;
+    ctx.num_cells = w.shard.size();
+    ctx.model = &model_region_;
+    ctx.threads = config.threads_per_worker;
+    ctx.clamp_soc = config.clamp_soc;
+    ctx.precision = config.precision;
+    ctx.alloc_counter = config.alloc_counter;
+    // Flush inherited stdio buffers so the child's _exit cannot re-emit
+    // the parent's pending output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      shard_worker_main(ctx);  // noreturn
+    }
+    if (pid < 0) {
+      const int err = errno;
+      for (Worker& started : workers_) {
+        if (started.pid > 0) {
+          ::kill(started.pid, SIGKILL);
+          ::waitpid(started.pid, nullptr, 0);
+          started.reaped = true;
+        }
+      }
+      throw std::runtime_error(std::string("ShardedFleet: fork failed: ") +
+                               std::strerror(err));
+    }
+    w.pid = pid;
+  }
+}
+
+ShardedFleet::~ShardedFleet() {
+  for (Worker& w : workers_) {
+    if (w.pid <= 0 || w.reaped) continue;
+    w.header->cmd = static_cast<std::uint32_t>(WorkerCommand::kStop);
+    ++w.seq;
+    std::atomic_ref<std::uint64_t>(w.header->cmd_seq)
+        .store(w.seq, std::memory_order_release);
+  }
+  for (Worker& w : workers_) {
+    if (w.pid <= 0 || w.reaped) continue;
+    // Workers _exit right after acking kStop; allow a generous beat for a
+    // worker mid-tick to finish, then stop waiting politely.
+    for (int beat = 0; beat < 20000 && !w.reaped; ++beat) {
+      if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) w.reaped = true;
+      if (!w.reaped) nap();
+    }
+    if (!w.reaped) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, nullptr, 0);
+      w.reaped = true;
+    }
+  }
+}
+
+void ShardedFleet::post(Worker& w, WorkerCommand cmd) {
+  w.header->cmd = static_cast<std::uint32_t>(cmd);
+  ++w.seq;
+  std::atomic_ref<std::uint64_t>(w.header->cmd_seq)
+      .store(w.seq, std::memory_order_release);
+}
+
+void ShardedFleet::wait_ack(Worker& w) {
+  const std::atomic_ref<std::uint64_t> ack(w.header->ack_seq);
+  std::size_t beats = 0;
+  while (ack.load(std::memory_order_acquire) != w.seq) {
+    if (++beats % 64 == 0 &&
+        ::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
+      w.reaped = true;
+      throw std::runtime_error("ShardedFleet: worker " +
+                               std::to_string(w.shard.index) +
+                               " died before acknowledging a command");
+    }
+    nap();
+  }
+}
+
+void ShardedFleet::finish_command() {
+  for (Worker& w : workers_) wait_ack(w);
+  for (const Worker& w : workers_) {
+    std::memcpy(soc_.data() + w.shard.begin, w.soc,
+                w.shard.size() * sizeof(double));
+  }
+  for (const Worker& w : workers_) {
+    if (w.header->status != 0) {
+      throw std::runtime_error("ShardedFleet: worker " +
+                               std::to_string(w.shard.index) + ": " +
+                               w.header->error_msg);
+    }
+  }
+}
+
+void ShardedFleet::init_from_sensors(const nn::Matrix& sensors_raw) {
+  if (sensors_raw.rows() != num_cells() || sensors_raw.cols() != 3) {
+    throw std::invalid_argument(
+        "ShardedFleet::init_from_sensors: need num_cells x 3 sensors");
+  }
+  // Reject the whole batch before ANY worker sees it — the same
+  // synchronous side of the serve::is_finite policy FleetEngine applies.
+  for (std::size_t r = 0; r < sensors_raw.rows(); ++r) {
+    if (!is_finite(SensorReport{sensors_raw(r, 0), sensors_raw(r, 1),
+                                sensors_raw(r, 2)})) {
+      throw std::invalid_argument(
+          "ShardedFleet::init_from_sensors: non-finite sensor row for cell " +
+          std::to_string(r));
+    }
+  }
+  const double* rows = sensors_raw.data().data();
+  for (Worker& w : workers_) {
+    std::memcpy(w.input, rows + w.shard.begin * 3,
+                w.shard.size() * 3 * sizeof(double));
+    post(w, WorkerCommand::kInitFromSensors);
+  }
+  finish_command();
+}
+
+void ShardedFleet::set_soc(std::span<const double> soc) {
+  if (soc.size() != num_cells()) {
+    throw std::invalid_argument("ShardedFleet::set_soc: size mismatch");
+  }
+  for (Worker& w : workers_) {
+    std::memcpy(w.soc, soc.data() + w.shard.begin,
+                w.shard.size() * sizeof(double));
+    post(w, WorkerCommand::kSetSoc);
+  }
+  finish_command();
+}
+
+void ShardedFleet::step(const nn::Matrix& workload_raw) {
+  if (workload_raw.rows() != num_cells() || workload_raw.cols() != 3) {
+    throw std::invalid_argument(
+        "ShardedFleet::step: need num_cells x 3 workload rows");
+  }
+  const double* rows = workload_raw.data().data();
+  for (Worker& w : workers_) {
+    std::memcpy(w.input, rows + w.shard.begin * 3,
+                w.shard.size() * 3 * sizeof(double));
+    post(w, WorkerCommand::kStep);
+  }
+  finish_command();
+  ++ticks_;
+}
+
+void ShardedFleet::run(double avg_current, double avg_temp_c,
+                       double horizon_s, std::size_t ticks) {
+  for (Worker& w : workers_) {
+    w.header->param0 = avg_current;
+    w.header->param1 = avg_temp_c;
+    w.header->param2 = horizon_s;
+    w.header->ticks = ticks;
+    post(w, WorkerCommand::kRun);
+  }
+  finish_command();
+  ticks_ += ticks;
+}
+
+void ShardedFleet::swap_model(const core::TwoBranchNet& net) {
+  // One serialize for the whole fleet; workers adopt at their next
+  // command. publish() is single-writer: concurrent swap_model calls must
+  // be externally serialized (commands and publish_* need no such care).
+  model_region_.publish(serialize_model(net, "ShardedFleet::swap_model"));
+}
+
+void ShardedFleet::publish_sensors(std::size_t cell,
+                                   const SensorReport& report) {
+  Worker& w = owner_of(cell);
+  w.mailbox.publish_sensors(cell - w.shard.begin, report);
+}
+
+void ShardedFleet::publish_workload(std::size_t cell,
+                                    const WorkloadOverride& forecast) {
+  Worker& w = owner_of(cell);
+  w.mailbox.publish_workload(cell - w.shard.begin, forecast);
+}
+
+IngestStats ShardedFleet::ingest_stats() const {
+  IngestStats total;
+  for (const Worker& w : workers_) {
+    total += IngestStats{
+        std::atomic_ref<std::uint64_t>(w.header->dropped_sensor_reports)
+            .load(std::memory_order_relaxed),
+        std::atomic_ref<std::uint64_t>(w.header->dropped_workload_overrides)
+            .load(std::memory_order_relaxed)};
+  }
+  return total;
+}
+
+std::uint64_t ShardedFleet::worker_model_version(std::size_t w) const {
+  if (w >= workers_.size()) {
+    throw std::out_of_range("ShardedFleet: worker index out of range");
+  }
+  return std::atomic_ref<std::uint64_t>(
+             workers_[w].header->model_version_adopted)
+      .load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedFleet::worker_allocs_last_command(std::size_t w) const {
+  if (w >= workers_.size()) {
+    throw std::out_of_range("ShardedFleet: worker index out of range");
+  }
+  return std::atomic_ref<std::uint64_t>(
+             workers_[w].header->allocs_last_command)
+      .load(std::memory_order_relaxed);
+}
+
+ShardedFleet::Worker& ShardedFleet::owner_of(std::size_t cell) {
+  if (cell >= num_cells()) {
+    throw std::out_of_range("ShardedFleet: cell index out of range");
+  }
+  // Shards are near-equal floor partitions, so the arithmetic guess is
+  // within one shard of the owner; the adjust loop fixes the boundary.
+  std::size_t guess = cell * workers_.size() / num_cells();
+  while (guess + 1 < workers_.size() && cell >= shards_[guess].end) ++guess;
+  while (guess > 0 && cell < shards_[guess].begin) --guess;
+  return workers_[guess];
+}
+
+}  // namespace socpinn::serve

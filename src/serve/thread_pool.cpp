@@ -29,6 +29,19 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::run_shard(Job job, void* ctx, std::size_t shard,
+                           std::size_t begin, std::size_t end) noexcept {
+  try {
+    job(ctx, shard, begin, end);
+  } catch (...) {
+    // First capture of the dispatch wins; losers are dropped. Capturing
+    // instead of letting the exception escape the worker thread is the
+    // whole point — an escaped exception std::terminates the process.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
   // Empty dispatch: no shard would see a non-empty range, so skip the
   // generation bump and the notify_all broadcast entirely — waking every
@@ -36,6 +49,8 @@ void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
   if (n == 0) return;
   const std::size_t shards = size();
   if (shards == 1) {
+    // Single-shard fast path: the job runs on the calling thread, so a
+    // thrown exception already propagates to the right place unchanged.
     job(ctx, 0, 0, n);
     return;
   }
@@ -50,12 +65,20 @@ void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
   cv_work_.notify_all();
 
   const ShardRange own = shard_range(n, 0, shards);
-  if (own.begin != own.end) job(ctx, 0, own.begin, own.end);
+  if (own.begin != own.end) run_shard(job, ctx, 0, own.begin, own.end);
 
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
   job_ctx_ = nullptr;
+  if (first_error_) {
+    // Rethrow only after every shard finished: workers are idle again,
+    // the pool is reusable, and no shard still touches caller state.
+    std::exception_ptr error = std::move(first_error_);
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -76,7 +99,9 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       n = job_n_;
     }
     const ShardRange range = shard_range(n, worker_index, size());
-    if (range.begin != range.end) job(ctx, worker_index, range.begin, range.end);
+    if (range.begin != range.end) {
+      run_shard(job, ctx, worker_index, range.begin, range.end);
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--pending_ == 0) cv_done_.notify_one();

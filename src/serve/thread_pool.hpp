@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -36,26 +37,52 @@ struct ShardRange {
 /// fallback (n = q*shards + r, so floor(n*s/shards) = q*s + floor(r*s/
 /// shards)) produces identical boundaries and only needs r*s < SIZE_MAX,
 /// i.e. shards below ~2^32 — far beyond any real pool.
-[[nodiscard]] inline ShardRange shard_range(std::size_t n, std::size_t shard,
-                                            std::size_t shards) {
-#ifdef __SIZEOF_INT128__
-  using Wide = unsigned __int128;
-  return {static_cast<std::size_t>(Wide(n) * shard / shards),
-          static_cast<std::size_t>(Wide(n) * (shard + 1) / shards)};
-#else
+namespace detail {
+
+/// The divide-first fallback body of shard_range, compiled UNCONDITIONALLY
+/// so hosts with __int128 (i.e. every CI runner) still build and test it —
+/// it used to live behind the #else alone and was never exercised anywhere
+/// __int128 exists. n = q*shards + r gives floor(n*s/shards) = q*s +
+/// floor(r*s/shards); identical boundaries to the wide path (pinned by
+/// tests/serve/test_thread_pool.cpp on the SIZE_MAX edge cases), needing
+/// only r*s < SIZE_MAX, i.e. shards below ~2^32 — far beyond any real
+/// pool.
+[[nodiscard]] inline ShardRange shard_range_divide_first(std::size_t n,
+                                                         std::size_t shard,
+                                                         std::size_t shards) {
   const std::size_t q = n / shards;
   const std::size_t r = n % shards;
   const auto bound = [q, r, shards](std::size_t s) {
     return q * s + r * s / shards;
   };
   return {bound(shard), bound(shard + 1)};
+}
+
+}  // namespace detail
+
+/// Define SOCPINN_SHARD_RANGE_DIVIDE_FIRST (whole-build, e.g. via CMake —
+/// never per-TU, shard_range is inline and ODR-visible everywhere) to pin
+/// shard_range to the fallback even where __int128 exists; the CI matrix
+/// stays on the wide path and covers the fallback through the direct tests
+/// of detail::shard_range_divide_first instead.
+[[nodiscard]] inline ShardRange shard_range(std::size_t n, std::size_t shard,
+                                            std::size_t shards) {
+#if defined(__SIZEOF_INT128__) && !defined(SOCPINN_SHARD_RANGE_DIVIDE_FIRST)
+  using Wide = unsigned __int128;
+  return {static_cast<std::size_t>(Wide(n) * shard / shards),
+          static_cast<std::size_t>(Wide(n) * (shard + 1) / shards)};
+#else
+  return detail::shard_range_divide_first(n, shard, shards);
 #endif
 }
 
 class ThreadPool {
  public:
   /// A shard job: fn(ctx, shard, begin, end) over the half-open range
-  /// [begin, end). Must not throw.
+  /// [begin, end). Jobs MAY throw: the first exception of a dispatch is
+  /// captured and rethrown by parallel_for on the calling thread (a
+  /// throwing job used to std::terminate the whole process from the
+  /// worker thread). See parallel_for for the exact contract.
   using Job = void (*)(void* ctx, std::size_t shard, std::size_t begin,
                        std::size_t end);
 
@@ -77,6 +104,16 @@ class ThreadPool {
   /// [s*n/size(), (s+1)*n/size()); empty shards are skipped. The calling
   /// thread executes shard 0. Only one parallel_for may be in flight at a
   /// time (the blocking call enforces this for a single owner).
+  ///
+  /// Exceptions: if any shard's job throws, the FIRST captured exception
+  /// of the dispatch is rethrown here, on the calling thread, AFTER every
+  /// shard has finished (workers never die, the pool stays reusable, and
+  /// no shard is left running into the caller's unwinding). "First" means
+  /// first captured, not lowest shard index — concurrent failures race
+  /// and exactly one wins; the rest are dropped. Shards other than the
+  /// throwing one still run to completion, so a partial mutation of
+  /// caller state is possible — the engines' jobs only write results per
+  /// cell, where partial completion is benign.
   void parallel_for(std::size_t n, Job job, void* ctx);
 
   /// Convenience adapter for callables: f(shard, begin, end). Works for
@@ -95,6 +132,11 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t worker_index);
 
+  /// Runs one shard's job, capturing a thrown exception into
+  /// first_error_ (first capture of the dispatch wins).
+  void run_shard(Job job, void* ctx, std::size_t shard, std::size_t begin,
+                 std::size_t end) noexcept;
+
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_work_;
@@ -102,6 +144,9 @@ class ThreadPool {
   Job job_ = nullptr;
   void* job_ctx_ = nullptr;
   std::size_t job_n_ = 0;
+  /// First exception thrown by any shard of the current dispatch; moved
+  /// out and rethrown by parallel_for once every shard has finished.
+  std::exception_ptr first_error_;
   std::uint64_t generation_ = 0;  ///< bumped per parallel_for to wake workers
   std::size_t pending_ = 0;       ///< workers still running the current job
   bool stop_ = false;

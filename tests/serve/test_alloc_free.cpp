@@ -14,8 +14,20 @@
 #include "core/two_branch_net.hpp"
 #include "serve/fleet_engine.hpp"
 #include "serve/rollout_engine.hpp"
+#include "serve/sharded_fleet.hpp"
 #include "support/fitted_net.hpp"
 #include "util/rng.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define SOCPINN_FORK_TESTS_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SOCPINN_FORK_TESTS_DISABLED 1
+#endif
+#endif
+#ifndef SOCPINN_FORK_TESTS_DISABLED
+#define SOCPINN_FORK_TESTS_DISABLED 0
+#endif
 
 namespace {
 std::atomic<std::size_t> g_alloc_count{0};
@@ -185,6 +197,89 @@ TEST(AllocFree, MailboxDrainAndPostSwapTicksAllocateNothing) {
   }
   EXPECT_EQ(allocs(), before) << "mailbox drain allocated in steady state";
   EXPECT_EQ(engine.ticks(), 26u);
+}
+
+TEST(AllocFree, ExternalMailboxSlotsTickLikeOwnedOnes) {
+  // The shared-memory transport hands FleetEngine an external slot array;
+  // the engine's steady-state zero-allocation contract must hold
+  // unchanged over a view it does not own.
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  const std::size_t cells = 400;
+  util::Rng rng(13);
+  nn::Matrix sensors(cells, 3);
+  nn::Matrix workload(cells, 3);
+  for (auto& v : sensors.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : workload.data()) v = rng.uniform(-1.0, 1.0);
+
+  std::vector<MailboxSlot> external(cells);  // zero state, like ftruncate
+  FleetConfig config;
+  config.threads = 2;
+  config.external_mailbox_slots = external.data();
+  FleetEngine engine(net, cells, config);
+  engine.init_from_sensors(sensors);
+  for (std::size_t c = 0; c < cells; ++c) {
+    engine.mailbox().publish_sensors(c, {3.9, -1.5, 25.0});
+    engine.mailbox().publish_workload(c, {-2.0, 25.0, 60.0});
+  }
+  engine.step(workload);
+
+  const std::size_t before = allocs();
+  for (int tick = 0; tick < 25; ++tick) {
+    for (std::size_t c = tick % 5; c < cells; c += 5) {
+      engine.mailbox().publish_sensors(c, {3.8, -1.0, 24.0});
+    }
+    engine.step(workload);
+  }
+  EXPECT_EQ(allocs(), before) << "external-slot ticks allocated";
+  EXPECT_EQ(engine.ticks(), 26u);
+}
+
+TEST(AllocFree, ShardedWorkerTicksSteadyStateAllocateNothing) {
+  // The cross-process half of the contract: each forked worker inherits
+  // this binary's counting operator new, probes it around every command's
+  // engine execution (ShardedFleetConfig::alloc_counter), and exports the
+  // delta through its segment header — so the steady-state
+  // allocation-free property is asserted INSIDE the worker processes.
+  if (SOCPINN_FORK_TESTS_DISABLED) {
+    GTEST_SKIP() << "fork-without-exec workers are incompatible with "
+                    "ThreadSanitizer";
+  }
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  const std::size_t cells = 300;
+  util::Rng rng(19);
+  const nn::Matrix sensors = testing::random_sensors(cells, rng);
+  const nn::Matrix workload = testing::random_workload(cells, rng);
+
+  ShardedFleetConfig config;
+  config.workers = 2;
+  config.threads_per_worker = 2;
+  config.alloc_counter = &allocs;
+  ShardedFleet fleet(net, cells, config);
+  fleet.init_from_sensors(sensors);
+  // Warm-up: publishes size the drain staging at full shard width; the
+  // first step and run size the per-shard forward scratch.
+  for (std::size_t c = 0; c < cells; ++c) {
+    fleet.publish_sensors(c, {3.9, -1.5, 25.0});
+    fleet.publish_workload(c, {-2.0, 25.0, 60.0});
+  }
+  fleet.step(workload);
+  fleet.run(-2.0, 25.0, 60.0, 2);
+
+  for (int tick = 0; tick < 10; ++tick) {
+    for (std::size_t c = tick % 5; c < cells; c += 5) {
+      fleet.publish_sensors(c, {3.8, -1.0, 24.0});
+    }
+    fleet.step(workload);
+    for (std::size_t w = 0; w < fleet.num_workers(); ++w) {
+      EXPECT_EQ(fleet.worker_allocs_last_command(w), 0u)
+          << "worker " << w << " allocated during steady-state tick " << tick;
+    }
+  }
+  fleet.run(-2.0, 25.0, 60.0, 5);
+  for (std::size_t w = 0; w < fleet.num_workers(); ++w) {
+    EXPECT_EQ(fleet.worker_allocs_last_command(w), 0u)
+        << "worker " << w << " allocated during steady-state run";
+  }
 }
 
 TEST(AllocFree, RolloutStepsSteadyStateAllocateNothing) {

@@ -183,8 +183,9 @@ TEST(LiveServing, NonFiniteMailboxMessagesAreSkippedAndCounted) {
   for (std::size_t c = 0; c < cells; ++c) {
     ASSERT_EQ(engine.soc()[c], reference.soc()[c]) << "cell " << c;
   }
-  EXPECT_EQ(engine.dropped_sensor_reports(), 2u);
-  EXPECT_EQ(engine.dropped_workload_overrides(), 1u);
+  EXPECT_EQ(engine.ingest_stats(),
+            (IngestStats{.dropped_sensor_reports = 2,
+                         .dropped_workload_overrides = 1}));
   EXPECT_FALSE(engine.has_workload_override(7));
 
   // A later valid report recovers the cell — nothing was latched.
@@ -195,7 +196,16 @@ TEST(LiveServing, NonFiniteMailboxMessagesAreSkippedAndCounted) {
   for (std::size_t c = 0; c < cells; ++c) {
     ASSERT_EQ(engine.soc()[c], reference.soc()[c]) << "cell " << c;
   }
-  EXPECT_EQ(engine.dropped_sensor_reports(), 2u);
+  EXPECT_EQ(engine.ingest_stats().dropped_sensor_reports, 2u);
+
+  // The consolidated stats are copyable, aggregate with +=, and reset —
+  // the shape a sharded parent sums across worker processes.
+  IngestStats total = engine.ingest_stats();
+  total += engine.ingest_stats();
+  EXPECT_EQ(total.dropped_sensor_reports, 4u);
+  EXPECT_EQ(total.dropped_workload_overrides, 2u);
+  engine.reset_ingest_stats();
+  EXPECT_EQ(engine.ingest_stats(), IngestStats{});
 }
 
 TEST(LiveServing, SynchronousReseedRejectsNonFiniteSensors) {
@@ -231,7 +241,7 @@ TEST(LiveServing, SynchronousReseedRejectsNonFiniteSensors) {
   for (std::size_t c = 0; c < cells; ++c) {
     EXPECT_EQ(engine.soc()[c], before[c]) << "cell " << c;
   }
-  EXPECT_EQ(engine.dropped_sensor_reports(), 0u);
+  EXPECT_EQ(engine.ingest_stats().dropped_sensor_reports, 0u);
 }
 
 TEST(LiveServing, WorkloadOverrideIsStickyAcrossRunFastPath) {

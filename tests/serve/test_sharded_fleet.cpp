@@ -1,0 +1,325 @@
+/// Multi-process fleet sharding over the shared-memory transport: the
+/// headline contract is BITWISE parity — for any process x thread split,
+/// at either precision, a ShardedFleet's SoC equals one FleetEngine over
+/// the whole fleet after any command sequence, including streaming ingest
+/// through shm and a mid-run model hot-swap.
+///
+/// The forking tests are skipped under ThreadSanitizer: the workers are
+/// fork()ed without exec, which TSan's runtime does not support. The
+/// transport's lock-free pieces (the mailbox seqlock, atomic_ref
+/// protocols) are TSan-covered by the in-process suites instead.
+
+#include "serve/sharded_fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "serve/fleet_engine.hpp"
+#include "serve/shm_transport.hpp"
+#include "support/fitted_net.hpp"
+#include "util/rng.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define SOCPINN_FORK_TESTS_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SOCPINN_FORK_TESTS_DISABLED 1
+#endif
+#endif
+#ifndef SOCPINN_FORK_TESTS_DISABLED
+#define SOCPINN_FORK_TESTS_DISABLED 0
+#endif
+
+#define SOCPINN_SKIP_IF_NO_FORK()                                           \
+  do {                                                                      \
+    if (SOCPINN_FORK_TESTS_DISABLED) {                                      \
+      GTEST_SKIP() << "fork-without-exec workers are incompatible with "    \
+                      "ThreadSanitizer";                                    \
+    }                                                                       \
+  } while (0)
+
+namespace socpinn::serve {
+namespace {
+
+TEST(PartitionFleet, MatchesThreadPoolBoundariesAndCoversTheFleet) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                              std::size_t{103}, std::size_t{1000}}) {
+    for (std::size_t workers = 1; workers <= std::min<std::size_t>(n, 6);
+         ++workers) {
+      const std::vector<Shard> shards = partition_fleet(n, workers);
+      ASSERT_EQ(shards.size(), workers);
+      std::size_t expect_begin = 0;
+      for (std::size_t w = 0; w < workers; ++w) {
+        const ShardRange range = shard_range(n, w, workers);
+        EXPECT_EQ(shards[w].index, w);
+        EXPECT_EQ(shards[w].begin, range.begin);
+        EXPECT_EQ(shards[w].end, range.end);
+        EXPECT_EQ(shards[w].begin, expect_begin);
+        EXPECT_GT(shards[w].size(), 0u) << "empty shard " << w << " of "
+                                        << workers << " over " << n;
+        expect_begin = shards[w].end;
+      }
+      EXPECT_EQ(expect_begin, n);
+    }
+  }
+}
+
+TEST(PartitionFleet, RejectsDegeneratePartitions) {
+  EXPECT_THROW(partition_fleet(10, 0), std::invalid_argument);
+  EXPECT_THROW(partition_fleet(3, 4), std::invalid_argument);
+}
+
+TEST(WorkerSegmentLayout, OffsetsAreAlignedAndDisjoint) {
+  const WorkerSegmentLayout layout{257};
+  EXPECT_EQ(layout.header_offset(), 0u);
+  EXPECT_EQ(layout.mailbox_offset() % alignof(MailboxSlot), 0u);
+  EXPECT_EQ(layout.soc_offset(),
+            layout.mailbox_offset() + 257 * sizeof(MailboxSlot));
+  EXPECT_EQ(layout.input_offset(), layout.soc_offset() + 257 * sizeof(double));
+  EXPECT_EQ(layout.total_size(),
+            layout.input_offset() + 257 * 3 * sizeof(double));
+}
+
+TEST(ModelRegion, PublishesVersionedBlobsReadableByVersion) {
+  ModelRegion region(1024);
+  EXPECT_EQ(region.version(), 0u);
+  std::string out;
+  EXPECT_EQ(region.read_if_newer(0, out), 0u);
+
+  region.publish("first model");
+  EXPECT_EQ(region.version(), 1u);
+  EXPECT_EQ(region.read_if_newer(0, out), 1u);
+  EXPECT_EQ(out, "first model");
+  // Already-seen version: no copy, same version back.
+  out = "untouched";
+  EXPECT_EQ(region.read_if_newer(1, out), 1u);
+  EXPECT_EQ(out, "untouched");
+
+  region.publish("second, longer model blob");
+  EXPECT_EQ(region.read_if_newer(1, out), 2u);
+  EXPECT_EQ(out, "second, longer model blob");
+
+  EXPECT_THROW(region.publish(std::string(2048, 'x')), std::invalid_argument);
+}
+
+/// Drives the same command sequence against both engines. The sequence
+/// exercises every command kind: batched connect-time seed, direct SoC
+/// seeding, per-cell workload steps, and a shared-row run.
+template <typename Fleet>
+void drive(Fleet& fleet, const nn::Matrix& sensors, const nn::Matrix& w1,
+           const nn::Matrix& w2, std::span<const double> seed) {
+  fleet.init_from_sensors(sensors);
+  fleet.step(w1);
+  fleet.run(-2.0, 25.0, 60.0, 3);
+  fleet.set_soc(seed);
+  fleet.step(w2);
+}
+
+void expect_bitwise_equal(std::span<const double> got,
+                          std::span<const double> want, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t c = 0; c < got.size(); ++c) {
+    ASSERT_EQ(std::memcmp(&got[c], &want[c], sizeof(double)), 0)
+        << what << ": cell " << c << " diverged: " << got[c] << " vs "
+        << want[c];
+  }
+}
+
+TEST(ShardedFleet, BitwiseParityAcrossProcessThreadAndPrecisionSplits) {
+  SOCPINN_SKIP_IF_NO_FORK();
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  const std::size_t cells = 257;  // prime: every split has ragged shards
+  util::Rng rng(11);
+  const nn::Matrix sensors = testing::random_sensors(cells, rng);
+  const nn::Matrix w1 = testing::random_workload(cells, rng);
+  const nn::Matrix w2 = testing::random_workload(cells, rng);
+  std::vector<double> seed(cells);
+  for (auto& v : seed) v = rng.uniform(0.0, 1.0);
+
+  for (const core::Precision precision :
+       {core::Precision::kFloat64, core::Precision::kFloat32}) {
+    FleetConfig ref_config;
+    ref_config.threads = 3;  // any count: the engine is thread-invariant
+    ref_config.precision = precision;
+    FleetEngine reference(net, cells, ref_config);
+    drive(reference, sensors, w1, w2, seed);
+
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        ShardedFleetConfig config;
+        config.workers = workers;
+        config.threads_per_worker = threads;
+        config.precision = precision;
+        ShardedFleet fleet(net, cells, config);
+        ASSERT_EQ(fleet.num_workers(), workers);
+        drive(fleet, sensors, w1, w2, seed);
+        ASSERT_EQ(fleet.ticks(), reference.ticks());
+        expect_bitwise_equal(
+            fleet.soc(), reference.soc(),
+            (std::string("workers=") + std::to_string(workers) +
+             " threads=" + std::to_string(threads) +
+             (precision == core::Precision::kFloat32 ? " f32" : " f64"))
+                .c_str());
+      }
+    }
+  }
+}
+
+TEST(ShardedFleet, StreamingIngestParityIncludingNonFiniteDrops) {
+  SOCPINN_SKIP_IF_NO_FORK();
+  const core::TwoBranchNet net = testing::make_fitted_net(33);
+  const std::size_t cells = 103;
+  util::Rng rng(17);
+  const nn::Matrix sensors = testing::random_sensors(cells, rng);
+  const nn::Matrix workload = testing::random_workload(cells, rng);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  FleetEngine reference(net, cells, {});
+  ShardedFleetConfig config;
+  config.workers = 3;
+  config.threads_per_worker = 2;
+  ShardedFleet fleet(net, cells, config);
+
+  reference.init_from_sensors(sensors);
+  fleet.init_from_sensors(sensors);
+
+  // Interleave valid publishes, superseded publishes (latest wins), and
+  // non-finite ones (skip-and-count) — including cells on both sides of
+  // the 103/3 shard boundaries (34 and 68).
+  for (std::size_t c = 0; c < cells; c += 2) {
+    const SensorReport report{3.5 + 0.001 * static_cast<double>(c), -1.0,
+                              24.0};
+    reference.mailbox().publish_sensors(c, report);
+    fleet.publish_sensors(c, report);
+  }
+  for (const std::size_t c : {0u, 33u, 34u, 67u, 68u, 102u}) {
+    const WorkloadOverride forecast{-2.5, 23.0,
+                                    40.0 + static_cast<double>(c)};
+    reference.mailbox().publish_workload(c, forecast);
+    fleet.publish_workload(c, forecast);
+  }
+  // Superseded: a second publish before the drain replaces the first.
+  reference.mailbox().publish_sensors(4, {3.9, -0.5, 25.0});
+  fleet.publish_sensors(4, {3.9, -0.5, 25.0});
+  // Dropped: one bad sensor report and two bad workload overrides, spread
+  // across different shards.
+  reference.mailbox().publish_sensors(35, {nan, -1.0, 24.0});
+  fleet.publish_sensors(35, {nan, -1.0, 24.0});
+  reference.mailbox().publish_workload(2, {-2.0, inf, 60.0});
+  fleet.publish_workload(2, {-2.0, inf, 60.0});
+  reference.mailbox().publish_workload(70, {-2.0, 25.0, -inf});
+  fleet.publish_workload(70, {-2.0, 25.0, -inf});
+
+  reference.step(workload);
+  fleet.step(workload);
+  expect_bitwise_equal(fleet.soc(), reference.soc(), "post-ingest step");
+
+  const IngestStats expect = reference.ingest_stats();
+  EXPECT_EQ(expect.dropped_sensor_reports, 1u);
+  EXPECT_EQ(expect.dropped_workload_overrides, 2u);
+  EXPECT_EQ(fleet.ingest_stats(), expect);
+
+  // The overrides are sticky in every worker, like in-process.
+  reference.step(workload);
+  fleet.step(workload);
+  expect_bitwise_equal(fleet.soc(), reference.soc(), "sticky override step");
+}
+
+TEST(ShardedFleet, MidRunHotSwapAdoptsAtTheNextCommandBitwise) {
+  SOCPINN_SKIP_IF_NO_FORK();
+  const core::TwoBranchNet net_a = testing::make_fitted_net(21);
+  const core::TwoBranchNet net_b = testing::make_fitted_net(99);
+  const std::size_t cells = 64;
+  util::Rng rng(5);
+  const nn::Matrix sensors = testing::random_sensors(cells, rng);
+  const nn::Matrix workload = testing::random_workload(cells, rng);
+
+  for (const core::Precision precision :
+       {core::Precision::kFloat64, core::Precision::kFloat32}) {
+    FleetConfig ref_config;
+    ref_config.precision = precision;
+    FleetEngine reference(net_a, cells, ref_config);
+    ShardedFleetConfig config;
+    config.workers = 2;
+    config.threads_per_worker = 2;
+    config.precision = precision;
+    ShardedFleet fleet(net_a, cells, config);
+    EXPECT_EQ(fleet.model_version(), 1u);
+
+    reference.init_from_sensors(sensors);
+    fleet.init_from_sensors(sensors);
+    reference.step(workload);
+    fleet.step(workload);
+
+    // Publish between commands: the engine applies it on its next tick,
+    // every worker adopts at its next command — the same boundary.
+    reference.swap_model(net_b);
+    fleet.swap_model(net_b);
+    EXPECT_EQ(fleet.model_version(), 2u);
+
+    reference.step(workload);
+    fleet.step(workload);
+    expect_bitwise_equal(fleet.soc(), reference.soc(), "post-swap step");
+    for (std::size_t w = 0; w < fleet.num_workers(); ++w) {
+      EXPECT_EQ(fleet.worker_model_version(w), 2u) << "worker " << w;
+    }
+
+    reference.run(-1.5, 22.0, 45.0, 2);
+    fleet.run(-1.5, 22.0, 45.0, 2);
+    expect_bitwise_equal(fleet.soc(), reference.soc(), "post-swap run");
+  }
+}
+
+TEST(ShardedFleet, ValidatesArgumentsBeforeAnyWorkerSeesThem) {
+  SOCPINN_SKIP_IF_NO_FORK();
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  ShardedFleetConfig config;
+  config.workers = 2;
+  ShardedFleet fleet(net, 16, config);
+
+  EXPECT_THROW(fleet.init_from_sensors(nn::Matrix(8, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(fleet.init_from_sensors(nn::Matrix(16, 4)),
+               std::invalid_argument);
+  nn::Matrix bad(16, 3);
+  for (auto& v : bad.data()) v = 3.7;
+  bad(11, 1) = std::numeric_limits<double>::quiet_NaN();
+  try {
+    fleet.init_from_sensors(bad);
+    FAIL() << "expected the non-finite row to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cell 11"), std::string::npos);
+  }
+
+  EXPECT_THROW(fleet.set_soc(std::vector<double>(8, 0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(fleet.step(nn::Matrix(16, 2)), std::invalid_argument);
+  EXPECT_THROW(fleet.publish_sensors(16, {3.7, -1.0, 25.0}),
+               std::out_of_range);
+  EXPECT_THROW((void)fleet.worker_model_version(2), std::out_of_range);
+
+  // Rejected inputs left no partial state: the fleet still works.
+  util::Rng rng(3);
+  fleet.init_from_sensors(testing::random_sensors(16, rng));
+  fleet.step(testing::random_workload(16, rng));
+  EXPECT_EQ(fleet.ticks(), 1u);
+}
+
+TEST(ShardedFleet, RequiresATrainedNetAndANonDegeneratePartition) {
+  const core::TwoBranchNet untrained;  // transport must serialize the model
+  EXPECT_THROW(ShardedFleet(untrained, 8, {}), std::invalid_argument);
+
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  EXPECT_THROW(ShardedFleet(net, 0, {}), std::invalid_argument);
+  ShardedFleetConfig too_many;
+  too_many.workers = 9;
+  EXPECT_THROW(ShardedFleet(net, 8, too_many), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace socpinn::serve

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace socpinn::serve {
@@ -47,6 +48,35 @@ TEST(ShardRange, SurvivesSizesNearSizeMax) {
         expect_begin = r.end;
       }
       ASSERT_EQ(expect_begin, n) << "n " << n << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardRange, DivideFirstFallbackMatchesWidePathOnBoundaryCases) {
+  // The #else fallback of shard_range only auto-selects where __int128 is
+  // absent — no CI host — so the body is exposed as
+  // detail::shard_range_divide_first and pinned equal to the wide path
+  // here, on exactly the boundary cases the overflow fix exists for.
+  const std::size_t max = std::numeric_limits<std::size_t>::max();
+  const std::size_t ns[] = {0,       1,      2,         103,
+                            1000,    4096,   max / 2,   max / 2 + 3,
+                            max - 5, max - 1, max};
+  const std::size_t shard_counts[] = {1, 2, 3, 7, 64, 1024, 65536};
+  for (const std::size_t n : ns) {
+    for (const std::size_t shards : shard_counts) {
+      for (std::size_t s = 0; s < shards; s += (shards > 8 ? shards / 8 : 1)) {
+        const ShardRange wide = shard_range(n, s, shards);
+        const ShardRange fallback = detail::shard_range_divide_first(n, s,
+                                                                     shards);
+        ASSERT_EQ(fallback.begin, wide.begin)
+            << "n " << n << " shard " << s << " of " << shards;
+        ASSERT_EQ(fallback.end, wide.end)
+            << "n " << n << " shard " << s << " of " << shards;
+      }
+      // The last shard's end must close the cover exactly.
+      const ShardRange last = detail::shard_range_divide_first(n, shards - 1,
+                                                               shards);
+      ASSERT_EQ(last.end, n) << "n " << n << " shards " << shards;
     }
   }
 }
@@ -111,6 +141,77 @@ TEST(ThreadPool, ReusableAcrossManyDispatches) {
     });
   }
   EXPECT_EQ(total.load(), 50l * 64l);
+}
+
+TEST(ThreadPool, RethrowsWorkerShardExceptionOnCallerThread) {
+  // A throwing job used to escape the worker thread and std::terminate
+  // the process; now the first exception of the dispatch is rethrown by
+  // parallel_for on the calling thread.
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<std::size_t> visited{0};
+    try {
+      pool.parallel_for(100,
+                        [&](std::size_t shard, std::size_t begin,
+                            std::size_t end) {
+                          visited.fetch_add(end - begin);
+                          if (shard == 2) {
+                            throw std::runtime_error("shard 2 failed");
+                          }
+                        });
+      FAIL() << "expected the shard exception to be rethrown";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "shard 2 failed");
+    }
+    // Every shard still ran to completion before the rethrow: the pool
+    // never abandons shards mid-dispatch.
+    EXPECT_EQ(visited.load(), 100u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, RethrowsCallerShardExceptionToo) {
+  // Shard 0 runs on the calling thread; its exception must take the same
+  // capture-then-rethrow route so the dispatch still waits for workers.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> visited{0};
+  EXPECT_THROW(
+      pool.parallel_for(90,
+                        [&](std::size_t shard, std::size_t begin,
+                            std::size_t end) {
+                          visited.fetch_add(end - begin);
+                          if (shard == 0) throw std::logic_error("caller");
+                        }),
+      std::logic_error);
+  EXPECT_EQ(visited.load(), 90u);
+}
+
+TEST(ThreadPool, SingleThreadPoolPropagatesDirectly) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   10, [&](std::size_t, std::size_t, std::size_t) {
+                     throw std::invalid_argument("solo");
+                   }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterAnExceptionalDispatch) {
+  // The rethrow happens after every worker idles again, so the very next
+  // parallel_for must behave exactly like on a fresh pool — including
+  // when several shards throw concurrently (exactly one exception wins).
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t, std::size_t, std::size_t) {
+                                   throw std::runtime_error("everybody");
+                                 }),
+               std::runtime_error);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(64, [&](std::size_t, std::size_t begin,
+                              std::size_t end) {
+      total.fetch_add(static_cast<long>(end - begin));
+    });
+  }
+  EXPECT_EQ(total.load(), 20l * 64l);
 }
 
 }  // namespace
