@@ -12,7 +12,7 @@ void require_same_shape(const Matrix& a, const Matrix& b) {
   }
 }
 double inv_count(const Matrix& m) {
-  if (m.size() == 0) throw std::invalid_argument("loss: empty batch");
+  if (m.empty()) throw std::invalid_argument("loss: empty batch");
   return 1.0 / static_cast<double>(m.size());
 }
 
@@ -33,7 +33,7 @@ double mean_over_residuals(const Matrix& pred, const Matrix& target, F&& f) {
 template <typename F>
 Matrix grad_from_residuals(const Matrix& pred, const Matrix& target, F&& f) {
   require_same_shape(pred, target);
-  if (pred.size() == 0) throw std::invalid_argument("loss: empty batch");
+  if (pred.empty()) throw std::invalid_argument("loss: empty batch");
   Matrix g(pred.rows(), pred.cols());
   for (std::size_t i = 0; i < pred.size(); ++i) {
     g.data()[i] = f(pred.data()[i] - target.data()[i]);

@@ -6,6 +6,7 @@
 #include "nn/dense.hpp"
 #include "nn/mlp.hpp"
 #include "nn/panel_dispatch.hpp"
+#include "util/annotations.hpp"
 
 namespace socpinn::nn {
 
@@ -15,8 +16,9 @@ namespace {
 /// activation.cpp's double path, evaluated natively at T so the float
 /// backend never round-trips through double.
 template <typename T>
-void activate_columns(ActivationKind kind, const MatrixT<T>& in,
-                      MatrixT<T>& out) {
+SOCPINN_HOT void activate_columns(ActivationKind kind, const MatrixT<T>& in,
+                                  MatrixT<T>& out) {
+  // SOCPINN_HOT_ALLOW(resize): warm workspace capacity, layer shapes fixed
   out.resize(in.rows(), in.cols());
   const auto src = in.data();
   const auto dst = out.data();
@@ -51,7 +53,7 @@ void activate_columns(ActivationKind kind, const MatrixT<T>& in,
 }  // namespace
 
 template <typename T>
-void dense_forward_columns(const MatrixT<T>& activations,
+SOCPINN_HOT void dense_forward_columns(const MatrixT<T>& activations,
                            const MatrixT<T>& weights,
                            const MatrixT<T>& bias_row, MatrixT<T>& out) {
   if (activations.rows() != weights.rows()) {
@@ -66,6 +68,7 @@ void dense_forward_columns(const MatrixT<T>& activations,
     throw std::invalid_argument(
         "dense_forward_columns<T>: out must not alias an input");
   }
+  // SOCPINN_HOT_ALLOW(resize): warm workspace capacity, layer shapes fixed
   out.resize(weights.cols(), activations.cols());
   // Same runtime-ISA dispatch as the nn::Matrix overload; the templated
   // serve path and the f64 reference path always agree on the kernel.
@@ -89,8 +92,8 @@ ScalerStatsT<T> ScalerStatsT<T>::from(const StandardScaler& scaler) {
 }
 
 template <typename T>
-void ScalerStatsT<T>::transform_columns_into(const MatrixT<T>& x,
-                                             MatrixT<T>& out) const {
+SOCPINN_HOT void ScalerStatsT<T>::transform_columns_into(
+    const MatrixT<T>& x, MatrixT<T>& out) const {
   if (means.empty()) {
     throw std::logic_error("ScalerStatsT: empty stats");
   }
@@ -98,6 +101,7 @@ void ScalerStatsT<T>::transform_columns_into(const MatrixT<T>& x,
     throw std::invalid_argument("ScalerStatsT::transform_columns_into: "
                                 "feature rows");
   }
+  // SOCPINN_HOT_ALLOW(resize): warm workspace capacity, layer shapes fixed
   out.resize(x.rows(), x.cols());
   for (std::size_t f = 0; f < x.rows(); ++f) {
     const T mean = means[f];
@@ -139,12 +143,13 @@ MlpSnapshotT<T> MlpSnapshotT<T>::from(const Mlp& mlp) {
 }
 
 template <typename T>
-const MatrixT<T>& MlpSnapshotT<T>::infer_columns(
+SOCPINN_HOT const MatrixT<T>& MlpSnapshotT<T>::infer_columns(
     const MatrixT<T>& input_columns, ForwardWorkspaceT<T>& ws) const {
   const std::size_t n = steps_.size();
   ws.ensure(n + 1);  // buffer n backs the layerless copy
   if (n == 0) {
     MatrixT<T>& out = ws.buffer(n);
+    // SOCPINN_HOT_ALLOW(resize): warm workspace capacity, layer shapes fixed
     out.resize(input_columns.rows(), input_columns.cols());
     const auto src = input_columns.data();
     const auto dst = out.data();
@@ -159,7 +164,9 @@ const MatrixT<T>& MlpSnapshotT<T>::infer_columns(
       if (x->rows() != step.w.rows()) {
         throw std::invalid_argument(
             "MlpSnapshotT::infer_columns: input features " +
+            // SOCPINN_HOT_ALLOW(to_string): cold throw path (shape mismatch)
             std::to_string(x->rows()) + " != " +
+            // SOCPINN_HOT_ALLOW(to_string): cold throw path (shape mismatch)
             std::to_string(step.w.rows()));
       }
       dense_forward_columns(*x, step.w, step.b, out);

@@ -14,6 +14,8 @@
 
 #include <cstddef>
 
+#include "util/annotations.hpp"
+
 namespace socpinn::nn::detail {
 
 /// Register-blocked tile of the feature-major forward: kOut output features
@@ -23,7 +25,7 @@ namespace socpinn::nn::detail {
 /// AVX-512/AVX2 register file; float tiles double kBatch to fill the same
 /// register bytes. Per element the order stays bias-then-ascending-k.
 template <typename T, int kOut, int kBatch>
-inline void dense_columns_tile(const T* __restrict a, const T* __restrict w,
+SOCPINN_HOT inline void dense_columns_tile(const T* __restrict a, const T* __restrict w,
                                const T* __restrict bias, T* __restrict out,
                                std::size_t in_f, std::size_t out_f,
                                std::size_t batch, std::size_t of,
@@ -53,7 +55,7 @@ inline void dense_columns_tile(const T* __restrict a, const T* __restrict w,
 /// (whose interleaving vectorization is dramatically slower for these
 /// shapes than the plain saxpy form).
 template <typename T>
-__attribute__((noinline, noclone)) void dense_columns_kernel(
+SOCPINN_HOT __attribute__((noinline, noclone)) void dense_columns_kernel(
     const T* __restrict a, const T* __restrict w, const T* __restrict bias,
     T* __restrict out, std::size_t in_f, std::size_t out_f,
     std::size_t batch) {

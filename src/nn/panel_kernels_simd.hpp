@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "nn/simd.hpp"
+#include "util/annotations.hpp"
 
 namespace socpinn::nn::detail {
 
@@ -25,7 +26,7 @@ namespace socpinn::nn::detail {
 /// load per (k, vector) and one weight broadcast per (k, row) — the
 /// explicit image of the scalar template's dense_columns_tile.
 template <typename V, int kOut, int kVecs>
-inline void dense_columns_tile_vec(
+SOCPINN_HOT inline void dense_columns_tile_vec(
     const typename V::Scalar* __restrict a,
     const typename V::Scalar* __restrict w,
     const typename V::Scalar* __restrict bias,
@@ -57,7 +58,7 @@ inline void dense_columns_tile_vec(
 /// at V. Batch decomposition: full kVecs*W tiles, then single-vector
 /// columns, then a scalar remainder identical to the scalar template's.
 template <typename V>
-void dense_columns_kernel_vec(const typename V::Scalar* __restrict a,
+SOCPINN_HOT void dense_columns_kernel_vec(const typename V::Scalar* __restrict a,
                               const typename V::Scalar* __restrict w,
                               const typename V::Scalar* __restrict bias,
                               typename V::Scalar* __restrict out,

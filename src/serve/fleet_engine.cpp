@@ -5,6 +5,7 @@
 #include <string>
 
 #include "nn/panel_dispatch.hpp"
+#include "util/annotations.hpp"
 #include "util/math.hpp"
 
 namespace socpinn::serve {
@@ -92,8 +93,8 @@ void FleetEngine::swap_model(
   model_.store(std::move(snapshot));
 }
 
-void FleetEngine::reanchor_batch(ShardScratch& scratch,
-                                 const core::TwoBranchSnapshot& model) {
+SOCPINN_HOT void FleetEngine::reanchor_batch(
+    ShardScratch& scratch, const core::TwoBranchSnapshot& model) {
   const std::size_t count = scratch.pending.size();
   if (count == 0) return;
   const bool clamp = config_.clamp_soc;
@@ -102,6 +103,8 @@ void FleetEngine::reanchor_batch(ShardScratch& scratch,
     // outputs discarded): per-column results are independent, so padding
     // changes nothing but speed on thin batches.
     const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
+    // SOCPINN_HOT_ALLOW(resize): shrinks into warm capacity after the
+    // first full-shard drain (test_alloc_free.cpp probes it)
     scratch.sensor_input_f32.resize(3, padded);
     for (std::size_t i = 0; i < count; ++i) {
       scratch.sensor_input_f32(0, i) =
@@ -120,6 +123,8 @@ void FleetEngine::reanchor_batch(ShardScratch& scratch,
     }
     return;
   }
+  // SOCPINN_HOT_ALLOW(resize): shrinks into warm capacity after the first
+  // full-shard drain (test_alloc_free.cpp probes it)
   scratch.sensor_input.resize(count, 3);
   for (std::size_t i = 0; i < count; ++i) {
     scratch.sensor_input(i, 0) = scratch.reports[i].voltage;
@@ -217,9 +222,9 @@ void FleetEngine::set_soc(std::span<const double> soc) {
   }
 }
 
-void FleetEngine::drain_shard(ShardScratch& scratch,
-                              const core::TwoBranchSnapshot& model,
-                              std::size_t begin, std::size_t end) {
+SOCPINN_HOT void FleetEngine::drain_shard(ShardScratch& scratch,
+                                          const core::TwoBranchSnapshot& model,
+                                          std::size_t begin, std::size_t end) {
   // Workload overrides first: they replace the staged Branch-2 row of this
   // very tick (sticky until a newer override supersedes them).
   WorkloadOverride forecast;
@@ -249,16 +254,19 @@ void FleetEngine::drain_shard(ShardScratch& scratch,
         dropped_sensor_reports_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      // Both vectors were grown to full shard size by the warm-up tick.
+      // SOCPINN_HOT_ALLOW(push_back): warm capacity, bounded by end - begin
       scratch.pending.push_back(cell);
+      // SOCPINN_HOT_ALLOW(push_back): warm capacity, bounded by end - begin
       scratch.reports.push_back(report);
     }
   }
   reanchor_batch(scratch, model);
 }
 
-void FleetEngine::apply_overrides(ShardScratch& scratch, bool f32,
-                                  bool columns, std::size_t begin,
-                                  std::size_t count) {
+SOCPINN_HOT void FleetEngine::apply_overrides(ShardScratch& scratch, bool f32,
+                                              bool columns, std::size_t begin,
+                                              std::size_t count) {
   // Runs after any staging, before every forward: overrides must survive
   // both per-tick restaging (step) and the persisted run() fast path.
   for (std::size_t i = 0; i < count; ++i) {
@@ -280,9 +288,9 @@ void FleetEngine::apply_overrides(ShardScratch& scratch, bool f32,
   }
 }
 
-void FleetEngine::forward_shard(ShardScratch& scratch,
-                                const core::TwoBranchSnapshot& model,
-                                std::size_t begin, std::size_t count) {
+SOCPINN_HOT void FleetEngine::forward_shard(
+    ShardScratch& scratch, const core::TwoBranchSnapshot& model,
+    std::size_t begin, std::size_t count) {
   if (config_.precision == core::Precision::kFloat32) {
     const nn::MatrixF32& pred =
         model.f32().predict_columns(scratch.input_f32, scratch.ws_f32);
@@ -303,7 +311,7 @@ void FleetEngine::forward_shard(ShardScratch& scratch,
   }
 }
 
-void FleetEngine::step(const nn::Matrix& workload_raw) {
+SOCPINN_HOT void FleetEngine::step(const nn::Matrix& workload_raw) {
   if (workload_raw.rows() != num_cells() || workload_raw.cols() != 3) {
     throw std::invalid_argument(
         "FleetEngine::step: need num_cells x 3 workload");
@@ -323,6 +331,7 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
           // contract to preserve at reduced precision), padded up to the
           // 32-wide vectorized float tile on thin shards.
           const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
+          // SOCPINN_HOT_ALLOW(resize): warm capacity, shard shape fixed per engine
           scratch.input_f32.resize(4, padded);
           for (std::size_t i = 0; i < count; ++i) {
             scratch.input_f32(0, i) = static_cast<float>(soc_[begin + i]);
@@ -339,6 +348,7 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
           // transpose round-trip) for big shards, row-major below the
           // panel threshold where the small-batch kernels win; both
           // layouts agree bitwise.
+          // SOCPINN_HOT_ALLOW(resize): warm capacity, shard shape fixed per engine
           scratch.input.resize(4, count);
           for (std::size_t i = 0; i < count; ++i) {
             scratch.input(0, i) = soc_[begin + i];
@@ -347,6 +357,7 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
             scratch.input(3, i) = workload_raw(begin + i, 2);
           }
         } else {
+          // SOCPINN_HOT_ALLOW(resize): warm capacity, shard shape fixed per engine
           scratch.input.resize(count, 4);
           for (std::size_t i = 0; i < count; ++i) {
             scratch.input(i, 0) = soc_[begin + i];
@@ -362,7 +373,7 @@ void FleetEngine::step(const nn::Matrix& workload_raw) {
   ++ticks_;
 }
 
-void FleetEngine::tick_shared(const double* row3) {
+SOCPINN_HOT void FleetEngine::tick_shared(const double* row3) {
   const std::shared_ptr<const core::TwoBranchSnapshot> model =
       model_.load();
   const bool f32 = config_.precision == core::Precision::kFloat32;
@@ -380,6 +391,7 @@ void FleetEngine::tick_shared(const double* row3) {
             // Pad columns are staged to zero once (SoC row included) and
             // never rewritten by the per-tick SoC refresh below.
             const std::size_t padded = std::max(count, nn::kColumnsMinBatch);
+            // SOCPINN_HOT_ALLOW(resize): warm capacity, shard shape fixed per engine
             scratch.input_f32.resize(4, padded);
             for (std::size_t i = 0; i < count; ++i) {
               scratch.input_f32(1, i) = static_cast<float>(row3[0]);
@@ -397,6 +409,7 @@ void FleetEngine::tick_shared(const double* row3) {
         }
         if (row3 != nullptr) {
           if (columns) {
+            // SOCPINN_HOT_ALLOW(resize): warm capacity, shard shape fixed per engine
             scratch.input.resize(4, count);
             for (std::size_t i = 0; i < count; ++i) {
               scratch.input(1, i) = row3[0];
@@ -404,6 +417,7 @@ void FleetEngine::tick_shared(const double* row3) {
               scratch.input(3, i) = row3[2];
             }
           } else {
+            // SOCPINN_HOT_ALLOW(resize): warm capacity, shard shape fixed per engine
             scratch.input.resize(count, 4);
             for (std::size_t i = 0; i < count; ++i) {
               scratch.input(i, 1) = row3[0];

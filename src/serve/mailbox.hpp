@@ -51,6 +51,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace socpinn::serve {
 
 /// One raw BMS report: the Branch-1 input triple. Consuming it re-anchors
@@ -130,7 +132,7 @@ namespace detail {
 /// in-place inside a shared-memory segment mapped by several processes.
 struct SeqlockSlot3 {
   /// Wait-free single-writer publish.
-  void publish(double a, double b, double c) {
+  SOCPINN_HOT void publish(double a, double b, double c) {
     const std::atomic_ref<std::uint64_t> seq(seq_);
     const std::uint64_t s = seq.load(std::memory_order_relaxed);
     seq.store(s + 1, std::memory_order_relaxed);
@@ -145,7 +147,7 @@ struct SeqlockSlot3 {
   /// only for a publish newer than `cursor` that was read coherently. A
   /// racing publish returns false — the message is picked up on the next
   /// call instead of spinning under producer pressure.
-  bool consume(std::uint64_t& cursor, double out[3]) const {
+  SOCPINN_HOT bool consume(std::uint64_t& cursor, double out[3]) const {
     // atomic_ref requires a non-const referent until C++26; the slot's
     // logical constness is preserved (loads only).
     auto* self = const_cast<SeqlockSlot3*>(this);
@@ -162,7 +164,7 @@ struct SeqlockSlot3 {
   }
 
   /// Whether a publish newer than `cursor` is (or is about to be) visible.
-  [[nodiscard]] bool pending(std::uint64_t cursor) const {
+  [[nodiscard]] SOCPINN_HOT bool pending(std::uint64_t cursor) const {
     auto* self = const_cast<SeqlockSlot3*>(this);
     return std::atomic_ref<std::uint64_t>(self->seq_)
                .load(std::memory_order_relaxed) != cursor;
@@ -245,13 +247,15 @@ class Mailbox {
   [[nodiscard]] std::size_t num_cells() const { return num_cells_; }
 
   /// Publishes a fresh BMS report for `cell` (wait-free; latest wins).
-  void publish_sensors(std::size_t cell, const SensorReport& report) {
+  SOCPINN_HOT void publish_sensors(std::size_t cell,
+                                   const SensorReport& report) {
     slots_checked(cell).sensors.publish(report.voltage, report.current,
                                         report.temp_c);
   }
 
   /// Publishes a revised workload forecast for `cell` (wait-free).
-  void publish_workload(std::size_t cell, const WorkloadOverride& forecast) {
+  SOCPINN_HOT void publish_workload(std::size_t cell,
+                                    const WorkloadOverride& forecast) {
     slots_checked(cell).workload.publish(forecast.avg_current,
                                          forecast.avg_temp_c,
                                          forecast.horizon_s);
@@ -260,7 +264,7 @@ class Mailbox {
   /// Consumes the newest unseen sensor report for `cell`, if any.
   /// Consumer-side: one logical consumer per cell (inside FleetEngine,
   /// the shard owning the cell).
-  bool consume_sensors(std::size_t cell, SensorReport& out) {
+  SOCPINN_HOT bool consume_sensors(std::size_t cell, SensorReport& out) {
     MailboxSlot& slot = slots_checked(cell);
     double v[3];
     const std::atomic_ref<std::uint64_t> cursor_ref(slot.sensor_cursor);
@@ -273,7 +277,7 @@ class Mailbox {
 
   /// Consumes the newest unseen workload override for `cell`, if any.
   /// Same consumer-side contract as consume_sensors.
-  bool consume_workload(std::size_t cell, WorkloadOverride& out) {
+  SOCPINN_HOT bool consume_workload(std::size_t cell, WorkloadOverride& out) {
     MailboxSlot& slot = slots_checked(cell);
     double v[3];
     const std::atomic_ref<std::uint64_t> cursor_ref(slot.workload_cursor);
@@ -288,7 +292,7 @@ class Mailbox {
   /// kind — a cheap heuristic pre-check callable from ANY thread
   /// (producers may poll their backlog); consume_* stays the source of
   /// truth, and a racing drain may make the answer stale by one message.
-  [[nodiscard]] bool pending(std::size_t cell) const {
+  [[nodiscard]] SOCPINN_HOT bool pending(std::size_t cell) const {
     MailboxSlot& slot = slots_checked(cell);
     return slot.sensors.pending(
                std::atomic_ref<std::uint64_t>(slot.sensor_cursor)

@@ -8,6 +8,7 @@
 #include "battery/coulomb.hpp"
 #include "nn/panel_dispatch.hpp"
 #include "serve/mailbox.hpp"
+#include "util/annotations.hpp"
 #include "util/math.hpp"
 
 namespace socpinn::serve {
@@ -166,7 +167,7 @@ void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
       });
 }
 
-std::size_t RolloutEngine::gather_reanchors(ShardScratch& s,
+SOCPINN_HOT std::size_t RolloutEngine::gather_reanchors(ShardScratch& s,
                                             std::span<const RolloutLane> lanes,
                                             std::size_t begin,
                                             std::size_t count,
@@ -181,6 +182,8 @@ std::size_t RolloutEngine::gather_reanchors(ShardScratch& s,
     // the lane is still alive.
     if (pos < lane.reanchor->steps.size() &&
         lane.reanchor->steps[pos] == step) {
+      // SOCPINN_HOT_ALLOW(push_back): warm capacity, bounded by the shard's
+      // lane count after the first run
       s.pending.push_back(i);
       ++pos;
     }
@@ -188,7 +191,7 @@ std::size_t RolloutEngine::gather_reanchors(ShardScratch& s,
   return s.pending.size();
 }
 
-void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
+SOCPINN_HOT void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
                                std::span<const RolloutLane> lanes,
                                std::span<core::Rollout> out, std::size_t shard,
                                std::size_t begin, std::size_t end) {
@@ -199,6 +202,7 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
 
   // Seed: one batched Branch-1 estimate over the shard's lanes —
   // the only time voltage is consumed (Fig. 2 discipline).
+  // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
   s.input.resize(count, 3);
   for (std::size_t i = 0; i < count; ++i) {
     const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
@@ -207,23 +211,32 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
     s.input(i, 2) = sched.temp0;
   }
   const nn::Matrix& est = net.estimate_batch(s.input, s.ws);
+  // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
   s.soc.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
     const double seed = clamp ? util::clamp01(est(i, 0)) : est(i, 0);
     s.soc[i] = seed;
     core::Rollout& r = out[begin + i];
+    // SOCPINN_HOT_ALLOW(assign): per-run output allocation, once per lane in
+    // the seed section, outside the steady-state step loop
     r.times_s.assign(sched.times_s.begin(), sched.times_s.end());
+    // SOCPINN_HOT_ALLOW(assign): per-run output allocation (see above)
     r.truth.assign(sched.truth.begin(), sched.truth.end());
     r.soc.clear();
+    // SOCPINN_HOT_ALLOW(reserve): per-run output allocation; sizes the
+    // trajectory once so the step loop's push_back never reallocates
     r.soc.reserve(sched.times_s.size());
+    // SOCPINN_HOT_ALLOW(push_back): within the capacity reserved above
     r.soc.push_back(seed);
   }
 
   // Lockstep steps. A lane is active while its schedule still has a
   // window at `step`; retired lanes drop out of the gather without
   // moving shard boundaries.
+  // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
   s.gather.resize(count);
+  // SOCPINN_HOT_ALLOW(assign): warm scratch capacity, shard shape fixed
   s.plan_pos.assign(count, 0);
   for (std::size_t step = 0;; ++step) {
     std::size_t active = 0;   // gathered NN rows this step
@@ -244,6 +257,7 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
     // trajectory's last entry is the point at times_s[step].
     if (gather_reanchors(s, lanes, begin, count, step) > 0) {
       const std::size_t n = s.pending.size();
+      // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
       s.sensor_input.resize(n, 3);
       for (std::size_t g = 0; g < n; ++g) {
         const std::size_t i = s.pending[g];
@@ -265,6 +279,7 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
     if (active >= nn::kColumnsMinBatch) {
       // Gather straight into the feature-major panel: batch is the
       // unit-stride axis, no transpose round-trip per step.
+      // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
       s.input.resize(4, active);
       for (std::size_t g = 0; g < active; ++g) {
         const std::size_t i = s.gather[g];
@@ -281,11 +296,14 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
         const double soc =
             clamp ? util::clamp01(pred(0, g)) : pred(0, g);
         s.soc[i] = soc;
+        // SOCPINN_HOT_ALLOW(push_back): within the trajectory capacity
+        // reserved in the seed section
         out[begin + i].soc.push_back(soc);
       }
     } else if (active > 0) {
       // Thin tail (most lanes retired): row-major staging keeps the
       // small-batch kernels fast; both layouts agree bitwise.
+      // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
       s.input.resize(active, 4);
       for (std::size_t g = 0; g < active; ++g) {
         const std::size_t i = s.gather[g];
@@ -301,6 +319,8 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
         const double soc =
             clamp ? util::clamp01(pred(g, 0)) : pred(g, 0);
         s.soc[i] = soc;
+        // SOCPINN_HOT_ALLOW(push_back): within the trajectory capacity
+        // reserved in the seed section
         out[begin + i].soc.push_back(soc);
       }
     }
@@ -316,12 +336,14 @@ void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
           lane.capacity_ah);
       const double soc = clamp ? util::clamp01(raw) : raw;
       s.soc[i] = soc;
+      // SOCPINN_HOT_ALLOW(push_back): within the trajectory capacity
+      // reserved in the seed section
       out[begin + i].soc.push_back(soc);
     }
   }
 }
 
-void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
+SOCPINN_HOT void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
                                    std::span<const RolloutLane> lanes,
                                    std::span<core::Rollout> out,
                                    std::size_t shard, std::size_t begin,
@@ -340,6 +362,7 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
   // Seed: one batched Branch-1 estimate, staged as a 3 x count panel
   // (padded up to the vectorized float tile like every f32 panel here).
   const std::size_t seed_padded = std::max(count, nn::kColumnsMinBatch);
+  // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
   s.input_f32.resize(3, seed_padded);
   for (std::size_t i = 0; i < count; ++i) {
     const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
@@ -349,6 +372,7 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
   }
   nn::zero_pad_columns(s.input_f32, count);
   const nn::MatrixF32& est = snap.estimate_columns(s.input_f32, s.ws_f32);
+  // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
   s.soc.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     const data::WorkloadSchedule& sched = *lanes[begin + i].schedule;
@@ -356,14 +380,22 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
     const double seed = clamp ? util::clamp01(raw) : raw;
     s.soc[i] = seed;
     core::Rollout& r = out[begin + i];
+    // SOCPINN_HOT_ALLOW(assign): per-run output allocation, once per lane in
+    // the seed section, outside the steady-state step loop
     r.times_s.assign(sched.times_s.begin(), sched.times_s.end());
+    // SOCPINN_HOT_ALLOW(assign): per-run output allocation (see above)
     r.truth.assign(sched.truth.begin(), sched.truth.end());
     r.soc.clear();
+    // SOCPINN_HOT_ALLOW(reserve): per-run output allocation; sizes the
+    // trajectory once so the step loop's push_back never reallocates
     r.soc.reserve(sched.times_s.size());
+    // SOCPINN_HOT_ALLOW(push_back): within the capacity reserved above
     r.soc.push_back(seed);
   }
 
+  // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
   s.gather.resize(count);
+  // SOCPINN_HOT_ALLOW(assign): warm scratch capacity, shard shape fixed
   s.plan_pos.assign(count, 0);
   for (std::size_t step = 0;; ++step) {
     std::size_t active = 0;
@@ -383,6 +415,7 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
     if (gather_reanchors(s, lanes, begin, count, step) > 0) {
       const std::size_t n = s.pending.size();
       const std::size_t padded = std::max(n, nn::kColumnsMinBatch);
+      // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
       s.sensor_input_f32.resize(3, padded);
       for (std::size_t g = 0; g < n; ++g) {
         const std::size_t i = s.pending[g];
@@ -410,6 +443,7 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
       // independent, so padding changes nothing but speed — without it a
       // ragged tail would crawl through the kernel's scalar remainder.
       const std::size_t padded = std::max(active, nn::kColumnsMinBatch);
+      // SOCPINN_HOT_ALLOW(resize): warm scratch capacity, shard shape fixed
       s.input_f32.resize(4, padded);
       for (std::size_t g = 0; g < active; ++g) {
         const std::size_t i = s.gather[g];
@@ -426,6 +460,8 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
         const double raw = static_cast<double>(pred(0, g));
         const double soc = clamp ? util::clamp01(raw) : raw;
         s.soc[i] = soc;
+        // SOCPINN_HOT_ALLOW(push_back): within the trajectory capacity
+        // reserved in the seed section
         out[begin + i].soc.push_back(soc);
       }
     }
@@ -443,6 +479,8 @@ void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& model,
           lane.capacity_ah);
       const double soc = clamp ? util::clamp01(raw) : raw;
       s.soc[i] = soc;
+      // SOCPINN_HOT_ALLOW(push_back): within the trajectory capacity
+      // reserved in the seed section
       out[begin + i].soc.push_back(soc);
     }
   }

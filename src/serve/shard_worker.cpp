@@ -1,6 +1,8 @@
 #include "serve/shard_worker.hpp"
 
-#include <time.h>
+// NOLINT(modernize-deprecated-headers) — <ctime> is not guaranteed to
+// declare POSIX ::nanosleep / ::timespec; this TU needs the POSIX header.
+#include <time.h>  // NOLINT(modernize-deprecated-headers)
 #include <unistd.h>
 
 #include <atomic>

@@ -1,8 +1,10 @@
 #include "serve/sharded_fleet.hpp"
 
-#include <signal.h>
+// NOLINT(modernize-deprecated-headers) — <csignal>/<ctime> are not
+// guaranteed to declare POSIX ::kill / ::nanosleep; keep the POSIX headers.
+#include <signal.h>  // NOLINT(modernize-deprecated-headers)
 #include <sys/wait.h>
-#include <time.h>
+#include <time.h>  // NOLINT(modernize-deprecated-headers)
 #include <unistd.h>
 
 #include <atomic>

@@ -1,0 +1,35 @@
+#pragma once
+/// \file annotations.hpp
+/// Source-level contract markers enforced by the repo's static-analysis
+/// gate (tools/lint/invariant_lint.py, run by ctest and CI).
+///
+/// SOCPINN_HOT — annotates a function DEFINITION as part of the serve
+/// stack's allocation-free steady state: tick/roll/drain/publish/consume
+/// bodies and the panel kernels. Two enforcement layers share the marker:
+///
+///   * statically, the invariant linter rejects allocation constructs
+///     (new, make_unique/make_shared, push_back/resize/reserve/...,
+///     std::string / std::to_string construction, local std::vector)
+///     anywhere in the annotated body — the lexical complement of the
+///     dynamic counting-operator-new probe in
+///     tests/serve/test_alloc_free.cpp, catching regressions on EVERY
+///     path at PR time instead of only the paths a test exercises;
+///   * to the compiler it expands to [[gnu::hot]], a pure optimization
+///     hint (hot section placement, more aggressive inlining budget)
+///     that never changes results — the f64 bitwise-parity suites pin
+///     that.
+///
+/// Warm-capacity idioms (a resize/push_back that provably reuses
+/// capacity after the engines' one-time warm-up) are waived PER LINE
+/// with a justified comment the linter validates:
+///
+///     // SOCPINN_HOT_ALLOW(resize): reuses warm capacity, shape fixed
+///     scratch.input.resize(4, count);
+///
+/// The construct name must match and the reason must be non-empty; a
+/// bare waiver is a lint error. Annotate definitions (the linter scans
+/// the body after the marker); declarations may carry it too but are
+/// skipped. Keep the marker FIRST on the declaration line, next to any
+/// other attributes.
+
+#define SOCPINN_HOT [[gnu::hot]]

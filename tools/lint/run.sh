@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Single local entry point for the static-analysis gate — reproduces the
+# CI `static-analysis` job's verdicts:
+#
+#   1. invariant linter (atomic-order, hot-alloc, fp-contract) + its
+#      fixture self-tests and the bench-regression checker's unit tests
+#   2. header self-containment (every public header compiles standalone)
+#   3. clang-tidy over compile_commands.json — skipped with a notice if
+#      clang-tidy is not installed (CI always runs it)
+#
+# Usage: tools/lint/run.sh [build-dir]     (default: build)
+set -u -o pipefail
+
+REPO="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD="${1:-$REPO/build}"
+PY="${PYTHON:-python3}"
+status=0
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "invariant lint (src/)"
+"$PY" "$REPO/tools/lint/invariant_lint.py" --root "$REPO/src" || status=1
+
+step "linter self-tests (fixtures)"
+"$PY" -m unittest discover -s "$REPO/tools/lint/tests" || status=1
+
+step "bench-regression checker tests"
+"$PY" -m unittest discover -s "$REPO/tools/tests" || status=1
+
+step "header self-containment"
+if [ ! -d "$BUILD" ]; then
+  cmake -B "$BUILD" -S "$REPO" || status=1
+fi
+cmake --build "$BUILD" --target header_selfcheck -j || status=1
+
+step "clang-tidy"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is exported unconditionally by CMakeLists.txt.
+  run-clang-tidy -p "$BUILD" -quiet "$REPO/src/.*" || status=1
+elif command -v clang-tidy >/dev/null 2>&1; then
+  # No run-clang-tidy wrapper: drive clang-tidy over the library sources.
+  find "$REPO/src" -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p "$BUILD" --quiet || status=1
+else
+  echo "clang-tidy not installed — skipped locally (CI runs it;"
+  echo "install clang-tidy to reproduce that part of the gate)"
+fi
+
+if [ "$status" -ne 0 ]; then
+  printf '\nstatic-analysis gate: FAILED\n'
+else
+  printf '\nstatic-analysis gate: OK\n'
+fi
+exit "$status"

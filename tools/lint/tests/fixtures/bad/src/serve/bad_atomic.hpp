@@ -1,0 +1,33 @@
+#pragma once
+// Fixture: every atomic op here omits (or under-specifies) the memory
+// order — each line tagged EXPECT must be flagged by atomic-order.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Channel {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<bool> stop{false};
+
+  std::uint32_t peek() const {
+    return seq.load();  // EXPECT atomic-order
+  }
+
+  void bump() {
+    seq.fetch_add(1);  // EXPECT atomic-order
+    seq.store(0);      // EXPECT atomic-order
+  }
+
+  bool try_claim(std::uint32_t& expected) {
+    // CAS with only a success order: the failure order still defaults.
+    return seq.compare_exchange_strong(  // EXPECT atomic-order
+        expected, expected + 1, std::memory_order_acq_rel);
+  }
+
+  void signal(std::uint64_t& word) {
+    std::atomic_ref<std::uint64_t>(word).store(1);  // EXPECT atomic-order
+  }
+};
+
+}  // namespace fixture

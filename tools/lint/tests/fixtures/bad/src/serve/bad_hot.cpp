@@ -1,0 +1,50 @@
+// Fixture: allocation constructs inside SOCPINN_HOT bodies — each line
+// tagged EXPECT must be flagged by hot-alloc.
+#include <memory>
+#include <string>
+#include <vector>
+
+#define SOCPINN_HOT [[gnu::hot]]
+
+namespace fixture {
+
+struct Scratch {
+  std::vector<double> buf;
+};
+
+SOCPINN_HOT void tick(Scratch& s) {
+  s.buf.push_back(1.0);            // EXPECT hot-alloc (push_back)
+  s.buf.resize(8);                 // EXPECT hot-alloc (resize)
+  auto* p = new double[4];         // EXPECT hot-alloc (new)
+  delete[] p;
+  auto q = std::make_unique<int>(1);  // EXPECT hot-alloc (make_unique)
+  (void)q;
+  std::string label = "x";         // EXPECT hot-alloc (string)
+  label += std::to_string(3);      // EXPECT hot-alloc (to_string)
+  std::vector<int> local;          // EXPECT hot-alloc (vector)
+  (void)local;
+}
+
+// A bare waiver (no reason) must NOT waive.
+SOCPINN_HOT void tick_bare_waiver(Scratch& s) {
+  // SOCPINN_HOT_ALLOW(resize):
+  s.buf.resize(8);  // EXPECT hot-alloc (resize)
+}
+
+// A waiver naming a different construct must NOT waive.
+SOCPINN_HOT void tick_wrong_waiver(Scratch& s) {
+  // SOCPINN_HOT_ALLOW(reserve): warm capacity
+  s.buf.resize(8);  // EXPECT hot-alloc (resize)
+}
+
+// A waiver above an intervening CODE line must NOT leak downward.
+SOCPINN_HOT void tick_leaky_waiver(Scratch& s) {
+  // SOCPINN_HOT_ALLOW(push_back): warm capacity
+  s.buf.push_back(1.0);
+  s.buf.push_back(2.0);  // EXPECT hot-alloc (push_back)
+}
+
+// Cold functions may allocate freely — no marker, no findings.
+void cold_setup(Scratch& s) { s.buf.resize(1024); }
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+#pragma once
+// Fixture: the clean idioms the linter must accept without findings.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace fixture {
+
+struct Channel {
+  std::atomic<std::uint32_t> seq{0};
+
+  std::uint32_t peek() const {
+    return seq.load(std::memory_order_acquire);
+  }
+
+  void bump() {
+    seq.fetch_add(1, std::memory_order_release);
+  }
+
+  bool try_claim(std::uint32_t& expected) {
+    return seq.compare_exchange_strong(expected, expected + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  }
+
+  void signal(std::uint64_t& word) {
+    std::atomic_ref<std::uint64_t>(word).store(
+        1, std::memory_order_release);
+  }
+};
+
+/// Mutex-based snapshot handle: its load()/store() are NOT atomic ops
+/// and must not be flagged (receiver resolution via the declared-name
+/// set, not method names alone).
+class Handle {
+ public:
+  std::shared_ptr<const int> load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+  void store(std::shared_ptr<const int> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ptr_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const int> ptr_;
+};
+
+inline std::shared_ptr<const int> use(const Handle& model) {
+  return model.load();  // not an atomic: no finding
+}
+
+}  // namespace fixture

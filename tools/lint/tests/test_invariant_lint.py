@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Fixture-based self-tests for tools/lint/invariant_lint.py.
+
+The gate must be provably non-vacuous: every seeded violation in
+fixtures/bad/ must be flagged (per check, per construct), and the clean
+idioms in fixtures/good/ — including the waiver syntax and the
+mutex-based SnapshotHandle look-alike — must pass silently. Run by
+ctest as lint.selftest.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))
+
+import invariant_lint as lint  # noqa: E402
+
+FIXTURES = HERE / "fixtures"
+BAD = FIXTURES / "bad" / "src"
+GOOD = FIXTURES / "good" / "src"
+
+
+def run_dir(root: Path) -> list[tuple]:
+    findings = []
+    for ext in ("*.hpp", "*.h", "*.cpp"):
+        for path in sorted(root.rglob(ext)):
+            findings += lint.lint_file(path, root)
+    return findings
+
+
+import re
+
+
+def expected_lines(path: Path) -> list[int]:
+    """1-based line numbers tagged `// EXPECT <check>` in a fixture."""
+    tag = re.compile(r"//\s*EXPECT\s+(?:atomic-order|hot-alloc|fp-contract)")
+    return [i for i, raw in enumerate(path.read_text().splitlines(), 1)
+            if tag.search(raw)]
+
+
+class TestMasking(unittest.TestCase):
+    def test_masks_comments_and_strings_preserving_offsets(self):
+        text = 'a.load(); // seq.store()\nconst char* s = "fetch_add(";\n'
+        masked, comments = lint.mask_comments_and_strings(text)
+        self.assertEqual(len(masked), len(text))
+        self.assertNotIn("seq.store", masked)
+        self.assertNotIn("fetch_add", masked)
+        self.assertIn("a.load()", masked)
+        self.assertIn("seq.store()", comments[1])
+
+    def test_raw_string_masked(self):
+        text = 'auto s = R"(x.store(); new int;)"; b.resize(1);\n'
+        masked, _ = lint.mask_comments_and_strings(text)
+        self.assertNotIn("new int", masked)
+        self.assertIn("b.resize(1)", masked)
+
+    def test_multiline_comment_line_numbers(self):
+        text = "/* one\ntwo */\nseq.load();\n"
+        masked, comments = lint.mask_comments_and_strings(text)
+        self.assertEqual(lint.line_of(masked, masked.index("seq")), 3)
+        self.assertIn("one", comments[1])
+        self.assertIn("two", comments[2])
+
+
+class TestAtomicOrder(unittest.TestCase):
+    FIXTURE = BAD / "serve" / "bad_atomic.hpp"
+
+    def findings(self):
+        return [f for f in run_dir(BAD) if f[2] == "atomic-order"]
+
+    def test_every_seeded_violation_is_flagged(self):
+        flagged = {f[1] for f in self.findings()
+                   if f[0].endswith("bad_atomic.hpp")}
+        self.assertEqual(flagged, set(expected_lines(self.FIXTURE)))
+
+    def test_cas_demands_both_orders(self):
+        msgs = [f[3] for f in self.findings()]
+        self.assertTrue(any("success AND failure" in m for m in msgs))
+
+    def test_clean_idioms_pass(self):
+        clean = [f for f in run_dir(GOOD) if f[2] == "atomic-order"]
+        self.assertEqual(clean, [])
+
+    def test_scope_is_serve_only(self):
+        # The same defaulted ops outside serve/ are out of scope.
+        self.assertFalse(lint.in_serve_scope("nn/panel.cpp"))
+        self.assertTrue(lint.in_serve_scope("serve/mailbox.hpp"))
+
+
+class TestHotAlloc(unittest.TestCase):
+    FIXTURE = BAD / "serve" / "bad_hot.cpp"
+
+    def findings(self):
+        return [f for f in run_dir(BAD) if f[2] == "hot-alloc"]
+
+    def test_every_seeded_violation_is_flagged(self):
+        flagged = {f[1] for f in self.findings()
+                   if f[0].endswith("bad_hot.cpp")}
+        self.assertEqual(flagged, set(expected_lines(self.FIXTURE)))
+
+    def test_each_construct_kind_fires(self):
+        msgs = " ".join(f[3] for f in self.findings())
+        for construct in ("push_back", "resize", "'new'", "make_unique",
+                          "string", "to_string", "vector"):
+            self.assertIn(construct, msgs)
+
+    def test_bare_and_mismatched_waivers_do_not_waive(self):
+        text = self.FIXTURE.read_text()
+        lines = text.splitlines()
+        flagged = {f[1] for f in self.findings()
+                   if f[0].endswith("bad_hot.cpp")}
+        for marker in ("tick_bare_waiver", "tick_wrong_waiver"):
+            start = next(i for i, l in enumerate(lines, 1) if marker in l)
+            self.assertTrue(any(start < ln <= start + 3 for ln in flagged),
+                            f"waiver in {marker} wrongly accepted")
+
+    def test_waived_and_cold_code_passes(self):
+        clean = [f for f in run_dir(GOOD) if f[2] == "hot-alloc"]
+        self.assertEqual(clean, [])
+
+
+class TestFpContract(unittest.TestCase):
+    FIXTURE = BAD / "nn" / "bad_fma.cpp"
+
+    def findings(self):
+        return [f for f in run_dir(BAD) if f[2] == "fp-contract"]
+
+    def test_every_seeded_violation_is_flagged(self):
+        flagged = {f[1] for f in self.findings()
+                   if f[0].endswith("bad_fma.cpp")}
+        self.assertEqual(flagged, set(expected_lines(self.FIXTURE)))
+
+    def test_simd_hpp_is_allowlisted(self):
+        clean = [f for f in run_dir(GOOD) if f[2] == "fp-contract"]
+        self.assertEqual(clean, [])
+
+
+class TestCli(unittest.TestCase):
+    SCRIPT = HERE.parent / "invariant_lint.py"
+
+    def run_cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(self.SCRIPT), *argv],
+            capture_output=True, text=True)
+
+    def test_bad_tree_exits_1_with_path_line_check_format(self):
+        proc = self.run_cli("--root", str(BAD))
+        self.assertEqual(proc.returncode, 1)
+        self.assertRegex(proc.stdout, r"bad_atomic\.hpp:\d+: \[atomic-order\]")
+        self.assertRegex(proc.stdout, r"bad_hot\.cpp:\d+: \[hot-alloc\]")
+        self.assertRegex(proc.stdout, r"bad_fma\.cpp:\d+: \[fp-contract\]")
+
+    def test_good_tree_exits_0(self):
+        proc = self.run_cli("--root", str(GOOD))
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("clean", proc.stdout)
+
+    def test_empty_root_is_a_usage_error(self):
+        proc = self.run_cli("--root", str(FIXTURES / "nonexistent"))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_real_tree_is_clean(self):
+        src = HERE.parents[2] / "src"
+        proc = self.run_cli("--root", str(src))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
