@@ -49,7 +49,7 @@ Scores run_config(const data::LgDataset& dataset,
                               : run.trace);
   }
   setup.native_horizon_s = 30.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
   setup.train.epochs = static_cast<std::size_t>(epochs);
   setup.branch1_stride = 100;
@@ -73,7 +73,7 @@ Scores run_config(const data::LgDataset& dataset,
   train.seed = seed;
   (void)core::train_branch1(net, b1_train, train);
   const core::PhysicsConfig physics = core::PhysicsConfig::from_data(
-      b2_train, setup.capacity_ah, {30.0, 50.0, 70.0});
+      b2_train, setup.cell, {30.0, 50.0, 70.0});
   (void)core::train_branch2(net, b2_train, physics, train);
 
   Scores scores;

@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
     core::TwoBranchNet net({}, seed);
     (void)core::train_branch1(net, b1_train, config);
     core::PhysicsConfig physics = core::PhysicsConfig::from_data(
-        b2_train, 3.0, {120.0, 240.0, 360.0});
+        b2_train, {.capacity_ah = 3.0}, {120.0, 240.0, 360.0});
     physics.weight = weight;
     (void)core::train_branch2(net, b2_train, physics, config);
     rows.push_back({"PINN-All lambda=" + util::format_double(weight, 2),
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
     core::TwoBranchNet net({}, seed);
     (void)core::train_branch1(net, b1_train, config);
     core::PhysicsConfig physics = core::PhysicsConfig::from_data(
-        b2_train, 3.0, {120.0, 240.0, 360.0});
+        b2_train, {.capacity_ah = 3.0}, {120.0, 240.0, 360.0});
     physics.samples_per_batch = count;
     (void)core::train_branch2(net, b2_train, physics, config);
     rows.push_back({"PINN-All colloc=" + std::to_string(count),

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   setup.native_horizon_s = 120.0;
   setup.test_horizons_s = {120.0, 240.0, 360.0};
   // One rated capacity for Eq. 1 across the chemistry mix (3 Ah class).
-  setup.capacity_ah = 3.0;
+  setup.cell.capacity_ah = 3.0;
   setup.train.epochs = static_cast<std::size_t>(epochs);
 
   std::vector<std::uint64_t> seeds;

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   }
   setup.native_horizon_s = 30.0;
   setup.test_horizons_s = {30.0, 50.0, 70.0};
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
   setup.train.epochs = static_cast<std::size_t>(epochs);
   setup.branch1_stride = 100;  // 10 s spacing at the 0.1 s cadence

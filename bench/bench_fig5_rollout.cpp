@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     setup.train_traces.push_back(data::smooth_trace(run.trace, 30.0));
   }
   setup.native_horizon_s = 30.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
   setup.train.epochs = static_cast<std::size_t>(epochs);
   setup.branch1_stride = 100;
@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
       lanes[c].schedule = &schedules[c];
       if (physics) {
         lanes[c].kind = serve::LaneKind::kPhysicsOnly;
-        lanes[c].capacity_ah = setup.capacity_ah;
+        lanes[c].params = setup.cell;
       }
     }
     serve::RolloutEngine engine(models[e].net, {});

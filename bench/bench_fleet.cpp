@@ -150,6 +150,36 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
   const std::size_t ingest_allocs =
       benchsupport::alloc_count() - ingest_allocs_before;
 
+  // --- Param ingest: the slow-loop shape. A background SoH estimator
+  // publishes per-cell CellParams (capacity fade) while the fast loop
+  // ticks; here 10% of the fleet gets a fresh update per tick. ---
+  util::WallTimer param_publish_timer;
+  for (int i = 0; i < publish_reps; ++i) {
+    engine.mailbox().publish_params(static_cast<std::size_t>(i) % cells,
+                                    {2.9, 0.99, 0.0});
+  }
+  const double param_publish_msgs_per_sec =
+      publish_reps / (param_publish_timer.millis() * 1e-3);
+
+  // Warm the param drain at full width, then measure the steady state.
+  for (std::size_t c = 0; c < cells; ++c) {
+    engine.mailbox().publish_params(c, {2.9, 0.99, 0.0});
+  }
+  engine.step(workload);
+  const std::size_t param_allocs_before = benchsupport::alloc_count();
+  util::WallTimer param_timer;
+  for (int i = 0; i < reps; ++i) {
+    for (std::size_t c = static_cast<std::size_t>(i) % 10; c < cells;
+         c += 10) {
+      engine.mailbox().publish_params(
+          c, {2.8 + 0.001 * static_cast<double>(i % 100), 0.99, 0.0});
+    }
+    engine.step(workload);
+  }
+  const double param_tick_ms = param_timer.millis() / reps;
+  const std::size_t param_allocs =
+      benchsupport::alloc_count() - param_allocs_before;
+
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
     std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
@@ -174,6 +204,13 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
                ingest_tick_ms / tick_ms);
   std::fprintf(file, "  \"steady_state_allocs_per_ingest_tick\": %.3f,\n",
                static_cast<double>(ingest_allocs) / reps);
+  std::fprintf(file, "  \"param_publish_msgs_per_sec\": %.0f,\n",
+               param_publish_msgs_per_sec);
+  std::fprintf(file, "  \"param_ingest_tick_ms\": %.3f,\n", param_tick_ms);
+  std::fprintf(file, "  \"param_ingest_overhead_ratio\": %.2f,\n",
+               param_tick_ms / tick_ms);
+  std::fprintf(file, "  \"steady_state_allocs_per_param_tick\": %.3f,\n",
+               static_cast<double>(param_allocs) / reps);
   std::fprintf(file, "  \"checksum\": %.6f\n", acc);
   std::fprintf(file, "}\n");
   std::fclose(file);
@@ -190,6 +227,12 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
       "%.3f ms (%.2fx plain tick), %.3f allocs per ingest tick\n",
       publish_msgs_per_sec * 1e-6, ingest_tick_ms, ingest_tick_ms / tick_ms,
       static_cast<double>(ingest_allocs) / reps);
+  std::printf(
+      "--- param ingest ---\n"
+      "publish %.1f M params/s; param tick (10%% of cells updating) "
+      "%.3f ms (%.2fx plain tick), %.3f allocs per param tick\n",
+      param_publish_msgs_per_sec * 1e-6, param_tick_ms,
+      param_tick_ms / tick_ms, static_cast<double>(param_allocs) / reps);
   std::printf("wrote %s\n", path);
 }
 

@@ -131,6 +131,35 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
   }
   const double ingest_tick_ms = ingest_timer.millis() / reps;
 
+  // --- param ingest through shm: the parent-side publish_params rate
+  // (wait-free into the owning worker's segment) and a tick draining
+  // updates for 10% of the fleet — the background-SoH-estimator shape ---
+  util::WallTimer param_publish_timer;
+  for (int i = 0; i < publish_reps; ++i) {
+    fleet.publish_params(static_cast<std::size_t>(i) % cells,
+                         {2.9, 0.99, 0.0});
+  }
+  const double param_publish_msgs_per_sec =
+      publish_reps / (param_publish_timer.millis() * 1e-3);
+  for (std::size_t c = 0; c < cells; ++c) {  // warm param drain full-width
+    fleet.publish_params(c, {2.9, 0.99, 0.0});
+  }
+  fleet.step(workload);
+  util::WallTimer param_timer;
+  for (int i = 0; i < reps; ++i) {
+    for (std::size_t c = static_cast<std::size_t>(i) % 10; c < cells;
+         c += 10) {
+      fleet.publish_params(
+          c, {2.8 + 0.001 * static_cast<double>(i % 100), 0.99, 0.0});
+    }
+    fleet.step(workload);
+    for (std::size_t w = 0; w < fleet.num_workers(); ++w) {
+      worst_worker_allocs =
+          std::max(worst_worker_allocs, fleet.worker_allocs_last_command(w));
+    }
+  }
+  const double param_tick_ms = param_timer.millis() / reps;
+
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
     std::fprintf(stderr, "emit_bench_json: cannot open %s\n", path);
@@ -159,6 +188,12 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
   std::fprintf(file, "  \"ingest_tick_ms_sharded\": %.3f,\n", ingest_tick_ms);
   std::fprintf(file, "  \"ingest_overhead_ratio_sharded\": %.2f,\n",
                ingest_tick_ms / plain_ms);
+  std::fprintf(file, "  \"shm_param_publish_msgs_per_sec\": %.0f,\n",
+               param_publish_msgs_per_sec);
+  std::fprintf(file, "  \"param_ingest_tick_ms_sharded\": %.3f,\n",
+               param_tick_ms);
+  std::fprintf(file, "  \"param_ingest_overhead_ratio_sharded\": %.2f,\n",
+               param_tick_ms / plain_ms);
   std::fprintf(file, "  \"steady_state_allocs_per_worker_tick\": %llu\n",
                static_cast<unsigned long long>(worst_worker_allocs));
   std::fprintf(file, "}\n");
@@ -174,6 +209,12 @@ void emit_bench_json(const char* path, std::size_t cells, int reps) {
       "worst worker tick allocated %llu\n",
       publish_msgs_per_sec * 1e-6, ingest_tick_ms, ingest_tick_ms / plain_ms,
       static_cast<unsigned long long>(worst_worker_allocs));
+  std::printf(
+      "--- shm param ingest (2 procs) ---\n"
+      "publish %.1f M params/s; param tick (10%% of cells updating) "
+      "%.3f ms (%.2fx plain tick)\n",
+      param_publish_msgs_per_sec * 1e-6, param_tick_ms,
+      param_tick_ms / plain_ms);
   std::printf("wrote %s\n", path);
 }
 

@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     setup.train_traces.push_back(data::smooth_trace(run.trace, 30.0));
   }
   setup.native_horizon_s = 30.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
   setup.train.epochs = static_cast<std::size_t>(epochs);
   setup.branch1_stride = 100;
@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
   de_config.train_stride = 200;
   de_config.epochs = 100;
   de_config.seed = seed;
-  de_config.capacity_ah = setup.capacity_ah;
+  de_config.capacity_ah = setup.cell.capacity_ah;
   baselines::DeMlpEstimator de_mlp(de_config);
   (void)de_mlp.fit(std::span<const data::Trace>(setup.train_traces));
 

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     setup.train_traces.push_back(data::smooth_trace(run.trace, 30.0));
   }
   setup.native_horizon_s = 30.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
   setup.train.epochs = epochs;
   setup.branch1_stride = smoke ? 200 : 10;
@@ -97,11 +97,11 @@ int main(int argc, char** argv) {
   }
   std::vector<serve::RolloutLane> lanes;
   for (std::size_t i = 0; i < schedules.size(); ++i) {
-    lanes.push_back({&schedules[i], serve::LaneKind::kCascade, 0.0, nullptr});
+    lanes.push_back({&schedules[i], serve::LaneKind::kCascade, {.capacity_ah = 0.0}, nullptr});
     lanes.push_back(
-        {&schedules[i], serve::LaneKind::kCascade, 0.0, &sparse[i]});
+        {&schedules[i], serve::LaneKind::kCascade, {.capacity_ah = 0.0}, &sparse[i]});
     lanes.push_back(
-        {&schedules[i], serve::LaneKind::kCascade, 0.0, &frequent[i]});
+        {&schedules[i], serve::LaneKind::kCascade, {.capacity_ah = 0.0}, &frequent[i]});
   }
 
   // 3. One lockstep pass for all flavors.

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     setup.train_traces.push_back(data::smooth_trace(run.trace, 30.0));
   }
   setup.native_horizon_s = 30.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
   setup.train.epochs = smoke ? 8 : 200;
   setup.branch1_stride = 100;

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     setup.train_traces.push_back(data::smooth_trace(run.trace, 30.0));
   }
   setup.native_horizon_s = 30.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kLgHg2).capacity_ah;
   setup.train.epochs = epochs;
   setup.branch1_stride = 10;
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   for (const auto& schedule : schedules) {
     lanes.push_back({&schedule, serve::LaneKind::kCascade, 0.0});
     lanes.push_back(
-        {&schedule, serve::LaneKind::kPhysicsOnly, setup.capacity_ah});
+        {&schedule, serve::LaneKind::kPhysicsOnly, setup.cell});
   }
   std::size_t total_steps = 0;
   for (const auto& schedule : schedules) {

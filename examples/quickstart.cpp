@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   setup.train_traces = dataset.train_traces();
   setup.test_traces = dataset.test_traces();
   setup.native_horizon_s = 120.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kNmc).capacity_ah;
   setup.train.epochs = smoke ? 10 : 150;
 

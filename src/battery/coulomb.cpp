@@ -1,5 +1,6 @@
 #include "battery/coulomb.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/math.hpp"
@@ -8,10 +9,14 @@ namespace socpinn::battery {
 
 double coulomb_predict(double soc0, double avg_current_a, double horizon_s,
                        double capacity_ah) {
-  if (capacity_ah <= 0.0) {
-    throw std::invalid_argument("coulomb_predict: capacity <= 0");
+  // Finite AND positive: NaN slips through a plain `<= 0` comparison
+  // (every NaN compare is false) and +Inf passes it too — either would
+  // silently divide Eq. 1 into garbage.
+  if (!(std::isfinite(capacity_ah) && capacity_ah > 0.0)) {
+    throw std::invalid_argument(
+        "coulomb_predict: capacity must be finite and > 0");
   }
-  if (horizon_s < 0.0) {
+  if (!(horizon_s >= 0.0)) {  // negated: rejects NaN too, not just negatives
     throw std::invalid_argument("coulomb_predict: negative horizon");
   }
   return soc0 + avg_current_a * horizon_s / (3600.0 * capacity_ah);
@@ -25,8 +30,9 @@ double coulomb_predict_clamped(double soc0, double avg_current_a,
 
 CoulombCounter::CoulombCounter(double capacity_ah, double initial_soc)
     : capacity_ah_(capacity_ah), soc_(initial_soc) {
-  if (capacity_ah <= 0.0) {
-    throw std::invalid_argument("CoulombCounter: capacity <= 0");
+  if (!(std::isfinite(capacity_ah) && capacity_ah > 0.0)) {
+    throw std::invalid_argument(
+        "CoulombCounter: capacity must be finite and > 0");
   }
 }
 

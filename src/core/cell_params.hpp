@@ -1,0 +1,96 @@
+#pragma once
+/// \file cell_params.hpp
+/// Per-cell physics parameters of Eq. 1 — the serving-side parameter plane.
+///
+/// The paper treats rated capacity as a datasheet constant, but SoC
+/// estimates degrade as the cell's real capacity fades (Sec. III-B sketches
+/// the SoH-routed fix). This carrier lifts the frozen `double capacity_ah`
+/// that used to be copy-pasted through core/physics.hpp,
+/// core/experiment.hpp, core/predictor.hpp, and serve/rollout_engine.hpp
+/// into one value type every Eq. 1 consumer takes — so a slow SoH loop
+/// (core/soh_ensemble.hpp) can update it per cell, per fleet, or online
+/// through the serve mailbox without touching the call sites again.
+///
+/// Defaults reproduce the pre-refactor behavior bitwise: capacity_ah keeps
+/// the old 3.0 Ah default and coulombic_eff = 1.0 multiplies the current
+/// by exactly 1.0, which is a bitwise no-op for every finite double (and
+/// the build pins -ffp-contract=off globally, so no fusion can change
+/// that) — eq1_predict(s, i, n, {c, 1.0}) == battery::coulomb_predict(
+/// s, i, n, c) bit for bit.
+///
+/// Distinct from battery::CellParams (battery/chemistry.hpp), which models
+/// the simulated cell's full electrical circuit: this struct is the small
+/// serving-side view — only what Eq. 1 needs, trivially copyable, valid to
+/// ship through shared memory as three doubles (serve::ParamUpdate is its
+/// mailbox wire format).
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace socpinn::core {
+
+/// Eq. 1 parameters of one cell. Trivially copyable; the defaults are the
+/// pre-refactor constants (so uniform default params serve bitwise
+/// identically to the old loose scalar).
+struct CellParams {
+  /// Rated capacity C_rated (Ah) — the Eq. 1 divisor.
+  double capacity_ah = 3.0;
+  /// Coulombic efficiency scaling the charge actually stored per amp
+  /// (<= 1 for real cells; exactly 1.0 — a bitwise no-op — by default).
+  double coulombic_eff = 1.0;
+
+  friend bool operator==(const CellParams&, const CellParams&) = default;
+};
+
+/// Validity predicate shared by every entry point: finite capacity > 0
+/// (NaN and +/-Inf fail std::isfinite, so the NaN-passes-`<= 0` bug class
+/// cannot recur here) and a coulombic efficiency in (0, 1]. Used directly
+/// by the asynchronous skip-and-count drains, and by validate() below on
+/// the throwing synchronous paths.
+[[nodiscard]] inline bool is_valid(const CellParams& params) {
+  return std::isfinite(params.capacity_ah) && params.capacity_ah > 0.0 &&
+         std::isfinite(params.coulombic_eff) && params.coulombic_eff > 0.0 &&
+         params.coulombic_eff <= 1.0;
+}
+
+/// Synchronous-path validation: throws std::invalid_argument naming the
+/// caller. The asynchronous mailbox drain uses is_valid() and
+/// skip-and-count instead (it cannot throw mid-tick).
+inline void validate(const CellParams& params, const char* who) {
+  if (!is_valid(params)) {
+    throw std::invalid_argument(
+        std::string(who) +
+        ": invalid CellParams (need finite capacity_ah > 0 and "
+        "coulombic_eff in (0, 1])");
+  }
+}
+
+/// Eq. 1 with per-cell parameters:
+///
+///   SoC(t+Np) = SoC(t) + eta * I * Np / (3600 * C_rated)
+///
+/// Non-throwing on purpose — this is the serve layer's hot per-tick
+/// physics advance, and every caller validates params at its entry (sync
+/// paths throw, drains skip-and-count), so the division is always safe by
+/// the time execution reaches here. Bitwise equal to
+/// battery::coulomb_predict at coulombic_eff == 1.0 (1.0 * I == I for
+/// every double; -ffp-contract=off forbids fusion).
+[[nodiscard]] inline double eq1_predict(double soc0, double avg_current_a,
+                                        double horizon_s,
+                                        const CellParams& params) {
+  return soc0 + (params.coulombic_eff * avg_current_a) * horizon_s /
+                    (3600.0 * params.capacity_ah);
+}
+
+/// Same, clamped into [0, 1] (the rollout/serving flavor).
+[[nodiscard]] inline double eq1_predict_clamped(double soc0,
+                                                double avg_current_a,
+                                                double horizon_s,
+                                                const CellParams& params) {
+  return util::clamp01(eq1_predict(soc0, avg_current_a, horizon_s, params));
+}
+
+}  // namespace socpinn::core

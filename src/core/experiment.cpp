@@ -20,7 +20,7 @@ PhysicsConfig physics_for(const ExperimentSetup& setup,
                           const data::SupervisedData& branch2_data,
                           const std::vector<double>& horizons) {
   PhysicsConfig config = PhysicsConfig::from_data(
-      branch2_data, setup.capacity_ah, horizons);
+      branch2_data, setup.cell, horizons);
   config.weight = setup.physics_weight;
   return config;
 }
@@ -101,7 +101,7 @@ std::vector<VariantResult> run_horizon_experiment(
       for (std::size_t h = 0; h < evals.size(); ++h) {
         const HorizonPrediction pred =
             spec.kind == VariantKind::kPhysicsOnly
-                ? predict_physics_only(net, evals[h], setup.capacity_ah)
+                ? predict_physics_only(net, evals[h], setup.cell)
                 : predict_cascade(net, evals[h]);
         mae[v][h].push_back(nn::mae(pred.soc_pred, evals[h].target));
       }

@@ -38,7 +38,7 @@ struct ExperimentSetup {
   std::vector<data::Trace> test_traces;   ///< preprocessed test cycles
   double native_horizon_s = 120.0;        ///< N of the data loss
   std::vector<double> test_horizons_s;    ///< evaluation horizons
-  double capacity_ah = 3.0;               ///< C_rated for Eq. 1
+  core::CellParams cell;                  ///< Eq. 1 parameters (C_rated, eta)
   double physics_weight = 1.0;            ///< lambda of the physics term
   std::size_t branch1_stride = 1;
   std::size_t branch2_stride = 1;

@@ -3,18 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "battery/coulomb.hpp"
-
 namespace socpinn::core {
 
 PhysicsConfig PhysicsConfig::from_data(const data::SupervisedData& branch2_data,
-                                       double capacity_ah,
+                                       const core::CellParams& cell,
                                        std::vector<double> horizons_s) {
   if (branch2_data.size() == 0) {
     throw std::invalid_argument("PhysicsConfig::from_data: empty dataset");
   }
   PhysicsConfig config;
-  config.capacity_ah = capacity_ah;
+  config.cell = cell;
   config.horizons_s = std::move(horizons_s);
   double i_min = branch2_data.x(0, 1);
   double i_max = i_min;
@@ -42,9 +40,7 @@ void PhysicsConfig::validate() const {
     if (h <= 0.0) throw std::invalid_argument("PhysicsConfig: horizon <= 0");
   }
   if (weight < 0.0) throw std::invalid_argument("PhysicsConfig: weight < 0");
-  if (capacity_ah <= 0.0) {
-    throw std::invalid_argument("PhysicsConfig: capacity <= 0");
-  }
+  core::validate(cell, "PhysicsConfig");
   if (current_min_a > current_max_a || temp_min_c > temp_max_c) {
     throw std::invalid_argument("PhysicsConfig: inverted sampling range");
   }
@@ -69,16 +65,14 @@ CollocationBatch CollocationSampler::sample(std::size_t count) {
       soc0 = rng_.uniform(0.0, 1.0);
       current = rng_.uniform(config_.current_min_a, config_.current_max_a);
       horizon = config_.horizons_s[rng_.index(config_.horizons_s.size())];
-      target = battery::coulomb_predict(soc0, current, horizon,
-                                        config_.capacity_ah);
+      target = core::eq1_predict(soc0, current, horizon, config_.cell);
       if (target >= 0.0 && target <= 1.0) break;
       target = -1.0;  // mark invalid in case the loop exhausts
     }
     if (target < 0.0) {
       // Degenerate configuration (e.g. huge horizons): fall back to a
       // clamped target rather than failing training.
-      target = battery::coulomb_predict_clamped(soc0, current, horizon,
-                                                config_.capacity_ah);
+      target = core::eq1_predict_clamped(soc0, current, horizon, config_.cell);
     }
     batch.x(r, 0) = soc0;
     batch.x(r, 1) = current;

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/cell_params.hpp"
 #include "data/windowing.hpp"
 #include "nn/matrix.hpp"
 #include "util/rng.hpp"
@@ -32,8 +33,10 @@ struct PhysicsConfig {
   /// data minibatch; 0 means "match the data batch size").
   std::size_t samples_per_batch = 0;
 
-  /// Rated capacity C_rated of the cell (Ah), from the datasheet.
-  double capacity_ah = 3.0;
+  /// Eq. 1 parameters of the cell the collocation points are drawn for
+  /// (C_rated from the datasheet; coulombic efficiency defaults to 1.0,
+  /// which reproduces the frozen-constant targets bitwise).
+  core::CellParams cell;
 
   /// Sampling ranges for the synthetic conditions; tie these to the
   /// training data's observed ranges so collocation stays on-distribution.
@@ -45,7 +48,7 @@ struct PhysicsConfig {
   /// Derives sampling ranges from a Branch-2 training set (columns:
   /// soc, avg current, avg temp, horizon).
   [[nodiscard]] static PhysicsConfig from_data(
-      const data::SupervisedData& branch2_data, double capacity_ah,
+      const data::SupervisedData& branch2_data, const core::CellParams& cell,
       std::vector<double> horizons_s);
 
   void validate() const;

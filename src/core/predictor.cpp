@@ -3,7 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "battery/coulomb.hpp"
 #include "serve/rollout_engine.hpp"
 
 namespace socpinn::core {
@@ -38,9 +37,10 @@ HorizonPrediction predict_cascade(const TwoBranchNet& net,
 
 HorizonPrediction predict_physics_only(const TwoBranchNet& net,
                                        const data::HorizonEvalData& eval,
-                                       double capacity_ah) {
+                                       const CellParams& params) {
   const std::size_t n = eval.size();
   if (n == 0) throw std::invalid_argument("predict_physics_only: empty set");
+  validate(params, "predict_physics_only");
 
   InferenceWorkspace ws;
   const nn::Matrix& soc_est = net.estimate_batch(eval.sensors, ws);
@@ -49,9 +49,8 @@ HorizonPrediction predict_physics_only(const TwoBranchNet& net,
   out.soc_pred.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
     out.soc_now_est.push_back(soc_est(r, 0));
-    out.soc_pred.push_back(battery::coulomb_predict(
-        soc_est(r, 0), eval.workload(r, 0), eval.workload(r, 2),
-        capacity_ah));
+    out.soc_pred.push_back(eq1_predict(soc_est(r, 0), eval.workload(r, 0),
+                                       eval.workload(r, 2), params));
   }
   return out;
 }
@@ -74,12 +73,11 @@ Rollout rollout_cascade(const TwoBranchNet& net, const data::Trace& trace,
 }
 
 Rollout rollout_physics_only(const TwoBranchNet& net, const data::Trace& trace,
-                             double horizon_s, double capacity_ah) {
+                             double horizon_s, const CellParams& params) {
   const data::WorkloadSchedule schedule =
       data::build_workload_schedule(trace, horizon_s);
   serve::RolloutEngine engine(net, {.threads = 1});
-  return engine.run_single(schedule, serve::LaneKind::kPhysicsOnly,
-                           capacity_ah);
+  return engine.run_single(schedule, serve::LaneKind::kPhysicsOnly, params);
 }
 
 Rollout rollout_closed_loop(const TwoBranchNet& net, const data::Trace& trace,
@@ -88,7 +86,8 @@ Rollout rollout_closed_loop(const TwoBranchNet& net, const data::Trace& trace,
   const data::WorkloadSchedule schedule =
       data::build_workload_schedule(trace, horizon_s);
   serve::RolloutEngine engine(net, {.threads = 1});
-  return engine.run_single(schedule, serve::LaneKind::kCascade, 0.0, &plan);
+  return engine.run_single(schedule, serve::LaneKind::kCascade,
+                           {.capacity_ah = 0.0}, &plan);
 }
 
 }  // namespace socpinn::core

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "core/cell_params.hpp"
 #include "core/two_branch_net.hpp"
 #include "data/windowing.hpp"
 
@@ -27,9 +28,12 @@ struct HorizonPrediction {
     const TwoBranchNet& net, const data::HorizonEvalData& eval);
 
 /// Physics-Only baseline: Branch 1 still estimates SoC(t), but the future
-/// value comes exclusively from Eq. 1 with the rated capacity.
+/// value comes exclusively from Eq. 1 with the cell's parameters
+/// (capacity + coulombic efficiency; the default efficiency of 1.0
+/// reproduces the old rated-capacity-only form bitwise).
 [[nodiscard]] HorizonPrediction predict_physics_only(
-    const TwoBranchNet& net, const data::HorizonEvalData& eval, double capacity_ah);
+    const TwoBranchNet& net, const data::HorizonEvalData& eval,
+    const CellParams& params);
 
 /// One autoregressive trajectory.
 struct Rollout {
@@ -64,7 +68,7 @@ struct Rollout {
 [[nodiscard]] Rollout rollout_physics_only(const TwoBranchNet& net,
                                            const data::Trace& trace,
                                            double horizon_s,
-                                           double capacity_ah);
+                                           const CellParams& params);
 
 /// Closed-loop rollout: rollout_cascade plus scheduled mid-rollout
 /// Branch-1 re-anchors — at each of `plan`'s step indices the lane

@@ -9,7 +9,11 @@ namespace socpinn::core {
 
 battery::CellParams aged_cell_params(const battery::CellParams& fresh,
                                      double soh) {
-  if (soh <= 0.5 || soh > 1.0) {
+  // Range-check BEFORE any arithmetic, with the finite half spelled out: a
+  // NaN soh makes both halves of `soh <= 0.5 || soh > 1.0` false (every
+  // NaN compare is false), so the plain check would wave NaN straight into
+  // the capacity scaling below.
+  if (!(std::isfinite(soh) && soh > 0.5 && soh <= 1.0)) {
     throw std::invalid_argument("aged_cell_params: SoH outside (0.5, 1]");
   }
   battery::CellParams aged = fresh;
@@ -30,11 +34,16 @@ double estimate_soh_from_discharge(const data::Trace& trace,
   if (trace.size() < 2) {
     throw std::invalid_argument("estimate_soh_from_discharge: short trace");
   }
-  if (rated_capacity_ah <= 0.0) {
-    throw std::invalid_argument("estimate_soh_from_discharge: bad capacity");
+  // Finite AND positive, before any integration: NaN passes a plain
+  // `<= 0.0` rejection (all NaN compares are false) and +Inf does too —
+  // either would turn the normalization below into garbage instead of
+  // throwing (the same bug class coulomb_predict's capacity check fixes).
+  if (!(std::isfinite(rated_capacity_ah) && rated_capacity_ah > 0.0)) {
+    throw std::invalid_argument(
+        "estimate_soh_from_discharge: rated capacity must be finite and > 0");
   }
   const double swing = trace.front().soc - trace.back().soc;
-  if (swing < 0.5) {
+  if (!(swing >= 0.5)) {  // negated: a NaN swing must reject, not pass
     throw std::invalid_argument(
         "estimate_soh_from_discharge: trace does not cover a discharge");
   }
@@ -79,7 +88,9 @@ void SohEnsemble::validate() const {
     throw std::invalid_argument("SohEnsemble: no SoH levels");
   }
   for (double soh : config_.soh_levels) {
-    if (soh <= 0.5 || soh > 1.0) {
+    // Same NaN-proof form as aged_cell_params: a NaN level fails both
+    // halves of the naive range check and would poison select_index.
+    if (!(std::isfinite(soh) && soh > 0.5 && soh <= 1.0)) {
       throw std::invalid_argument("SohEnsemble: SoH level outside (0.5, 1]");
     }
   }

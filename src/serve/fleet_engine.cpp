@@ -39,6 +39,8 @@ FleetConfig FleetEngine::validated(const core::TwoBranchNet& net,
   if (config.precision == core::Precision::kFloat32) {
     core::require_trained_for_f32(net, "FleetEngine: FleetConfig::precision");
   }
+  core::validate(config.default_params,
+                 "FleetEngine: FleetConfig::default_params");
   // Force the panel-kernel ISA resolution now: a bad SOCPINN_FORCE_ISA
   // value throws std::invalid_argument here, on the caller's thread,
   // instead of from the first tick's forward inside a pool worker.
@@ -73,7 +75,9 @@ FleetEngine::FleetEngine(const core::TwoBranchNet& net, std::size_t num_cells,
       soc_(num_cells, 0.0),
       mailbox_(make_mailbox(config, num_cells)),
       override_(num_cells),
-      override_active_(num_cells, 0) {}
+      override_active_(num_cells, 0),
+      params_(num_cells, config.default_params),
+      cell_mode_(num_cells, 0) {}
 
 void FleetEngine::swap_model(const core::TwoBranchNet& net) {
   swap_model(std::make_shared<const core::TwoBranchSnapshot>(
@@ -211,6 +215,63 @@ bool FleetEngine::has_workload_override(std::size_t cell) const {
   return override_active_[cell] != 0;
 }
 
+void FleetEngine::set_cell_params(std::size_t cell,
+                                  const core::CellParams& params) {
+  if (cell >= num_cells()) {
+    throw std::invalid_argument(
+        "FleetEngine::set_cell_params: cell index out of range");
+  }
+  core::validate(params, "FleetEngine::set_cell_params");
+  // The same per-cell assignment a mailbox param drain performs — which is
+  // the whole bitwise sync-equivalence argument for param updates.
+  params_[cell] = params;
+}
+
+void FleetEngine::set_cell_params(std::span<const core::CellParams> params) {
+  if (params.size() != num_cells()) {
+    throw std::invalid_argument("FleetEngine::set_cell_params: size mismatch");
+  }
+  // Validate the whole batch before applying any entry (reject-whole, like
+  // init_from_sensors).
+  for (const core::CellParams& p : params) {
+    core::validate(p, "FleetEngine::set_cell_params");
+  }
+  std::copy(params.begin(), params.end(), params_.begin());
+}
+
+const core::CellParams& FleetEngine::cell_params(std::size_t cell) const {
+  if (cell >= num_cells()) {
+    throw std::invalid_argument(
+        "FleetEngine::cell_params: cell index out of range");
+  }
+  return params_[cell];
+}
+
+void FleetEngine::set_cell_mode(std::size_t cell, CellMode mode) {
+  if (cell >= num_cells()) {
+    throw std::invalid_argument(
+        "FleetEngine::set_cell_mode: cell index out of range");
+  }
+  cell_mode_[cell] = static_cast<std::uint8_t>(mode);
+}
+
+void FleetEngine::set_cell_modes(std::span<const CellMode> modes) {
+  if (modes.size() != num_cells()) {
+    throw std::invalid_argument("FleetEngine::set_cell_modes: size mismatch");
+  }
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    cell_mode_[i] = static_cast<std::uint8_t>(modes[i]);
+  }
+}
+
+CellMode FleetEngine::cell_mode(std::size_t cell) const {
+  if (cell >= num_cells()) {
+    throw std::invalid_argument(
+        "FleetEngine::cell_mode: cell index out of range");
+  }
+  return static_cast<CellMode>(cell_mode_[cell]);
+}
+
 void FleetEngine::set_soc(std::span<const double> soc) {
   if (soc.size() != num_cells()) {
     throw std::invalid_argument("FleetEngine::set_soc: size mismatch");
@@ -225,7 +286,23 @@ void FleetEngine::set_soc(std::span<const double> soc) {
 SOCPINN_HOT void FleetEngine::drain_shard(ShardScratch& scratch,
                                           const core::TwoBranchSnapshot& model,
                                           std::size_t begin, std::size_t end) {
-  // Workload overrides first: they replace the staged Branch-2 row of this
+  // Param updates first: a capacity published by the slow SoH loop takes
+  // effect from this very tick's physics advance on. Skip-and-count
+  // validity here is is_finite AND core::is_valid — a FINITE capacity of
+  // 0 would poison the Eq. 1 divisor just like a NaN, so the drain holds
+  // the same bar the synchronous set_cell_params enforces by throwing.
+  ParamUpdate update;
+  for (std::size_t cell = begin; cell < end; ++cell) {
+    if (mailbox_.consume_params(cell, update)) {
+      const core::CellParams p{update.capacity_ah, update.coulombic_eff};
+      if (!is_finite(update) || !core::is_valid(p)) {
+        dropped_param_updates_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      params_[cell] = p;
+    }
+  }
+  // Workload overrides next: they replace the staged Branch-2 row of this
   // very tick (sticky until a newer override supersedes them).
   WorkloadOverride forecast;
   for (std::size_t cell = begin; cell < end; ++cell) {
@@ -291,10 +368,15 @@ SOCPINN_HOT void FleetEngine::apply_overrides(ShardScratch& scratch, bool f32,
 SOCPINN_HOT void FleetEngine::forward_shard(
     ShardScratch& scratch, const core::TwoBranchSnapshot& model,
     std::size_t begin, std::size_t count) {
+  // Physics-only cells ride the batched forward (their columns are
+  // computed and discarded — per-column independence makes the padding
+  // free) but keep their prior SoC here: advance_physics reads it right
+  // after this, and Eq. 1 must see the true f64 state, not an NN output.
   if (config_.precision == core::Precision::kFloat32) {
     const nn::MatrixF32& pred =
         model.f32().predict_columns(scratch.input_f32, scratch.ws_f32);
     for (std::size_t i = 0; i < count; ++i) {
+      if (cell_mode_[begin + i] != 0) continue;
       const double raw = static_cast<double>(pred(0, i));
       soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
     }
@@ -306,8 +388,36 @@ SOCPINN_HOT void FleetEngine::forward_shard(
           ? model.net().predict_batch_columns(scratch.input, scratch.ws)
           : model.net().predict_batch(scratch.input, scratch.ws);
   for (std::size_t i = 0; i < count; ++i) {
+    if (cell_mode_[begin + i] != 0) continue;
     const double raw = columns ? pred(0, i) : pred(i, 0);
     soc_[begin + i] = config_.clamp_soc ? util::clamp01(raw) : raw;
+  }
+}
+
+SOCPINN_HOT void FleetEngine::advance_physics(std::size_t begin,
+                                              std::size_t end,
+                                              const nn::Matrix* workload_raw,
+                                              const double* row3) {
+  const bool clamp = config_.clamp_soc;
+  for (std::size_t cell = begin; cell < end; ++cell) {
+    if (cell_mode_[cell] == 0) continue;
+    double avg_current, horizon_s;
+    if (override_active_[cell] != 0) {
+      avg_current = override_[cell].avg_current;
+      horizon_s = override_[cell].horizon_s;
+    } else if (workload_raw != nullptr) {
+      avg_current = (*workload_raw)(cell, 0);
+      horizon_s = (*workload_raw)(cell, 2);
+    } else {
+      avg_current = row3[0];
+      horizon_s = row3[2];
+    }
+    // params_[cell] is valid by construction: every write path (config
+    // seed, set_cell_params, the drain) validates before assigning, so
+    // the non-throwing hot Eq. 1 is safe here.
+    const double raw =
+        core::eq1_predict(soc_[cell], avg_current, horizon_s, params_[cell]);
+    soc_[cell] = clamp ? util::clamp01(raw) : raw;
   }
 }
 
@@ -369,11 +479,20 @@ SOCPINN_HOT void FleetEngine::step(const nn::Matrix& workload_raw) {
         apply_overrides(scratch, f32, count >= nn::kColumnsMinBatch, begin,
                         count);
         forward_shard(scratch, *model, begin, count);
+        advance_physics(begin, end, &workload_raw, nullptr);
       });
   ++ticks_;
 }
 
 SOCPINN_HOT void FleetEngine::tick_shared(const double* row3) {
+  if (row3 != nullptr) {
+    // Persist the shared row in f64: the run() fast path reuses staged
+    // rows on later ticks (row3 == nullptr), and advance_physics must
+    // read the true doubles, not the f32 staged panel.
+    shared_row_[0] = row3[0];
+    shared_row_[1] = row3[1];
+    shared_row_[2] = row3[2];
+  }
   const std::shared_ptr<const core::TwoBranchSnapshot> model =
       model_.load();
   const bool f32 = config_.precision == core::Precision::kFloat32;
@@ -405,6 +524,7 @@ SOCPINN_HOT void FleetEngine::tick_shared(const double* row3) {
           }
           apply_overrides(scratch, true, columns, begin, count);
           forward_shard(scratch, *model, begin, count);
+          advance_physics(begin, end, nullptr, shared_row_);
           return;
         }
         if (row3 != nullptr) {
@@ -432,6 +552,7 @@ SOCPINN_HOT void FleetEngine::tick_shared(const double* row3) {
         }
         apply_overrides(scratch, false, columns, begin, count);
         forward_shard(scratch, *model, begin, count);
+        advance_physics(begin, end, nullptr, shared_row_);
       });
   ++ticks_;
 }

@@ -55,6 +55,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cell_params.hpp"
 #include "core/net_snapshot.hpp"
 #include "core/two_branch_net.hpp"
 #include "data/windowing.hpp"
@@ -62,6 +63,17 @@
 #include "serve/thread_pool.hpp"
 
 namespace socpinn::serve {
+
+/// How one cell of the fleet advances per tick — the FleetEngine twin of
+/// RolloutEngine's LaneKind. Physics-only cells ride the same sharded
+/// tick but advance with Eq. 1 from their own core::CellParams instead of
+/// Branch 2, which is what lets an aging fleet mix learned and
+/// physics-tracked cells in one pass (see examples/aging_fleet.cpp).
+/// uint8_t-backed so the per-cell mode table stays plain bytes.
+enum class CellMode : std::uint8_t {
+  kCascade = 0,     ///< Branch 2 (the default — pre-refactor behavior)
+  kPhysicsOnly = 1, ///< Eq. 1 with the cell's own params
+};
 
 struct FleetConfig {
   std::size_t threads = 0;  ///< worker threads; 0 = hardware_concurrency
@@ -89,6 +101,12 @@ struct FleetConfig {
   /// publishes that land before construction are drained, not lost) and
   /// must outlive the engine.
   MailboxSlot* external_mailbox_slots = nullptr;
+  /// Eq. 1 parameters every cell starts with (the per-cell parameter
+  /// plane's uniform seed). The default reproduces the pre-refactor
+  /// constants bitwise; per-cell values diverge later via set_cell_params
+  /// or mailbox param updates. Must satisfy core::is_valid (validated at
+  /// construction).
+  core::CellParams default_params;
 };
 
 class FleetEngine {
@@ -185,6 +203,35 @@ class FleetEngine {
   /// Whether `cell` currently has an active (drained) workload override.
   [[nodiscard]] bool has_workload_override(std::size_t cell) const;
 
+  /// Synchronously replaces `cell`'s Eq. 1 parameters — the sync twin of
+  /// publishing a ParamUpdate to the mailbox and letting the next tick
+  /// drain it (bitwise identical: both paths perform the same per-cell
+  /// assignment into the params table). Rejects invalid params with
+  /// std::invalid_argument BEFORE any state changes (the synchronous side
+  /// of the policy; the drain skips-and-counts instead). Like every
+  /// tick-path mutation, must not be called concurrently with ticks — the
+  /// mailbox is the concurrent route.
+  void set_cell_params(std::size_t cell, const core::CellParams& params);
+
+  /// Whole-fleet variant (size num_cells); every entry validated before
+  /// any is applied.
+  void set_cell_params(std::span<const core::CellParams> params);
+
+  /// `cell`'s current Eq. 1 parameters (as seeded, set, or last drained).
+  [[nodiscard]] const core::CellParams& cell_params(std::size_t cell) const;
+
+  /// Switches how `cell` advances per tick (default: every cell
+  /// CellMode::kCascade — pre-refactor behavior). Physics-only cells
+  /// advance with Eq. 1 from their own params; sensor re-seeds and
+  /// workload overrides apply to them exactly like to cascade cells.
+  /// Synchronous; same no-concurrent-ticks contract as set_cell_params.
+  void set_cell_mode(std::size_t cell, CellMode mode);
+
+  /// Whole-fleet variant (size num_cells).
+  void set_cell_modes(std::span<const CellMode> modes);
+
+  [[nodiscard]] CellMode cell_mode(std::size_t cell) const;
+
   /// Messages a mailbox drain skipped because a field was non-finite (the
   /// asynchronous side of the serve::is_finite policy — the drain cannot
   /// throw mid-tick, so invalid messages are dropped and counted instead
@@ -195,7 +242,8 @@ class FleetEngine {
   /// the last reset_ingest_stats(); readable from any thread.
   [[nodiscard]] IngestStats ingest_stats() const {
     return {dropped_sensor_reports_.load(std::memory_order_relaxed),
-            dropped_workload_overrides_.load(std::memory_order_relaxed)};
+            dropped_workload_overrides_.load(std::memory_order_relaxed),
+            dropped_param_updates_.load(std::memory_order_relaxed)};
   }
 
   /// Zeroes the drop counters (e.g. between soak windows). Like every
@@ -204,6 +252,7 @@ class FleetEngine {
   void reset_ingest_stats() {
     dropped_sensor_reports_.store(0, std::memory_order_relaxed);
     dropped_workload_overrides_.store(0, std::memory_order_relaxed);
+    dropped_param_updates_.store(0, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::span<const double> soc() const { return soc_; }
@@ -268,6 +317,17 @@ class FleetEngine {
   void apply_overrides(ShardScratch& scratch, bool f32, bool columns,
                        std::size_t begin, std::size_t count);
 
+  /// Advances every CellMode::kPhysicsOnly cell of [begin, end) with
+  /// Eq. 1 from its own params — after the shard's NN forward (whose
+  /// write-back skips physics cells, so the prior SoC is still intact
+  /// here). The workload comes from the cell's active override when set,
+  /// else from `workload_raw` row `cell` (step()) or the shared `row3`
+  /// (tick_shared()) — always the raw f64 source, never the staged f32
+  /// panel, so physics advances in full precision under both engine
+  /// precisions (matching RolloutEngine's physics lanes).
+  void advance_physics(std::size_t begin, std::size_t end,
+                       const nn::Matrix* workload_raw, const double* row3);
+
   /// Shared per-shard forward + clamped write-back used by step() and
   /// tick_shared(). At f64, `scratch.input` must hold the shard's staged
   /// raw Branch-2 inputs: feature-major (4 x count) for shards at or above
@@ -297,11 +357,24 @@ class FleetEngine {
   /// not bit-packed, so neighboring cells on a shard boundary never race).
   std::vector<WorkloadOverride> override_;
   std::vector<std::uint8_t> override_active_;
-  /// Non-finite messages skipped by drains. Atomic because drains run on
+  /// The per-cell parameter plane: each cell's Eq. 1 params, seeded
+  /// uniformly from FleetConfig::default_params, updated per cell by
+  /// set_cell_params or mailbox param drains. Shard-local access only
+  /// (like override_), allocated once at construction.
+  std::vector<core::CellParams> params_;
+  /// Per-cell advancement mode (CellMode, stored as plain bytes like
+  /// override_active_ so shard-boundary neighbors never race).
+  std::vector<std::uint8_t> cell_mode_;
+  /// Invalid messages skipped by drains. Atomic because drains run on
   /// shard threads (relaxed is enough: they are statistics, not
   /// synchronization).
   std::atomic<std::uint64_t> dropped_sensor_reports_{0};
   std::atomic<std::uint64_t> dropped_workload_overrides_{0};
+  std::atomic<std::uint64_t> dropped_param_updates_{0};
+  /// The persisted shared workload row of the run() fast path — the f64
+  /// source advance_physics reads when tick_shared reuses staged rows
+  /// (the f32 staged panel would lose bits).
+  double shared_row_[3] = {0.0, 0.0, 0.0};
   std::uint64_t ticks_ = 0;
 };
 

@@ -6,8 +6,9 @@
 /// estimating SoC while sensors stream in — needs a seam between
 /// asynchronous producers (per-cell telemetry feeds, workload planners)
 /// and the synchronous sharded tick of FleetEngine. The mailbox is that
-/// seam: one cache-line-aligned slot pair per cell, each slot a
-/// single-writer seqlock over a 3-double payload.
+/// seam: one cache-line-aligned slot triple per cell (sensor report,
+/// workload override, param update), each slot a single-writer seqlock
+/// over a 3-double payload.
 ///
 ///   * publish_* is wait-free and allocation-free: two counter stores and
 ///     three relaxed payload stores. Producers never block the shard loop
@@ -72,6 +73,20 @@ struct WorkloadOverride {
   double horizon_s = 0.0;
 };
 
+/// One per-cell physics-parameter update: the wire format of
+/// core::CellParams (cell_params.hpp) for the slow SoH loop. Consuming it
+/// replaces the cell's Eq. 1 parameters from that tick on — the third slot
+/// kind, same single-writer seqlock, same latest-wins semantics (a newer
+/// capacity estimate supersedes an undrained one, which is exactly what a
+/// background SoH estimator wants). `reserved` pads the payload to the
+/// slot's three doubles; it must be finite (the drain's is_finite check
+/// covers it) but is otherwise not interpreted yet.
+struct ParamUpdate {
+  double capacity_ah = 0.0;
+  double coulombic_eff = 1.0;
+  double reserved = 0.0;
+};
+
 /// The shared message-validity policy of every re-anchor/override path: a
 /// message is valid iff every field is finite. A NaN or Inf sensor value
 /// would poison the cell's SoC until the next valid report (the Branch-1
@@ -96,6 +111,15 @@ struct WorkloadOverride {
          std::isfinite(forecast.horizon_s);
 }
 
+/// Param updates additionally need core::is_valid(CellParams) at the drain
+/// (a FINITE capacity of 0 still poisons the Eq. 1 divisor); this is the
+/// shared finiteness half of that policy.
+[[nodiscard]] inline bool is_finite(const ParamUpdate& update) {
+  return std::isfinite(update.capacity_ah) &&
+         std::isfinite(update.coulombic_eff) &&
+         std::isfinite(update.reserved);
+}
+
 /// Non-finite messages a drain skipped, per kind — the aggregation unit of
 /// the skip-and-count side of serve::is_finite. Plain copyable counters so
 /// a sharded parent can sum per-worker stats across process boundaries
@@ -104,12 +128,17 @@ struct WorkloadOverride {
 struct IngestStats {
   std::uint64_t dropped_sensor_reports = 0;
   std::uint64_t dropped_workload_overrides = 0;
+  /// Param updates skipped because a field was non-finite OR the decoded
+  /// core::CellParams failed is_valid (e.g. capacity <= 0 — finite but
+  /// just as poisonous to the Eq. 1 divisor).
+  std::uint64_t dropped_param_updates = 0;
 
   void reset() { *this = IngestStats{}; }
 
   IngestStats& operator+=(const IngestStats& other) {
     dropped_sensor_reports += other.dropped_sensor_reports;
     dropped_workload_overrides += other.dropped_workload_overrides;
+    dropped_param_updates += other.dropped_param_updates;
     return *this;
   }
 
@@ -183,7 +212,7 @@ struct SeqlockSlot3 {
 
 }  // namespace detail
 
-/// Both slots plus the consumer cursors of one cell, cache-line-aligned so
+/// All three slots plus the consumer cursors of one cell, cache-line-aligned so
 /// two cells' producers never contend on one line. The cursors are
 /// consumer-owned (only consume_* writes them — inside the engine, always
 /// the shard that owns the cell, successive ticks ordered by the pool's
@@ -196,8 +225,10 @@ struct SeqlockSlot3 {
 struct alignas(64) MailboxSlot {
   detail::SeqlockSlot3 sensors;
   detail::SeqlockSlot3 workload;
+  detail::SeqlockSlot3 params;  ///< ParamUpdate (the slow SoH loop's lane)
   std::uint64_t sensor_cursor = 0;
   std::uint64_t workload_cursor = 0;
+  std::uint64_t param_cursor = 0;
 };
 
 // The shm contract: plain bytes (memcpy-able, no construction needed
@@ -214,7 +245,8 @@ static_assert(std::atomic_ref<std::uint64_t>::is_always_lock_free &&
               "the mailbox seqlock requires lock-free (address-free) 8-byte "
               "atomics to work across processes");
 
-/// Per-cell ingest mailbox: a sensor slot and a workload slot per cell.
+/// Per-cell ingest mailbox: a sensor slot, a workload slot, and a param
+/// slot per cell.
 /// Producer side (publish_*) is safe from any thread as long as each cell
 /// has one producer; consumer side (consume_*) is owned by one logical
 /// consumer — inside FleetEngine that is the shard owning the cell, and
@@ -261,6 +293,15 @@ class Mailbox {
                                          forecast.horizon_s);
   }
 
+  /// Publishes fresh Eq. 1 parameters for `cell` (wait-free; latest wins —
+  /// the slow SoH loop's ingress lane). Same single-producer-per-cell
+  /// contract as the other slot kinds; a background SoH estimator is that
+  /// producer.
+  SOCPINN_HOT void publish_params(std::size_t cell, const ParamUpdate& update) {
+    slots_checked(cell).params.publish(update.capacity_ah,
+                                       update.coulombic_eff, update.reserved);
+  }
+
   /// Consumes the newest unseen sensor report for `cell`, if any.
   /// Consumer-side: one logical consumer per cell (inside FleetEngine,
   /// the shard owning the cell).
@@ -288,7 +329,20 @@ class Mailbox {
     return true;
   }
 
-  /// Whether `cell` has an unconsumed (or in-flight) message of either
+  /// Consumes the newest unseen param update for `cell`, if any. Same
+  /// consumer-side contract as consume_sensors.
+  SOCPINN_HOT bool consume_params(std::size_t cell, ParamUpdate& out) {
+    MailboxSlot& slot = slots_checked(cell);
+    double v[3];
+    const std::atomic_ref<std::uint64_t> cursor_ref(slot.param_cursor);
+    std::uint64_t cursor = cursor_ref.load(std::memory_order_relaxed);
+    if (!slot.params.consume(cursor, v)) return false;
+    cursor_ref.store(cursor, std::memory_order_relaxed);
+    out = {v[0], v[1], v[2]};
+    return true;
+  }
+
+  /// Whether `cell` has an unconsumed (or in-flight) message of any
   /// kind — a cheap heuristic pre-check callable from ANY thread
   /// (producers may poll their backlog); consume_* stays the source of
   /// truth, and a racing drain may make the answer stale by one message.
@@ -299,6 +353,9 @@ class Mailbox {
                    .load(std::memory_order_relaxed)) ||
            slot.workload.pending(
                std::atomic_ref<std::uint64_t>(slot.workload_cursor)
+                   .load(std::memory_order_relaxed)) ||
+           slot.params.pending(
+               std::atomic_ref<std::uint64_t>(slot.param_cursor)
                    .load(std::memory_order_relaxed));
   }
 

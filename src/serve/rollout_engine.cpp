@@ -5,7 +5,6 @@
 #include <stdexcept>
 #include <string>
 
-#include "battery/coulomb.hpp"
 #include "nn/panel_dispatch.hpp"
 #include "serve/mailbox.hpp"
 #include "util/annotations.hpp"
@@ -119,9 +118,10 @@ std::vector<core::Rollout> RolloutEngine::run(
 }
 
 core::Rollout RolloutEngine::run_single(const data::WorkloadSchedule& schedule,
-                                        LaneKind kind, double capacity_ah,
+                                        LaneKind kind,
+                                        const core::CellParams& params,
                                         const data::ReanchorPlan* reanchor) {
-  const RolloutLane lane{&schedule, kind, capacity_ah, reanchor};
+  const RolloutLane lane{&schedule, kind, params, reanchor};
   core::Rollout out;
   run_into({&lane, 1}, {&out, 1});
   return out;
@@ -139,12 +139,14 @@ void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
     if (lane.schedule == nullptr) {
       throw_lane_error(i, "lane without a schedule");
     }
-    // Finite AND positive: NaN slips through a plain `<= 0` comparison
-    // (every NaN compare is false) and ±Inf passes it too — either would
-    // silently divide Eq. 1 into garbage for the whole trajectory.
-    if (lane.kind == LaneKind::kPhysicsOnly &&
-        !(std::isfinite(lane.capacity_ah) && lane.capacity_ah > 0.0)) {
-      throw_lane_error(i, "physics-only lane needs finite capacity_ah > 0");
+    // core::is_valid rejects NaN/Inf (a plain `<= 0` comparison would wave
+    // them through — every NaN compare is false) as well as a finite
+    // capacity of 0 — any of which would silently divide Eq. 1 into
+    // garbage for the whole trajectory.
+    if (lane.kind == LaneKind::kPhysicsOnly && !core::is_valid(lane.params)) {
+      throw_lane_error(i,
+                       "physics-only lane needs valid params (finite "
+                       "capacity_ah > 0, coulombic_eff in (0, 1])");
     }
     if (lane.reanchor != nullptr) {
       validate_plan(i, lane);
@@ -325,15 +327,17 @@ SOCPINN_HOT void RolloutEngine::roll_shard(const core::TwoBranchSnapshot& model,
       }
     }
 
-    // Physics-only lanes advance with Eq. 1 in the same pass.
+    // Physics-only lanes advance with Eq. 1 in the same pass, each from
+    // its own lane params (bitwise equal to the old rated-capacity call
+    // at the default coulombic_eff of 1.0).
     for (std::size_t i = 0; i < count; ++i) {
       const RolloutLane& lane = lanes[begin + i];
       if (lane.kind != LaneKind::kPhysicsOnly) continue;
       const data::WorkloadSchedule& sched = *lane.schedule;
       if (step >= sched.num_steps()) continue;
-      const double raw = battery::coulomb_predict(
+      const double raw = core::eq1_predict(
           s.soc[i], sched.workload(step, 0), sched.workload(step, 2),
-          lane.capacity_ah);
+          lane.params);
       const double soc = clamp ? util::clamp01(raw) : raw;
       s.soc[i] = soc;
       // SOCPINN_HOT_ALLOW(push_back): within the trajectory capacity
@@ -468,15 +472,15 @@ SOCPINN_HOT void RolloutEngine::roll_shard_f32(const core::TwoBranchSnapshot& mo
 
     // Physics-only lanes advance with Eq. 1 in f64, same as roll_shard:
     // three flops gain nothing from narrowing and keep both precisions'
-    // physics baselines identical.
+    // physics baselines identical (per-lane params, like roll_shard).
     for (std::size_t i = 0; i < count; ++i) {
       const RolloutLane& lane = lanes[begin + i];
       if (lane.kind != LaneKind::kPhysicsOnly) continue;
       const data::WorkloadSchedule& sched = *lane.schedule;
       if (step >= sched.num_steps()) continue;
-      const double raw = battery::coulomb_predict(
+      const double raw = core::eq1_predict(
           s.soc[i], sched.workload(step, 0), sched.workload(step, 2),
-          lane.capacity_ah);
+          lane.params);
       const double soc = clamp ? util::clamp01(raw) : raw;
       s.soc[i] = soc;
       // SOCPINN_HOT_ALLOW(push_back): within the trajectory capacity

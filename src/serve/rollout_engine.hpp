@@ -44,6 +44,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cell_params.hpp"
 #include "core/net_snapshot.hpp"
 #include "core/predictor.hpp"
 #include "core/two_branch_net.hpp"
@@ -63,10 +64,13 @@ enum class LaneKind {
 struct RolloutLane {
   const data::WorkloadSchedule* schedule = nullptr;
   LaneKind kind = LaneKind::kCascade;
-  /// Rated capacity; required finite and > 0 for kPhysicsOnly (validated
-  /// at run entry with an error naming the lane index — a NaN or Inf here
-  /// would silently turn Eq. 1 into garbage).
-  double capacity_ah = 0.0;
+  /// The lane's own Eq. 1 parameters (core::CellParams — the per-lane
+  /// half of the per-cell parameter plane). Required core::is_valid for
+  /// kPhysicsOnly, validated at run entry with an error naming the lane
+  /// index — a NaN or Inf capacity would silently turn Eq. 1 into
+  /// garbage, and the zeroed default forces physics lanes to set a real
+  /// capacity explicitly (same contract the old loose capacity_ah had).
+  core::CellParams params{.capacity_ah = 0.0};
   /// Optional closed-loop plan: scheduled Branch-1 re-anchors consumed
   /// mid-rollout (see the file comment). nullptr (default) or an empty
   /// plan is an open-loop lane. Validated at run entry: step indices
@@ -146,7 +150,8 @@ class RolloutEngine {
   /// routes through this).
   [[nodiscard]] core::Rollout run_single(
       const data::WorkloadSchedule& schedule,
-      LaneKind kind = LaneKind::kCascade, double capacity_ah = 0.0,
+      LaneKind kind = LaneKind::kCascade,
+      const core::CellParams& params = {.capacity_ah = 0.0},
       const data::ReanchorPlan* reanchor = nullptr);
 
   [[nodiscard]] std::size_t num_threads() const { return pool_.size(); }

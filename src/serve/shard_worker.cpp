@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/model_io.hpp"
 #include "serve/fleet_engine.hpp"
@@ -43,6 +44,7 @@ void shard_worker_main(const ShardWorkerContext& ctx) {
   // --- setup: adopt the initial model, build the engine over the shard ---
   std::optional<FleetEngine> engine;
   std::optional<nn::Matrix> staged;  ///< reused num_cells x 3 input batch
+  std::vector<CellMode> staged_modes;  ///< reused kSetCellModes decode buffer
   std::string blob;
   std::uint64_t model_version = 0;
   std::string fatal;
@@ -56,9 +58,11 @@ void shard_worker_main(const ShardWorkerContext& ctx) {
     cfg.threads = ctx.threads;
     cfg.clamp_soc = ctx.clamp_soc;
     cfg.precision = ctx.precision;
+    cfg.default_params = ctx.default_params;
     cfg.external_mailbox_slots = ctx.mailbox_slots;
     engine.emplace(net, n, cfg);
     staged.emplace(n, 3);
+    staged_modes.resize(n);
   } catch (const std::exception& e) {
     // Not fatal to the PROTOCOL: keep servicing commands, answering each
     // with this error, so the parent gets a diagnosis instead of a hang.
@@ -123,6 +127,15 @@ void shard_worker_main(const ShardWorkerContext& ctx) {
         case WorkerCommand::kRun:
           engine->run(h.param0, h.param1, h.param2, h.ticks);
           break;
+        case WorkerCommand::kSetCellModes:
+          // The input area carries the modes as doubles (the staging area
+          // is a double array; 0.0 = cascade, anything else = physics).
+          for (std::size_t i = 0; i < n; ++i) {
+            staged_modes[i] = ctx.input[i] == 0.0 ? CellMode::kCascade
+                                                  : CellMode::kPhysicsOnly;
+          }
+          engine->set_cell_modes(staged_modes);
+          break;
         default:
           throw std::runtime_error("shard_worker: unknown command");
       }
@@ -139,6 +152,8 @@ void shard_worker_main(const ShardWorkerContext& ctx) {
           .store(stats.dropped_sensor_reports, std::memory_order_relaxed);
       std::atomic_ref<std::uint64_t>(h.dropped_workload_overrides)
           .store(stats.dropped_workload_overrides, std::memory_order_relaxed);
+      std::atomic_ref<std::uint64_t>(h.dropped_param_updates)
+          .store(stats.dropped_param_updates, std::memory_order_relaxed);
       std::atomic_ref<std::uint64_t>(h.engine_ticks)
           .store(engine->ticks(), std::memory_order_relaxed);
       std::atomic_ref<std::uint64_t>(h.model_version_adopted)

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 
+#include "core/cell_params.hpp"
 #include "core/net_snapshot.hpp"
 #include "serve/mailbox.hpp"
 #include "serve/shm_transport.hpp"
@@ -43,6 +44,10 @@ struct ShardWorkerContext {
   std::size_t threads = 1;  ///< FleetConfig::threads of the worker engine
   bool clamp_soc = true;
   core::Precision precision = core::Precision::kFloat64;
+  /// FleetConfig::default_params of the worker engine — every cell of the
+  /// shard starts with these Eq. 1 parameters until a publish_params
+  /// message (drained in the worker's engine) replaces its own.
+  core::CellParams default_params;
 
   /// Optional allocation probe: a function returning this process's
   /// cumulative allocation count (e.g. a counting operator new installed

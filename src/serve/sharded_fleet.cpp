@@ -96,6 +96,7 @@ ShardedFleet::ShardedFleet(const core::TwoBranchNet& net,
     ctx.threads = config.threads_per_worker;
     ctx.clamp_soc = config.clamp_soc;
     ctx.precision = config.precision;
+    ctx.default_params = config.default_params;
     ctx.alloc_counter = config.alloc_counter;
     // Flush inherited stdio buffers so the child's _exit cannot re-emit
     // the parent's pending output.
@@ -265,6 +266,26 @@ void ShardedFleet::publish_workload(std::size_t cell,
   w.mailbox.publish_workload(cell - w.shard.begin, forecast);
 }
 
+void ShardedFleet::publish_params(std::size_t cell,
+                                  const ParamUpdate& update) {
+  Worker& w = owner_of(cell);
+  w.mailbox.publish_params(cell - w.shard.begin, update);
+}
+
+void ShardedFleet::set_cell_modes(std::span<const CellMode> modes) {
+  if (modes.size() != num_cells()) {
+    throw std::invalid_argument("ShardedFleet::set_cell_modes: size mismatch");
+  }
+  for (Worker& w : workers_) {
+    for (std::size_t i = 0; i < w.shard.size(); ++i) {
+      w.input[i] =
+          modes[w.shard.begin + i] == CellMode::kCascade ? 0.0 : 1.0;
+    }
+    post(w, WorkerCommand::kSetCellModes);
+  }
+  finish_command();
+}
+
 IngestStats ShardedFleet::ingest_stats() const {
   IngestStats total;
   for (const Worker& w : workers_) {
@@ -272,6 +293,8 @@ IngestStats ShardedFleet::ingest_stats() const {
         std::atomic_ref<std::uint64_t>(w.header->dropped_sensor_reports)
             .load(std::memory_order_relaxed),
         std::atomic_ref<std::uint64_t>(w.header->dropped_workload_overrides)
+            .load(std::memory_order_relaxed),
+        std::atomic_ref<std::uint64_t>(w.header->dropped_param_updates)
             .load(std::memory_order_relaxed)};
   }
   return total;

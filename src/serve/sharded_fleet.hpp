@@ -46,8 +46,10 @@
 #include <span>
 #include <vector>
 
+#include "core/cell_params.hpp"
 #include "core/net_snapshot.hpp"
 #include "core/two_branch_net.hpp"
+#include "serve/fleet_engine.hpp"
 #include "serve/mailbox.hpp"
 #include "serve/shm_transport.hpp"
 
@@ -63,6 +65,11 @@ struct ShardedFleetConfig {
   std::size_t threads_per_worker = 1;
   bool clamp_soc = true;
   core::Precision precision = core::Precision::kFloat64;
+  /// FleetConfig::default_params of EVERY worker engine: the Eq. 1
+  /// parameters each cell starts with until publish_params replaces its
+  /// own (same default as the single-process engine, so the bitwise
+  /// parity contract extends to the param plane).
+  core::CellParams default_params;
   /// Optional allocation probe forwarded to every worker (see
   /// ShardWorkerContext::alloc_counter); exposed back per worker through
   /// worker_allocs_last_command().
@@ -114,6 +121,17 @@ class ShardedFleet {
   /// at its next tick). One producer per cell, like Mailbox.
   void publish_sensors(std::size_t cell, const SensorReport& report);
   void publish_workload(std::size_t cell, const WorkloadOverride& forecast);
+  /// Wait-free per-cell Eq. 1 parameter update (the slow SoH loop's
+  /// ingress): lands in the owning worker's param slot and is drained at
+  /// the top of that worker's next tick — same latest-wins seqlock and
+  /// skip-and-count policy as the other two publish_* kinds.
+  void publish_params(std::size_t cell, const ParamUpdate& update);
+
+  /// Broadcasts per-cell advancement modes (FleetEngine::set_cell_modes
+  /// across the process boundary): `modes.size() == num_cells`, scattered
+  /// through each worker's input staging area as doubles. Synchronous,
+  /// like every other command.
+  void set_cell_modes(std::span<const CellMode> modes);
 
   /// Fleet SoC as of the last completed command (parent-side gather).
   [[nodiscard]] std::span<const double> soc() const { return soc_; }

@@ -83,6 +83,7 @@ enum class WorkerCommand : std::uint32_t {
   kStep = 3,             ///< input area holds size x 3 workload rows
   kRun = 4,              ///< param0..2 = shared workload row, ticks = count
   kStop = 5,             ///< ack, then _exit(0)
+  kSetCellModes = 6,     ///< input area holds size doubles (0 = cascade)
 };
 
 /// The per-worker command/status channel at the head of its segment.
@@ -108,6 +109,7 @@ struct alignas(64) WorkerHeader {
   std::uint32_t pad2_ = 0;
   std::uint64_t dropped_sensor_reports = 0;    ///< engine IngestStats export
   std::uint64_t dropped_workload_overrides = 0;
+  std::uint64_t dropped_param_updates = 0;
   std::uint64_t engine_ticks = 0;           ///< engine.ticks() after command
   std::uint64_t model_version_adopted = 0;  ///< ModelRegion version in use
   std::uint64_t allocs_last_command = 0;    ///< alloc-hook delta, 0 if unset

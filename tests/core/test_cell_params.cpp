@@ -1,0 +1,91 @@
+/// core::CellParams — the per-cell Eq. 1 parameter record threaded through
+/// core -> serve -> shm. The load-bearing contracts: validation rejects
+/// every non-finite / out-of-range field (NaN must not slip through a
+/// `<= 0` comparison), and eq1_predict at the default coulombic efficiency
+/// of 1.0 reproduces battery::coulomb_predict bitwise (1.0 * x == x, and
+/// the build pins -ffp-contract=off) — which is what keeps the whole
+/// refactor behavior-neutral for uniform fleets.
+
+#include "core/cell_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "battery/coulomb.hpp"
+
+namespace socpinn::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CellParams, DefaultsAreValidAndMatchTheOldConstants) {
+  const CellParams params;
+  EXPECT_TRUE(is_valid(params));
+  EXPECT_EQ(params.capacity_ah, 3.0);
+  EXPECT_EQ(params.coulombic_eff, 1.0);
+  EXPECT_NO_THROW(validate(params, "test"));
+}
+
+TEST(CellParams, IsValidRejectsEveryBadField) {
+  for (const double bad : {0.0, -3.0, kNan, kInf, -kInf}) {
+    EXPECT_FALSE(is_valid({.capacity_ah = bad})) << bad;
+    EXPECT_FALSE(is_valid({.capacity_ah = 3.0, .coulombic_eff = bad})) << bad;
+  }
+  // Efficiency above 1 would create charge from nothing.
+  EXPECT_FALSE(is_valid({.capacity_ah = 3.0, .coulombic_eff = 1.5}));
+  EXPECT_TRUE(is_valid({.capacity_ah = 3.0, .coulombic_eff = 0.97}));
+}
+
+TEST(CellParams, ValidateThrowsWithCallerName) {
+  try {
+    validate({.capacity_ah = kNan}, "SomeCaller");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("SomeCaller"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CellParams, Eq1MatchesCoulombPredictBitwiseAtUnitEfficiency) {
+  // The bitwise compatibility claim of the whole param plane: with the
+  // default coulombic_eff = 1.0, eq1_predict IS the frozen-constant
+  // coulomb_predict, to the last ulp, over a representative grid.
+  for (const double cap : {1.1, 3.0, 3.2, 2.71}) {
+    const CellParams params{.capacity_ah = cap};
+    for (const double soc0 : {0.0, 0.31, 0.5, 0.99}) {
+      for (const double current : {-6.0, -1.5, -0.001, 0.0, 1.5}) {
+        for (const double horizon : {0.0, 30.0, 120.0, 360.0}) {
+          EXPECT_EQ(eq1_predict(soc0, current, horizon, params),
+                    battery::coulomb_predict(soc0, current, horizon, cap))
+              << cap << ' ' << soc0 << ' ' << current << ' ' << horizon;
+          EXPECT_EQ(
+              eq1_predict_clamped(soc0, current, horizon, params),
+              battery::coulomb_predict_clamped(soc0, current, horizon, cap));
+        }
+      }
+    }
+  }
+}
+
+TEST(CellParams, EfficiencyScalesOnlyTheCurrentTerm) {
+  const CellParams fresh;  // eff = 1.0
+  const CellParams lossy{.capacity_ah = 3.0, .coulombic_eff = 0.9};
+  const double full = eq1_predict(0.5, -3.0, 3600.0, fresh);
+  const double scaled = eq1_predict(0.5, -3.0, 3600.0, lossy);
+  // Delta from soc0 shrinks by exactly the efficiency factor.
+  EXPECT_NEAR(scaled - 0.5, 0.9 * (full - 0.5), 1e-15);
+}
+
+TEST(CellParams, EqualityIsFieldwise) {
+  EXPECT_EQ((CellParams{.capacity_ah = 3.0, .coulombic_eff = 1.0}),
+            (CellParams{}));
+  EXPECT_NE((CellParams{.capacity_ah = 2.0}), (CellParams{}));
+  EXPECT_NE((CellParams{.capacity_ah = 3.0, .coulombic_eff = 0.9}),
+            (CellParams{}));
+}
+
+}  // namespace
+}  // namespace socpinn::core

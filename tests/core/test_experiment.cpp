@@ -13,7 +13,7 @@ ExperimentSetup small_setup() {
   setup.test_traces = testing::make_test_traces();
   setup.native_horizon_s = 120.0;
   setup.test_horizons_s = {120.0, 240.0};
-  setup.capacity_ah = 3.0;
+  setup.cell.capacity_ah = 3.0;
   setup.train.epochs = 30;
   return setup;
 }

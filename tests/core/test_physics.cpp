@@ -12,7 +12,7 @@ namespace {
 PhysicsConfig basic_config() {
   PhysicsConfig config;
   config.horizons_s = {30.0, 50.0, 70.0};
-  config.capacity_ah = 3.0;
+  config.cell.capacity_ah = 3.0;
   config.current_min_a = -9.0;
   config.current_max_a = 3.0;
   config.temp_min_c = 0.0;
@@ -32,7 +32,7 @@ TEST(PhysicsConfig, ValidationCatchesErrors) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
 
   config = basic_config();
-  config.capacity_ah = 0.0;
+  config.cell.capacity_ah = 0.0;
   EXPECT_THROW(config.validate(), std::invalid_argument);
 
   config = basic_config();
@@ -52,12 +52,12 @@ TEST(PhysicsConfig, FromDataExtractsObservedRanges) {
                                         0.5, -7.5, 25.0, 30.0,   //
                                         0.1, 1.5, 15.0, 30.0});
   const PhysicsConfig config =
-      PhysicsConfig::from_data(b2, 3.0, {30.0, 50.0});
+      PhysicsConfig::from_data(b2, {.capacity_ah = 3.0}, {30.0, 50.0});
   EXPECT_DOUBLE_EQ(config.current_min_a, -7.5);
   EXPECT_DOUBLE_EQ(config.current_max_a, 1.5);
   EXPECT_DOUBLE_EQ(config.temp_min_c, 10.0);
   EXPECT_DOUBLE_EQ(config.temp_max_c, 25.0);
-  EXPECT_DOUBLE_EQ(config.capacity_ah, 3.0);
+  EXPECT_DOUBLE_EQ(config.cell.capacity_ah, 3.0);
 }
 
 TEST(CollocationSampler, TargetsObeyEquationOne) {

@@ -28,7 +28,7 @@ class PredictorTest : public ::testing::Test {
         std::span<const data::Trace>(*traces_), 120.0);
     (void)train_branch1(*net_, b1, config);
     const PhysicsConfig physics =
-        PhysicsConfig::from_data(b2, 3.0, {120.0, 240.0, 360.0});
+        PhysicsConfig::from_data(b2, {.capacity_ah = 3.0}, {120.0, 240.0, 360.0});
     (void)train_branch2(*net_, b2, physics, config);
   }
 
@@ -71,7 +71,7 @@ TEST_F(PredictorTest, CascadeUsesBranch1Estimate) {
 TEST_F(PredictorTest, PhysicsOnlyAppliesEquationOne) {
   const auto eval = data::build_horizon_eval(
       std::span<const data::Trace>(*traces_), 120.0);
-  const HorizonPrediction pred = predict_physics_only(*net_, eval, 3.0);
+  const HorizonPrediction pred = predict_physics_only(*net_, eval, {.capacity_ah = 3.0});
   for (std::size_t r = 0; r < eval.size(); r += 13) {
     const double expected = battery::coulomb_predict(
         pred.soc_now_est[r], eval.workload(r, 0), 120.0, 3.0);
@@ -103,7 +103,7 @@ TEST_F(PredictorTest, RolloutTracksDischargeSegment) {
 
 TEST_F(PredictorTest, PhysicsOnlyRolloutStaysClamped) {
   const data::Trace& trace = (*traces_)[0];
-  const Rollout rollout = rollout_physics_only(*net_, trace, 120.0, 3.0);
+  const Rollout rollout = rollout_physics_only(*net_, trace, 120.0, {.capacity_ah = 3.0});
   for (double s : rollout.soc) {
     EXPECT_GE(s, 0.0);
     EXPECT_LE(s, 1.0);
@@ -116,7 +116,7 @@ TEST_F(PredictorTest, PhysicsOnlyRolloutOverestimatesDischarge) {
   // rollout must sit above the truth (the Fig. 5 behaviour).
   const data::Trace discharge = (*traces_)[0].slice(0, 25);  // CC discharge
   const Rollout rollout =
-      rollout_physics_only(*net_, discharge, 120.0, 3.0);
+      rollout_physics_only(*net_, discharge, 120.0, {.capacity_ah = 3.0});
   EXPECT_GT(rollout.soc.back(), rollout.truth.back());
 }
 
@@ -132,7 +132,7 @@ TEST(Predictor, EmptyEvalThrows) {
   TwoBranchNet net;
   data::HorizonEvalData empty;
   EXPECT_THROW((void)predict_cascade(net, empty), std::invalid_argument);
-  EXPECT_THROW((void)predict_physics_only(net, empty, 3.0),
+  EXPECT_THROW((void)predict_physics_only(net, empty, {.capacity_ah = 3.0}),
                std::invalid_argument);
 }
 

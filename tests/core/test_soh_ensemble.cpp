@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "data/protocol.hpp"
 #include "nn/metrics.hpp"
 
@@ -24,7 +26,7 @@ ExperimentSetup setup_for_soh(double soh) {
   ExperimentSetup setup;
   setup.train_traces = {aged_cycle_trace(soh, 1), aged_cycle_trace(soh, 2)};
   setup.native_horizon_s = 120.0;
-  setup.capacity_ah =
+  setup.cell.capacity_ah =
       battery::cell_params(battery::Chemistry::kNmc).capacity_ah;
   setup.train.epochs = 50;
   return setup;
@@ -47,6 +49,69 @@ TEST(AgedCellParams, Validates) {
       battery::cell_params(battery::Chemistry::kNmc);
   EXPECT_THROW((void)aged_cell_params(fresh, 0.4), std::invalid_argument);
   EXPECT_THROW((void)aged_cell_params(fresh, 1.1), std::invalid_argument);
+}
+
+TEST(AgedCellParams, RejectsNonFiniteSohBeforeComputing) {
+  // Regression: NaN makes BOTH halves of `soh <= 0.5 || soh > 1.0` false,
+  // so a NaN SoH used to sail through validation and poison every derived
+  // parameter. The check must reject non-finite values explicitly.
+  const battery::CellParams fresh =
+      battery::cell_params(battery::Chemistry::kNmc);
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW((void)aged_cell_params(fresh, bad), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(AgedCellParams, MonotoneInSoh) {
+  // Ageing is monotone: capacity strictly fades and resistances strictly
+  // grow as SoH drops, across the whole accepted range.
+  const battery::CellParams fresh =
+      battery::cell_params(battery::Chemistry::kNmc);
+  double prev_scale = fresh.true_capacity_scale + 1.0;
+  double prev_r0 = 0.0;
+  double prev_r1 = 0.0;
+  // (0.6 is the floor here: below that the scaled true_capacity_scale
+  // would trip the battery::CellParams plausibility check.)
+  for (const double soh : {1.0, 0.95, 0.9, 0.8, 0.7, 0.6}) {
+    const battery::CellParams aged = aged_cell_params(fresh, soh);
+    EXPECT_LT(aged.true_capacity_scale, prev_scale) << soh;
+    EXPECT_GT(aged.r0_ohm, prev_r0) << soh;
+    EXPECT_GT(aged.r1_ohm, prev_r1) << soh;
+    prev_scale = aged.true_capacity_scale;
+    prev_r0 = aged.r0_ohm;
+    prev_r1 = aged.r1_ohm;
+  }
+}
+
+TEST(AgedCellParams, SohOneIsTheFreshCellBitwise) {
+  const battery::CellParams fresh =
+      battery::cell_params(battery::Chemistry::kNmc);
+  const battery::CellParams aged = aged_cell_params(fresh, 1.0);
+  EXPECT_EQ(aged.true_capacity_scale, fresh.true_capacity_scale);
+  EXPECT_EQ(aged.r0_ohm, fresh.r0_ohm);
+  EXPECT_EQ(aged.r1_ohm, fresh.r1_ohm);
+  EXPECT_EQ(aged.capacity_ah, fresh.capacity_ah);
+}
+
+TEST(SohEstimator, RejectsNonFiniteAndNonPositiveRatedCapacity) {
+  // Same NaN-passes-`<= 0` bug class as aged_cell_params: the capacity
+  // check must run BEFORE any integration and reject every bad value.
+  const battery::CellParams params =
+      battery::cell_params(battery::Chemistry::kNmc);
+  battery::Cell cell(params, 1.0, 25.0);
+  data::ProtocolRunner runner(60.0);
+  const data::Trace discharge =
+      runner.run(cell, {data::cc_discharge(params, 1.0)});
+  for (const double bad : {0.0, -3.0, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW((void)estimate_soh_from_discharge(discharge, bad),
+                 std::invalid_argument)
+        << bad;
+  }
 }
 
 TEST(SohEstimator, RecoversTrueSohFromFullDischarge) {

@@ -80,7 +80,7 @@ TEST(TrainBranch2, PhysicsLossIsTrackedAndDecreases) {
       std::span<const data::Trace>(traces), 120.0);
   TwoBranchNet net({}, 3);
   const PhysicsConfig physics =
-      PhysicsConfig::from_data(b2, 3.0, {120.0, 240.0, 360.0});
+      PhysicsConfig::from_data(b2, {.capacity_ah = 3.0}, {120.0, 240.0, 360.0});
   const TrainHistory history =
       train_branch2(net, b2, physics, fast_config());
 
@@ -107,7 +107,7 @@ TEST(TrainBranch2, PhysicsImprovesUnseenHorizon) {
 
   TwoBranchNet pinn({}, 4);
   const PhysicsConfig physics =
-      PhysicsConfig::from_data(b2, 3.0, {120.0, 240.0, 360.0});
+      PhysicsConfig::from_data(b2, {.capacity_ah = 3.0}, {120.0, 240.0, 360.0});
   (void)train_branch2(pinn, b2, physics, config);
 
   const double mae_no_pinn = nn::mae(no_pinn.predict_batch(b2_far.x),
@@ -125,7 +125,7 @@ TEST(TrainBranch2, ScalerCoversPhysicsHorizons) {
       std::span<const data::Trace>(traces), 120.0);
   TwoBranchNet net({}, 5);
   const PhysicsConfig physics =
-      PhysicsConfig::from_data(b2, 3.0, {120.0, 240.0, 360.0});
+      PhysicsConfig::from_data(b2, {.capacity_ah = 3.0}, {120.0, 240.0, 360.0});
   TrainConfig config = fast_config();
   config.epochs = 2;
   (void)train_branch2(net, b2, physics, config);

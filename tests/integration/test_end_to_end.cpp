@@ -29,7 +29,7 @@ class SandiaEndToEnd : public ::testing::Test {
     setup.test_traces = ds.test_traces();
     setup.native_horizon_s = 120.0;
     setup.test_horizons_s = {120.0, 240.0, 360.0};
-    setup.capacity_ah =
+    setup.cell.capacity_ah =
         battery::cell_params(battery::Chemistry::kNmc).capacity_ah;
     setup.train.epochs = 150;
 
@@ -103,7 +103,7 @@ class LgEndToEnd : public ::testing::Test {
     }
     setup_->native_horizon_s = 30.0;
     setup_->test_horizons_s = {30.0, 70.0};
-    setup_->capacity_ah = 3.0;
+    setup_->cell.capacity_ah = 3.0;
     setup_->train.epochs = 120;
     setup_->branch1_stride = 150;
     setup_->branch2_stride = 150;

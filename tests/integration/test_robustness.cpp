@@ -77,7 +77,7 @@ TEST(Robustness, ExperimentIsSeedDeterministic) {
   setup.test_traces = {cycle_trace(battery::Chemistry::kNmc, 1.0, 9)};
   setup.native_horizon_s = 120.0;
   setup.test_horizons_s = {120.0};
-  setup.capacity_ah = 3.0;
+  setup.cell.capacity_ah = 3.0;
   setup.train.epochs = 25;
 
   const std::vector<core::VariantSpec> variants = {

@@ -199,6 +199,44 @@ TEST(AllocFree, MailboxDrainAndPostSwapTicksAllocateNothing) {
   EXPECT_EQ(engine.ticks(), 26u);
 }
 
+TEST(AllocFree, ParamDrainTicksSteadyStateAllocateNothing) {
+  // The param plane rides the same hot path: ticks that drain a stream of
+  // per-cell CellParams updates — including ones steering physics-mode
+  // cells through Eq. 1 — allocate nothing once warm.
+  const core::TwoBranchNet net = testing::make_fitted_net(21);
+  const std::size_t cells = 500;
+  util::Rng rng(15);
+  nn::Matrix sensors(cells, 3);
+  nn::Matrix workload(cells, 3);
+  for (auto& v : sensors.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : workload.data()) v = rng.uniform(-1.0, 1.0);
+
+  FleetConfig config;
+  config.threads = 2;
+  FleetEngine engine(net, cells, config);
+  std::vector<CellMode> modes(cells, CellMode::kCascade);
+  for (std::size_t c = 0; c < cells; c += 4) modes[c] = CellMode::kPhysicsOnly;
+  engine.set_cell_modes(modes);
+  engine.init_from_sensors(sensors);
+  for (std::size_t c = 0; c < cells; ++c) {
+    engine.mailbox().publish_params(c, {2.8, 0.99, 0.0});
+  }
+  engine.step(workload);  // warm-up tick drains the full fleet's params
+
+  const std::size_t before = allocs();
+  for (int tick = 0; tick < 25; ++tick) {
+    // ~10% of cells get a fresh capacity every tick — the slow-loop shape.
+    for (std::size_t c = tick % 10; c < cells; c += 10) {
+      engine.mailbox().publish_params(
+          c, {2.5 + 0.001 * static_cast<double>(tick), 0.99, 0.0});
+    }
+    engine.step(workload);
+  }
+  EXPECT_EQ(allocs(), before) << "param drain allocated in steady state";
+  EXPECT_EQ(engine.ticks(), 26u);
+  EXPECT_EQ(engine.ingest_stats().dropped_param_updates, 0u);
+}
+
 TEST(AllocFree, ExternalMailboxSlotsTickLikeOwnedOnes) {
   // The shared-memory transport hands FleetEngine an external slot array;
   // the engine's steady-state zero-allocation contract must hold
@@ -301,7 +339,7 @@ TEST(AllocFree, RolloutStepsSteadyStateAllocateNothing) {
     lanes[i].schedule = &schedules[i];
     if (i % 4 == 3) {  // physics lanes share the pass and must stay free too
       lanes[i].kind = LaneKind::kPhysicsOnly;
-      lanes[i].capacity_ah = 3.0;
+      lanes[i].params.capacity_ah = 3.0;
     }
     // Closed-loop lanes re-anchor mid-run; the batched Branch-1 staging
     // must reuse its warm capacity like every other per-step buffer.

@@ -516,6 +516,187 @@ TEST(LiveServing, SwapModelValidates) {
   EXPECT_THROW(rollout.swap_model(f32_snapshot), std::invalid_argument);
 }
 
+TEST(LiveServing, ParamDrainBitwiseEqualsSynchronousSequence) {
+  // The param plane's core contract: interleaving publish_params with
+  // ticks is bitwise identical to calling set_cell_params synchronously
+  // before the same ticks — at 1, 2, and 8 threads and at both serving
+  // precisions (physics advances are always f64, so the equivalence is
+  // exact under kFloat32 too). Params only steer physics-mode cells, so
+  // the fleet mixes modes to make the equivalence observable.
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const std::size_t cells = 97;
+  const std::size_t ticks = 6;
+  util::Rng rng(41);
+  const nn::Matrix sensors0 = random_sensors(cells, rng);
+  const nn::Matrix workload = random_workload(cells, rng);
+  std::vector<CellMode> modes(cells, CellMode::kCascade);
+  for (std::size_t c = 0; c < cells; c += 3) modes[c] = CellMode::kPhysicsOnly;
+
+  // Deterministic update script: per tick, ~1 cell in 4 gets new params.
+  struct ParamTick {
+    std::vector<std::size_t> cells;
+    std::vector<core::CellParams> params;
+  };
+  util::Rng prng(43);
+  std::vector<ParamTick> script(ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (std::size_t c = 0; c < cells; ++c) {
+      if ((c * 5 + t) % 4 != 0) continue;
+      script[t].cells.push_back(c);
+      script[t].params.push_back({.capacity_ah = prng.uniform(1.5, 3.5),
+                                  .coulombic_eff = prng.uniform(0.9, 1.0)});
+    }
+  }
+
+  for (const core::Precision precision :
+       {core::Precision::kFloat64, core::Precision::kFloat32}) {
+    FleetEngine reference(net, cells,
+                          {.threads = 1, .precision = precision});
+    reference.set_cell_modes(modes);
+    reference.init_from_sensors(sensors0);
+    std::vector<std::vector<double>> ref_soc_per_tick;
+    for (std::size_t t = 0; t < ticks; ++t) {
+      for (std::size_t i = 0; i < script[t].cells.size(); ++i) {
+        reference.set_cell_params(script[t].cells[i], script[t].params[i]);
+      }
+      reference.step(workload);
+      ref_soc_per_tick.emplace_back(reference.soc().begin(),
+                                    reference.soc().end());
+    }
+
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      FleetEngine engine(net, cells,
+                         {.threads = threads, .precision = precision});
+      engine.set_cell_modes(modes);
+      engine.init_from_sensors(sensors0);
+      for (std::size_t t = 0; t < ticks; ++t) {
+        for (std::size_t i = 0; i < script[t].cells.size(); ++i) {
+          const core::CellParams& p = script[t].params[i];
+          engine.mailbox().publish_params(
+              script[t].cells[i], {p.capacity_ah, p.coulombic_eff, 0.0});
+        }
+        engine.step(workload);  // params drain at the top of the tick
+        for (std::size_t c = 0; c < cells; ++c) {
+          ASSERT_EQ(engine.soc()[c], ref_soc_per_tick[t][c])
+              << "tick " << t << " cell " << c << " threads " << threads
+              << " precision " << static_cast<int>(precision);
+        }
+      }
+      EXPECT_EQ(engine.ingest_stats().dropped_param_updates, 0u);
+    }
+  }
+}
+
+TEST(LiveServing, InvalidParamUpdatesAreSkippedAndCounted) {
+  // The drain's validity bar is is_finite AND core::is_valid: a NaN
+  // capacity, a FINITE capacity of 0 (which would poison the Eq. 1
+  // divisor without tripping any isfinite check), a negative capacity,
+  // and an efficiency above 1 are all dropped and counted, leaving the
+  // tick bitwise identical to no publish at all.
+  const core::TwoBranchNet net = testing::make_fitted_net(11);
+  const std::size_t cells = 24;
+  util::Rng rng(23);
+  const nn::Matrix sensors0 = random_sensors(cells, rng);
+  const nn::Matrix workload = random_workload(cells, rng);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  FleetEngine engine(net, cells, {.threads = 2});
+  FleetEngine reference(net, cells, {.threads = 2});
+  std::vector<CellMode> modes(cells, CellMode::kPhysicsOnly);
+  engine.set_cell_modes(modes);
+  reference.set_cell_modes(modes);
+  engine.init_from_sensors(sensors0);
+  reference.init_from_sensors(sensors0);
+
+  engine.mailbox().publish_params(3, {nan, 1.0, 0.0});
+  engine.mailbox().publish_params(5, {0.0, 1.0, 0.0});
+  engine.mailbox().publish_params(7, {-2.0, 1.0, 0.0});
+  engine.mailbox().publish_params(9, {3.0, 1.5, 0.0});
+  engine.step(workload);
+  reference.step(workload);
+  for (std::size_t c = 0; c < cells; ++c) {
+    ASSERT_EQ(engine.soc()[c], reference.soc()[c]) << "cell " << c;
+  }
+  EXPECT_EQ(engine.ingest_stats(),
+            (IngestStats{.dropped_param_updates = 4}));
+  // The dropped updates did not touch the cells' params.
+  EXPECT_EQ(engine.cell_params(3), core::CellParams{});
+  EXPECT_EQ(engine.cell_params(5), core::CellParams{});
+
+  // A later valid update recovers the cell — nothing was latched.
+  engine.mailbox().publish_params(3, {2.5, 0.98, 0.0});
+  engine.step(workload);
+  reference.set_cell_params(3, {.capacity_ah = 2.5, .coulombic_eff = 0.98});
+  reference.step(workload);
+  for (std::size_t c = 0; c < cells; ++c) {
+    ASSERT_EQ(engine.soc()[c], reference.soc()[c]) << "cell " << c;
+  }
+  EXPECT_EQ(engine.cell_params(3),
+            (core::CellParams{.capacity_ah = 2.5, .coulombic_eff = 0.98}));
+
+  engine.reset_ingest_stats();
+  EXPECT_EQ(engine.ingest_stats(), IngestStats{});
+}
+
+TEST(LiveServing, PhysicsModeCellsAdvanceWithEq1) {
+  // A physics-mode cell ignores the NN write-back and advances with
+  // Eq. 1 from its own params — across step(), the run() fast path
+  // (where the shared row must survive as true f64, not the staged f32
+  // panel), and under a workload override.
+  const core::TwoBranchNet net = testing::make_fitted_net(9);
+  const std::size_t cells = 40;
+  FleetEngine engine(net, cells, {.threads = 2});
+  EXPECT_EQ(engine.cell_mode(7), CellMode::kCascade);  // default
+  engine.set_cell_mode(7, CellMode::kPhysicsOnly);
+  engine.set_cell_params(7, {.capacity_ah = 2.0, .coulombic_eff = 0.95});
+  EXPECT_THROW(engine.set_cell_mode(cells, CellMode::kCascade),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine.cell_mode(cells), std::invalid_argument);
+  EXPECT_THROW((void)engine.cell_params(cells), std::invalid_argument);
+  EXPECT_THROW(engine.set_cell_params(7, {.capacity_ah = 0.0}),
+               std::invalid_argument);
+
+  const std::vector<double> start(cells, 0.8);
+  engine.set_soc(start);
+  nn::Matrix workload(cells, 3);
+  for (std::size_t c = 0; c < cells; ++c) {
+    workload(c, 0) = -3.0;
+    workload(c, 1) = 25.0;
+    workload(c, 2) = 120.0;
+  }
+  engine.step(workload);
+
+  // Physics cell: one clamped Eq. 1 step by hand.
+  const core::CellParams p7{.capacity_ah = 2.0, .coulombic_eff = 0.95};
+  EXPECT_EQ(engine.soc()[7],
+            core::eq1_predict_clamped(0.8, -3.0, 120.0, p7));
+  // Cascade cells: bitwise the all-cascade engine.
+  FleetEngine all_nn(net, cells, {.threads = 2});
+  all_nn.set_soc(start);
+  all_nn.step(workload);
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (c == 7) continue;
+    EXPECT_EQ(engine.soc()[c], all_nn.soc()[c]) << "cell " << c;
+  }
+
+  // run() fast path: the shared row drives Eq. 1 for the physics cell.
+  double expect7 = engine.soc()[7];
+  engine.run(-2.0, 25.0, 60.0, 3);
+  for (int t = 0; t < 3; ++t) {
+    expect7 = core::eq1_predict_clamped(expect7, -2.0, 60.0, p7);
+  }
+  EXPECT_EQ(engine.soc()[7], expect7);
+
+  // An override wins over the shared row for physics cells too.
+  engine.mailbox().publish_workload(7, {-4.0, 20.0, 90.0});
+  engine.run(-2.0, 25.0, 60.0, 2);
+  for (int t = 0; t < 2; ++t) {
+    expect7 = core::eq1_predict_clamped(expect7, -4.0, 90.0, p7);
+  }
+  EXPECT_EQ(engine.soc()[7], expect7);
+}
+
 TEST(LiveServing, SharedSnapshotServesManyEngines) {
   // A retrained model is converted once and swapped into a whole fleet of
   // engines — the deployment shape swap_model(shared_ptr) exists for.

@@ -29,10 +29,13 @@ TEST(Mailbox, BoundsChecksEveryEntryPoint) {
   Mailbox box(4);
   SensorReport r;
   WorkloadOverride w;
+  ParamUpdate p;
   EXPECT_THROW(box.publish_sensors(4, {0, 0, 0}), std::out_of_range);
   EXPECT_THROW(box.publish_workload(4, {0, 0, 0}), std::out_of_range);
+  EXPECT_THROW(box.publish_params(4, {3.0, 1.0, 0.0}), std::out_of_range);
   EXPECT_THROW(box.consume_sensors(4, r), std::out_of_range);
   EXPECT_THROW(box.consume_workload(4, w), std::out_of_range);
+  EXPECT_THROW(box.consume_params(4, p), std::out_of_range);
   EXPECT_THROW((void)box.pending(4), std::out_of_range);
 }
 
@@ -86,16 +89,47 @@ TEST(Mailbox, CellsAreIndependent) {
   EXPECT_EQ(w.avg_current, 9.0);
 }
 
-TEST(Mailbox, SensorAndWorkloadSlotsDoNotAlias) {
+TEST(Mailbox, SensorWorkloadAndParamSlotsDoNotAlias) {
   Mailbox box(1);
   box.publish_sensors(0, {1.0, 2.0, 3.0});
   box.publish_workload(0, {4.0, 5.0, 6.0});
+  box.publish_params(0, {7.0, 0.5, 0.0});
   SensorReport r;
   WorkloadOverride w;
+  ParamUpdate p;
   ASSERT_TRUE(box.consume_sensors(0, r));
   ASSERT_TRUE(box.consume_workload(0, w));
+  ASSERT_TRUE(box.consume_params(0, p));
   EXPECT_EQ(r.voltage, 1.0);
   EXPECT_EQ(w.avg_current, 4.0);
+  EXPECT_EQ(p.capacity_ah, 7.0);
+  EXPECT_EQ(p.coulombic_eff, 0.5);
+}
+
+TEST(Mailbox, ParamSlotFollowsTheSameProtocol) {
+  // The third slot kind is the same wait-free latest-wins seqlock as the
+  // other two: each publish is delivered at most once, only the newest
+  // survives, and pending() reports it.
+  Mailbox box(2);
+  ParamUpdate p;
+  EXPECT_FALSE(box.consume_params(1, p));
+  EXPECT_FALSE(box.pending(1));
+
+  box.publish_params(1, {2.5, 0.99, 0.0});
+  EXPECT_TRUE(box.pending(1));
+  EXPECT_FALSE(box.pending(0));  // cells are independent
+  ASSERT_TRUE(box.consume_params(1, p));
+  EXPECT_EQ(p.capacity_ah, 2.5);
+  EXPECT_EQ(p.coulombic_eff, 0.99);
+  EXPECT_FALSE(box.consume_params(1, p));
+  EXPECT_FALSE(box.pending(1));
+
+  for (int k = 0; k < 5; ++k) {
+    box.publish_params(1, {static_cast<double>(k), 1.0, 0.0});
+  }
+  ASSERT_TRUE(box.consume_params(1, p));
+  EXPECT_EQ(p.capacity_ah, 4.0);  // latest wins
+  EXPECT_FALSE(box.consume_params(1, p));
 }
 
 /// The headline concurrency property. Each producer owns a disjoint cell
@@ -122,6 +156,7 @@ TEST(MailboxStress, ConcurrentPublishesAreNeverTorn) {
           const double cd = static_cast<double>(cell);
           box.publish_sensors(cell, {kd, 2.0 * kd + cd, 3.0 * kd - cd});
           box.publish_workload(cell, {kd, 2.0 * kd + cd, 3.0 * kd - cd});
+          box.publish_params(cell, {kd, 2.0 * kd + cd, 3.0 * kd - cd});
         }
       }
     });
@@ -132,6 +167,7 @@ TEST(MailboxStress, ConcurrentPublishesAreNeverTorn) {
   // this terminates once the producers do.
   std::vector<double> last_sensor_k(cells, -1.0);
   std::vector<double> last_workload_k(cells, -1.0);
+  std::vector<double> last_param_k(cells, -1.0);
   std::size_t consumed = 0;
   while (!stop.load(std::memory_order_relaxed)) {
     for (std::size_t cell = 0; cell < cells; ++cell) {
@@ -159,6 +195,17 @@ TEST(MailboxStress, ConcurrentPublishesAreNeverTorn) {
             << "stale or reordered workload delivery at cell " << cell;
         last_workload_k[cell] = w.avg_current;
       }
+      ParamUpdate p;
+      if (box.consume_params(cell, p)) {
+        const double cd = static_cast<double>(cell);
+        ASSERT_EQ(p.coulombic_eff, 2.0 * p.capacity_ah + cd)
+            << "torn param read at cell " << cell;
+        ASSERT_EQ(p.reserved, 3.0 * p.capacity_ah - cd)
+            << "torn param read at cell " << cell;
+        ASSERT_GT(p.capacity_ah, last_param_k[cell])
+            << "stale or reordered param delivery at cell " << cell;
+        last_param_k[cell] = p.capacity_ah;
+      }
     }
     if (consumed >= 2 * cells &&
         std::all_of(last_sensor_k.begin(), last_sensor_k.end(),
@@ -183,6 +230,10 @@ TEST(MailboxStress, ConcurrentPublishesAreNeverTorn) {
     EXPECT_EQ(last_workload_k[cell],
               static_cast<double>(publishes_per_cell - 1))
         << "cell " << cell << " never surfaced its final workload override";
+    ParamUpdate p;
+    if (box.consume_params(cell, p)) last_param_k[cell] = p.capacity_ah;
+    EXPECT_EQ(last_param_k[cell], static_cast<double>(publishes_per_cell - 1))
+        << "cell " << cell << " never surfaced its final param update";
   }
 }
 

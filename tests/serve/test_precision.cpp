@@ -161,7 +161,7 @@ TEST(RolloutPrecision, F32TracksF64OnSandiaTestTracesAndPhysicsIsExact) {
   std::vector<RolloutLane> lanes;
   for (std::size_t i = 0; i < schedules.size(); ++i) {
     lanes.push_back({&schedules[i], LaneKind::kCascade, 0.0});
-    lanes.push_back({&schedules[i], LaneKind::kPhysicsOnly, 3.0});
+    lanes.push_back({&schedules[i], LaneKind::kPhysicsOnly, {.capacity_ah = 3.0}});
   }
   RolloutEngine f64(net, {.threads = 2});
   RolloutEngine f32(net, {.threads = 2,
@@ -233,7 +233,7 @@ TEST(RolloutPrecision, ClosedLoopF32MatchesGluedSegmentsAndTracksF64) {
   RolloutEngine f32(net, {.threads = 1,
                           .precision = core::Precision::kFloat32});
   const core::Rollout closed =
-      f32.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+      f32.run_single(schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan);
 
   const std::vector<double> glued = testing::glued_open_loop_soc(
       f32, trace, horizon_s, k, schedule, plan);
@@ -244,7 +244,7 @@ TEST(RolloutPrecision, ClosedLoopF32MatchesGluedSegmentsAndTracksF64) {
 
   RolloutEngine f64(net, {.threads = 1});
   expect_soc_close(closed,
-                   f64.run_single(schedule, LaneKind::kCascade, 0.0, &plan),
+                   f64.run_single(schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan),
                    1e-4, "closed-loop f32 vs f64");
 }
 
@@ -264,7 +264,7 @@ TEST(RolloutPrecision, ClosedLoopF32InvariantToThreadCount) {
     if (i % 2 == 0) lanes[i].reanchor = &plans[i];
     if (i % 5 == 3) {
       lanes[i].kind = LaneKind::kPhysicsOnly;
-      lanes[i].capacity_ah = 3.0;
+      lanes[i].params.capacity_ah = 3.0;
     }
   }
 
@@ -303,7 +303,7 @@ TEST(RolloutPrecision, ReanchorPlanAtStepZeroReproducesPlainSeedAtF32) {
   RolloutEngine engine(net, {.threads = 1,
                              .precision = core::Precision::kFloat32});
   const core::Rollout closed =
-      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+      engine.run_single(schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan);
   const core::Rollout open = engine.run_single(schedule);
   ASSERT_EQ(closed.soc.size(), open.soc.size());
   for (std::size_t s = 0; s < open.soc.size(); ++s) {

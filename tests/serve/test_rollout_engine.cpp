@@ -165,14 +165,14 @@ TEST(RolloutEngine, MatchesLegacyWrappersOnSandiaTestTraces) {
     schedules.push_back(data::build_workload_schedule(run.trace, 240.0));
     legacy.push_back(core::rollout_cascade(net, run.trace, 240.0));
     schedules.push_back(data::build_workload_schedule(run.trace, 240.0));
-    legacy.push_back(core::rollout_physics_only(net, run.trace, 240.0, 3.0));
+    legacy.push_back(core::rollout_physics_only(net, run.trace, 240.0, {.capacity_ah = 3.0}));
   }
   for (std::size_t i = 0; i < schedules.size(); ++i) {
     RolloutLane lane;
     lane.schedule = &schedules[i];
     if (i % 2 == 1) {
       lane.kind = LaneKind::kPhysicsOnly;
-      lane.capacity_ah = 3.0;
+      lane.params.capacity_ah = 3.0;
     }
     lanes.push_back(lane);
   }
@@ -218,8 +218,8 @@ TEST(RolloutEngine, PhysicsLanesRideTheSamePass) {
       data::build_workload_schedule(trace, 30.0);
 
   const std::vector<RolloutLane> lanes = {
-      {&schedule, LaneKind::kCascade, 0.0},
-      {&schedule, LaneKind::kPhysicsOnly, 3.0},
+      {&schedule, LaneKind::kCascade},
+      {&schedule, LaneKind::kPhysicsOnly, {.capacity_ah = 3.0}},
   };
   RolloutEngine engine(net, {.threads = 2});
   const std::vector<core::Rollout> both = engine.run(lanes);
@@ -229,7 +229,7 @@ TEST(RolloutEngine, PhysicsLanesRideTheSamePass) {
   expect_bitwise_equal(both[0], core::rollout_cascade(net, trace, 30.0),
                        "cascade lane");
   expect_bitwise_equal(both[1],
-                       core::rollout_physics_only(net, trace, 30.0, 3.0),
+                       core::rollout_physics_only(net, trace, 30.0, {.capacity_ah = 3.0}),
                        "physics lane");
 
   // And the physics lane really is Eq. 1: recompute one step by hand.
@@ -335,7 +335,7 @@ TEST(RolloutEngine, ClosedLoopLaneMatchesScalarReseedReference) {
 
   RolloutEngine engine(net, {.threads = 1});
   const core::Rollout batched =
-      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+      engine.run_single(schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan);
   expect_bitwise_equal(
       batched,
       closed_loop_reference(net, schedule, plan, LaneKind::kCascade, 0.0),
@@ -344,7 +344,7 @@ TEST(RolloutEngine, ClosedLoopLaneMatchesScalarReseedReference) {
   // Physics-only closed loop: Coulomb counting with periodic measurement
   // correction — Eq. 1 between re-anchors, Branch 1 at them.
   const core::Rollout physics =
-      engine.run_single(schedule, LaneKind::kPhysicsOnly, 3.0, &plan);
+      engine.run_single(schedule, LaneKind::kPhysicsOnly, {.capacity_ah = 3.0}, &plan);
   expect_bitwise_equal(
       physics,
       closed_loop_reference(net, schedule, plan, LaneKind::kPhysicsOnly, 3.0),
@@ -369,7 +369,7 @@ TEST(RolloutEngine, ClosedLoopMatchesGluedOpenLoopSegments) {
 
   RolloutEngine engine(net, {.threads = 1});
   const core::Rollout closed =
-      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan);
+      engine.run_single(schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan);
 
   const std::vector<double> glued = testing::glued_open_loop_soc(
       engine, trace, horizon_s, k, schedule, plan);
@@ -396,7 +396,7 @@ TEST(RolloutEngine, ReanchorPlanAtStepZeroReproducesPlainSeed) {
 
   RolloutEngine engine(net, {.threads = 1});
   expect_bitwise_equal(
-      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan),
+      engine.run_single(schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan),
       engine.run_single(schedule), "step-0 re-anchor");
 }
 
@@ -420,13 +420,13 @@ TEST(RolloutEngine, MixedOpenClosedPhysicsFleetInvariantToThreadCount) {
     lanes[i].schedule = &schedules[i];
     if (i % 3 == 1) {
       lanes[i].kind = LaneKind::kPhysicsOnly;
-      lanes[i].capacity_ah = 3.0;
+      lanes[i].params.capacity_ah = 3.0;
     }
     if (i % 2 == 0) lanes[i].reanchor = &plans[i];  // mixed open/closed
     reference[i] = closed_loop_reference(
         net, schedules[i],
         lanes[i].reanchor != nullptr ? plans[i] : data::ReanchorPlan{},
-        lanes[i].kind, lanes[i].capacity_ah);
+        lanes[i].kind, lanes[i].params.capacity_ah);
   }
 
   for (const std::size_t threads :
@@ -450,7 +450,7 @@ TEST(RolloutEngine, ClosedLoopWrapperMatchesEngine) {
   RolloutEngine engine(net, {.threads = 1});
   expect_bitwise_equal(
       core::rollout_closed_loop(net, trace, 30.0, plan),
-      engine.run_single(schedule, LaneKind::kCascade, 0.0, &plan),
+      engine.run_single(schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan),
       "closed-loop wrapper");
 
   // An empty plan is an open-loop lane: the wrapper degenerates to
@@ -474,8 +474,8 @@ TEST(RolloutEngine, ValidatesReanchorPlansNamingTheLane) {
     // Lane 0 is fine; the broken plan rides on lane 1 and the error must
     // say so.
     const std::vector<RolloutLane> lanes = {
-        {&ok_schedule, LaneKind::kCascade, 0.0, nullptr},
-        {&schedule, LaneKind::kCascade, 0.0, &plan},
+        {&ok_schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, nullptr},
+        {&schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, &plan},
     };
     try {
       (void)engine.run(lanes);
@@ -529,8 +529,8 @@ TEST(RolloutEngine, RejectsNonFinitePhysicsCapacityNamingTheLane) {
                            -std::numeric_limits<double>::infinity(), 0.0,
                            -3.0}) {
     const std::vector<RolloutLane> lanes = {
-        {&schedule, LaneKind::kCascade, 0.0, nullptr},
-        {&schedule, LaneKind::kPhysicsOnly, bad, nullptr},
+        {&schedule, LaneKind::kCascade, {.capacity_ah = 0.0}, nullptr},
+        {&schedule, LaneKind::kPhysicsOnly, {.capacity_ah = bad}, nullptr},
     };
     try {
       (void)engine.run(lanes);
@@ -553,7 +553,7 @@ TEST(RolloutEngine, ValidatesLanes) {
   EXPECT_THROW((void)engine.run(null_lane), std::invalid_argument);
 
   const std::vector<RolloutLane> bad_capacity = {
-      {&schedule, LaneKind::kPhysicsOnly, 0.0}};
+      {&schedule, LaneKind::kPhysicsOnly, {.capacity_ah = 0.0}}};
   EXPECT_THROW((void)engine.run(bad_capacity), std::invalid_argument);
 
   std::vector<core::Rollout> too_small(0);

@@ -230,6 +230,69 @@ TEST(ShardedFleet, StreamingIngestParityIncludingNonFiniteDrops) {
   expect_bitwise_equal(fleet.soc(), reference.soc(), "sticky override step");
 }
 
+TEST(ShardedFleet, ParamPlaneParityAcrossWorkerSplits) {
+  SOCPINN_SKIP_IF_NO_FORK();
+  // publish_params lands wait-free in the owning worker's shm mailbox and
+  // set_cell_modes fans out over the input staging area; both must leave
+  // the sharded fleet bitwise equal to one FleetEngine fed the synchronous
+  // equivalents, at every worker split. Invalid updates are dropped and
+  // counted in the worker, and ingest_stats() aggregates them.
+  const core::TwoBranchNet net = testing::make_fitted_net(57);
+  const std::size_t cells = 103;  // ragged shards at 2 and 4 workers
+  util::Rng rng(29);
+  const nn::Matrix sensors = testing::random_sensors(cells, rng);
+  const nn::Matrix workload = testing::random_workload(cells, rng);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // Every third cell runs the physics lane so params actually steer SoC.
+  std::vector<CellMode> modes(cells, CellMode::kCascade);
+  for (std::size_t c = 0; c < cells; c += 3) modes[c] = CellMode::kPhysicsOnly;
+
+  FleetEngine reference(net, cells, {.threads = 2});
+  reference.set_cell_modes(modes);
+  reference.init_from_sensors(sensors);
+  // Synchronous equivalents of the published updates below.
+  for (std::size_t c = 0; c < cells; c += 5) {
+    reference.set_cell_params(
+        c, {.capacity_ah = 2.0 + 0.01 * static_cast<double>(c),
+            .coulombic_eff = 0.95});
+  }
+  reference.step(workload);
+  reference.run(-1.5, 24.0, 90.0, 2);
+  const IngestStats ref_stats = reference.ingest_stats();
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ShardedFleetConfig config;
+    config.workers = workers;
+    config.threads_per_worker = 2;
+    ShardedFleet fleet(net, cells, config);
+    fleet.set_cell_modes(modes);
+    fleet.init_from_sensors(sensors);
+    for (std::size_t c = 0; c < cells; c += 5) {
+      fleet.publish_params(c,
+                           {2.0 + 0.01 * static_cast<double>(c), 0.95, 0.0});
+    }
+    // Dropped in the owning worker, not the parent: NaN capacity, a
+    // finite zero (poisons the Eq. 1 divisor), and an efficiency > 1 —
+    // spread across shard boundaries (103/4 splits at 26/52/78).
+    fleet.publish_params(1, {nan, 1.0, 0.0});
+    fleet.publish_params(53, {0.0, 1.0, 0.0});
+    fleet.publish_params(79, {3.0, 1.5, 0.0});
+    fleet.step(workload);
+    fleet.run(-1.5, 24.0, 90.0, 2);
+
+    expect_bitwise_equal(
+        fleet.soc(), reference.soc(),
+        (std::string("param plane, workers=") + std::to_string(workers))
+            .c_str());
+    const IngestStats stats = fleet.ingest_stats();
+    EXPECT_EQ(stats.dropped_param_updates, 3u) << "workers=" << workers;
+    EXPECT_EQ(stats.dropped_sensor_reports, ref_stats.dropped_sensor_reports);
+    EXPECT_THROW(fleet.publish_params(cells, {3.0, 1.0, 0.0}),
+                 std::out_of_range);
+  }
+}
+
 TEST(ShardedFleet, MidRunHotSwapAdoptsAtTheNextCommandBitwise) {
   SOCPINN_SKIP_IF_NO_FORK();
   const core::TwoBranchNet net_a = testing::make_fitted_net(21);

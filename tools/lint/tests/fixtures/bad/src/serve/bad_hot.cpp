@@ -44,6 +44,22 @@ SOCPINN_HOT void tick_leaky_waiver(Scratch& s) {
   s.buf.push_back(2.0);  // EXPECT hot-alloc (push_back)
 }
 
+// A param-drain-shaped body (the per-cell CellParams mailbox drain): an
+// unwaived staging allocation inside the drain loop must be flagged just
+// like any other hot body.
+struct ParamUpdate {
+  double capacity_ah;
+  double coulombic_eff;
+};
+
+SOCPINN_HOT void drain_params(Scratch& s) {
+  std::vector<ParamUpdate> staged;     // EXPECT hot-alloc (vector)
+  for (int cell = 0; cell < 8; ++cell) {
+    staged.push_back({3.0, 1.0});      // EXPECT hot-alloc (push_back)
+    s.buf.resize(staged.size());       // EXPECT hot-alloc (resize)
+  }
+}
+
 // Cold functions may allocate freely — no marker, no findings.
 void cold_setup(Scratch& s) { s.buf.resize(1024); }
 

@@ -102,7 +102,7 @@ int run_train(const util::ArgParser& args) {
   setup.train_traces = load_traces(args.get("train-csv", ""),
                                    args.get_double("smooth", 0.0));
   setup.native_horizon_s = args.get_double("horizon", 120.0);
-  setup.capacity_ah = args.get_double("capacity-ah", 3.0);
+  setup.cell.capacity_ah = args.get_double("capacity-ah", 3.0);
   setup.train.epochs =
       static_cast<std::size_t>(args.get_int("epochs", 200));
   setup.branch1_stride =
