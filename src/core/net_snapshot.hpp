@@ -14,12 +14,12 @@
 /// RMSE signal), at roughly twice the panel throughput.
 
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "core/two_branch_net.hpp"
 #include "nn/panel.hpp"
+#include "util/sync.hpp"
 
 namespace socpinn::core {
 
@@ -151,7 +151,10 @@ class TwoBranchSnapshot {
 /// whole sharded batch. (std::atomic<std::shared_ptr> is the same thing
 /// as a library spinlock, but current libstdc++ lacks the TSan annotations
 /// for it; an explicit mutex keeps the whole serve layer provable by the
-/// thread sanitizer, which this repo runs in CI.)
+/// thread sanitizer, which this repo runs in CI. The util::Mutex wrapper
+/// additionally makes the guard visible to clang's -Wthread-safety, so an
+/// unlocked touch of snapshot_ is a compile error there, not just a
+/// hoped-for TSan catch.)
 class SnapshotHandle {
  public:
   explicit SnapshotHandle(std::shared_ptr<const TwoBranchSnapshot> snapshot)
@@ -160,26 +163,29 @@ class SnapshotHandle {
   SnapshotHandle(const SnapshotHandle&) = delete;
   SnapshotHandle& operator=(const SnapshotHandle&) = delete;
 
-  [[nodiscard]] std::shared_ptr<const TwoBranchSnapshot> load() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::shared_ptr<const TwoBranchSnapshot> load() const
+      SOCPINN_EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     return snapshot_;
   }
 
-  void store(std::shared_ptr<const TwoBranchSnapshot> next) {
+  void store(std::shared_ptr<const TwoBranchSnapshot> next)
+      SOCPINN_EXCLUDES(mu_) {
     // Swap inside the lock, release the old reference outside it: if this
     // was the last reference to the replaced model, its destructor must
     // not run in the critical section.
     std::shared_ptr<const TwoBranchSnapshot> old;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       old = std::move(snapshot_);
       snapshot_ = std::move(next);
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const TwoBranchSnapshot> snapshot_;
+  mutable util::Mutex mu_;
+  std::shared_ptr<const TwoBranchSnapshot> snapshot_
+      SOCPINN_GUARDED_BY(mu_);
 };
 
 }  // namespace socpinn::core

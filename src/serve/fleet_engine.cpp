@@ -148,10 +148,15 @@ void FleetEngine::init_from_sensors(const nn::Matrix& sensors_raw) {
         "FleetEngine::init_from_sensors: need num_cells x 3 sensors");
   }
   require_finite_sensor_rows(sensors_raw, "FleetEngine::init_from_sensors");
+  const util::RoleGuard tick(tick_serial_);
   const std::shared_ptr<const core::TwoBranchSnapshot> model =
       model_.load();
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        // Lambdas are analyzed as separate functions with an empty
+        // lockset, so each pool job enters the shard-execution role
+        // itself before touching the REQUIRES(shard_exec_) helpers.
+        const util::RoleGuard shard_scope(shard_exec_);
         ShardScratch& scratch = scratch_[shard];
         scratch.pending.clear();
         scratch.reports.clear();
@@ -179,6 +184,10 @@ void FleetEngine::reseed_from_sensors(std::span<const std::size_t> cells,
   }
   require_finite_sensor_rows(sensors_raw, "FleetEngine::reseed_from_sensors");
   if (cells.empty()) return;
+  const util::RoleGuard tick(tick_serial_);
+  // The synchronous re-anchor runs the shard helper on the calling
+  // thread, so it enters the shard-execution role here.
+  const util::RoleGuard shard_scope(shard_exec_);
   const std::shared_ptr<const core::TwoBranchSnapshot> model =
       model_.load();
   // One batched estimate on the calling thread, through the same
@@ -199,10 +208,12 @@ void FleetEngine::clear_workload_override(std::size_t cell) {
     throw std::invalid_argument(
         "FleetEngine::clear_workload_override: cell index out of range");
   }
+  const util::RoleGuard tick(tick_serial_);
   override_active_[cell] = 0;
 }
 
 void FleetEngine::clear_workload_overrides() {
+  const util::RoleGuard tick(tick_serial_);
   std::fill(override_active_.begin(), override_active_.end(),
             std::uint8_t{0});
 }
@@ -222,6 +233,7 @@ void FleetEngine::set_cell_params(std::size_t cell,
         "FleetEngine::set_cell_params: cell index out of range");
   }
   core::validate(params, "FleetEngine::set_cell_params");
+  const util::RoleGuard tick(tick_serial_);
   // The same per-cell assignment a mailbox param drain performs — which is
   // the whole bitwise sync-equivalence argument for param updates.
   params_[cell] = params;
@@ -236,6 +248,7 @@ void FleetEngine::set_cell_params(std::span<const core::CellParams> params) {
   for (const core::CellParams& p : params) {
     core::validate(p, "FleetEngine::set_cell_params");
   }
+  const util::RoleGuard tick(tick_serial_);
   std::copy(params.begin(), params.end(), params_.begin());
 }
 
@@ -252,6 +265,7 @@ void FleetEngine::set_cell_mode(std::size_t cell, CellMode mode) {
     throw std::invalid_argument(
         "FleetEngine::set_cell_mode: cell index out of range");
   }
+  const util::RoleGuard tick(tick_serial_);
   cell_mode_[cell] = static_cast<std::uint8_t>(mode);
 }
 
@@ -259,6 +273,7 @@ void FleetEngine::set_cell_modes(std::span<const CellMode> modes) {
   if (modes.size() != num_cells()) {
     throw std::invalid_argument("FleetEngine::set_cell_modes: size mismatch");
   }
+  const util::RoleGuard tick(tick_serial_);
   for (std::size_t i = 0; i < modes.size(); ++i) {
     cell_mode_[i] = static_cast<std::uint8_t>(modes[i]);
   }
@@ -276,6 +291,7 @@ void FleetEngine::set_soc(std::span<const double> soc) {
   if (soc.size() != num_cells()) {
     throw std::invalid_argument("FleetEngine::set_soc: size mismatch");
   }
+  const util::RoleGuard tick(tick_serial_);
   // Direct seeding honors the same clamping knob as every other
   // seeding/serving path (init_from_sensors, step, tick).
   for (std::size_t i = 0; i < soc.size(); ++i) {
@@ -426,6 +442,7 @@ SOCPINN_HOT void FleetEngine::step(const nn::Matrix& workload_raw) {
     throw std::invalid_argument(
         "FleetEngine::step: need num_cells x 3 workload");
   }
+  const util::RoleGuard tick(tick_serial_);
   // One acquire per tick: every shard of this tick serves the same
   // snapshot, and a concurrent swap_model lands on the next tick whole.
   const std::shared_ptr<const core::TwoBranchSnapshot> model =
@@ -433,6 +450,7 @@ SOCPINN_HOT void FleetEngine::step(const nn::Matrix& workload_raw) {
   const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        const util::RoleGuard shard_scope(shard_exec_);
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
         drain_shard(scratch, *model, begin, end);
@@ -498,6 +516,7 @@ SOCPINN_HOT void FleetEngine::tick_shared(const double* row3) {
   const bool f32 = config_.precision == core::Precision::kFloat32;
   pool_.parallel_for(
       num_cells(), [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        const util::RoleGuard shard_scope(shard_exec_);
         ShardScratch& scratch = scratch_[shard];
         const std::size_t count = end - begin;
         // Drain before staging: a drained sensor report must seed this
@@ -560,12 +579,14 @@ SOCPINN_HOT void FleetEngine::tick_shared(const double* row3) {
 void FleetEngine::run(double avg_current, double avg_temp_c, double horizon_s,
                       std::size_t ticks) {
   if (ticks == 0) return;
+  const util::RoleGuard tick(tick_serial_);
   const double row[3] = {avg_current, avg_temp_c, horizon_s};
   tick_shared(row);  // stages the shared workload row once per shard
   for (std::size_t t = 1; t < ticks; ++t) tick_shared(nullptr);
 }
 
 void FleetEngine::run(const data::WorkloadSchedule& schedule) {
+  const util::RoleGuard tick(tick_serial_);
   for (std::size_t w = 0; w < schedule.num_steps(); ++w) {
     const double row[3] = {schedule.workload(w, 0), schedule.workload(w, 1),
                            schedule.workload(w, 2)};

@@ -61,6 +61,7 @@
 #include "data/windowing.hpp"
 #include "serve/mailbox.hpp"
 #include "serve/thread_pool.hpp"
+#include "util/sync.hpp"
 
 namespace socpinn::serve {
 
@@ -250,6 +251,7 @@ class FleetEngine {
   /// tick-path mutation, not to be called concurrently with ticks — a
   /// racing drain's increment could be lost.
   void reset_ingest_stats() {
+    const util::RoleGuard tick(tick_serial_);
     dropped_sensor_reports_.store(0, std::memory_order_relaxed);
     dropped_workload_overrides_.store(0, std::memory_order_relaxed);
     dropped_param_updates_.store(0, std::memory_order_relaxed);
@@ -294,14 +296,15 @@ class FleetEngine {
   /// non-null its [avg I, avg T, N] values are staged into the workload
   /// slots first; nullptr reuses the values staged by the previous call
   /// (the run() fast path — only the SoC slot is rewritten).
-  void tick_shared(const double* row3);
+  void tick_shared(const double* row3) SOCPINN_REQUIRES(tick_serial_);
 
   /// Drains this shard's cell range of the mailbox: consumes workload
   /// overrides into the per-cell override table, then re-seeds every cell
   /// with a pending sensor report via one batched Branch-1 estimate.
   /// Allocation-free once the drain staging is warm.
   void drain_shard(ShardScratch& scratch, const core::TwoBranchSnapshot& model,
-                   std::size_t begin, std::size_t end);
+                   std::size_t begin, std::size_t end)
+      SOCPINN_REQUIRES(shard_exec_);
 
   /// One batched Branch-1 re-anchor: estimates `scratch.reports` and
   /// writes the clamped results to soc_[scratch.pending[i]]. The single
@@ -309,13 +312,15 @@ class FleetEngine {
   /// drain — the documented bitwise equivalence of those three paths IS
   /// this sharing (plus per-row independence of the batched estimate).
   void reanchor_batch(ShardScratch& scratch,
-                      const core::TwoBranchSnapshot& model);
+                      const core::TwoBranchSnapshot& model)
+      SOCPINN_REQUIRES(shard_exec_);
 
   /// Rewrites the staged workload slots of every override-active cell in
   /// [begin, begin+count) — after any staging, before the forward, every
   /// tick, so overrides survive both restaging and the run() fast path.
   void apply_overrides(ShardScratch& scratch, bool f32, bool columns,
-                       std::size_t begin, std::size_t count);
+                       std::size_t begin, std::size_t count)
+      SOCPINN_REQUIRES(shard_exec_);
 
   /// Advances every CellMode::kPhysicsOnly cell of [begin, end) with
   /// Eq. 1 from its own params — after the shard's NN forward (whose
@@ -326,7 +331,8 @@ class FleetEngine {
   /// panel, so physics advances in full precision under both engine
   /// precisions (matching RolloutEngine's physics lanes).
   void advance_physics(std::size_t begin, std::size_t end,
-                       const nn::Matrix* workload_raw, const double* row3);
+                       const nn::Matrix* workload_raw, const double* row3)
+      SOCPINN_REQUIRES(shard_exec_);
 
   /// Shared per-shard forward + clamped write-back used by step() and
   /// tick_shared(). At f64, `scratch.input` must hold the shard's staged
@@ -336,12 +342,25 @@ class FleetEngine {
   /// feature-major 4 x count panel at every shard size.
   void forward_shard(ShardScratch& scratch,
                      const core::TwoBranchSnapshot& model, std::size_t begin,
-                     std::size_t count);
+                     std::size_t count) SOCPINN_REQUIRES(shard_exec_);
 
   /// Owning mailbox or a view over FleetConfig::external_mailbox_slots,
   /// depending on the config.
   static Mailbox make_mailbox(const FleetConfig& config,
                               std::size_t num_cells);
+
+  /// Phantom capabilities (zero runtime state — see util::ThreadRole).
+  /// tick_serial_ is the single-caller tick surface: every tick-path
+  /// mutation enters it with a RoleGuard, and tick_shared REQUIRES it,
+  /// so a new entry point that reaches the tick machinery without
+  /// stating the "no concurrent ticks" contract fails the clang
+  /// -Wthread-safety build. shard_exec_ is the shard-execution surface:
+  /// the per-shard helpers REQUIRE it and only the pool-dispatch lambdas
+  /// (and the synchronous reseed path) enter it, so shard-local state
+  /// like override_ / params_ cannot silently grow callers outside the
+  /// sharded tick.
+  util::ThreadRole tick_serial_;
+  util::ThreadRole shard_exec_;
 
   FleetConfig config_;  ///< initialized via validated(): throws first
   /// RCU publication point: ticks acquire exactly once at their top,

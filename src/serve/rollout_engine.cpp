@@ -161,6 +161,10 @@ void RolloutEngine::run_into(std::span<const RolloutLane> lanes,
   pool_.parallel_for(
       lanes.size(),
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        // Lambdas are analyzed as separate functions with an empty
+        // lockset, so each pool job enters the shard-execution role
+        // itself before touching the REQUIRES(shard_exec_) bodies.
+        const util::RoleGuard shard_scope(shard_exec_);
         if (f32) {
           roll_shard_f32(*model, lanes, out, shard, begin, end);
         } else {

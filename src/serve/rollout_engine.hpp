@@ -50,6 +50,7 @@
 #include "core/two_branch_net.hpp"
 #include "data/windowing.hpp"
 #include "serve/thread_pool.hpp"
+#include "util/sync.hpp"
 
 namespace socpinn::serve {
 
@@ -196,11 +197,19 @@ class RolloutEngine {
   void roll_shard(const core::TwoBranchSnapshot& model,
                   std::span<const RolloutLane> lanes,
                   std::span<core::Rollout> out, std::size_t shard,
-                  std::size_t begin, std::size_t end);
+                  std::size_t begin, std::size_t end)
+      SOCPINN_REQUIRES(shard_exec_);
   void roll_shard_f32(const core::TwoBranchSnapshot& model,
                       std::span<const RolloutLane> lanes,
                       std::span<core::Rollout> out, std::size_t shard,
-                      std::size_t begin, std::size_t end);
+                      std::size_t begin, std::size_t end)
+      SOCPINN_REQUIRES(shard_exec_);
+
+  /// Phantom shard-execution capability (see util::ThreadRole and the
+  /// FleetEngine twin): roll_shard / roll_shard_f32 REQUIRE it and only
+  /// run_into's pool-dispatch lambda enters it, so the per-shard scratch
+  /// cannot silently grow callers outside the sharded run.
+  util::ThreadRole shard_exec_;
 
   RolloutConfig config_;  ///< initialized via validated(): throws first
   /// RCU publication point: each run acquires exactly once at its top,

@@ -6,6 +6,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <optional>
 #include <sstream>
@@ -15,6 +17,7 @@
 
 #include "core/model_io.hpp"
 #include "serve/fleet_engine.hpp"
+#include "serve/shm_layout.hpp"
 
 namespace socpinn::serve {
 
@@ -37,6 +40,22 @@ void copy_error(WorkerHeader& h, const char* what) {
 }  // namespace
 
 void shard_worker_main(const ShardWorkerContext& ctx) {
+  // ABI gate, before anything else touches the segment: the parent
+  // stamped its shm_layout_hash() into the header BEFORE forking (a plain
+  // pre-fork write, so a plain read is race-free here). A mismatch means
+  // the two sides disagree on struct layout — every pointer below would
+  // be misaligned garbage — so fail loudly instead of serving it.
+  const std::uint64_t expected = shm_layout_hash();
+  if (ctx.header->layout_hash != expected) {
+    std::fprintf(stderr,
+                 "shard_worker: shm layout hash mismatch (segment %" PRIx64
+                 ", worker %" PRIx64 ") — parent and worker were built from "
+                 "different shm ABIs; regenerate tests/serve/shm_layout.golden "
+                 "and rebuild both sides\n",
+                 ctx.header->layout_hash, expected);
+    ::_exit(3);
+  }
+
   const pid_t parent = ::getppid();
   WorkerHeader& h = *ctx.header;
   const std::size_t n = ctx.num_cells;

@@ -17,6 +17,7 @@
 
 #include "core/model_io.hpp"
 #include "serve/shard_worker.hpp"
+#include "serve/shm_layout.hpp"
 
 namespace socpinn::serve {
 
@@ -57,6 +58,9 @@ ModelRegion make_model_region(const std::string& blob) {
   // so later hot-swapped models serialize to near-identical sizes; the
   // slack absorbs digit-count jitter of the text format.
   ModelRegion region(blob.size() + blob.size() / 2 + 4096);
+  // SOCPINN_SEQLOCK_WRITER(ShardedFleet construction): the region is not
+  // yet shared — workers fork after this returns, so this initial publish
+  // has exactly one process attached.
   region.publish(blob);
   return region;
 }
@@ -76,6 +80,10 @@ ShardedFleet::ShardedFleet(const core::TwoBranchNet& net,
     MailboxSlot* slots = segment.at<MailboxSlot>(layout.mailbox_offset());
     double* soc = segment.at<double>(layout.soc_offset());
     double* input = segment.at<double>(layout.input_offset());
+    // Stamp the ABI fingerprint before any worker can attach (workers
+    // fork below): shard_worker_main refuses a segment whose hash does
+    // not match its own binary's layout (see serve/shm_layout.hpp).
+    header->layout_hash = shm_layout_hash();
     workers_.push_back(Worker{shard, std::move(segment), header, slots, soc,
                               input, Mailbox(slots, shard.size())});
   }
@@ -123,6 +131,7 @@ ShardedFleet::ShardedFleet(const core::TwoBranchNet& net,
 }
 
 ShardedFleet::~ShardedFleet() {
+  const util::RoleGuard cmd(cmd_serial_);
   for (Worker& w : workers_) {
     if (w.pid <= 0 || w.reaped) continue;
     w.header->cmd = static_cast<std::uint32_t>(WorkerCommand::kStop);
@@ -198,6 +207,7 @@ void ShardedFleet::init_from_sensors(const nn::Matrix& sensors_raw) {
           std::to_string(r));
     }
   }
+  const util::RoleGuard cmd(cmd_serial_);
   const double* rows = sensors_raw.data().data();
   for (Worker& w : workers_) {
     std::memcpy(w.input, rows + w.shard.begin * 3,
@@ -211,6 +221,7 @@ void ShardedFleet::set_soc(std::span<const double> soc) {
   if (soc.size() != num_cells()) {
     throw std::invalid_argument("ShardedFleet::set_soc: size mismatch");
   }
+  const util::RoleGuard cmd(cmd_serial_);
   for (Worker& w : workers_) {
     std::memcpy(w.soc, soc.data() + w.shard.begin,
                 w.shard.size() * sizeof(double));
@@ -224,6 +235,7 @@ void ShardedFleet::step(const nn::Matrix& workload_raw) {
     throw std::invalid_argument(
         "ShardedFleet::step: need num_cells x 3 workload rows");
   }
+  const util::RoleGuard cmd(cmd_serial_);
   const double* rows = workload_raw.data().data();
   for (Worker& w : workers_) {
     std::memcpy(w.input, rows + w.shard.begin * 3,
@@ -236,6 +248,7 @@ void ShardedFleet::step(const nn::Matrix& workload_raw) {
 
 void ShardedFleet::run(double avg_current, double avg_temp_c,
                        double horizon_s, std::size_t ticks) {
+  const util::RoleGuard cmd(cmd_serial_);
   for (Worker& w : workers_) {
     w.header->param0 = avg_current;
     w.header->param1 = avg_temp_c;
@@ -251,6 +264,9 @@ void ShardedFleet::swap_model(const core::TwoBranchNet& net) {
   // One serialize for the whole fleet; workers adopt at their next
   // command. publish() is single-writer: concurrent swap_model calls must
   // be externally serialized (commands and publish_* need no such care).
+  // SOCPINN_SEQLOCK_WRITER(ShardedFleet::swap_model): the parent is the
+  // model region's single declared writer; workers only read (the line
+  // above states the external-serialization contract).
   model_region_.publish(serialize_model(net, "ShardedFleet::swap_model"));
 }
 
@@ -276,6 +292,7 @@ void ShardedFleet::set_cell_modes(std::span<const CellMode> modes) {
   if (modes.size() != num_cells()) {
     throw std::invalid_argument("ShardedFleet::set_cell_modes: size mismatch");
   }
+  const util::RoleGuard cmd(cmd_serial_);
   for (Worker& w : workers_) {
     for (std::size_t i = 0; i < w.shard.size(); ++i) {
       w.input[i] =

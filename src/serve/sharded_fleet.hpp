@@ -52,6 +52,7 @@
 #include "serve/fleet_engine.hpp"
 #include "serve/mailbox.hpp"
 #include "serve/shm_transport.hpp"
+#include "util/sync.hpp"
 
 namespace socpinn::serve {
 
@@ -175,16 +176,24 @@ class ShardedFleet {
 
   /// Publishes one command to `w` (params must already be staged in the
   /// header) — release-stores cmd_seq.
-  void post(Worker& w, WorkerCommand cmd);
+  void post(Worker& w, WorkerCommand cmd) SOCPINN_REQUIRES(cmd_serial_);
   /// Blocks until `w` acks its outstanding command, with waitpid
   /// liveness checks; throws if the worker process died.
-  void wait_ack(Worker& w);
+  void wait_ack(Worker& w) SOCPINN_REQUIRES(cmd_serial_);
   /// wait_ack on every worker, then gathers SoC and raises the first
   /// worker-reported error (all acks are collected BEFORE throwing, so
   /// the channel stays in sync).
-  void finish_command();
+  void finish_command() SOCPINN_REQUIRES(cmd_serial_);
 
   [[nodiscard]] Worker& owner_of(std::size_t cell);
+
+  /// Phantom command-surface capability (see util::ThreadRole): the
+  /// cmd_seq/ack_seq channel is strictly one-command-in-flight per
+  /// worker, so post/wait_ack/finish_command REQUIRE this role and every
+  /// public command enters it with a RoleGuard — a new entry point that
+  /// touches the channel without stating the "commands from one thread"
+  /// contract fails the clang -Wthread-safety build.
+  util::ThreadRole cmd_serial_;
 
   ModelRegion model_region_;
   std::vector<Shard> shards_;

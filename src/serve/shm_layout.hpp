@@ -1,0 +1,48 @@
+#pragma once
+/// \file shm_layout.hpp
+/// Static ABI audit of every struct that crosses the shared-memory
+/// boundary (serve/mailbox.hpp, serve/shm_transport.hpp).
+///
+/// The multi-process transport's only wire format is struct layout: the
+/// parent and its workers exchange raw bytes through mapped segments, so
+/// any drift in an offset, size, alignment, or command value silently
+/// corrupts the fleet. Two gates pin the layout:
+///
+///   * shm_layout_manifest() renders one line per struct/field/enumerator
+///     (offsetof / sizeof / alignof, and the WorkerCommand values) in a
+///     stable text format. A committed golden copy
+///     (tests/serve/shm_layout.golden) is compared by ctest
+///     (shm.layout_manifest, via tools/shm_layout_dump --check), so an
+///     unintentional layout change fails PR time with a line-level diff.
+///     Intentional changes regenerate the golden file with
+///     `shm_layout_dump --write` — a reviewable, greppable ABI bump.
+///   * shm_layout_hash() (FNV-1a over the manifest bytes) is stamped into
+///     WorkerHeader::layout_hash by the segment creator and verified by
+///     shard_worker_main before it touches anything else; a mismatched
+///     worker exits with a diagnostic instead of serving garbage. Both
+///     sides are the same forked binary today, so this is a backstop —
+///     it becomes the real guard the day the transport grows exec or
+///     sockets.
+///
+/// Pure reporting: nothing here is on any hot path.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace socpinn::serve {
+
+/// 64-bit FNV-1a over `bytes` — tiny, dependency-free, stable across
+/// platforms; collisions are irrelevant here (the hash only needs to
+/// change when the manifest text changes).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// The layout manifest: one `struct` / `field` / `enum` / `layout` line
+/// per crossing contract, newline-terminated. Stable format — the golden
+/// file diff IS the review surface for ABI changes.
+[[nodiscard]] std::string shm_layout_manifest();
+
+/// FNV-1a of shm_layout_manifest() — the segment ABI fingerprint.
+[[nodiscard]] std::uint64_t shm_layout_hash();
+
+}  // namespace socpinn::serve

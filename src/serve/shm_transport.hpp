@@ -38,6 +38,7 @@
 /// inherit the mappings, so no name ever needs to be re-opened, nothing
 /// leaks on crash, and the segment dies with its last mapping.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -94,6 +95,16 @@ enum class WorkerCommand : std::uint32_t {
 /// (waitpid in the parent, getppid in the worker), so a dead peer turns
 /// into an error instead of a hang.
 struct alignas(64) WorkerHeader {
+  // --- ABI fingerprint (parent-written once, before fork) ---
+  /// serve::shm_layout_hash() of the binary that laid out the segment.
+  /// shard_worker_main verifies it against its own hash before touching
+  /// anything else and exits with a diagnostic on mismatch — the runtime
+  /// backstop of the static layout manifest (see serve/shm_layout.hpp).
+  /// Fork-without-exec makes both sides the same binary today, but the
+  /// check is what lets a future exec/socket transport fail loudly
+  /// instead of corrupting silently on header drift.
+  std::uint64_t layout_hash = 0;
+
   // --- command channel (parent-written between acks) ---
   std::uint64_t cmd_seq = 0;
   std::uint32_t cmd = 0;  ///< WorkerCommand
@@ -120,6 +131,23 @@ static_assert(std::is_trivially_copyable_v<WorkerHeader> &&
                   sizeof(WorkerHeader) % 64 == 0,
               "WorkerHeader is a cross-process ABI: raw bytes, whole cache "
               "lines");
+
+// Layout contract of the command channel, mirroring mailbox.hpp's
+// MailboxSlot block: both sequence counters are accessed through
+// std::atomic_ref<std::uint64_t> from different processes, which is only
+// address-free (valid across address spaces) when the type is always
+// lock-free and the object meets required_alignment.
+static_assert(std::atomic_ref<std::uint64_t>::is_always_lock_free,
+              "cmd_seq/ack_seq must be lock-free: a library mutex would "
+              "deadlock across the fork boundary");
+static_assert(offsetof(WorkerHeader, cmd_seq) %
+                      std::atomic_ref<std::uint64_t>::required_alignment ==
+                  0,
+              "cmd_seq must satisfy atomic_ref alignment");
+static_assert(offsetof(WorkerHeader, ack_seq) %
+                      std::atomic_ref<std::uint64_t>::required_alignment ==
+                  0,
+              "ack_seq must satisfy atomic_ref alignment");
 
 /// Byte offsets inside one worker's segment for a shard of `num_cells`
 /// cells. Pure arithmetic — both sides of the fork compute the same

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -37,7 +37,7 @@ void ThreadPool::run_shard(Job job, void* ctx, std::size_t shard,
     // First capture of the dispatch wins; losers are dropped. Capturing
     // instead of letting the exception escape the worker thread is the
     // whole point — an escaped exception std::terminates the process.
-    std::unique_lock<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
 }
@@ -55,7 +55,7 @@ void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     job_ = job;
     job_ctx_ = ctx;
     job_n_ = n;
@@ -67,18 +67,23 @@ void ThreadPool::parallel_for(std::size_t n, Job job, void* ctx) {
   const ShardRange own = shard_range(n, 0, shards);
   if (own.begin != own.end) run_shard(job, ctx, 0, own.begin, own.end);
 
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return pending_ == 0; });
-  job_ = nullptr;
-  job_ctx_ = nullptr;
-  if (first_error_) {
-    // Rethrow only after every shard finished: workers are idle again,
-    // the pool is reusable, and no shard still touches caller state.
-    std::exception_ptr error = std::move(first_error_);
+  std::exception_ptr error;
+  {
+    // Manual predicate loop (not the lambda-predicate overload): the
+    // thread-safety analysis treats lambda bodies as separate functions
+    // with an empty lockset, so `pending_` inside a predicate lambda
+    // would read as unguarded. The loop form keeps the read visibly
+    // under mu_.
+    const util::MutexLock lock(mu_);
+    while (pending_ != 0) cv_done_.wait(mu_);
+    job_ = nullptr;
+    job_ctx_ = nullptr;
+    error = std::move(first_error_);
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
   }
+  // Rethrow only after every shard finished: workers are idle again,
+  // the pool is reusable, and no shard still touches caller state.
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -88,10 +93,8 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     void* ctx;
     std::size_t n;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [this, seen_generation] {
-        return stop_ || generation_ != seen_generation;
-      });
+      const util::MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) cv_work_.wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
@@ -103,7 +106,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       run_shard(job, ctx, worker_index, range.begin, range.end);
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       if (--pending_ == 0) cv_done_.notify_one();
     }
   }

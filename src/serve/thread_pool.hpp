@@ -9,15 +9,16 @@
 /// Jobs are passed as a function pointer plus context (not std::function),
 /// so dispatching a tick performs no heap allocation.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace socpinn::serve {
 
@@ -114,7 +115,7 @@ class ThreadPool {
   /// throwing one still run to completion, so a partial mutation of
   /// caller state is possible — the engines' jobs only write results per
   /// cell, where partial completion is benign.
-  void parallel_for(std::size_t n, Job job, void* ctx);
+  void parallel_for(std::size_t n, Job job, void* ctx) SOCPINN_EXCLUDES(mu_);
 
   /// Convenience adapter for callables: f(shard, begin, end). Works for
   /// const callables too (the void* round-trip restores constness).
@@ -130,26 +131,31 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop(std::size_t worker_index);
+  void worker_loop(std::size_t worker_index) SOCPINN_EXCLUDES(mu_);
 
   /// Runs one shard's job, capturing a thrown exception into
   /// first_error_ (first capture of the dispatch wins).
   void run_shard(Job job, void* ctx, std::size_t shard, std::size_t begin,
-                 std::size_t end) noexcept;
+                 std::size_t end) noexcept SOCPINN_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  Job job_ = nullptr;
-  void* job_ctx_ = nullptr;
-  std::size_t job_n_ = 0;
+  /// Guards every dispatch field below. The SOCPINN_GUARDED_BY contracts
+  /// make clang's -Wthread-safety reject any unlocked access on ANY path
+  /// (see util/annotations.hpp); under GCC they compile to nothing.
+  util::Mutex mu_;
+  util::CondVar cv_work_;
+  util::CondVar cv_done_;
+  Job job_ SOCPINN_GUARDED_BY(mu_) = nullptr;
+  void* job_ctx_ SOCPINN_GUARDED_BY(mu_) = nullptr;
+  std::size_t job_n_ SOCPINN_GUARDED_BY(mu_) = 0;
   /// First exception thrown by any shard of the current dispatch; moved
   /// out and rethrown by parallel_for once every shard has finished.
-  std::exception_ptr first_error_;
-  std::uint64_t generation_ = 0;  ///< bumped per parallel_for to wake workers
-  std::size_t pending_ = 0;       ///< workers still running the current job
-  bool stop_ = false;
+  std::exception_ptr first_error_ SOCPINN_GUARDED_BY(mu_);
+  /// Bumped per parallel_for to wake workers.
+  std::uint64_t generation_ SOCPINN_GUARDED_BY(mu_) = 0;
+  /// Workers still running the current job.
+  std::size_t pending_ SOCPINN_GUARDED_BY(mu_) = 0;
+  bool stop_ SOCPINN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace socpinn::serve

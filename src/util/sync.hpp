@@ -1,0 +1,108 @@
+#pragma once
+/// \file sync.hpp
+/// Capability-annotated synchronization primitives for Clang's
+/// -Wthread-safety analysis (no-op annotations under GCC — see
+/// util/annotations.hpp for the macro vocabulary and the CI gate).
+///
+/// libstdc++'s std::mutex carries no capability attributes, so code
+/// locking it directly is invisible to the analysis. These thin wrappers
+/// restore visibility at zero runtime cost:
+///
+///   * Mutex / MutexLock — std::mutex plus a scoped RAII lock; members
+///     they protect are declared SOCPINN_GUARDED_BY(mu_), and clang then
+///     rejects any access outside a locked region on every path.
+///   * CondVar — std::condition_variable_any waiting on Mutex directly.
+///     The analysis cannot see through predicate-lambda waits (lambdas
+///     are analyzed as separate functions with an empty lockset), so
+///     callers write the manual `while (!pred) cv.wait(mu);` form.
+///   * ThreadRole / RoleGuard — a PHANTOM capability: no runtime state,
+///     acquire/release are empty inline functions. It encodes a
+///     calling-surface contract ("this helper is only reachable from the
+///     tick path / the command surface") as a capability, so a new call
+///     site off the declared surface fails to compile under clang unless
+///     it explicitly (and greppably) enters the role with a RoleGuard.
+///     A ThreadRole is a lint, not a lock: it never excludes anything at
+///     runtime, and shard-execution roles are deliberately "held" by
+///     every pool thread at once.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace socpinn::util {
+
+/// std::mutex with capability annotations. BasicLockable, so
+/// std::condition_variable_any can wait on it directly.
+class SOCPINN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SOCPINN_ACQUIRE() { mu_.lock(); }
+  void unlock() SOCPINN_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for Mutex (the analysis-visible std::lock_guard).
+class SOCPINN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SOCPINN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SOCPINN_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on Mutex directly. wait() REQUIRES the
+/// mutex: it is held on entry and again on return (the interior
+/// unlock/relock happens inside libstdc++, outside the analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) SOCPINN_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// Phantom capability naming a calling surface (see file comment).
+/// Sizeof 1, acquire/release compile to nothing; its entire effect is
+/// that functions annotated SOCPINN_REQUIRES(role_) only compile when
+/// the caller holds a RoleGuard on the role (or requires it itself).
+class SOCPINN_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void acquire() SOCPINN_ACQUIRE() {}
+  void release() SOCPINN_RELEASE() {}
+};
+
+/// Scoped entry into a ThreadRole. Public entry points of a confined
+/// surface construct one; private helpers declare SOCPINN_REQUIRES.
+class SOCPINN_SCOPED_CAPABILITY RoleGuard {
+ public:
+  explicit RoleGuard(ThreadRole& role) SOCPINN_ACQUIRE(role) : role_(role) {
+    role_.acquire();
+  }
+  ~RoleGuard() SOCPINN_RELEASE() { role_.release(); }
+  RoleGuard(const RoleGuard&) = delete;
+  RoleGuard& operator=(const RoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace socpinn::util

@@ -1,0 +1,114 @@
+/// Static shm ABI gate: the layout manifest is self-consistent, the hash
+/// is a pure function of the manifest bytes, the ABI fingerprint sits at
+/// offset 0 of WorkerHeader (so even a totally drifted peer can find it),
+/// and a worker forked into a segment stamped with a WRONG hash exits
+/// with the dedicated diagnostic code instead of serving garbage.
+///
+/// The golden-file comparison itself runs as ctest `shm.layout_manifest`
+/// (tools/shm_layout_dump --check) so drift failures show a line diff.
+///
+/// The forking test is skipped under ThreadSanitizer, like every
+/// fork-without-exec test in this suite.
+
+#include "serve/shm_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+#include "serve/shard_worker.hpp"
+#include "serve/shm_transport.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define SOCPINN_FORK_TESTS_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SOCPINN_FORK_TESTS_DISABLED 1
+#endif
+#endif
+#ifndef SOCPINN_FORK_TESTS_DISABLED
+#define SOCPINN_FORK_TESTS_DISABLED 0
+#endif
+
+namespace socpinn::serve {
+namespace {
+
+TEST(ShmLayout, ManifestCoversEveryCrossingStruct) {
+  const std::string manifest = shm_layout_manifest();
+  ASSERT_FALSE(manifest.empty());
+  EXPECT_NE(manifest.find("struct MailboxSlot "), std::string::npos);
+  EXPECT_NE(manifest.find("struct WorkerHeader "), std::string::npos);
+  EXPECT_NE(manifest.find("struct ModelRegionHeader "), std::string::npos);
+  EXPECT_NE(manifest.find("struct detail::SeqlockSlot3 "), std::string::npos);
+  EXPECT_NE(manifest.find("enum WorkerCommand "), std::string::npos);
+  EXPECT_NE(manifest.find("layout WorkerSegmentLayout"), std::string::npos);
+  EXPECT_NE(manifest.find("field WorkerHeader.layout_hash offset=0 "),
+            std::string::npos);
+  // Stable text: the golden diff is only reviewable if rendering is
+  // deterministic.
+  EXPECT_EQ(manifest, shm_layout_manifest());
+}
+
+TEST(ShmLayout, HashIsFnv1aOfTheManifestBytes) {
+  EXPECT_EQ(shm_layout_hash(), fnv1a64(shm_layout_manifest()));
+  // FNV-1a reference vectors, so a quiet constant typo cannot survive.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  // Any manifest change must move the hash.
+  EXPECT_NE(fnv1a64(shm_layout_manifest() + "x"), shm_layout_hash());
+}
+
+TEST(ShmLayout, FingerprintIsTheFirstHeaderField) {
+  // The whole point of the runtime gate is that a peer built from a
+  // DIFFERENT layout can still locate the fingerprint — which is only
+  // guaranteed for the very first field of the segment.
+  EXPECT_EQ(offsetof(WorkerHeader, layout_hash), 0u);
+  EXPECT_EQ(WorkerSegmentLayout{}.header_offset(), 0u);
+}
+
+TEST(ShmLayout, MismatchedWorkerExitsWithDiagnosticCode) {
+  if (SOCPINN_FORK_TESTS_DISABLED) {
+    GTEST_SKIP() << "fork-without-exec workers are incompatible with "
+                    "ThreadSanitizer";
+  }
+
+  // A minimal 1-cell segment, hand-stamped with a WRONG fingerprint — as
+  // if parent and worker were built from different shm ABIs.
+  constexpr std::size_t kCells = 1;
+  const WorkerSegmentLayout layout{kCells};
+  ShmSegment segment(layout.total_size());
+  auto* header = segment.at<WorkerHeader>(layout.header_offset());
+  header->layout_hash = shm_layout_hash() ^ 0xdeadbeefULL;
+
+  ModelRegion model(1024);  // never reached: the gate fires first
+
+  ShardWorkerContext ctx;
+  ctx.header = header;
+  ctx.mailbox_slots = segment.at<MailboxSlot>(layout.mailbox_offset());
+  ctx.soc = segment.at<double>(layout.soc_offset());
+  ctx.input = segment.at<double>(layout.input_offset());
+  ctx.num_cells = kCells;
+  ctx.model = &model;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // The diagnostic itself goes to /dev/null: this test asserts on the
+    // exit code, and a scary stderr line from an EXPECTED failure would
+    // only muddy the suite's output.
+    ::freopen("/dev/null", "w", stderr);
+    shard_worker_main(ctx);  // [[noreturn]]: must _exit(3) at the gate
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "worker did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 3) << "expected the shm ABI gate to fire";
+}
+
+}  // namespace
+}  // namespace socpinn::serve

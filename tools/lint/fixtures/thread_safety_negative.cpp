@@ -1,0 +1,46 @@
+/// \file thread_safety_negative.cpp
+/// Negative-compile fixture proving clang's -Wthread-safety actually
+/// fires on this codebase's annotation vocabulary (util/sync.hpp). NOT
+/// part of any library or test binary — CMake compiles it twice with
+/// clang (-fsyntax-only -Werror=thread-safety-analysis):
+///
+///   * tsa.negative_fixture_fires: as-is, expected to FAIL (WILL_FAIL) —
+///     the unguarded access below must be diagnosed;
+///   * tsa.negative_fixture_clean: with -DSOCPINN_TSA_EXPECT_CLEAN, which
+///     compiles only the correctly locked variant, expected to succeed —
+///     so a silently broken analysis (or a broken fixture) cannot pass as
+///     "no warnings".
+///
+/// If the analysis regresses (macro rot, flag drop), the WILL_FAIL test
+/// compiles cleanly and ctest reports the failure.
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() SOCPINN_EXCLUDES(mu_) {
+    const socpinn::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+#if !defined(SOCPINN_TSA_EXPECT_CLEAN)
+  // The violation under test: writing a guarded member with no lock held.
+  // clang: "writing variable 'value_' requires holding mutex 'mu_'".
+  void bump_unguarded() SOCPINN_EXCLUDES(mu_) { ++value_; }
+#endif
+
+ private:
+  socpinn::util::Mutex mu_;
+  int value_ SOCPINN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_locked();
+  return 0;
+}

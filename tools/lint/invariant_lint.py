@@ -39,6 +39,22 @@ Checks (names usable in waiver comments and reports):
                  non-empty; the waiver holds for the same or next line.
   fp-contract    no std::fma / fmaf / fmal and no FP_CONTRACT-style
                  pragmas outside nn/simd.hpp.
+  seqlock-discipline
+                 the single-writer seqlock protocol in serve/:
+                 (a) every odd sequence bump (`store(s + 1, ...)`) is
+                 followed, in the same function body, by a release fence
+                 and the matching even store (`store(s + 2, ...)`);
+                 (b) every even store spells memory_order_release;
+                 (c) a slot publish call (`.publish(...)`, `.publish_*`)
+                 may only appear inside a function whose own name starts
+                 with `publish` — any other writer surface must declare
+                 ownership on the call line (or the contiguous comment
+                 block above it):
+                     // SOCPINN_SEQLOCK_WRITER(owner): why single-writer
+                 (d) no blocking construct (mutex locks, condition-
+                 variable waits, sleeps, util::MutexLock / CondVar)
+                 inside a SOCPINN_HOT body — hot paths sit on the
+                 wait-free side of the seqlocks.
 
 The linter is heuristic by design (stdlib-only Python, no C++ parser):
 it masks comments/strings, balances parentheses across lines, and
@@ -121,12 +137,19 @@ def mask_comments_and_strings(text: str):
                 i = end
             else:
                 i += 1
+        elif c == "'" and i > 0 and (text[i - 1].isalnum()
+                                     or text[i - 1] == "_"):
+            # C++14 digit separator (100'000) or a literal suffix — not a
+            # character literal; treating it as one would swallow real
+            # code (and comment lines) up to the next apostrophe.
+            i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
             blank(i + 1, min(j, n))
+            line += text.count("\n", i, min(j, n) + 1)
             i = min(j, n) + 1
         else:
             i += 1
@@ -346,6 +369,179 @@ def check_hot_alloc(rel: str, text: str, masked: str,
     return findings
 
 
+# --------------------------------------------- check: seqlock-discipline
+
+SEQ_ODD_STORE = re.compile(r"(?:\.|->)\s*store\s*\(\s*(\w+)\s*\+\s*1\s*,")
+SEQ_EVEN_STORE = re.compile(r"(?:\.|->)\s*store\s*\(\s*(\w+)\s*\+\s*2\s*,")
+RELEASE_FENCE = re.compile(
+    r"\batomic_thread_fence\s*\(\s*(?:std\s*::\s*)?memory_order_release")
+PUBLISH_CALL = re.compile(r"(?:\.|->)\s*(publish\w*)\s*\(")
+SEQLOCK_WRITER = re.compile(
+    r"SOCPINN_SEQLOCK_WRITER\(\s*([^)]+?)\s*\)\s*:\s*(\S.*)")
+CALL_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "static_assert", "new", "delete", "throw",
+    "assert", "defined", "co_await", "co_return", "co_yield", "constexpr",
+    "noexcept", "requires"))
+FUNC_NAME = re.compile(r"\b([A-Za-z_~]\w*)\s*\(")
+# Characters that may sit between a definition's parameter list and its
+# `{`: qualifiers (const noexcept override final), ref-qualifiers,
+# trailing return types (-> T, including templates and qualified names).
+# Crucially EXCLUDES `=` `(` `)` `;` `}` so declarations, calls, and
+# ctor-init lists are never mistaken for plain definitions.
+DEF_GAP_OK = frozenset(" \t\n\r" "abcdefghijklmnopqrstuvwxyz"
+                       "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+                       ":<>,&*->[]")
+
+BLOCKING = [
+    ("mutex-lock", re.compile(
+        r"\b(?:std\s*::\s*)?(?:lock_guard|unique_lock|scoped_lock)\b"
+        r"|\bMutexLock\b|(?:\.|->)\s*(?:try_)?lock\s*\(|"
+        r"(?:\.|->)\s*unlock\s*\(")),
+    ("condvar-wait", re.compile(
+        r"\b(?:std\s*::\s*)?condition_variable\w*\b|\bCondVar\b"
+        r"|(?:\.|->)\s*wait(?:_for|_until)?\s*\(")),
+    ("sleep", re.compile(
+        r"\b(?:sleep_for|sleep_until|nanosleep|usleep|sleep)\s*\(")),
+]
+
+
+def function_spans(masked: str) -> list[tuple]:
+    """Heuristic list of (name, body_start, body_end) for every function
+    DEFINITION: identifier + balanced parameter list + a gap of qualifier
+    characters only + `{`. Calls (`;` or operators follow), declarations,
+    and ctor-init lists (contain `(`/`:` + parens) all fail the gap test;
+    lambdas have no identifier before `(`. Good enough to answer "which
+    function does this position live in" for this codebase's idiom."""
+    spans = []
+    for m in FUNC_NAME.finditer(masked):
+        name = m.group(1)
+        if name in CALL_KEYWORDS:
+            continue
+        close = balance(masked, m.end() - 1, "(", ")")
+        if close >= len(masked):
+            continue
+        k = close
+        while k < len(masked) and masked[k] != "{":
+            if masked[k] not in DEF_GAP_OK:
+                break
+            k += 1
+        if k >= len(masked) or masked[k] != "{":
+            continue
+        spans.append((name, k, balance(masked, k, "{", "}")))
+    return spans
+
+
+def enclosing_function(spans: list[tuple], pos: int):
+    """The innermost definition span containing `pos`, or None."""
+    best = None
+    for name, start, end in spans:
+        if start < pos < end and (best is None or start > best[1]):
+            best = (name, start, end)
+    return best
+
+
+def writer_waived(lineno: int, comments: dict[int, str],
+                  comment_only: set[int]) -> bool:
+    """A publish call on `lineno` is waived by a SOCPINN_SEQLOCK_WRITER
+    marker (non-empty owner AND reason) on the same line or in the
+    contiguous comment-only block directly above — same shape as the
+    hot-alloc waiver, so one marker never leaks onto a second call."""
+    def matches(ln: int) -> bool:
+        m = SEQLOCK_WRITER.search(comments.get(ln, ""))
+        return bool(m and m.group(1).strip() and m.group(2).strip())
+
+    if matches(lineno):
+        return True
+    ln = lineno - 1
+    while ln > 0 and ln in comment_only:
+        if matches(ln):
+            return True
+        ln -= 1
+    return False
+
+
+def check_seqlock_discipline(rel: str, text: str, masked: str,
+                             comments: dict[int, str]) -> list[tuple]:
+    findings = []
+    masked_lines = masked.splitlines()
+    comment_only = {
+        ln for ln in comments
+        if ln <= len(masked_lines) and not masked_lines[ln - 1].strip()}
+    spans = function_spans(masked)
+
+    # (a) odd bump -> release fence -> matching even store, in order,
+    # inside the same function body (the writer's critical section).
+    for m in SEQ_ODD_STORE.finditer(masked):
+        var = m.group(1)
+        here = enclosing_function(spans, m.start())
+        tail = masked[m.end():here[2]] if here else masked[m.end():]
+        fence = RELEASE_FENCE.search(tail)
+        even = re.compile(
+            r"(?:\.|->)\s*store\s*\(\s*" + re.escape(var) +
+            r"\s*\+\s*2\s*,").search(tail)
+        if not fence or not even or even.start() < fence.start():
+            findings.append((
+                rel, line_of(masked, m.start()), "seqlock-discipline",
+                f"odd seqlock bump store({var} + 1, ...) without a "
+                f"following std::atomic_thread_fence(memory_order_release) "
+                f"and matching store({var} + 2, ...) in the same function "
+                f"— readers could observe payload bytes torn across the "
+                f"unclosed write window"))
+
+    # (b) the even (closing) store must itself be a release.
+    for m in SEQ_EVEN_STORE.finditer(masked):
+        paren = masked.index("(", m.start())
+        args = masked[paren:balance(masked, paren, "(", ")")]
+        if not re.search(r"\bmemory_order_release\b", args):
+            findings.append((
+                rel, line_of(masked, m.start()), "seqlock-discipline",
+                f"even seqlock store({m.group(1)} + 2, ...) without "
+                f"memory_order_release — the closing store is what makes "
+                f"the payload visible-before-even to acquire readers"))
+
+    # (c) writer confinement: publish calls only from publish* functions
+    # or under an explicit ownership marker.
+    for m in PUBLISH_CALL.finditer(masked):
+        here = enclosing_function(spans, m.start())
+        if here is not None and here[0].startswith("publish"):
+            continue
+        lineno = line_of(masked, m.start())
+        if writer_waived(lineno, comments, comment_only):
+            continue
+        where = f"'{here[0]}'" if here else "an unrecognized scope"
+        findings.append((
+            rel, lineno, "seqlock-discipline",
+            f"seqlock publish call '.{m.group(1)}(...)' from {where} — "
+            f"slots are single-writer, so publishes may only come from a "
+            f"publish* method or a declared owner; mark a deliberate "
+            f"writer surface with // SOCPINN_SEQLOCK_WRITER(owner): "
+            f"<why this is the one writer>"))
+
+    # (d) no blocking constructs inside SOCPINN_HOT bodies: hot code is
+    # the wait-free side of every seqlock, so a mutex/cv/sleep there is a
+    # protocol break, not a style issue. No waiver on purpose.
+    for mark in HOT_MARK.finditer(masked):
+        line_start = masked.rfind("\n", 0, mark.start()) + 1
+        if masked[line_start:mark.start()].lstrip().startswith("#"):
+            continue
+        span = hot_body_span(masked, mark.end())
+        if span is None:
+            continue
+        body_start, body_end = span
+        body = masked[body_start:body_end]
+        for name, pattern in BLOCKING:
+            for b in pattern.finditer(body):
+                findings.append((
+                    rel, line_of(masked, body_start + b.start()),
+                    "seqlock-discipline",
+                    f"blocking construct ({name}) inside a SOCPINN_HOT "
+                    f"function — hot paths are the wait-free side of the "
+                    f"serve seqlocks; blocking here can stall every "
+                    f"reader behind one preempted writer"))
+    return findings
+
+
 # ---------------------------------------------------- check: fp-contract
 
 FMA_CALL = re.compile(r"\b(?:std\s*::\s*)?fma[fl]?\s*\(")
@@ -391,6 +587,7 @@ def lint_file(path: Path, root: Path) -> list[tuple]:
     findings = []
     if in_serve_scope(rel):
         findings += check_atomic_order(rel, text, masked)
+        findings += check_seqlock_discipline(rel, text, masked, comments)
     findings += check_hot_alloc(rel, text, masked, comments)
     findings += check_fp_contract(rel, text, masked)
     return findings
@@ -424,7 +621,7 @@ def main(argv: list[str]) -> int:
               f"{len(files)} file(s)")
         return 1
     print(f"invariant_lint: clean ({len(files)} files, checks: "
-          f"atomic-order hot-alloc fp-contract)")
+          f"atomic-order seqlock-discipline hot-alloc fp-contract)")
     return 0
 
 

@@ -1,0 +1,60 @@
+#pragma once
+// Fixture: clean seqlock idioms — the canonical single-writer protocol,
+// a declared non-publish writer surface, and a wait-free hot body. None
+// of these may be flagged by seqlock-discipline.
+#include <atomic>
+#include <cstdint>
+
+#define SOCPINN_HOT [[gnu::hot]]
+
+namespace fixture {
+
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  double payload = 0.0;
+
+  // The canonical writer: odd bump (relaxed), release fence, payload,
+  // even release store — mailbox.hpp's SeqlockSlot3::publish shape.
+  void publish(double v) {
+    const std::uint64_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    payload = v;
+    seq.store(s + 2, std::memory_order_release);
+  }
+
+  // Readers are unconstrained by the writer rules.
+  bool consume(double& out) const {
+    const std::uint64_t before = seq.load(std::memory_order_acquire);
+    if (before & 1) return false;
+    out = payload;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq.load(std::memory_order_relaxed) == before;
+  }
+};
+
+struct Fleet {
+  Slot slot;
+
+  // A publish* surface may publish without further ceremony.
+  void publish_sensors(double v) { slot.publish(v); }
+
+  // Any other surface declares ownership with a justified marker —
+  // same line or the contiguous comment block directly above.
+  void swap_model(double v) {
+    // SOCPINN_SEQLOCK_WRITER(Fleet::swap_model): the parent is the one
+    // writer of this slot; concurrent swaps are externally serialized.
+    slot.publish(v);
+  }
+
+  void reset(double v) {
+    slot.publish(v);  // SOCPINN_SEQLOCK_WRITER(Fleet::reset): one writer
+  }
+};
+
+// Hot bodies stay on the wait-free side: atomics and fences only.
+SOCPINN_HOT bool hot_poll(const Slot& s, double& out) {
+  return s.consume(out);
+}
+
+}  // namespace fixture

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import subprocess
 import sys
+import tempfile
 import unittest
 from pathlib import Path
 
@@ -38,7 +39,8 @@ import re
 
 def expected_lines(path: Path) -> list[int]:
     """1-based line numbers tagged `// EXPECT <check>` in a fixture."""
-    tag = re.compile(r"//\s*EXPECT\s+(?:atomic-order|hot-alloc|fp-contract)")
+    tag = re.compile(r"//\s*EXPECT\s+(?:atomic-order|hot-alloc|fp-contract"
+                     r"|seqlock-discipline)")
     return [i for i, raw in enumerate(path.read_text().splitlines(), 1)
             if tag.search(raw)]
 
@@ -124,6 +126,57 @@ class TestHotAlloc(unittest.TestCase):
         self.assertEqual(clean, [])
 
 
+class TestSeqlockDiscipline(unittest.TestCase):
+    FIXTURE = BAD / "serve" / "bad_seqlock.hpp"
+
+    def findings(self):
+        return [f for f in run_dir(BAD) if f[2] == "seqlock-discipline"]
+
+    def test_every_seeded_violation_is_flagged(self):
+        flagged = {f[1] for f in self.findings()
+                   if f[0].endswith("bad_seqlock.hpp")}
+        self.assertEqual(flagged, set(expected_lines(self.FIXTURE)))
+
+    def test_each_protocol_break_kind_fires(self):
+        msgs = " ".join(f[3] for f in self.findings())
+        self.assertIn("odd seqlock bump", msgs)          # (a)
+        self.assertIn("even seqlock store", msgs)        # (b)
+        self.assertIn("single-writer", msgs)             # (c)
+        self.assertIn("blocking construct", msgs)        # (d)
+
+    def test_clean_protocol_and_declared_writers_pass(self):
+        clean = [f for f in run_dir(GOOD) if f[2] == "seqlock-discipline"]
+        self.assertEqual(clean, [])
+
+    def test_scope_is_serve_only(self):
+        # The same torn-writer shape outside serve/ is out of scope (only
+        # the serve layer speaks the seqlock protocol).
+        text = ("struct S { void publish_torn() {\n"
+                "  seq.store(s + 1, std::memory_order_relaxed);\n"
+                "} };\n")
+        masked, comments = lint.mask_comments_and_strings(text)
+        self.assertTrue(
+            lint.check_seqlock_discipline("serve/x.hpp", text, masked,
+                                          comments))
+        self.assertFalse(lint.in_serve_scope("nn/x.hpp"))
+
+    def test_function_spans_resolve_the_innermost_definition(self):
+        text = ("void outer() {\n"
+                "  if (x) { helper(1); }\n"
+                "}\n"
+                "void publish_all() { slot.publish(1.0); }\n")
+        masked, _ = lint.mask_comments_and_strings(text)
+        spans = lint.function_spans(masked)
+        names = {s[0] for s in spans}
+        self.assertIn("outer", names)
+        self.assertIn("publish_all", names)
+        self.assertNotIn("if", names)
+        self.assertNotIn("helper", names)  # a call, not a definition
+        pos = masked.index(".publish(")
+        self.assertEqual(lint.enclosing_function(spans, pos)[0],
+                         "publish_all")
+
+
 class TestFpContract(unittest.TestCase):
     FIXTURE = BAD / "nn" / "bad_fma.cpp"
 
@@ -138,6 +191,75 @@ class TestFpContract(unittest.TestCase):
     def test_simd_hpp_is_allowlisted(self):
         clean = [f for f in run_dir(GOOD) if f[2] == "fp-contract"]
         self.assertEqual(clean, [])
+
+
+class TestEdgeCases(unittest.TestCase):
+    """Parser edge cases that once bit (or would bite) real trees: CRLF
+    checkouts, waivers on the file's unterminated last line, calls whose
+    argument lists span lines, and C++14 digit separators."""
+
+    def lint_text(self, relpath: str, text: str) -> list[tuple]:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(text.encode())
+            return lint.lint_file(path, Path(tmp))
+
+    def test_crlf_line_endings_keep_line_numbers_and_waivers(self):
+        # A Windows checkout: findings land on the right lines and a
+        # waiver comment still waives.
+        text = ("#define SOCPINN_HOT [[gnu::hot]]\r\n"
+                "SOCPINN_HOT void tick(S& s) {\r\n"
+                "  s.buf.resize(8);\r\n"
+                "  // SOCPINN_HOT_ALLOW(push_back): warm capacity\r\n"
+                "  s.buf.push_back(1.0);\r\n"
+                "}\r\n")
+        findings = self.lint_text("serve/crlf.hpp", text)
+        self.assertEqual([(f[1], f[2]) for f in findings],
+                         [(3, "hot-alloc")])
+
+    def test_waiver_on_last_line_without_trailing_newline(self):
+        # The construct AND its same-line waiver sit on the very last
+        # line of a file that lacks a trailing newline: the comment must
+        # still be recorded (the recorder's end-of-file segment) and the
+        # waiver honored.
+        text = ("#define SOCPINN_HOT [[gnu::hot]]\n"
+                "SOCPINN_HOT void tick(S& s) {\n"
+                "  s.buf.resize(8); }  // SOCPINN_HOT_ALLOW(resize): warm")
+        self.assertEqual(self.lint_text("serve/eof.hpp", text), [])
+
+    def test_multiline_atomic_argument_lists(self):
+        # An order on a later line of the SAME call satisfies the check;
+        # a CAS split across lines with only one order still fails.
+        good = ("std::atomic<int> seq{0};\n"
+                "void f() {\n"
+                "  seq.store(\n"
+                "      1,\n"
+                "      std::memory_order_release);\n"
+                "}\n")
+        self.assertEqual(self.lint_text("serve/ok.hpp", good), [])
+        bad = ("std::atomic<int> seq{0};\n"
+                "void f(int& e) {\n"
+                "  seq.compare_exchange_strong(\n"
+                "      e, e + 1,\n"
+                "      std::memory_order_acq_rel);\n"
+                "}\n")
+        findings = self.lint_text("serve/cas.hpp", bad)
+        self.assertEqual([(f[1], f[2]) for f in findings],
+                         [(3, "atomic-order")])
+
+    def test_digit_separators_are_not_char_literals(self):
+        # 100'000 must not open a bogus char literal that swallows the
+        # following comment (this exact shape desynced comment line
+        # numbers in a real file).
+        text = ("void nap() { timespec ts{0, 100'000}; }\n"
+                "// SOCPINN_SEQLOCK_WRITER(owner): reason\n"
+                "void g(Slot& s) {\n"
+                "  s.publish(1.0);\n"
+                "}\n")
+        masked, comments = lint.mask_comments_and_strings(text)
+        self.assertIn("SOCPINN_SEQLOCK_WRITER", comments.get(2, ""))
+        self.assertIn("100", masked)
 
 
 class TestCli(unittest.TestCase):

@@ -1,0 +1,100 @@
+/// \file shm_layout_dump.cpp
+/// CLI around serve::shm_layout_manifest(): prints, checks, or regenerates
+/// the golden shm ABI manifest (tests/serve/shm_layout.golden).
+///
+///   shm_layout_dump                   print manifest + hash to stdout
+///   shm_layout_dump --check <golden>  exit 1 with a line diff on drift
+///   shm_layout_dump --write <golden>  regenerate after an intended change
+///
+/// The --check form runs as ctest `shm.layout_manifest`, so any layout
+/// drift in the shared-memory structs fails PR time with the exact lines
+/// that moved; --write is the one-command ABI-bump workflow (the golden
+/// diff then IS the review surface).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/shm_layout.hpp"
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--check <golden> | --write <golden>]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string manifest = socpinn::serve::shm_layout_manifest();
+  const std::uint64_t hash = socpinn::serve::shm_layout_hash();
+
+  if (argc == 1) {
+    std::printf("%s", manifest.c_str());
+    std::printf("hash %016llx\n", static_cast<unsigned long long>(hash));
+    return 0;
+  }
+  if (argc != 3) return usage(argv[0]);
+  const std::string mode = argv[1];
+  const char* path = argv[2];
+
+  if (mode == "--write") {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "shm_layout_dump: cannot write %s\n", path);
+      return 2;
+    }
+    out << manifest;
+    std::printf("shm_layout_dump: wrote %s (hash %016llx)\n", path,
+                static_cast<unsigned long long>(hash));
+    return 0;
+  }
+
+  if (mode != "--check") return usage(argv[0]);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr,
+                 "shm_layout_dump: cannot read golden %s (regenerate with "
+                 "--write)\n",
+                 path);
+    return 2;
+  }
+  std::ostringstream golden_stream;
+  golden_stream << in.rdbuf();
+  const std::string golden = golden_stream.str();
+  if (golden == manifest) {
+    std::printf("shm layout manifest matches %s (hash %016llx)\n", path,
+                static_cast<unsigned long long>(hash));
+    return 0;
+  }
+
+  // Line-level diff: enough to show exactly which field/offset moved.
+  std::fprintf(stderr,
+               "shm layout manifest DRIFTED from %s — the shared-memory ABI "
+               "changed.\nIf intentional, regenerate: shm_layout_dump "
+               "--write %s\n",
+               path, path);
+  const std::vector<std::string> want = split_lines(golden);
+  const std::vector<std::string> got = split_lines(manifest);
+  const std::size_t n = want.size() > got.size() ? want.size() : got.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* w = i < want.size() ? &want[i] : nullptr;
+    const std::string* g = i < got.size() ? &got[i] : nullptr;
+    if (w != nullptr && g != nullptr && *w == *g) continue;
+    if (w != nullptr) std::fprintf(stderr, "  -%s\n", w->c_str());
+    if (g != nullptr) std::fprintf(stderr, "  +%s\n", g->c_str());
+  }
+  return 1;
+}
